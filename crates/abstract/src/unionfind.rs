@@ -1,0 +1,144 @@
+//! A standard union-find (disjoint-set) structure with union by rank.
+//!
+//! Queries (`find`) take `&self` and do not path-compress, so a solved
+//! instance can be shared immutably; unions use path halving. With union by
+//! rank the tree depth is `O(log n)`, which is plenty for this workload.
+
+/// Disjoint-set forest over `u32` element ids.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Creates a forest with `n` singleton elements.
+    pub fn with_len(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Adds a fresh singleton element and returns its id.
+    pub fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s class (read-only; no compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Representative of `x`'s class, compressing paths along the way.
+    pub fn find_mut(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            // Path halving.
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the classes of `a` and `b`; returns the surviving
+    /// representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find_mut(a), self.find_mut(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+
+    /// Whether `a` and `b` are in the same class.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let uf = UnionFind::with_len(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(uf.same(i, j), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::with_len(5);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        uf.union(1, 2);
+        assert!(uf.same(0, 3));
+        assert!(!uf.same(0, 4));
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new();
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!((a, b), (0, 1));
+        assert!(!uf.same(a, b));
+        uf.union(a, b);
+        assert!(uf.same(a, b));
+    }
+
+    #[test]
+    fn idempotent_union() {
+        let mut uf = UnionFind::with_len(2);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+    }
+}

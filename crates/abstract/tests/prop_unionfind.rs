@@ -1,0 +1,83 @@
+//! Property tests: the union-find maintains exactly the equivalence
+//! closure of the union operations applied to it, checked against a naive
+//! partition model.
+
+use proptest::prelude::*;
+
+use pex_abstract::UnionFind;
+
+/// Naive model: a vector of class labels, merged by relabelling.
+#[derive(Debug, Clone)]
+struct Model {
+    labels: Vec<usize>,
+}
+
+impl Model {
+    fn new(n: usize) -> Self {
+        Model {
+            labels: (0..n).collect(),
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (la, lb) = (self.labels[a], self.labels[b]);
+        if la != lb {
+            for l in self.labels.iter_mut() {
+                if *l == lb {
+                    *l = la;
+                }
+            }
+        }
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_the_naive_partition_model(
+        n in 2usize..20,
+        ops in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
+    ) {
+        let mut uf = UnionFind::with_len(n);
+        let mut model = Model::new(n);
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            uf.union(a as u32, b as u32);
+            model.union(a, b);
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    uf.same(a as u32, b as u32),
+                    model.same(a, b),
+                    "disagreement on ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_is_stable_and_canonical(
+        n in 1usize..16,
+        ops in proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+    ) {
+        let mut uf = UnionFind::with_len(n);
+        for (a, b) in ops {
+            uf.union((a % n) as u32, (b % n) as u32);
+        }
+        for x in 0..n as u32 {
+            let r = uf.find(x);
+            // Canonical: the representative is its own representative, and
+            // repeated reads agree (find is read-only).
+            prop_assert_eq!(uf.find(r), r);
+            prop_assert_eq!(uf.find(x), r);
+            // Membership: x and its representative are in the same class.
+            prop_assert!(uf.same(x, r));
+        }
+    }
+}

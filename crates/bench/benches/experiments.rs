@@ -1,0 +1,253 @@
+//! Per-query kernels behind every evaluation artefact:
+//!
+//! * `table1_fig9to12/*` — the `?({args})` method-name query (experiment
+//!   5.1, feeding Table 1 and Figures 9-12);
+//! * `fig13_fig14/*` — the argument-hole query (experiment 5.2);
+//! * `fig15/*`, `fig16/*` — lookup-removal queries (experiment 5.3);
+//! * `table2/*` — a full completion under each extreme ranking
+//!   configuration (experiment 5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pex_bench::bench_project;
+use pex_core::{
+    Completer, Completion, MethodIndex, PartialExpr, RankConfig, ReachIndex, SuffixKind,
+};
+use pex_experiments::extract::{extract, site_context, strip_lookups, trailing_lookups};
+use pex_model::{Context, Database, Expr};
+
+struct Fixture {
+    db: Database,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture {
+            db: bench_project(),
+        }
+    }
+}
+
+fn method_query(c: &mut Criterion) {
+    let f = Fixture::new();
+    let index = MethodIndex::build(&f.db);
+    let ex = extract(&f.db);
+    let site = ex
+        .calls
+        .iter()
+        .find(|s| s.args.len() >= 2)
+        .expect("a 2-arg call exists");
+    let ctx = site_context(&f.db, site.enclosing, site.stmt);
+    let query = PartialExpr::UnknownCall(vec![
+        PartialExpr::Known(site.args[0].clone()),
+        PartialExpr::Known(site.args[1].clone()),
+    ]);
+    let target = site.target;
+    let completer = Completer::new(&f.db, &ctx, &index, RankConfig::all(), None);
+    c.bench_function("table1_fig9to12/method_query_rank", |b| {
+        b.iter(|| {
+            black_box(completer.rank_of(
+                black_box(&query),
+                100,
+                |cand: &Completion| matches!(cand.expr, Expr::Call(m, _) if m == target),
+            ))
+        })
+    });
+}
+
+fn argument_query(c: &mut Criterion) {
+    let f = Fixture::new();
+    let index = MethodIndex::build(&f.db);
+    let ex = extract(&f.db);
+    let site = ex
+        .calls
+        .iter()
+        .find(|s| s.args.iter().any(|a| matches!(a, Expr::Local(_))))
+        .expect("a local-argument call exists");
+    let ctx = site_context(&f.db, site.enclosing, site.stmt);
+    let hole_at = site
+        .args
+        .iter()
+        .position(|a| matches!(a, Expr::Local(_)))
+        .unwrap();
+    let args: Vec<PartialExpr> = site
+        .args
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            if j == hole_at {
+                PartialExpr::Hole
+            } else {
+                PartialExpr::Known(a.clone())
+            }
+        })
+        .collect();
+    let query = PartialExpr::KnownCall {
+        candidates: vec![site.target],
+        args,
+    };
+    let original = Expr::Call(site.target, site.args.clone());
+    let completer = Completer::new(&f.db, &ctx, &index, RankConfig::all(), None);
+    c.bench_function("fig13_fig14/argument_query_rank", |b| {
+        b.iter(|| {
+            black_box(
+                completer.rank_of(black_box(&query), 100, |cand: &Completion| {
+                    cand.expr == original
+                }),
+            )
+        })
+    });
+}
+
+fn lookup_queries(c: &mut Criterion) {
+    let f = Fixture::new();
+    let index = MethodIndex::build(&f.db);
+    let ex = extract(&f.db);
+
+    // Figure 15: an assignment with the target's final lookup removed.
+    let asite = ex
+        .assigns
+        .iter()
+        .find(|s| {
+            let Expr::Assign(lhs, _) = &s.expr else {
+                return false;
+            };
+            trailing_lookups(&f.db, lhs, 1) >= 1
+        })
+        .expect("an assignment with a target lookup exists");
+    let Expr::Assign(lhs, rhs) = &asite.expr else {
+        unreachable!()
+    };
+    let lb = strip_lookups(&f.db, lhs, 1).unwrap();
+    let query15 = PartialExpr::assign(
+        PartialExpr::suffix(PartialExpr::Known(lb), SuffixKind::Method),
+        PartialExpr::suffix(PartialExpr::Known((**rhs).clone()), SuffixKind::Method),
+    );
+    let actx: Context = site_context(&f.db, asite.enclosing, asite.stmt);
+    let original15 = asite.expr.clone();
+    let completer_a = Completer::new(&f.db, &actx, &index, RankConfig::all(), None);
+    c.bench_function("fig15/assignment_lookup_rank", |b| {
+        b.iter(|| {
+            black_box(completer_a.rank_of(black_box(&query15), 100, |cand| cand.expr == original15))
+        })
+    });
+
+    // Figure 16: a comparison with .?m.?m on both sides.
+    if let Some(csite) = ex.cmps.iter().find(|s| {
+        let Expr::Cmp(_, lhs, _) = &s.expr else {
+            return false;
+        };
+        trailing_lookups(&f.db, lhs, 1) >= 1
+    }) {
+        let Expr::Cmp(op, lhs, rhs) = &csite.expr else {
+            unreachable!()
+        };
+        let lb = strip_lookups(&f.db, lhs, 1).unwrap();
+        let two = |base: Expr| {
+            PartialExpr::suffix(
+                PartialExpr::suffix(PartialExpr::Known(base), SuffixKind::Method),
+                SuffixKind::Method,
+            )
+        };
+        let query16 = PartialExpr::cmp(*op, two(lb), two((**rhs).clone()));
+        let cctx = site_context(&f.db, csite.enclosing, csite.stmt);
+        let original16 = csite.expr.clone();
+        let completer_c = Completer::new(&f.db, &cctx, &index, RankConfig::all(), None);
+        c.bench_function("fig16/comparison_lookup_rank", |b| {
+            b.iter(|| {
+                black_box(
+                    completer_c.rank_of(black_box(&query16), 100, |cand| cand.expr == original16),
+                )
+            })
+        });
+    }
+}
+
+fn sensitivity_configs(c: &mut Criterion) {
+    let f = Fixture::new();
+    let index = MethodIndex::build(&f.db);
+    let ex = extract(&f.db);
+    let site = ex
+        .calls
+        .iter()
+        .find(|s| s.args.len() >= 2)
+        .expect("a 2-arg call exists");
+    let ctx = site_context(&f.db, site.enclosing, site.stmt);
+    let query = PartialExpr::UnknownCall(vec![
+        PartialExpr::Known(site.args[0].clone()),
+        PartialExpr::Known(site.args[1].clone()),
+    ]);
+    let mut group = c.benchmark_group("table2");
+    for (name, config) in [
+        ("all_terms", RankConfig::all()),
+        ("no_terms", RankConfig::none()),
+        (
+            "only_type_distance",
+            RankConfig::only(&[pex_core::RankTerm::TypeDistance]),
+        ),
+    ] {
+        let completer = Completer::new(&f.db, &ctx, &index, config, None);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(completer.complete(black_box(&query), 20)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the Section 4.2 reachability index on a filtered chain query
+/// (an argument hole). DESIGN.md calls this design choice out; the bench
+/// quantifies it.
+fn reach_ablation(c: &mut Criterion) {
+    let f = Fixture::new();
+    let index = MethodIndex::build(&f.db);
+    let reach = ReachIndex::build(&f.db);
+    let ex = extract(&f.db);
+    let site = ex
+        .calls
+        .iter()
+        .find(|s| s.args.iter().any(|a| matches!(a, Expr::Local(_))))
+        .expect("a local-argument call exists");
+    let ctx = site_context(&f.db, site.enclosing, site.stmt);
+    let hole_at = site
+        .args
+        .iter()
+        .position(|a| matches!(a, Expr::Local(_)))
+        .unwrap();
+    let args: Vec<PartialExpr> = site
+        .args
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            if j == hole_at {
+                PartialExpr::Hole
+            } else {
+                PartialExpr::Known(a.clone())
+            }
+        })
+        .collect();
+    let query = PartialExpr::KnownCall {
+        candidates: vec![site.target],
+        args,
+    };
+    let mut group = c.benchmark_group("ablation_reach_index");
+    let plain = Completer::new(&f.db, &ctx, &index, RankConfig::all(), None);
+    group.bench_function("without_reach_index", |b| {
+        b.iter(|| black_box(plain.complete(black_box(&query), 50)))
+    });
+    let pruned = Completer::new(&f.db, &ctx, &index, RankConfig::all(), None).with_reach(&reach);
+    group.bench_function("with_reach_index", |b| {
+        b.iter(|| black_box(pruned.complete(black_box(&query), 50)))
+    });
+    group.bench_function("reach_index_build", |b| {
+        b.iter(|| black_box(ReachIndex::build(black_box(&f.db))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = method_query, argument_query, lookup_queries, sensitivity_configs, reach_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Latency of the paper's worked-example queries (Figures 2-4).
+//!
+//! The paper's interactivity claim is that queries answer well under half a
+//! second; these benches confirm the worked examples sit in the
+//! microsecond range on the builtin corpora.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pex_abstract::AbsTypes;
+use pex_core::{Completer, MethodIndex, RankConfig};
+use pex_corpus::builtin;
+
+fn fig2_unknown_method(c: &mut Criterion) {
+    let db = builtin::paint_dot_net();
+    let (ctx, site) = builtin::paint_query_site(&db);
+    let abs = AbsTypes::for_query(&db, site, usize::MAX);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), Some(&abs));
+    let query = pex_core::parse_partial(&db, &ctx, "?({img, size})").unwrap();
+    c.bench_function("fig2/unknown_method_top10", |b| {
+        b.iter(|| black_box(completer.complete(black_box(&query), 10)))
+    });
+}
+
+fn fig3_argument_hole(c: &mut Criterion) {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig3_context(&db);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+    let query = pex_core::parse_partial(&db, &ctx, "Distance(point, ?)").unwrap();
+    c.bench_function("fig3/argument_hole_top10", |b| {
+        b.iter(|| black_box(completer.complete(black_box(&query), 10)))
+    });
+}
+
+fn fig4_joint_lookup(c: &mut Criterion) {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig4_context(&db);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+    let query = pex_core::parse_partial(&db, &ctx, "point.?*m >= this.?*m").unwrap();
+    c.bench_function("fig4/joint_lookup_top10", |b| {
+        b.iter(|| black_box(completer.complete(black_box(&query), 10)))
+    });
+}
+
+fn query_parsing(c: &mut Criterion) {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig4_context(&db);
+    c.bench_function("fig4/parse_query", |b| {
+        b.iter(|| {
+            black_box(pex_core::parse_partial(
+                &db,
+                &ctx,
+                black_box("point.?*m >= this.?*m"),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = fig2_unknown_method, fig3_argument_hole, fig4_joint_lookup, query_parsing
+}
+criterion_main!(benches);

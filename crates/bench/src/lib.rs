@@ -1,0 +1,46 @@
+//! # pex-bench
+//!
+//! Criterion benchmarks for the `pex` workspace. The benches live in
+//! `benches/`:
+//!
+//! * `paper_figures` — the worked-example queries of Figures 2-4 on the
+//!   builtin corpora (interactive-latency checks);
+//! * `experiments` — the per-query kernels behind every evaluation table
+//!   and figure (Table 1 / Figures 9-12 method queries, Figure 13-14
+//!   argument queries, Figure 15-16 lookup queries, Table 2 ranking
+//!   sweeps);
+//! * `substrates` — index construction, type distance, abstract-type
+//!   inference, and both frontends.
+//!
+//! This library crate only hosts shared fixture helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pex_corpus::{table1_projects, ProjectProfile};
+use pex_model::Database;
+
+/// A small but non-trivial generated project for benchmarking (the
+/// Paint.NET profile at a fixed scale).
+pub fn bench_project() -> Database {
+    bench_profile().generate(0.01)
+}
+
+/// The profile used by [`bench_project`].
+pub fn bench_profile() -> ProjectProfile {
+    table1_projects()
+        .into_iter()
+        .next()
+        .expect("profiles are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_fixture_is_usable() {
+        let db = bench_project();
+        assert!(db.method_count() > 50);
+    }
+}

@@ -1,0 +1,243 @@
+//! Expansion of method-call queries: given one concrete choice of argument
+//! completions (a combo), produce every type-correct, scored call.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use pex_model::{Database, Expr, MethodId, ValueTy};
+use pex_types::TypeId;
+
+use crate::rank::Ranker;
+
+use super::index::MethodIndex;
+use super::stream::{Completion, ScoredStream};
+
+/// Per-query memo of index lookups — the paper's "grouping computations by
+/// type" optimisation (Section 4.2): argument combos that repeat a type do
+/// not repeat the supertype walk.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateCache {
+    candidates: RefCell<HashMap<TypeId, Rc<Vec<MethodId>>>>,
+    counts: RefCell<HashMap<TypeId, usize>>,
+}
+
+impl CandidateCache {
+    pub(crate) fn candidates(
+        &self,
+        index: &MethodIndex,
+        db: &Database,
+        ty: TypeId,
+    ) -> Rc<Vec<MethodId>> {
+        if let Some(hit) = self.candidates.borrow().get(&ty) {
+            return Rc::clone(hit);
+        }
+        let computed = Rc::new(index.candidates_for(db, ty));
+        self.candidates
+            .borrow_mut()
+            .insert(ty, Rc::clone(&computed));
+        computed
+    }
+
+    pub(crate) fn count(&self, index: &MethodIndex, db: &Database, ty: TypeId) -> usize {
+        if let Some(hit) = self.counts.borrow().get(&ty) {
+            return *hit;
+        }
+        let computed = index.candidate_count(db, ty);
+        self.counts.borrow_mut().insert(ty, computed);
+        computed
+    }
+}
+
+/// Expands a `?({...})` combo: finds candidate methods via the index, places
+/// the arguments injectively into argument positions (receiver included),
+/// fills the rest with `0`, and scores each resulting call.
+pub(crate) fn expand_unknown_call(
+    ranker: &Ranker<'_>,
+    index: &MethodIndex,
+    cache: &CandidateCache,
+    items: &[Completion],
+) -> Vec<Completion> {
+    let db = ranker.db;
+    // Pick the argument whose index entry is smallest (paper Section 4.2).
+    let mut best: Option<(usize, usize)> = None; // (arg position, count)
+    for (i, item) in items.iter().enumerate() {
+        if let ValueTy::Known(t) = item.ty {
+            let count = cache.count(index, db, t);
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((i, count));
+            }
+        }
+    }
+    let candidates: Rc<Vec<MethodId>> = match best {
+        Some((i, _)) => match items[i].ty {
+            ValueTy::Known(t) => cache.candidates(index, db, t),
+            ValueTy::Wildcard => unreachable!("best is only set for known types"),
+        },
+        None => Rc::new(index.all_with_args().to_vec()),
+    };
+
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for &m in candidates.iter() {
+        let md = db.method(m);
+        if !db.accessible(md.visibility(), md.declaring(), ranker.ctx.enclosing_type) {
+            continue;
+        }
+        let param_tys = md.full_param_types();
+        if param_tys.len() < items.len() {
+            continue;
+        }
+        place(
+            ranker,
+            m,
+            &param_tys,
+            items,
+            &mut vec![None; param_tys.len()],
+            0,
+            &mut seen,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Recursive injective placement of `items[i..]` into free positions.
+#[allow(clippy::too_many_arguments)]
+fn place(
+    ranker: &Ranker<'_>,
+    m: MethodId,
+    param_tys: &[pex_types::TypeId],
+    items: &[Completion],
+    slots: &mut Vec<Option<usize>>, // slot j -> index into items
+    i: usize,
+    seen: &mut HashSet<String>,
+    out: &mut Vec<Completion>,
+) {
+    let db = ranker.db;
+    if i == items.len() {
+        let args: Vec<Expr> = slots
+            .iter()
+            .map(|s| match s {
+                Some(k) => items[*k].expr.clone(),
+                None => Expr::Hole0,
+            })
+            .collect();
+        let expr = Expr::Call(m, args);
+        let key = format!("{expr:?}");
+        if !seen.insert(key) {
+            return;
+        }
+        if let Some(score) = ranker.score(&expr) {
+            let ty = ValueTy::Known(db.method(m).return_type());
+            out.push(Completion { expr, score, ty });
+        }
+        return;
+    }
+    for j in 0..param_tys.len() {
+        if slots[j].is_some() {
+            continue;
+        }
+        let fits = match items[i].ty {
+            ValueTy::Wildcard => true,
+            ValueTy::Known(t) => db.types().type_distance(t, param_tys[j]).is_some(),
+        };
+        if !fits {
+            continue;
+        }
+        slots[j] = Some(i);
+        place(ranker, m, param_tys, items, slots, i + 1, seen, out);
+        slots[j] = None;
+    }
+}
+
+/// Expands a known-method combo positionally over the candidate overloads.
+pub(crate) fn expand_known_call(
+    ranker: &Ranker<'_>,
+    candidates: &[MethodId],
+    items: &[Completion],
+) -> Vec<Completion> {
+    let db = ranker.db;
+    let mut out = Vec::new();
+    for &m in candidates {
+        let md = db.method(m);
+        if md.full_arity() != items.len() {
+            continue;
+        }
+        if !db.accessible(md.visibility(), md.declaring(), ranker.ctx.enclosing_type) {
+            continue;
+        }
+        let args: Vec<Expr> = items.iter().map(|c| c.expr.clone()).collect();
+        let expr = Expr::Call(m, args);
+        if let Some(score) = ranker.score(&expr) {
+            out.push(Completion {
+                expr,
+                score,
+                ty: ValueTy::Known(md.return_type()),
+            });
+        }
+    }
+    out
+}
+
+/// Expands an assignment combo (`[lhs, rhs]`).
+pub(crate) fn expand_assign(ranker: &Ranker<'_>, items: &[Completion]) -> Vec<Completion> {
+    debug_assert_eq!(items.len(), 2);
+    let lhs = &items[0];
+    if !matches!(
+        lhs.expr,
+        Expr::Local(_) | Expr::StaticField(_) | Expr::FieldAccess(..)
+    ) {
+        return Vec::new();
+    }
+    let expr = Expr::assign(items[0].expr.clone(), items[1].expr.clone());
+    match ranker.score(&expr) {
+        Some(score) => vec![Completion {
+            expr,
+            score,
+            ty: lhs.ty,
+        }],
+        None => Vec::new(),
+    }
+}
+
+/// Expands a comparison combo (`[lhs, rhs]`).
+pub(crate) fn expand_cmp(
+    ranker: &Ranker<'_>,
+    op: pex_model::CmpOp,
+    items: &[Completion],
+) -> Vec<Completion> {
+    debug_assert_eq!(items.len(), 2);
+    let expr = Expr::cmp(op, items[0].expr.clone(), items[1].expr.clone());
+    match ranker.score(&expr) {
+        Some(score) => vec![Completion {
+            expr,
+            score,
+            ty: ValueTy::Known(ranker.db.types().bool_ty()),
+        }],
+        None => Vec::new(),
+    }
+}
+
+/// A stream filtered by a type predicate (bounds pass through unchanged —
+/// filtering can only remove items, so lower bounds stay valid).
+pub(crate) struct Filtered<'a> {
+    pub(crate) inner: Box<dyn ScoredStream + 'a>,
+    pub(crate) db: &'a pex_model::Database,
+    pub(crate) filter: super::chains::TypeFilter,
+}
+
+impl<'a> ScoredStream for Filtered<'a> {
+    fn bound(&mut self) -> Option<u32> {
+        self.inner.bound()
+    }
+
+    fn next_item(&mut self) -> Option<Completion> {
+        loop {
+            let c = self.inner.next_item()?;
+            if self.filter.passes(self.db, c.ty) {
+                return Some(c);
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Completion of `.?` suffix holes and `?` holes: best-first search over
+//! lookup chains.
+//!
+//! A chain grows from a root completion by appending instance field lookups
+//! and (for `m` kinds) zero-argument instance calls; each link costs the
+//! ranker's link cost. Roots arrive lazily from another stream, so nested
+//! suffixes and `?`-holes (whose roots are every local and global) compose
+//! uniformly. The search is a Dijkstra over (expression, type) states: the
+//! heap pops states in score order, emitting those that pass the optional
+//! type filter and expanding their successors.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pex_model::{Context, Database, Expr, ValueTy};
+use pex_types::TypeId;
+
+use super::reach::ReachPruner;
+use super::stream::{Completion, ScoredStream};
+
+/// What links a chain may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainLink {
+    /// Instance field/property lookups only (`.?f` kinds).
+    Fields,
+    /// Lookups plus zero-argument instance calls (`.?m` kinds).
+    FieldsAndMethods,
+}
+
+/// Emission filter on a completion's static type.
+///
+/// `OneOf` is the argument-position filter (must convert to a wanted
+/// type); `Ordered` is the binary-operator narrowing of paper Section 4.2
+/// ("binary operators ... are relatively restrictive on which pairs of
+/// types are valid"): only types that can participate in *some* comparison
+/// pass, which prunes each operand stream before pairs are even formed.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum TypeFilter {
+    /// Everything passes.
+    #[default]
+    Any,
+    /// The type must implicitly convert to one of these.
+    OneOf(Vec<TypeId>),
+    /// The type must be usable under a relational operator.
+    Ordered,
+}
+
+impl TypeFilter {
+    pub(crate) fn any() -> Self {
+        TypeFilter::Any
+    }
+
+    pub(crate) fn one_of(tys: Vec<TypeId>) -> Self {
+        TypeFilter::OneOf(tys)
+    }
+
+    pub(crate) fn is_any(&self) -> bool {
+        matches!(self, TypeFilter::Any)
+    }
+
+    /// Whether a *known* type is admissible (used for pruning tables).
+    pub(crate) fn admits(&self, db: &Database, t: TypeId) -> bool {
+        match self {
+            TypeFilter::Any => true,
+            TypeFilter::OneOf(wanted) => wanted
+                .iter()
+                .any(|w| db.types().implicitly_convertible(t, *w)),
+            TypeFilter::Ordered => {
+                let def = db.types().get(t);
+                match def.prim_kind() {
+                    Some(pk) => pk.is_ordered(),
+                    // A non-primitive is orderable if it, or anything it
+                    // implicitly converts to, is marked comparable (a
+                    // subtype of DateTime compares like a DateTime).
+                    None => db
+                        .types()
+                        .conversion_targets(t)
+                        .iter()
+                        .any(|&(u, _)| db.types().get(u).is_comparable()),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn passes(&self, db: &Database, ty: ValueTy) -> bool {
+        match ty {
+            ValueTy::Wildcard => true,
+            ValueTy::Known(t) => self.admits(db, t),
+        }
+    }
+}
+
+struct HeapState {
+    score: u32,
+    seq: u64,
+    links: usize,
+    completion: Completion,
+}
+
+impl PartialEq for HeapState {
+    fn eq(&self, other: &Self) -> bool {
+        (self.score, self.seq) == (other.score, other.seq)
+    }
+}
+impl Eq for HeapState {}
+impl Ord for HeapState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.score, self.seq).cmp(&(other.score, other.seq))
+    }
+}
+impl PartialOrd for HeapState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The chain-closure stream. See module docs.
+pub(crate) struct ChainStream<'a> {
+    db: &'a Database,
+    ctx: &'a Context,
+    roots: Box<dyn ScoredStream + 'a>,
+    links: ChainLink,
+    /// Maximum number of links appended to a root (`Some(1)` for non-star
+    /// suffixes, `None` — bounded by `depth_cap` — for star suffixes).
+    max_links: Option<usize>,
+    /// Engine-wide safety bound on star-suffix chain length.
+    depth_cap: usize,
+    link_cost: u32,
+    filter: TypeFilter,
+    heap: BinaryHeap<Reverse<HeapState>>,
+    seq: u64,
+    /// Optional reachability pruning (paper Section 4.2's proposed index):
+    /// successors whose type cannot reach an admissible type within the
+    /// remaining link budget are not enqueued.
+    pruner: Option<ReachPruner<'a>>,
+}
+
+impl<'a> ChainStream<'a> {
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring the paper's knobs
+    pub(crate) fn new(
+        db: &'a Database,
+        ctx: &'a Context,
+        roots: Box<dyn ScoredStream + 'a>,
+        links: ChainLink,
+        max_links: Option<usize>,
+        depth_cap: usize,
+        link_cost: u32,
+        filter: TypeFilter,
+    ) -> Self {
+        ChainStream {
+            db,
+            ctx,
+            roots,
+            links,
+            max_links,
+            depth_cap,
+            link_cost,
+            filter,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pruner: None,
+        }
+    }
+
+    /// Enables reachability pruning for this stream.
+    pub(crate) fn with_pruner(mut self, pruner: Option<ReachPruner<'a>>) -> Self {
+        self.pruner = pruner;
+        self
+    }
+
+    /// Whether a state of this type with `links` already used is worth
+    /// keeping (it can still emit an admissible completion).
+    fn viable(&self, ty: pex_types::TypeId, links: usize) -> bool {
+        match &self.pruner {
+            Some(pruner) => {
+                let remaining = self.limit().saturating_sub(links) as u32;
+                pruner.viable(ty, remaining)
+            }
+            None => true,
+        }
+    }
+
+    fn push(&mut self, links: usize, completion: Completion) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapState {
+            score: completion.score,
+            seq: self.seq,
+            links,
+            completion,
+        }));
+    }
+
+    /// Moves roots into the heap while a pending root could be at least as
+    /// cheap as the current heap top.
+    fn absorb_roots(&mut self) {
+        loop {
+            let Some(rb) = self.roots.bound() else { return };
+            let top = self.heap.peek().map(|Reverse(s)| s.score);
+            if top.is_some_and(|t| t < rb) {
+                return;
+            }
+            match self.roots.next_item() {
+                Some(c) => {
+                    let keep = match c.ty {
+                        ValueTy::Known(t) => self.viable(t, 0),
+                        ValueTy::Wildcard => true,
+                    };
+                    if keep {
+                        self.push(0, c);
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn limit(&self) -> usize {
+        self.max_links.unwrap_or(self.depth_cap)
+    }
+
+    /// Expands one state's successors into the heap.
+    fn expand(&mut self, links: usize, completion: &Completion) {
+        if links >= self.limit() {
+            return;
+        }
+        let ValueTy::Known(ty) = completion.ty else {
+            return;
+        };
+        let from = self.ctx.enclosing_type;
+        for f in self.db.instance_fields(ty, from) {
+            let fd = self.db.field(f);
+            if !self.viable(fd.ty(), links + 1) {
+                continue;
+            }
+            let c = Completion {
+                expr: Expr::field(completion.expr.clone(), f),
+                score: completion.score + self.link_cost,
+                ty: ValueTy::Known(fd.ty()),
+            };
+            self.push(links + 1, c);
+        }
+        if self.links == ChainLink::FieldsAndMethods {
+            for m in self.db.zero_arg_instance_methods(ty, from) {
+                let md = self.db.method(m);
+                if !self.viable(md.return_type(), links + 1) {
+                    continue;
+                }
+                let c = Completion {
+                    expr: Expr::Call(m, vec![completion.expr.clone()]),
+                    score: completion.score + self.link_cost,
+                    ty: ValueTy::Known(md.return_type()),
+                };
+                self.push(links + 1, c);
+            }
+        }
+    }
+}
+
+impl<'a> ScoredStream for ChainStream<'a> {
+    fn bound(&mut self) -> Option<u32> {
+        let heap_bound = self.heap.peek().map(|Reverse(s)| s.score);
+        let root_bound = self.roots.bound();
+        match (heap_bound, root_bound) {
+            (Some(h), Some(r)) => Some(h.min(r)),
+            (Some(h), None) => Some(h),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+
+    fn next_item(&mut self) -> Option<Completion> {
+        loop {
+            self.absorb_roots();
+            let Reverse(state) = self.heap.pop()?;
+            self.expand(state.links, &state.completion);
+            if self.filter.passes(self.db, state.completion.ty) {
+                return Some(state.completion);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::stream::VecStream;
+    use pex_model::minics::compile;
+    use pex_model::Local;
+
+    fn setup() -> (Database, Context) {
+        let db = compile(
+            r#"
+            namespace G {
+                struct Point { int X; int Y; }
+                class Line {
+                    G.Point P1;
+                    G.Point P2;
+                    double GetLength();
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let line = db.types().lookup_qualified("G.Line").unwrap();
+        let ctx = Context::with_locals(
+            None,
+            vec![Local {
+                name: "ln".into(),
+                ty: line,
+            }],
+        );
+        (db, ctx)
+    }
+
+    fn root(db: &Database, ctx: &Context) -> Completion {
+        let ty = ctx.locals[0].ty;
+        let _ = db;
+        Completion {
+            expr: Expr::Local(pex_model::LocalId(0)),
+            score: 0,
+            ty: ValueTy::Known(ty),
+        }
+    }
+
+    fn renders(
+        db: &Database,
+        ctx: &Context,
+        stream: &mut dyn ScoredStream,
+        n: usize,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match stream.next_item() {
+                Some(c) => out.push(pex_model::render_expr(
+                    db,
+                    ctx,
+                    &c.expr,
+                    pex_model::CallStyle::Receiver,
+                )),
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn star_closure_explores_depth_in_score_order() {
+        let (db, ctx) = setup();
+        let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
+        let mut s = ChainStream::new(
+            &db,
+            &ctx,
+            roots,
+            ChainLink::FieldsAndMethods,
+            None,
+            6,
+            2,
+            TypeFilter::any(),
+        );
+        let names = renders(&db, &ctx, &mut s, 10);
+        assert_eq!(names[0], "ln");
+        assert!(names.contains(&"ln.P1".to_string()));
+        assert!(names.contains(&"ln.GetLength()".to_string()));
+        assert!(names.contains(&"ln.P1.X".to_string()));
+        // Score order: ln (0) first, then one-link (2), then two-link (4).
+        let p1x = names.iter().position(|n| n == "ln.P1.X").unwrap();
+        let p1 = names.iter().position(|n| n == "ln.P1").unwrap();
+        assert!(p1 < p1x);
+    }
+
+    #[test]
+    fn single_link_limit_and_field_only() {
+        let (db, ctx) = setup();
+        let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
+        let mut s = ChainStream::new(
+            &db,
+            &ctx,
+            roots,
+            ChainLink::Fields,
+            Some(1),
+            6,
+            2,
+            TypeFilter::any(),
+        );
+        let names = renders(&db, &ctx, &mut s, 20);
+        assert_eq!(names.len(), 3, "ln, ln.P1, ln.P2 only: {names:?}");
+        assert!(!names.iter().any(|n| n.contains("GetLength")));
+        assert!(!names
+            .iter()
+            .any(|n| n.contains('.') && n.matches('.').count() > 1));
+    }
+
+    #[test]
+    fn type_filter_restricts_emissions_not_search() {
+        let (db, ctx) = setup();
+        let int = db.types().int_ty();
+        let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
+        let mut s = ChainStream::new(
+            &db,
+            &ctx,
+            roots,
+            ChainLink::Fields,
+            None,
+            6,
+            2,
+            TypeFilter::one_of(vec![int]),
+        );
+        let names = renders(&db, &ctx, &mut s, 20);
+        // Only int-typed chains: the X/Y of P1 and P2.
+        assert_eq!(names.len(), 4, "{names:?}");
+        assert!(names.iter().all(|n| n.ends_with(".X") || n.ends_with(".Y")));
+    }
+
+    #[test]
+    fn ordered_filter_admits_comparable_subtypes() {
+        let db = pex_model::minics::compile(
+            r#"
+            namespace N {
+                [Comparable] class Version { }
+                class SemVer : N.Version { }
+                class Plain { }
+            }
+            "#,
+        )
+        .unwrap();
+        let version = db.types().lookup_qualified("N.Version").unwrap();
+        let semver = db.types().lookup_qualified("N.SemVer").unwrap();
+        let plain = db.types().lookup_qualified("N.Plain").unwrap();
+        let f = TypeFilter::Ordered;
+        assert!(f.admits(&db, version));
+        assert!(
+            f.admits(&db, semver),
+            "subtypes of comparable types compare"
+        );
+        assert!(!f.admits(&db, plain));
+        assert!(f.admits(&db, db.types().int_ty()));
+        assert!(!f.admits(&db, db.types().bool_ty()));
+        assert!(!f.admits(&db, db.types().string_ty()));
+    }
+
+    #[test]
+    fn depth_cap_bounds_star_chains() {
+        let (db, ctx) = setup();
+        // Point has no reference-typed fields, so chains die out anyway;
+        // use cap 1 to check the cap itself.
+        let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
+        let mut s = ChainStream::new(
+            &db,
+            &ctx,
+            roots,
+            ChainLink::FieldsAndMethods,
+            None,
+            1,
+            2,
+            TypeFilter::any(),
+        );
+        let names = renders(&db, &ctx, &mut s, 50);
+        assert!(
+            names.iter().all(|n| n.matches('.').count() <= 1),
+            "{names:?}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The method index of paper Figure 8: parameter type → methods.
+//!
+//! "An index is maintained that maps every type to a set of methods for
+//! which at least one of the arguments may be of that type." To save memory
+//! the paper stores methods under the *exact* parameter type and follows
+//! supertype pointers at query time; [`MethodIndex::candidates_for`] does
+//! the same walk via [`pex_types::TypeTable::conversion_targets`], so
+//! progressively farther entries correspond to progressively worse type
+//! distances.
+
+use std::collections::HashMap;
+
+use pex_model::{Database, MethodId};
+use pex_types::TypeId;
+
+/// Index from parameter type (receiver included) to declaring methods.
+#[derive(Debug, Clone, Default)]
+pub struct MethodIndex {
+    by_param: HashMap<TypeId, Vec<MethodId>>,
+    /// Methods with at least one argument position (receiver or declared
+    /// parameter) — the fallback set when no argument type is known.
+    with_args: Vec<MethodId>,
+}
+
+impl MethodIndex {
+    /// Builds the index over every method in the database.
+    pub fn build(db: &Database) -> Self {
+        let mut by_param: HashMap<TypeId, Vec<MethodId>> = HashMap::new();
+        let mut with_args = Vec::new();
+        for m in db.methods() {
+            let tys = db.method(m).full_param_types();
+            if tys.is_empty() {
+                continue;
+            }
+            with_args.push(m);
+            let mut seen = Vec::new();
+            for ty in tys {
+                if !seen.contains(&ty) {
+                    seen.push(ty);
+                    by_param.entry(ty).or_default().push(m);
+                }
+            }
+        }
+        MethodIndex {
+            by_param,
+            with_args,
+        }
+    }
+
+    /// Methods with a parameter of *exactly* this type.
+    pub fn exact(&self, ty: TypeId) -> &[MethodId] {
+        self.by_param.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Methods that can accept an argument of type `ty` in some position:
+    /// the union of the exact entries of every implicit-conversion target of
+    /// `ty`, ordered by type distance (near first) and deduplicated.
+    pub fn candidates_for(&self, db: &Database, ty: TypeId) -> Vec<MethodId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; db.method_count()];
+        for (target, _) in db.types().conversion_targets(ty) {
+            for &m in self.exact(target) {
+                if !std::mem::replace(&mut seen[m.index()], true) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of [`MethodIndex::candidates_for`] without materialising it.
+    pub fn candidate_count(&self, db: &Database, ty: TypeId) -> usize {
+        // Upper bound (duplicates across levels are rare enough for the
+        // "pick the smallest set" heuristic).
+        db.types()
+            .conversion_targets(ty)
+            .iter()
+            .map(|&(t, _)| self.exact(t).len())
+            .sum()
+    }
+
+    /// The fallback candidate set: every method with at least one argument
+    /// position. Used when a query provides no typed argument at all.
+    pub fn all_with_args(&self) -> &[MethodId] {
+        &self.with_args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pex_model::minics::compile;
+
+    fn setup() -> Database {
+        compile(
+            r#"
+            namespace G {
+                class Animal { }
+                class Dog : G.Animal { }
+                class Kennel {
+                    static void House(G.Dog d);
+                    static void Admit(G.Animal a);
+                    void Wash(G.Dog d);
+                    static int Count();
+                }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn find(db: &Database, name: &str) -> MethodId {
+        db.methods().find(|m| db.method(*m).name() == name).unwrap()
+    }
+
+    #[test]
+    fn exact_entries_respect_receivers() {
+        let db = setup();
+        let idx = MethodIndex::build(&db);
+        let dog = db.types().lookup_qualified("G.Dog").unwrap();
+        let kennel = db.types().lookup_qualified("G.Kennel").unwrap();
+        let house = find(&db, "House");
+        let wash = find(&db, "Wash");
+        assert!(idx.exact(dog).contains(&house));
+        assert!(idx.exact(dog).contains(&wash));
+        // Wash is an instance method: its receiver type indexes it too.
+        assert!(idx.exact(kennel).contains(&wash));
+        // Count has no argument positions at all.
+        let count = find(&db, "Count");
+        assert!(!idx.all_with_args().contains(&count));
+        assert!(!idx.exact(kennel).contains(&count));
+    }
+
+    #[test]
+    fn candidates_walk_supertypes() {
+        let db = setup();
+        let idx = MethodIndex::build(&db);
+        let dog = db.types().lookup_qualified("G.Dog").unwrap();
+        let animal = db.types().lookup_qualified("G.Animal").unwrap();
+        let house = find(&db, "House");
+        let admit = find(&db, "Admit");
+        let dog_cands = idx.candidates_for(&db, dog);
+        assert!(dog_cands.contains(&house));
+        assert!(dog_cands.contains(&admit), "a Dog fits Admit(Animal)");
+        // Nearer entries first: House (exact) before Admit (distance 1).
+        let hp = dog_cands.iter().position(|m| *m == house).unwrap();
+        let ap = dog_cands.iter().position(|m| *m == admit).unwrap();
+        assert!(hp < ap);
+        // An Animal does not fit House(Dog).
+        let animal_cands = idx.candidates_for(&db, animal);
+        assert!(!animal_cands.contains(&house));
+        assert!(animal_cands.contains(&admit));
+        assert!(idx.candidate_count(&db, dog) >= dog_cands.len());
+    }
+}

@@ -1,0 +1,721 @@
+//! The completion engine: Algorithm 1 of the paper.
+//!
+//! [`Completer::completions`] compiles a [`PartialExpr`] into a tree of
+//! scored streams — chain closures for holes and `.?` suffixes,
+//! products plus reorder buffers for calls and operators — and iterates the
+//! root stream, deduplicating, in non-decreasing score order.
+
+pub(crate) mod calls;
+pub mod chains;
+pub(crate) mod index;
+pub mod reach;
+pub(crate) mod stream;
+
+pub use index::MethodIndex;
+pub use reach::ReachIndex;
+pub use stream::Completion;
+
+use pex_abstract::AbsTypes;
+use pex_model::{CallStyle, Context, Database, Expr, GlobalRef, ValueTy};
+use pex_types::TypeId;
+
+use crate::partial::PartialExpr;
+use crate::rank::{RankConfig, Ranker};
+
+use calls::Filtered;
+use chains::{ChainLink, ChainStream, TypeFilter};
+use stream::{ExpandStream, MergeStream, ProductStream, ScoredStream, VecStream};
+
+/// Engine options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompleteOptions {
+    /// If set, only completions whose type implicitly converts to this type
+    /// are produced (the known-return-type mode of the paper's Figure 12).
+    pub expected: Option<TypeId>,
+    /// Maximum number of links a `.?*` chain may grow past its root. The
+    /// paper's generator is unbounded; this cap makes every stream finite
+    /// while being far beyond any ranked-within-reach completion.
+    pub depth_cap: usize,
+    /// Safety budget on iterator steps (deduplication pulls).
+    pub max_steps: usize,
+}
+
+impl Default for CompleteOptions {
+    fn default() -> Self {
+        CompleteOptions {
+            expected: None,
+            depth_cap: 6,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// The completion engine for one query context.
+///
+/// Construction is cheap; the expensive shared artefact is the
+/// [`MethodIndex`], built once per program.
+#[derive(Debug)]
+pub struct Completer<'a> {
+    db: &'a Database,
+    ctx: &'a Context,
+    index: &'a MethodIndex,
+    config: RankConfig,
+    abs: Option<&'a AbsTypes<'a>>,
+    options: CompleteOptions,
+    reach: Option<&'a ReachIndex>,
+    /// Per-completer memo of index lookups (paper Section 4.2's "grouping
+    /// computations by type").
+    cand_cache: calls::CandidateCache,
+}
+
+impl<'a> Completer<'a> {
+    /// Creates a completer with default [`CompleteOptions`].
+    pub fn new(
+        db: &'a Database,
+        ctx: &'a Context,
+        index: &'a MethodIndex,
+        config: RankConfig,
+        abs: Option<&'a AbsTypes<'a>>,
+    ) -> Self {
+        Completer {
+            db,
+            ctx,
+            index,
+            config,
+            abs,
+            options: CompleteOptions::default(),
+            reach: None,
+            cand_cache: calls::CandidateCache::default(),
+        }
+    }
+
+    /// Replaces the engine options.
+    pub fn with_options(mut self, options: CompleteOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enables reachability pruning of filtered `.?*` chain searches using
+    /// a prebuilt [`ReachIndex`]. Pruning is sound: it never changes which
+    /// completions are produced, only how much of the search space is
+    /// explored to find them.
+    pub fn with_reach(mut self, reach: &'a ReachIndex) -> Self {
+        self.reach = Some(reach);
+        self
+    }
+
+    /// The ranker this engine scores with.
+    pub fn ranker(&self) -> Ranker<'a> {
+        Ranker::new(self.db, self.ctx, self.abs, self.config)
+    }
+
+    /// The database under completion.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The query context.
+    pub fn context(&self) -> &'a Context {
+        self.ctx
+    }
+
+    /// All completions of `pe`, lazily, in non-decreasing score order,
+    /// deduplicated.
+    pub fn completions(&self, pe: &PartialExpr) -> CompletionIter<'_> {
+        let filter = match self.options.expected {
+            Some(t) => TypeFilter::one_of(vec![t]),
+            None => TypeFilter::any(),
+        };
+        CompletionIter {
+            stream: self.stream_for(pe, filter),
+            seen: std::collections::HashSet::new(),
+            steps_left: self.options.max_steps,
+        }
+    }
+
+    /// The top `n` completions of `pe`.
+    pub fn complete(&self, pe: &PartialExpr, n: usize) -> Vec<Completion> {
+        self.completions(pe).take(n).collect()
+    }
+
+    /// 0-based rank of the first completion satisfying `pred` within the
+    /// first `limit` completions, or `None`.
+    pub fn rank_of(
+        &self,
+        pe: &PartialExpr,
+        limit: usize,
+        mut pred: impl FnMut(&Completion) -> bool,
+    ) -> Option<usize> {
+        self.completions(pe).take(limit).position(|c| pred(&c))
+    }
+
+    /// Renders a completion in the paper's result-list style.
+    pub fn render(&self, c: &Completion) -> String {
+        pex_model::render_expr(self.db, self.ctx, &c.expr, CallStyle::Flat)
+    }
+
+    fn link_cost(&self) -> u32 {
+        self.ranker().link_cost()
+    }
+
+    /// Root completions for a `?` hole: live locals, `this`, and globals.
+    fn hole_roots(&self) -> VecStream {
+        let ranker = self.ranker();
+        let mut roots = Vec::new();
+        for (i, local) in self.ctx.locals.iter().enumerate() {
+            roots.push(Completion {
+                expr: Expr::Local(pex_model::LocalId(i as u32)),
+                score: 0,
+                ty: ValueTy::Known(local.ty),
+            });
+        }
+        if let Some(this_ty) = self.ctx.this_type() {
+            roots.push(Completion {
+                expr: Expr::This,
+                score: 0,
+                ty: ValueTy::Known(this_ty),
+            });
+        }
+        for g in self.db.globals() {
+            let (expr, ty) = match g {
+                GlobalRef::Field(f) => {
+                    (Expr::StaticField(f), ValueTy::Known(self.db.field(f).ty()))
+                }
+                GlobalRef::Method(m) => (
+                    Expr::Call(m, Vec::new()),
+                    ValueTy::Known(self.db.method(m).return_type()),
+                ),
+            };
+            if let Some(score) = ranker.score(&expr) {
+                roots.push(Completion { expr, score, ty });
+            }
+        }
+        VecStream::new(roots)
+    }
+
+    /// Compiles a partial expression into a scored stream whose emissions
+    /// satisfy `filter`.
+    fn stream_for<'s>(
+        &'s self,
+        pe: &PartialExpr,
+        filter: TypeFilter,
+    ) -> Box<dyn ScoredStream + 's> {
+        let ranker = self.ranker();
+        match pe {
+            PartialExpr::Known(e) => {
+                let mut items = Vec::new();
+                if let (Some(score), Ok(ty)) = (ranker.score(e), self.db.expr_ty(e, self.ctx)) {
+                    if filter.passes(self.db, ty) {
+                        items.push(Completion {
+                            expr: e.clone(),
+                            score,
+                            ty,
+                        });
+                    }
+                }
+                Box::new(VecStream::new(items))
+            }
+            PartialExpr::Hole0 => Box::new(VecStream::new(vec![Completion {
+                expr: Expr::Hole0,
+                score: 0,
+                ty: ValueTy::Wildcard,
+            }])),
+            PartialExpr::Hole => {
+                let pruner = self
+                    .reach
+                    .and_then(|r| r.pruner(self.db, ChainLink::FieldsAndMethods, &filter));
+                Box::new(
+                    ChainStream::new(
+                        self.db,
+                        self.ctx,
+                        Box::new(self.hole_roots()),
+                        ChainLink::FieldsAndMethods,
+                        None,
+                        self.options.depth_cap,
+                        self.link_cost(),
+                        filter,
+                    )
+                    .with_pruner(pruner),
+                )
+            }
+            PartialExpr::Suffix(base, kind) => {
+                let roots = self.stream_for(base, TypeFilter::any());
+                let links = if kind.allows_methods() {
+                    ChainLink::FieldsAndMethods
+                } else {
+                    ChainLink::Fields
+                };
+                let max_links = if kind.is_star() { None } else { Some(1) };
+                let pruner = self.reach.and_then(|r| r.pruner(self.db, links, &filter));
+                Box::new(
+                    ChainStream::new(
+                        self.db,
+                        self.ctx,
+                        roots,
+                        links,
+                        max_links,
+                        self.options.depth_cap,
+                        self.link_cost(),
+                        filter,
+                    )
+                    .with_pruner(pruner),
+                )
+            }
+            PartialExpr::UnknownCall(args) => {
+                let arg_streams: Vec<Box<dyn ScoredStream + 's>> = args
+                    .iter()
+                    .map(|a| self.stream_for(a, TypeFilter::any()))
+                    .collect();
+                let product = ProductStream::new(arg_streams);
+                let index = self.index;
+                let cache = &self.cand_cache;
+                let expand = move |combo: &stream::Combo| {
+                    calls::expand_unknown_call(&ranker, index, cache, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::KnownCall { candidates, args } => {
+                let viable: Vec<pex_model::MethodId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|m| self.db.method(*m).full_arity() == args.len())
+                    .collect();
+                if viable.is_empty() {
+                    return Box::new(VecStream::empty());
+                }
+                let arg_streams: Vec<Box<dyn ScoredStream + 's>> = args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        // Narrow each argument stream to types accepted at
+                        // this position by some viable overload.
+                        let wanted: Vec<TypeId> = viable
+                            .iter()
+                            .map(|m| self.db.method(*m).full_param_types()[i])
+                            .collect();
+                        self.stream_for(a, TypeFilter::one_of(wanted))
+                    })
+                    .collect();
+                let product = ProductStream::new(arg_streams);
+                let cands = viable;
+                let expand = move |combo: &stream::Combo| {
+                    calls::expand_known_call(&ranker, &cands, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::Assign(l, r) => {
+                let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
+                    self.stream_for(l, TypeFilter::any()),
+                    self.stream_for(r, TypeFilter::any()),
+                ];
+                let product = ProductStream::new(streams);
+                let expand =
+                    move |combo: &stream::Combo| calls::expand_assign(&ranker, &combo.items);
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::Alt(alts) => {
+                let streams: Vec<Box<dyn ScoredStream + 's>> = alts
+                    .iter()
+                    .map(|a| self.stream_for(a, filter.clone()))
+                    .collect();
+                Box::new(MergeStream::new(streams))
+            }
+            PartialExpr::Cmp(op, l, r) => {
+                // Paper Section 4.2: operands of a relational operator can
+                // only have ordered types; narrow both streams up front.
+                let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
+                    self.stream_for(l, TypeFilter::Ordered),
+                    self.stream_for(r, TypeFilter::Ordered),
+                ];
+                let product = ProductStream::new(streams);
+                let op = *op;
+                let expand =
+                    move |combo: &stream::Combo| calls::expand_cmp(&ranker, op, &combo.items);
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+        }
+    }
+
+    fn filtered<'s>(
+        &'s self,
+        inner: Box<dyn ScoredStream + 's>,
+        filter: TypeFilter,
+    ) -> Box<dyn ScoredStream + 's> {
+        if filter.is_any() {
+            return inner;
+        }
+        Box::new(Filtered {
+            inner,
+            db: self.db,
+            filter,
+        })
+    }
+}
+
+/// Iterator over deduplicated completions in score order.
+pub struct CompletionIter<'s> {
+    stream: Box<dyn ScoredStream + 's>,
+    seen: std::collections::HashSet<String>,
+    steps_left: usize,
+}
+
+impl<'s> Iterator for CompletionIter<'s> {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        while self.steps_left > 0 {
+            self.steps_left -= 1;
+            let c = self.stream.next_item()?;
+            let key = format!("{:?}", c.expr);
+            if self.seen.insert(key) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_partial;
+    use pex_model::minics::compile;
+    use pex_model::Local;
+
+    /// A miniature Paint.NET: the paper's running example.
+    const PAINT: &str = r#"
+        namespace PaintDotNet {
+            class Document { int Width; int Height; }
+            struct Size { int W; int H; }
+            class Pair {
+                static PaintDotNet.Pair Create(object a, object b);
+            }
+        }
+        namespace PaintDotNet.Actions {
+            enum AnchorEdge { Top, Bottom }
+            struct ColorBgra { }
+            class CanvasSizeAction {
+                static PaintDotNet.Document ResizeDocument(
+                    PaintDotNet.Document document,
+                    PaintDotNet.Size newSize,
+                    PaintDotNet.Actions.AnchorEdge edge,
+                    PaintDotNet.Actions.ColorBgra background);
+            }
+        }
+        namespace System.Drawing {
+            class SizeOps {
+                static bool Equals(PaintDotNet.Size a, object b);
+            }
+        }
+    "#;
+
+    fn setup() -> (Database, Context) {
+        let db = compile(PAINT).unwrap();
+        let doc = db.types().lookup_qualified("PaintDotNet.Document").unwrap();
+        let size = db.types().lookup_qualified("PaintDotNet.Size").unwrap();
+        let ctx = Context::with_locals(
+            None,
+            vec![
+                Local {
+                    name: "img".into(),
+                    ty: doc,
+                },
+                Local {
+                    name: "size".into(),
+                    ty: size,
+                },
+            ],
+        );
+        (db, ctx)
+    }
+
+    #[test]
+    fn paper_example_resize_document_ranks_first() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = parse_partial(&db, &ctx, "?({img, size})").unwrap();
+        let top = completer.complete(&q, 5);
+        assert!(!top.is_empty());
+        let first = completer.render(&top[0]);
+        assert!(
+            first.contains("ResizeDocument(img, size, 0, 0)"),
+            "expected ResizeDocument first, got: {:?}",
+            top.iter().map(|c| completer.render(c)).collect::<Vec<_>>()
+        );
+        // Scores are non-decreasing.
+        for w in top.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+        // Everything derives from the query.
+        for c in &top {
+            assert!(
+                crate::derives(&db, &ctx, &q, &c.expr),
+                "{}",
+                completer.render(c)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_call_places_args_in_any_order() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = parse_partial(&db, &ctx, "?({size, img})").unwrap();
+        let all: Vec<String> = completer
+            .complete(&q, 20)
+            .iter()
+            .map(|c| completer.render(c))
+            .collect();
+        assert!(
+            all.iter()
+                .any(|s| s.contains("ResizeDocument(img, size, 0, 0)")),
+            "reordering must find ResizeDocument: {all:?}"
+        );
+        assert!(all.iter().any(|s| s.contains("Pair.Create")), "{all:?}");
+    }
+
+    #[test]
+    fn known_call_fills_holes() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = parse_partial(
+            &db,
+            &ctx,
+            "PaintDotNet.Actions.CanvasSizeAction.ResizeDocument(img, ?, 0, 0)",
+        )
+        .unwrap();
+        let top = completer.complete(&q, 5);
+        let rendered: Vec<String> = top.iter().map(|c| completer.render(c)).collect();
+        assert!(
+            rendered[0].contains("ResizeDocument(img, size, 0, 0)"),
+            "the Size local should fill the hole first: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn expected_type_filters_results() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let doc = db.types().lookup_qualified("PaintDotNet.Document").unwrap();
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                expected: Some(doc),
+                ..Default::default()
+            },
+        );
+        let q = parse_partial(&db, &ctx, "?({img, size})").unwrap();
+        for c in completer.complete(&q, 10) {
+            let ValueTy::Known(t) = c.ty else {
+                panic!("calls have known types")
+            };
+            assert!(
+                db.types().implicitly_convertible(t, doc),
+                "{}",
+                completer.render(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_completion_is_type_directed() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        // img.?f := size.?f — only int fields match ints.
+        let q = parse_partial(&db, &ctx, "img.?f = size.?f").unwrap();
+        let all: Vec<Completion> = completer.completions(&q).take(50).collect();
+        assert!(!all.is_empty());
+        for c in &all {
+            assert!(
+                crate::derives(&db, &ctx, &q, &c.expr),
+                "{}",
+                completer.render(c)
+            );
+            // lhs must end in a field of img; rhs in a field of size.
+            let Expr::Assign(l, _) = &c.expr else {
+                panic!("assignment expected")
+            };
+            assert!(matches!(**l, Expr::FieldAccess(..) | Expr::Local(_)));
+        }
+    }
+
+    /// The paper's Section 3 example: an unknown method whose arguments are
+    /// themselves partial — `?({strBuilder.?*m, e.?*m})` should expand to
+    /// `Append(strBuilder, e.StackTrace)`.
+    #[test]
+    fn unknown_call_with_partial_arguments() {
+        let db = pex_model::minics::compile(
+            r#"
+            namespace Sys {
+                class StringBuilder {
+                    Sys.StringBuilder Append(string text);
+                }
+                class Exception {
+                    string StackTrace;
+                    string Message;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let sb = db.types().lookup_qualified("Sys.StringBuilder").unwrap();
+        let ex = db.types().lookup_qualified("Sys.Exception").unwrap();
+        let ctx = Context::with_locals(
+            None,
+            vec![
+                pex_model::Local {
+                    name: "strBuilder".into(),
+                    ty: sb,
+                },
+                pex_model::Local {
+                    name: "e".into(),
+                    ty: ex,
+                },
+            ],
+        );
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = crate::parse_partial(&db, &ctx, "?({strBuilder.?*m, e.?*m})").unwrap();
+        let rendered: Vec<String> = completer
+            .complete(&q, 10)
+            .iter()
+            .map(|c| completer.render(c))
+            .collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("Append(strBuilder, e.StackTrace)")),
+            "paper's expansion must appear: {rendered:?}"
+        );
+        // Everything still derives from the query.
+        for c in completer.complete(&q, 10) {
+            assert!(
+                crate::derives(&db, &ctx, &q, &c.expr),
+                "{}",
+                completer.render(&c)
+            );
+        }
+    }
+
+    /// Private members participate only for code inside the declaring type.
+    #[test]
+    fn private_members_respect_the_enclosing_type() {
+        let db = pex_model::minics::compile(
+            r#"
+            namespace N {
+                struct Point { int X; }
+                class Widget {
+                    private N.Point cachedCenter;
+                    N.Point Center;
+                }
+                class Other { }
+            }
+            "#,
+        )
+        .unwrap();
+        let widget = db.types().lookup_qualified("N.Widget").unwrap();
+        let other = db.types().lookup_qualified("N.Other").unwrap();
+        let index = MethodIndex::build(&db);
+        let run = |enclosing| {
+            let mut ctx = Context::instance(widget, vec![]);
+            ctx.enclosing_type = Some(enclosing);
+            let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+            let q = crate::parse_partial(&db, &ctx, "this.?f").unwrap();
+            let out: Vec<String> = completer
+                .complete(&q, 10)
+                .iter()
+                .map(|c| completer.render(c))
+                .collect();
+            out
+        };
+        let inside = run(widget);
+        assert!(
+            inside.iter().any(|r| r.contains("cachedCenter")),
+            "{inside:?}"
+        );
+        // From another type, `this` is a Widget value handed in, but the
+        // private field is invisible.
+        let outside = {
+            let ctx = Context {
+                enclosing_type: Some(other),
+                enclosing_method: None,
+                has_this: false,
+                locals: vec![pex_model::Local {
+                    name: "w".into(),
+                    ty: widget,
+                }],
+            };
+            let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+            let q = crate::parse_partial(&db, &ctx, "w.?f").unwrap();
+            let out: Vec<String> = completer
+                .complete(&q, 10)
+                .iter()
+                .map(|c| completer.render(c))
+                .collect();
+            out
+        };
+        assert!(
+            !outside.iter().any(|r| r.contains("cachedCenter")),
+            "{outside:?}"
+        );
+        assert!(outside.iter().any(|r| r.contains("Center")), "{outside:?}");
+    }
+
+    #[test]
+    fn depth_cap_bounds_hole_exploration() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let shallow = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                depth_cap: 1,
+                ..Default::default()
+            },
+        );
+        let q = crate::parse_partial(&db, &ctx, "?").unwrap();
+        for c in shallow.completions(&q).take(100) {
+            // At cap 1, no completion carries more than one lookup link.
+            let rendered = shallow.render(&c);
+            assert!(
+                rendered.matches('.').count() <= 4, // qualified statics have namespace dots
+                "{rendered}"
+            );
+        }
+        // The cap changes reach, not correctness: every result still
+        // derives from the query.
+        for c in shallow.completions(&q).take(50) {
+            assert!(crate::derives(&db, &ctx, &q, &c.expr));
+        }
+    }
+
+    #[test]
+    fn max_steps_bounds_the_iterator() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let tiny = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                max_steps: 3,
+                ..Default::default()
+            },
+        );
+        let q = crate::parse_partial(&db, &ctx, "?").unwrap();
+        assert!(tiny.completions(&q).count() <= 3);
+    }
+
+    #[test]
+    fn hole_enumerates_locals_first() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = parse_partial(&db, &ctx, "?").unwrap();
+        let top: Vec<String> = completer
+            .complete(&q, 2)
+            .iter()
+            .map(|c| completer.render(c))
+            .collect();
+        assert!(top.contains(&"img".to_string()));
+        assert!(top.contains(&"size".to_string()));
+    }
+}

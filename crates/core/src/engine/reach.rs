@@ -1,0 +1,237 @@
+//! The type-reachability index the paper proposes but does not implement
+//! (Section 4.2):
+//!
+//! > "queries for multiple field lookups could also be made more efficient
+//! > using an index that indicates for each type which types are reachable
+//! > by a `.?*f` or `.?*m` query \[and\] how many lookups are needed."
+//!
+//! [`ReachIndex`] precomputes, for every type and both link kinds, the
+//! minimum number of lookups to every reachable type. During a filtered
+//! chain search the engine can then prune a state whose type cannot reach
+//! any admissible type within the remaining link budget.
+//!
+//! The index is a **sound over-approximation**: it includes private members
+//! regardless of context, so it never prunes a state the search could
+//! still complete — pruning changes performance, never results (a property
+//! tested in `tests/prop_engine.rs` and enforced by the ablation bench).
+
+use std::collections::HashMap;
+
+use pex_model::Database;
+use pex_types::TypeId;
+
+use super::chains::{ChainLink, TypeFilter};
+
+/// Per-type minimum-lookup reachability, for both link kinds.
+#[derive(Debug, Clone)]
+pub struct ReachIndex {
+    fields: Vec<HashMap<TypeId, u32>>,
+    fields_and_methods: Vec<HashMap<TypeId, u32>>,
+}
+
+impl ReachIndex {
+    /// Builds the index over every type in the database.
+    pub fn build(db: &Database) -> Self {
+        let n = db.types().len();
+        let mut field_edges: Vec<Vec<TypeId>> = vec![Vec::new(); n];
+        let mut method_edges: Vec<Vec<TypeId>> = vec![Vec::new(); n];
+        for ty in db.types().iter() {
+            for owner in db.member_lookup_chain(ty) {
+                for &f in db.fields_of(owner) {
+                    let fd = db.field(f);
+                    if !fd.is_static() {
+                        field_edges[ty.index()].push(fd.ty());
+                    }
+                }
+                for &m in db.methods_of(owner) {
+                    let md = db.method(m);
+                    if !md.is_static()
+                        && md.params().is_empty()
+                        && md.return_type() != db.types().void_ty()
+                    {
+                        method_edges[ty.index()].push(md.return_type());
+                    }
+                }
+            }
+        }
+        let bfs = |extra: Option<&Vec<Vec<TypeId>>>| -> Vec<HashMap<TypeId, u32>> {
+            (0..n)
+                .map(|start| {
+                    let mut dist: HashMap<TypeId, u32> = HashMap::new();
+                    let start_ty = TypeId::from_index(start);
+                    dist.insert(start_ty, 0);
+                    let mut queue = std::collections::VecDeque::new();
+                    queue.push_back(start_ty);
+                    while let Some(t) = queue.pop_front() {
+                        let d = dist[&t];
+                        let push = |next: TypeId, dist_map: &mut HashMap<TypeId, u32>,
+                                        queue: &mut std::collections::VecDeque<TypeId>| {
+                            if let std::collections::hash_map::Entry::Vacant(slot) =
+                                dist_map.entry(next)
+                            {
+                                slot.insert(d + 1);
+                                queue.push_back(next);
+                            }
+                        };
+                        for &next in &field_edges[t.index()] {
+                            push(next, &mut dist, &mut queue);
+                        }
+                        if let Some(method_edges) = extra {
+                            for &next in &method_edges[t.index()] {
+                                push(next, &mut dist, &mut queue);
+                            }
+                        }
+                    }
+                    dist
+                })
+                .collect()
+        };
+        ReachIndex {
+            fields: bfs(None),
+            fields_and_methods: bfs(Some(&method_edges)),
+        }
+    }
+
+    /// Minimum lookups from `from` to `to` with the given link kind, if
+    /// reachable at all (`Some(0)` when `from == to`).
+    pub fn min_lookups(&self, kind: ChainLink, from: TypeId, to: TypeId) -> Option<u32> {
+        self.map(kind, from).get(&to).copied()
+    }
+
+    /// All types reachable from `from` with their minimum lookup counts.
+    pub fn reachable(&self, kind: ChainLink, from: TypeId) -> &HashMap<TypeId, u32> {
+        self.map(kind, from)
+    }
+
+    fn map(&self, kind: ChainLink, from: TypeId) -> &HashMap<TypeId, u32> {
+        match kind {
+            ChainLink::Fields => &self.fields[from.index()],
+            ChainLink::FieldsAndMethods => &self.fields_and_methods[from.index()],
+        }
+    }
+
+    /// Prepares a pruner for one filtered chain query: `admissible` is the
+    /// set of types whose values pass the filter.
+    pub(crate) fn pruner(
+        &self,
+        db: &Database,
+        kind: ChainLink,
+        filter: &TypeFilter,
+    ) -> Option<ReachPruner<'_>> {
+        if filter.is_any() {
+            return None; // nothing to prune against
+        }
+        let mut admissible = vec![false; db.types().len()];
+        for ty in db.types().iter() {
+            if filter.admits(db, ty) {
+                admissible[ty.index()] = true;
+            }
+        }
+        Some(ReachPruner {
+            index: self,
+            kind,
+            admissible,
+        })
+    }
+}
+
+/// A per-query pruning oracle (see [`ReachIndex::pruner`]).
+pub(crate) struct ReachPruner<'a> {
+    index: &'a ReachIndex,
+    kind: ChainLink,
+    admissible: Vec<bool>,
+}
+
+impl<'a> ReachPruner<'a> {
+    /// Whether a chain state of type `ty` with `remaining` link budget can
+    /// still produce an admissible completion.
+    pub(crate) fn viable(&self, ty: TypeId, remaining: u32) -> bool {
+        self.index
+            .reachable(self.kind, ty)
+            .iter()
+            .any(|(t, d)| *d <= remaining && self.admissible[t.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pex_model::minics::compile;
+
+    fn db() -> Database {
+        compile(
+            r#"
+            namespace N {
+                struct Point { int X; }
+                class Line {
+                    N.Point P1;
+                    double GetLength();
+                }
+                class Canvas {
+                    N.Line Selected;
+                }
+                class Island { bool Flag; }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn min_lookups_follow_the_field_graph() {
+        let db = db();
+        let reach = ReachIndex::build(&db);
+        let canvas = db.types().lookup_qualified("N.Canvas").unwrap();
+        let line = db.types().lookup_qualified("N.Line").unwrap();
+        let point = db.types().lookup_qualified("N.Point").unwrap();
+        let int = db.types().int_ty();
+        let double = db.types().double_ty();
+
+        let k = ChainLink::Fields;
+        assert_eq!(reach.min_lookups(k, canvas, canvas), Some(0));
+        assert_eq!(reach.min_lookups(k, canvas, line), Some(1));
+        assert_eq!(reach.min_lookups(k, canvas, point), Some(2));
+        assert_eq!(reach.min_lookups(k, canvas, int), Some(3));
+        // double is only reachable through GetLength(), a method link.
+        assert_eq!(reach.min_lookups(k, canvas, double), None);
+        assert_eq!(
+            reach.min_lookups(ChainLink::FieldsAndMethods, canvas, double),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn unreachable_types_are_absent() {
+        let db = db();
+        let reach = ReachIndex::build(&db);
+        let canvas = db.types().lookup_qualified("N.Canvas").unwrap();
+        let island = db.types().lookup_qualified("N.Island").unwrap();
+        assert_eq!(
+            reach.min_lookups(ChainLink::FieldsAndMethods, canvas, island),
+            None
+        );
+        // But the island reaches its own bool field.
+        assert_eq!(
+            reach.min_lookups(ChainLink::Fields, island, db.types().bool_ty()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn pruner_respects_budget_and_admissibility() {
+        let db = db();
+        let reach = ReachIndex::build(&db);
+        let canvas = db.types().lookup_qualified("N.Canvas").unwrap();
+        let int = db.types().int_ty();
+        let filter = TypeFilter::one_of(vec![int]);
+        let pruner = reach
+            .pruner(&db, ChainLink::Fields, &filter)
+            .expect("filter is narrow");
+        assert!(pruner.viable(canvas, 3), "int reachable in exactly 3");
+        assert!(!pruner.viable(canvas, 2), "not within 2");
+        // An unfiltered query has no pruner (nothing to prune against).
+        assert!(reach
+            .pruner(&db, ChainLink::Fields, &TypeFilter::any())
+            .is_none());
+    }
+}

@@ -1,0 +1,513 @@
+//! Lazy, score-ordered completion streams.
+//!
+//! Algorithm 1 in the paper is a generator that yields completions in
+//! non-decreasing score order, built from the completions of subexpressions.
+//! This module provides the combinators that implement it:
+//!
+//! * [`VecStream`] — a finite, pre-scored set;
+//! * [`MergeStream`] — *k*-way merge of streams;
+//! * [`ProductStream`] — "all choices of exactly one completion for each
+//!   subexpression" in score-sum order (the inner `foreach` of Algorithm 1);
+//! * [`ExpandStream`] — the paper's "compute completions not in score order"
+//!   optimisation: expand each choice into candidate completions (whose
+//!   scores may exceed the choice's), buffer them, and release an item only
+//!   once no cheaper choice remains.
+//!
+//! Every stream exposes a **lower bound** on its next item's score; bounds
+//! are what make the composition safe.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use pex_model::{Expr, ValueTy};
+
+/// A completion: a complete expression (possibly containing `0` holes), its
+/// ranking score, and its static type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The completed expression.
+    pub expr: Expr,
+    /// The ranking score (lower is better).
+    pub score: u32,
+    /// Static type of the expression.
+    pub ty: ValueTy,
+}
+
+/// A lazily evaluated stream of completions in non-decreasing score order.
+pub(crate) trait ScoredStream {
+    /// A lower bound on the score of the next item; `None` when exhausted.
+    fn bound(&mut self) -> Option<u32>;
+    /// The next completion.
+    fn next_item(&mut self) -> Option<Completion>;
+}
+
+/// A finite stream over a pre-computed set (sorted at construction).
+pub(crate) struct VecStream {
+    // Stored in descending score order so `pop` yields the cheapest.
+    items: Vec<Completion>,
+}
+
+impl VecStream {
+    pub(crate) fn new(mut items: Vec<Completion>) -> Self {
+        items.sort_by_key(|c| std::cmp::Reverse(c.score));
+        VecStream { items }
+    }
+
+    pub(crate) fn empty() -> Self {
+        VecStream { items: Vec::new() }
+    }
+}
+
+impl ScoredStream for VecStream {
+    fn bound(&mut self) -> Option<u32> {
+        self.items.last().map(|c| c.score)
+    }
+
+    fn next_item(&mut self) -> Option<Completion> {
+        self.items.pop()
+    }
+}
+
+/// K-way merge of streams by bound. Used for [`super::super::PartialExpr::Alt`]
+/// queries, whose completions are the union of their alternatives'.
+pub(crate) struct MergeStream<'a> {
+    streams: Vec<Box<dyn ScoredStream + 'a>>,
+}
+
+impl<'a> MergeStream<'a> {
+    pub(crate) fn new(streams: Vec<Box<dyn ScoredStream + 'a>>) -> Self {
+        MergeStream { streams }
+    }
+}
+
+impl<'a> ScoredStream for MergeStream<'a> {
+    fn bound(&mut self) -> Option<u32> {
+        self.streams.iter_mut().filter_map(|s| s.bound()).min()
+    }
+
+    fn next_item(&mut self) -> Option<Completion> {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            if let Some(b) = s.bound() {
+                if best.map(|(_, bb)| b < bb).unwrap_or(true) {
+                    best = Some((i, b));
+                }
+            }
+        }
+        let (i, _) = best?;
+        self.streams[i].next_item()
+    }
+}
+
+/// A stream materialised on demand, with random access to already-pulled
+/// items (the cache the product search indexes into).
+struct CachedStream<'a> {
+    inner: Box<dyn ScoredStream + 'a>,
+    cache: Vec<Completion>,
+    exhausted: bool,
+}
+
+impl<'a> CachedStream<'a> {
+    fn new(inner: Box<dyn ScoredStream + 'a>) -> Self {
+        CachedStream {
+            inner,
+            cache: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Ensures item `i` is materialised; returns it if the stream is long
+    /// enough.
+    fn get(&mut self, i: usize) -> Option<&Completion> {
+        while self.cache.len() <= i && !self.exhausted {
+            match self.inner.next_item() {
+                Some(c) => self.cache.push(c),
+                None => self.exhausted = true,
+            }
+        }
+        self.cache.get(i)
+    }
+}
+
+/// One element of the product: a choice of completion per subexpression.
+#[derive(Debug, Clone)]
+pub(crate) struct Combo {
+    /// Sum of the chosen completions' scores.
+    pub score: u32,
+    /// The chosen completion for each subexpression, in order.
+    pub items: Vec<Completion>,
+}
+
+/// Enumerates choices of one completion per subexpression in score-sum
+/// order, i.e. the sorted product of sorted streams (frontier search).
+pub(crate) struct ProductStream<'a> {
+    args: Vec<CachedStream<'a>>,
+    heap: BinaryHeap<Reverse<(u32, Vec<u32>)>>,
+    seen: HashSet<Vec<u32>>,
+    started: bool,
+}
+
+impl<'a> ProductStream<'a> {
+    pub(crate) fn new(args: Vec<Box<dyn ScoredStream + 'a>>) -> Self {
+        ProductStream {
+            args: args.into_iter().map(CachedStream::new).collect(),
+            heap: BinaryHeap::new(),
+            seen: HashSet::new(),
+            started: false,
+        }
+    }
+
+    fn push_state(&mut self, idx: Vec<u32>) {
+        if self.seen.contains(&idx) {
+            return;
+        }
+        let mut score = 0u32;
+        for (i, &j) in idx.iter().enumerate() {
+            match self.args[i].get(j as usize) {
+                Some(c) => score += c.score,
+                None => return, // stream too short; state unreachable
+            }
+        }
+        self.seen.insert(idx.clone());
+        self.heap.push(Reverse((score, idx)));
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let idx = vec![0u32; self.args.len()];
+        self.push_state(idx);
+    }
+
+    /// Lower bound on the next combo's score.
+    pub(crate) fn bound(&mut self) -> Option<u32> {
+        self.start();
+        self.heap.peek().map(|Reverse((s, _))| *s)
+    }
+
+    /// The next cheapest combo.
+    pub(crate) fn next_combo(&mut self) -> Option<Combo> {
+        self.start();
+        let Reverse((score, idx)) = self.heap.pop()?;
+        // Successors: bump each coordinate by one.
+        for i in 0..idx.len() {
+            let mut succ = idx.clone();
+            succ[i] += 1;
+            self.push_state(succ);
+        }
+        let items: Vec<Completion> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| self.args[i].cache[j as usize].clone())
+            .collect();
+        Some(Combo { score, items })
+    }
+}
+
+/// The reorder buffer: expands combos into candidate completions whose
+/// scores are **at least** the combo's score (extras are non-negative), and
+/// releases a completion only when no unexpanded combo could beat it.
+pub(crate) struct ExpandStream<'a, F>
+where
+    F: FnMut(&Combo) -> Vec<Completion>,
+{
+    source: ProductStream<'a>,
+    expand: F,
+    buffer: BinaryHeap<Reverse<BufItem>>,
+    counter: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct BufItem {
+    score: u32,
+    seq: u64,
+    completion: Completion,
+}
+
+impl Eq for BufItem {}
+
+impl Ord for BufItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.score, self.seq).cmp(&(other.score, other.seq))
+    }
+}
+
+impl PartialOrd for BufItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a, F> ExpandStream<'a, F>
+where
+    F: FnMut(&Combo) -> Vec<Completion>,
+{
+    pub(crate) fn new(source: ProductStream<'a>, expand: F) -> Self {
+        ExpandStream {
+            source,
+            expand,
+            buffer: BinaryHeap::new(),
+            counter: 0,
+        }
+    }
+
+    /// Pulls combos until the cheapest buffered completion is safe to emit.
+    fn settle(&mut self) {
+        loop {
+            let buffered = self.buffer.peek().map(|Reverse(b)| b.score);
+            let pending = self.source.bound();
+            match (buffered, pending) {
+                (Some(b), Some(p)) if b <= p => return,
+                (_, None) => return,
+                _ => {
+                    let Some(combo) = self.source.next_combo() else {
+                        return;
+                    };
+                    for completion in (self.expand)(&combo) {
+                        debug_assert!(
+                            completion.score >= combo.score,
+                            "expansion must not lower scores"
+                        );
+                        self.counter += 1;
+                        self.buffer.push(Reverse(BufItem {
+                            score: completion.score,
+                            seq: self.counter,
+                            completion,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a, F> ScoredStream for ExpandStream<'a, F>
+where
+    F: FnMut(&Combo) -> Vec<Completion>,
+{
+    fn bound(&mut self) -> Option<u32> {
+        let buffered = self.buffer.peek().map(|Reverse(b)| b.score);
+        let pending = self.source.bound();
+        match (buffered, pending) {
+            (Some(b), Some(p)) => Some(b.min(p)),
+            (Some(b), None) => Some(b),
+            (None, Some(p)) => Some(p),
+            (None, None) => None,
+        }
+    }
+
+    fn next_item(&mut self) -> Option<Completion> {
+        loop {
+            self.settle();
+            match self.buffer.pop() {
+                Some(Reverse(item)) => return Some(item.completion),
+                None => {
+                    // Buffer empty; if the source still has combos they all
+                    // expanded to nothing — keep draining.
+                    self.source.next_combo()?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pex_model::Expr;
+
+    fn c(score: u32) -> Completion {
+        Completion {
+            expr: Expr::IntLit(score as i64),
+            score,
+            ty: ValueTy::Wildcard,
+        }
+    }
+
+    fn drain(mut s: impl ScoredStream) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(item) = s.next_item() {
+            out.push(item.score);
+        }
+        out
+    }
+
+    #[test]
+    fn vec_stream_sorts() {
+        let s = VecStream::new(vec![c(3), c(1), c(2)]);
+        assert_eq!(drain(s), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_interleaves_by_score() {
+        let a = Box::new(VecStream::new(vec![c(0), c(4)]));
+        let b = Box::new(VecStream::new(vec![c(1), c(2), c(9)]));
+        let m = MergeStream::new(vec![a, b]);
+        assert_eq!(drain(m), vec![0, 1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn product_enumerates_in_sum_order() {
+        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(2)]));
+        let b: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(5)]));
+        let mut p = ProductStream::new(vec![a, b]);
+        let mut sums = Vec::new();
+        while let Some(combo) = p.next_combo() {
+            assert_eq!(
+                combo.items.iter().map(|i| i.score).sum::<u32>(),
+                combo.score
+            );
+            sums.push(combo.score);
+        }
+        assert_eq!(sums, vec![0, 2, 5, 7]);
+    }
+
+    #[test]
+    fn product_of_empty_stream_is_empty() {
+        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0)]));
+        let b: Box<dyn ScoredStream> = Box::new(VecStream::empty());
+        let mut p = ProductStream::new(vec![a, b]);
+        assert!(p.next_combo().is_none());
+        assert_eq!(p.bound(), None);
+    }
+
+    #[test]
+    fn product_of_zero_args_yields_one_empty_combo() {
+        let mut p = ProductStream::new(vec![]);
+        let combo = p.next_combo().unwrap();
+        assert_eq!(combo.score, 0);
+        assert!(combo.items.is_empty());
+        assert!(p.next_combo().is_none());
+    }
+
+    #[test]
+    fn expand_reorders_buffered_items() {
+        // Combos score 0 and 1; expansion adds +0 or +10. The item at
+        // score 1 (from combo 1) must come out before score 10 (combo 0).
+        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1)]));
+        let p = ProductStream::new(vec![a]);
+        let s = ExpandStream::new(p, |combo| {
+            vec![
+                Completion {
+                    score: combo.score + 10,
+                    ..c(0)
+                },
+                Completion {
+                    score: combo.score,
+                    ..c(0)
+                },
+            ]
+        });
+        assert_eq!(drain(s), vec![0, 1, 10, 11]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn boxed(scores: Vec<u32>) -> Box<dyn ScoredStream + 'static> {
+            Box::new(VecStream::new(scores.into_iter().map(c).collect()))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The frontier product enumerates exactly the cross-product of
+            /// its inputs, in non-decreasing score-sum order.
+            #[test]
+            fn product_matches_brute_force(
+                lists in proptest::collection::vec(
+                    proptest::collection::vec(0u32..12, 1..5),
+                    1..4,
+                )
+            ) {
+                let streams: Vec<Box<dyn ScoredStream>> =
+                    lists.iter().cloned().map(boxed).collect();
+                let mut product = ProductStream::new(streams);
+                let mut got = Vec::new();
+                while let Some(combo) = product.next_combo() {
+                    prop_assert_eq!(
+                        combo.items.iter().map(|i| i.score).sum::<u32>(),
+                        combo.score
+                    );
+                    got.push(combo.score);
+                }
+                // Non-decreasing order.
+                for w in got.windows(2) {
+                    prop_assert!(w[0] <= w[1]);
+                }
+                // Brute force: every choice of one element per list.
+                let mut expected = vec![0u32];
+                for list in &lists {
+                    let mut next = Vec::new();
+                    for base in &expected {
+                        for v in list {
+                            next.push(base + v);
+                        }
+                    }
+                    expected = next;
+                }
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+
+            /// The reorder buffer emits every expansion exactly once, in
+            /// non-decreasing score order, for any non-negative per-item
+            /// surcharges.
+            #[test]
+            fn expand_emits_everything_in_order(
+                scores in proptest::collection::vec(0u32..10, 1..6),
+                extras in proptest::collection::vec(
+                    proptest::collection::vec(0u32..7, 0..4),
+                    1..6,
+                )
+            ) {
+                let n = scores.len();
+                let extras_for = move |score: u32| -> Vec<u32> {
+                    extras.get(score as usize % extras.len()).cloned().unwrap_or_default()
+                };
+                let expected: Vec<u32> = {
+                    let mut v: Vec<u32> = scores
+                        .iter()
+                        .flat_map(|s| extras_for(*s).into_iter().map(move |e| s + e))
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                let product = ProductStream::new(vec![boxed(scores)]);
+                let mut stream = ExpandStream::new(product, move |combo: &Combo| {
+                    extras_for(combo.score)
+                        .into_iter()
+                        .map(|e| Completion {
+                            score: combo.score + e,
+                            expr: Expr::IntLit(0),
+                            ty: ValueTy::Wildcard,
+                        })
+                        .collect()
+                });
+                let mut got = Vec::new();
+                while let Some(item) = stream.next_item() {
+                    got.push(item.score);
+                }
+                prop_assert_eq!(got, expected);
+                let _ = n;
+            }
+        }
+    }
+
+    #[test]
+    fn expand_skips_empty_expansions() {
+        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1), c(2)]));
+        let p = ProductStream::new(vec![a]);
+        let s = ExpandStream::new(p, |combo| {
+            if combo.score == 1 {
+                vec![Completion { score: 1, ..c(0) }]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(drain(s), vec![1]);
+    }
+}

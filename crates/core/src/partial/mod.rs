@@ -1,0 +1,238 @@
+//! The partial expression language (paper Figure 5(b)) and its semantics.
+
+mod parser;
+mod semantics;
+
+pub use parser::{parse_partial, ParseError};
+pub use semantics::derives;
+
+use pex_model::{CmpOp, Expr, MethodId};
+
+/// The four `.?` suffixes of the paper's `ea` production.
+///
+/// ```text
+/// ea ::= e | ea.?f | ea.?*f | ea.?m | ea.?*m
+/// ```
+///
+/// `f` completes as a single field (or property) lookup or nothing; `m`
+/// additionally allows a zero-argument instance method call; the `*` forms
+/// repeat as many times as needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuffixKind {
+    /// `.?f` — at most one field lookup.
+    Field,
+    /// `.?*f` — any number of field lookups.
+    FieldStar,
+    /// `.?m` — at most one field lookup or zero-argument method call.
+    Method,
+    /// `.?*m` — any number of lookups/zero-argument calls.
+    MethodStar,
+}
+
+impl SuffixKind {
+    /// Whether the suffix repeats (`.?*` forms).
+    pub fn is_star(self) -> bool {
+        matches!(self, SuffixKind::FieldStar | SuffixKind::MethodStar)
+    }
+
+    /// Whether zero-argument method calls are allowed links.
+    pub fn allows_methods(self) -> bool {
+        matches!(self, SuffixKind::Method | SuffixKind::MethodStar)
+    }
+
+    /// Source spelling (`.?f`, `.?*f`, `.?m`, `.?*m`).
+    pub fn spelling(self) -> &'static str {
+        match self {
+            SuffixKind::Field => ".?f",
+            SuffixKind::FieldStar => ".?*f",
+            SuffixKind::Method => ".?m",
+            SuffixKind::MethodStar => ".?*m",
+        }
+    }
+}
+
+/// A partial expression: the query language of the completion engine.
+///
+/// Grammar (paper Figure 5(b), receiver folded into argument lists):
+///
+/// ```text
+/// ee     ::= ea | ? | 0 | ccall | ee := ee | ee < ee
+/// ea     ::= e | ea.?f | ea.?*f | ea.?m | ea.?*m
+/// ccall  ::= ?({ee1, ..., een}) | methodName(ee1, ..., een)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialExpr {
+    /// `?` — a completely unknown subexpression. Semantically `v.?*m` over
+    /// every live local (including `this`) and global.
+    Hole,
+    /// `0` — deliberately unfilled; remains `0` in completions.
+    Hole0,
+    /// A complete expression used verbatim.
+    Known(Expr),
+    /// One of the `.?` suffixes applied to a partial base.
+    Suffix(Box<PartialExpr>, SuffixKind),
+    /// `?({ee1, ..., een})` — a call to an unknown method taking the given
+    /// arguments in *some* argument positions (unordered; extra positions
+    /// become `0`).
+    UnknownCall(Vec<PartialExpr>),
+    /// `methodName(ee1, ..., een)` — a call to a known method name with
+    /// positional, possibly-partial arguments (the receiver, if any, is
+    /// `args[0]`). `candidates` lists the overloads the name resolved to.
+    KnownCall {
+        /// Resolved candidate methods for the written name.
+        candidates: Vec<MethodId>,
+        /// Receiver-first argument list.
+        args: Vec<PartialExpr>,
+    },
+    /// `ee := ee`
+    Assign(Box<PartialExpr>, Box<PartialExpr>),
+    /// `ee < ee` (any relational operator)
+    Cmp(CmpOp, Box<PartialExpr>, Box<PartialExpr>),
+    /// Ambiguous query interpretations, completed as their union. The
+    /// parser produces this when a bare call like `Play(x)` could mean
+    /// either a static `Play(x)` or an instance `?.Play(x)` on some
+    /// receiver to be found.
+    Alt(Vec<PartialExpr>),
+}
+
+impl PartialExpr {
+    /// Convenience constructor for [`PartialExpr::Suffix`].
+    pub fn suffix(base: PartialExpr, kind: SuffixKind) -> PartialExpr {
+        PartialExpr::Suffix(Box::new(base), kind)
+    }
+
+    /// Convenience constructor for [`PartialExpr::Assign`].
+    pub fn assign(lhs: PartialExpr, rhs: PartialExpr) -> PartialExpr {
+        PartialExpr::Assign(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for [`PartialExpr::Cmp`].
+    pub fn cmp(op: CmpOp, lhs: PartialExpr, rhs: PartialExpr) -> PartialExpr {
+        PartialExpr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Whether the partial expression contains any hole (if not, its only
+    /// completion is itself).
+    pub fn has_holes(&self) -> bool {
+        match self {
+            PartialExpr::Hole | PartialExpr::Suffix(..) | PartialExpr::UnknownCall(_) => true,
+            PartialExpr::Hole0 | PartialExpr::Known(_) => false,
+            PartialExpr::KnownCall { candidates, args } => {
+                candidates.len() > 1 || args.iter().any(PartialExpr::has_holes)
+            }
+            PartialExpr::Assign(l, r) | PartialExpr::Cmp(_, l, r) => l.has_holes() || r.has_holes(),
+            PartialExpr::Alt(alts) => alts.iter().any(PartialExpr::has_holes),
+        }
+    }
+
+    /// Re-opens the `0` holes of a completion as `?` holes: the paper's
+    /// follow-up workflow — "the user may afterward decide to convert the
+    /// `0` to `?`" — turning a result like `ResizeDocument(img, size, 0, 0)`
+    /// into the query `ResizeDocument(img, size, ?, ?)`.
+    ///
+    /// Subtrees without `0` holes stay verbatim ([`PartialExpr::Known`]);
+    /// calls regain a single-candidate [`PartialExpr::KnownCall`] so the
+    /// engine fills only the reopened positions.
+    pub fn reopen_holes(expr: &Expr) -> PartialExpr {
+        fn contains_hole0(e: &Expr) -> bool {
+            matches!(e, Expr::Hole0) || e.children().iter().any(|c| contains_hole0(c))
+        }
+        if !contains_hole0(expr) {
+            return PartialExpr::Known(expr.clone());
+        }
+        match expr {
+            Expr::Hole0 => PartialExpr::Hole,
+            Expr::Call(m, args) => PartialExpr::KnownCall {
+                candidates: vec![*m],
+                args: args.iter().map(PartialExpr::reopen_holes).collect(),
+            },
+            Expr::Assign(l, r) => {
+                PartialExpr::assign(PartialExpr::reopen_holes(l), PartialExpr::reopen_holes(r))
+            }
+            Expr::Cmp(op, l, r) => PartialExpr::cmp(
+                *op,
+                PartialExpr::reopen_holes(l),
+                PartialExpr::reopen_holes(r),
+            ),
+            // `0` cannot occur under a lookup chain, but fall back safely.
+            other => PartialExpr::Known(other.clone()),
+        }
+    }
+
+    /// A source-ish rendering of the query shape (holes spelled as in the
+    /// paper; known subexpressions as `_`-free placeholders by position).
+    pub fn shape(&self) -> String {
+        match self {
+            PartialExpr::Hole => "?".into(),
+            PartialExpr::Hole0 => "0".into(),
+            PartialExpr::Known(_) => "e".into(),
+            PartialExpr::Suffix(b, k) => format!("{}{}", b.shape(), k.spelling()),
+            PartialExpr::UnknownCall(args) => {
+                let inner: Vec<String> = args.iter().map(|a| a.shape()).collect();
+                format!("?({{{}}})", inner.join(", "))
+            }
+            PartialExpr::KnownCall { args, .. } => {
+                let inner: Vec<String> = args.iter().map(|a| a.shape()).collect();
+                format!("m({})", inner.join(", "))
+            }
+            PartialExpr::Assign(l, r) => format!("{} := {}", l.shape(), r.shape()),
+            PartialExpr::Cmp(op, l, r) => {
+                format!("{} {} {}", l.shape(), op.symbol(), r.shape())
+            }
+            PartialExpr::Alt(alts) => {
+                let inner: Vec<String> = alts.iter().map(|a| a.shape()).collect();
+                format!("({})", inner.join(" | "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_kinds() {
+        assert!(SuffixKind::FieldStar.is_star());
+        assert!(!SuffixKind::Field.is_star());
+        assert!(SuffixKind::Method.allows_methods());
+        assert!(!SuffixKind::FieldStar.allows_methods());
+        assert_eq!(SuffixKind::MethodStar.spelling(), ".?*m");
+    }
+
+    #[test]
+    fn hole_detection() {
+        assert!(PartialExpr::Hole.has_holes());
+        assert!(!PartialExpr::Hole0.has_holes());
+        assert!(!PartialExpr::Known(Expr::This).has_holes());
+        assert!(PartialExpr::suffix(PartialExpr::Known(Expr::This), SuffixKind::Field).has_holes());
+        let a = PartialExpr::assign(PartialExpr::Known(Expr::This), PartialExpr::Hole);
+        assert!(a.has_holes());
+    }
+
+    #[test]
+    fn reopening_holes() {
+        use pex_model::{LocalId, MethodId};
+        let call = Expr::Call(
+            MethodId::from_index(0),
+            vec![Expr::Local(LocalId(0)), Expr::Hole0, Expr::Hole0],
+        );
+        let q = PartialExpr::reopen_holes(&call);
+        assert_eq!(q.shape(), "m(e, ?, ?)");
+        // Hole-free expressions stay verbatim.
+        let plain = Expr::Local(LocalId(0));
+        assert_eq!(PartialExpr::reopen_holes(&plain), PartialExpr::Known(plain));
+    }
+
+    #[test]
+    fn shapes_render() {
+        let q = PartialExpr::cmp(
+            pex_model::CmpOp::Ge,
+            PartialExpr::suffix(PartialExpr::Known(Expr::This), SuffixKind::MethodStar),
+            PartialExpr::Hole,
+        );
+        assert_eq!(q.shape(), "e.?*m >= ?");
+        let u = PartialExpr::UnknownCall(vec![PartialExpr::Known(Expr::This), PartialExpr::Hole0]);
+        assert_eq!(u.shape(), "?({e, 0})");
+    }
+}

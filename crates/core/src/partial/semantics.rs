@@ -1,0 +1,322 @@
+//! Reference semantics: a checker for the paper's Figure 6 rewrite relation.
+//!
+//! [`derives`] decides whether a complete expression is a legal completion of
+//! a partial expression in a context. The completion engine never calls
+//! this — it produces completions constructively — but tests use it as the
+//! specification: every engine output must derive from its query.
+
+use pex_model::{Context, Database, Expr};
+
+use super::PartialExpr;
+
+/// Whether `e` is a completion of `pe` under the Figure 6 semantics
+/// (including the final type-check, with `0` as a wildcard).
+pub fn derives(db: &Database, ctx: &Context, pe: &PartialExpr, e: &Expr) -> bool {
+    derives_structural(db, ctx, pe, e) && db.expr_ty(e, ctx).is_ok()
+}
+
+/// Structural derivability, without the final type-check.
+pub(crate) fn derives_structural(db: &Database, ctx: &Context, pe: &PartialExpr, e: &Expr) -> bool {
+    match pe {
+        PartialExpr::Hole0 => matches!(e, Expr::Hole0),
+        PartialExpr::Known(k) => k == e,
+        // `?` is `v.?*m` for any live local (incl. `this`) or global.
+        PartialExpr::Hole => is_chain(db, ctx, e),
+        PartialExpr::Suffix(base, kind) => {
+            // Peel 0..=limit trailing links off `e`, trying each split.
+            let mut links = 0usize;
+            let mut cur = e;
+            loop {
+                let within_limit = kind.is_star() || links <= 1;
+                if within_limit && derives_structural(db, ctx, base, cur) {
+                    return true;
+                }
+                match peel_link(db, cur) {
+                    Some((inner, is_method)) => {
+                        if is_method && !kind.allows_methods() {
+                            // A method link is never allowed for `f` kinds.
+                            return false;
+                        }
+                        links += 1;
+                        if !kind.is_star() && links > 1 {
+                            return false;
+                        }
+                        cur = inner;
+                    }
+                    None => return false,
+                }
+            }
+        }
+        PartialExpr::UnknownCall(qargs) => {
+            let Expr::Call(m, full) = e else { return false };
+            if full.len() != db.method(*m).full_arity() {
+                return false;
+            }
+            assign_injective(db, ctx, qargs, full, &mut vec![false; full.len()], 0)
+        }
+        PartialExpr::KnownCall { candidates, args } => {
+            let Expr::Call(m, full) = e else { return false };
+            candidates.contains(m)
+                && full.len() == args.len()
+                && args
+                    .iter()
+                    .zip(full)
+                    .all(|(q, a)| derives_structural(db, ctx, q, a))
+        }
+        PartialExpr::Assign(l, r) => {
+            let Expr::Assign(el, er) = e else {
+                return false;
+            };
+            derives_structural(db, ctx, l, el) && derives_structural(db, ctx, r, er)
+        }
+        PartialExpr::Cmp(op, l, r) => {
+            let Expr::Cmp(eop, el, er) = e else {
+                return false;
+            };
+            op == eop && derives_structural(db, ctx, l, el) && derives_structural(db, ctx, r, er)
+        }
+        PartialExpr::Alt(alts) => alts.iter().any(|a| derives_structural(db, ctx, a, e)),
+    }
+}
+
+/// Recursive search for an injective placement of query args into call
+/// positions; unused positions must hold `0`.
+fn assign_injective(
+    db: &Database,
+    ctx: &Context,
+    qargs: &[PartialExpr],
+    full: &[Expr],
+    used: &mut Vec<bool>,
+    i: usize,
+) -> bool {
+    if i == qargs.len() {
+        return full
+            .iter()
+            .zip(used.iter())
+            .all(|(a, &u)| u || matches!(a, Expr::Hole0));
+    }
+    for (j, actual) in full.iter().enumerate() {
+        if used[j] || !derives_structural(db, ctx, &qargs[i], actual) {
+            continue;
+        }
+        used[j] = true;
+        if assign_injective(db, ctx, qargs, full, used, i + 1) {
+            used[j] = false;
+            return true;
+        }
+        used[j] = false;
+    }
+    false
+}
+
+/// If `e` ends with a chain link (instance field lookup or zero-argument
+/// instance call), returns the inner expression and whether the link is a
+/// method call.
+fn peel_link<'e>(db: &Database, e: &'e Expr) -> Option<(&'e Expr, bool)> {
+    match e {
+        Expr::FieldAccess(base, f) if !db.field(*f).is_static() => Some((base, false)),
+        Expr::Call(m, args) if args.len() == 1 && db.method(*m).params().is_empty() => {
+            Some((&args[0], true))
+        }
+        _ => None,
+    }
+}
+
+/// Whether `e` is a `v.?*m`-shaped chain: a live local, `this`, or a global
+/// (static field / zero-argument static call), followed by any number of
+/// instance lookups / zero-argument calls.
+fn is_chain(db: &Database, ctx: &Context, e: &Expr) -> bool {
+    match e {
+        Expr::Local(l) => l.index() < ctx.locals.len(),
+        Expr::This => ctx.this_type().is_some(),
+        Expr::StaticField(f) => db.field(*f).is_static(),
+        Expr::FieldAccess(base, f) => !db.field(*f).is_static() && is_chain(db, ctx, base),
+        Expr::Call(m, args) => {
+            let md = db.method(*m);
+            if !md.params().is_empty() {
+                return false;
+            }
+            match (md.is_static(), args.len()) {
+                (true, 0) => true,                         // global root
+                (false, 1) => is_chain(db, ctx, &args[0]), // chain link
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_partial;
+    use pex_model::minics::compile;
+    use pex_model::{Context, Local};
+
+    fn setup() -> (Database, Context) {
+        let db = compile(
+            r#"
+            namespace Geo {
+                struct Point { int X; int Y; }
+                class Line {
+                    Geo.Point P1;
+                    Geo.Point P2;
+                    Geo.Point Mid();
+                    static double Distance(Geo.Point a, Geo.Point b);
+                    static Geo.Line Unit;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let point = db.types().lookup_qualified("Geo.Point").unwrap();
+        let line = db.types().lookup_qualified("Geo.Line").unwrap();
+        let ctx = Context::instance(
+            line,
+            vec![
+                Local {
+                    name: "p".into(),
+                    ty: point,
+                },
+                Local {
+                    name: "ln".into(),
+                    ty: line,
+                },
+            ],
+        );
+        (db, ctx)
+    }
+
+    fn known(db: &Database, ctx: &Context, src: &str) -> Expr {
+        match parse_partial(db, ctx, src).unwrap() {
+            PartialExpr::Known(e) => e,
+            other => panic!("expected complete expression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hole_derives_chains_only() {
+        let (db, ctx) = setup();
+        let pe = PartialExpr::Hole;
+        for good in [
+            "p",
+            "this",
+            "ln.P1",
+            "this.P1.X",
+            "ln.Mid()",
+            "Geo.Line.Unit",
+        ] {
+            let e = known(&db, &ctx, good);
+            assert!(derives(&db, &ctx, &pe, &e), "{good} should derive from ?");
+        }
+        assert!(!derives(&db, &ctx, &pe, &Expr::IntLit(3)));
+        assert!(!derives(&db, &ctx, &pe, &Expr::Hole0));
+        let dist = known(&db, &ctx, "Geo.Line.Distance(p, p)");
+        assert!(
+            !derives(&db, &ctx, &pe, &dist),
+            "argful calls are not chains"
+        );
+    }
+
+    #[test]
+    fn suffix_limits_links_and_kinds() {
+        let (db, ctx) = setup();
+        let q_f = parse_partial(&db, &ctx, "ln.?f").unwrap();
+        let q_fs = parse_partial(&db, &ctx, "ln.?*f").unwrap();
+        let q_m = parse_partial(&db, &ctx, "ln.?m").unwrap();
+        let q_ms = parse_partial(&db, &ctx, "ln.?*m").unwrap();
+
+        let ln = known(&db, &ctx, "ln");
+        let one = known(&db, &ctx, "ln.P1");
+        let two = known(&db, &ctx, "ln.P1.X");
+        let call = known(&db, &ctx, "ln.Mid()");
+        let call_then_field = known(&db, &ctx, "ln.Mid().X");
+
+        // Omission is always allowed.
+        for q in [&q_f, &q_fs, &q_m, &q_ms] {
+            assert!(derives(&db, &ctx, q, &ln));
+        }
+        assert!(derives(&db, &ctx, &q_f, &one));
+        assert!(
+            !derives(&db, &ctx, &q_f, &two),
+            ".?f allows at most one link"
+        );
+        assert!(derives(&db, &ctx, &q_fs, &two));
+        assert!(!derives(&db, &ctx, &q_f, &call), ".?f forbids method links");
+        assert!(!derives(&db, &ctx, &q_fs, &call_then_field));
+        assert!(derives(&db, &ctx, &q_m, &call));
+        assert!(derives(&db, &ctx, &q_ms, &call_then_field));
+        assert!(!derives(&db, &ctx, &q_m, &call_then_field), "one link only");
+    }
+
+    #[test]
+    fn unknown_call_reorders_and_zero_fills() {
+        let (db, ctx) = setup();
+        let q = parse_partial(&db, &ctx, "?({p})").unwrap();
+        let dist = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Distance")
+            .unwrap();
+        let p = known(&db, &ctx, "p");
+        // Distance(p, 0) and Distance(0, p) both derive.
+        let c1 = Expr::Call(dist, vec![p.clone(), Expr::Hole0]);
+        let c2 = Expr::Call(dist, vec![Expr::Hole0, p.clone()]);
+        assert!(derives(&db, &ctx, &q, &c1));
+        assert!(derives(&db, &ctx, &q, &c2));
+        // Unused positions must be 0, args must be placed.
+        let c3 = Expr::Call(dist, vec![p.clone(), p.clone()]);
+        assert!(!derives(&db, &ctx, &q, &c3));
+        let c4 = Expr::Call(dist, vec![Expr::Hole0, Expr::Hole0]);
+        assert!(!derives(&db, &ctx, &q, &c4));
+        // Two identical args need two distinct positions.
+        let q2 = parse_partial(&db, &ctx, "?({p, p})").unwrap();
+        assert!(derives(&db, &ctx, &q2, &c3));
+        assert!(!derives(&db, &ctx, &q2, &c1));
+    }
+
+    #[test]
+    fn known_call_is_positional() {
+        let (db, ctx) = setup();
+        let q = parse_partial(&db, &ctx, "Distance(p, ?)").unwrap();
+        let dist = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Distance")
+            .unwrap();
+        let p = known(&db, &ctx, "p");
+        let mid = known(&db, &ctx, "ln.Mid()");
+        assert!(derives(
+            &db,
+            &ctx,
+            &q,
+            &Expr::Call(dist, vec![p.clone(), mid.clone()])
+        ));
+        // The hole is in the second position; a literal cannot fill it.
+        assert!(!derives(
+            &db,
+            &ctx,
+            &q,
+            &Expr::Call(dist, vec![p.clone(), Expr::IntLit(1)])
+        ));
+        // First position must be exactly `p`.
+        assert!(!derives(
+            &db,
+            &ctx,
+            &q,
+            &Expr::Call(dist, vec![mid.clone(), p.clone()])
+        ));
+    }
+
+    #[test]
+    fn operators_check_types() {
+        let (db, ctx) = setup();
+        let q = parse_partial(&db, &ctx, "p.?*m >= this.?*m").unwrap();
+        let good = known(&db, &ctx, "p.X >= this.P1.Y");
+        assert!(derives(&db, &ctx, &q, &good));
+        // Structurally fine but ill-typed: Point >= Point is not comparable.
+        let bad = known(&db, &ctx, "p.X").clone();
+        let p = known(&db, &ctx, "p");
+        let cmp = Expr::cmp(pex_model::CmpOp::Ge, p.clone(), p);
+        assert!(!derives(&db, &ctx, &q, &cmp));
+        let _ = bad;
+    }
+}

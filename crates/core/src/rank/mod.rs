@@ -1,0 +1,647 @@
+//! The ranking function of paper Figure 7, with per-term toggles.
+//!
+//! A completion's score is a **sum of non-negative integer terms** (lower is
+//! better), so any partial sum is a lower bound — the property the engine's
+//! best-first search relies on. The terms, reconstructed from Section 4.1
+//! (see DESIGN.md for the reconstruction notes):
+//!
+//! * **type distance** — `td(type(arg), type(param))` summed over argument
+//!   positions; for binary operators, the distance between the two operand
+//!   types;
+//! * **abstract types** — `+1` per argument whose inferred abstract type
+//!   does not match the parameter's (undefined never matches);
+//! * **depth** — `2` per member-access link introduced by the expression;
+//! * **in-scope static** — `+1` unless the called method is a static method
+//!   of the enclosing type (callable without qualification);
+//! * **common namespace** — `3 − min(3, p)` where `p` is the common prefix
+//!   of the namespaces of the non-primitive argument types and the declaring
+//!   type (`p = 0` when fewer than two non-primitive arguments participate);
+//! * **matching name** — `+3` on comparisons whose two sides do not end in
+//!   lookups of the same name.
+//!
+//! Zero-argument calls (instance or static) are scored as lookups — depth
+//! only — because the paper treats them as property sugar; the call-specific
+//! terms apply to calls with declared parameters.
+
+use pex_abstract::AbsTypes;
+use pex_model::{Context, Database, Expr, MethodId, ValueTy};
+use pex_types::TypeId;
+
+/// The individually toggleable ranking terms (paper Table 2's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankTerm {
+    /// `n` — common namespace.
+    Namespace,
+    /// `s` — in-scope static.
+    InScopeStatic,
+    /// `d` — depth.
+    Depth,
+    /// `m` — matching name.
+    MatchingName,
+    /// `t` — normal type distance.
+    TypeDistance,
+    /// `a` — abstract type distance.
+    AbstractTypes,
+}
+
+impl RankTerm {
+    /// All terms, in the paper's `n s d m t a` order.
+    pub const ALL: [RankTerm; 6] = [
+        RankTerm::Namespace,
+        RankTerm::InScopeStatic,
+        RankTerm::Depth,
+        RankTerm::MatchingName,
+        RankTerm::TypeDistance,
+        RankTerm::AbstractTypes,
+    ];
+
+    /// The paper's one-letter code for the term.
+    pub fn code(self) -> char {
+        match self {
+            RankTerm::Namespace => 'n',
+            RankTerm::InScopeStatic => 's',
+            RankTerm::Depth => 'd',
+            RankTerm::MatchingName => 'm',
+            RankTerm::TypeDistance => 't',
+            RankTerm::AbstractTypes => 'a',
+        }
+    }
+}
+
+/// Which ranking terms are active. `Default` enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankConfig {
+    /// Common-namespace term.
+    pub namespace: bool,
+    /// In-scope-static term.
+    pub in_scope_static: bool,
+    /// Depth (dots) term.
+    pub depth: bool,
+    /// Matching-name term for comparisons.
+    pub matching_name: bool,
+    /// Class-hierarchy type distance.
+    pub type_distance: bool,
+    /// Abstract-type mismatch term.
+    pub abstract_types: bool,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig::all()
+    }
+}
+
+impl RankConfig {
+    /// Every term enabled (the paper's "All" configuration).
+    pub fn all() -> Self {
+        RankConfig {
+            namespace: true,
+            in_scope_static: true,
+            depth: true,
+            matching_name: true,
+            type_distance: true,
+            abstract_types: true,
+        }
+    }
+
+    /// Every term disabled (scores everything 0; ordering is generation
+    /// order — useful as a degenerate baseline).
+    pub fn none() -> Self {
+        RankConfig {
+            namespace: false,
+            in_scope_static: false,
+            depth: false,
+            matching_name: false,
+            type_distance: false,
+            abstract_types: false,
+        }
+    }
+
+    /// Only the listed terms enabled (the paper's `+x` columns).
+    pub fn only(terms: &[RankTerm]) -> Self {
+        let mut cfg = RankConfig::none();
+        for t in terms {
+            cfg.set(*t, true);
+        }
+        cfg
+    }
+
+    /// All terms except the listed ones (the paper's `-x` columns).
+    pub fn without(terms: &[RankTerm]) -> Self {
+        let mut cfg = RankConfig::all();
+        for t in terms {
+            cfg.set(*t, false);
+        }
+        cfg
+    }
+
+    /// Enables or disables one term.
+    pub fn set(&mut self, term: RankTerm, on: bool) {
+        match term {
+            RankTerm::Namespace => self.namespace = on,
+            RankTerm::InScopeStatic => self.in_scope_static = on,
+            RankTerm::Depth => self.depth = on,
+            RankTerm::MatchingName => self.matching_name = on,
+            RankTerm::TypeDistance => self.type_distance = on,
+            RankTerm::AbstractTypes => self.abstract_types = on,
+        }
+    }
+
+    /// Whether a term is enabled.
+    pub fn enabled(&self, term: RankTerm) -> bool {
+        match term {
+            RankTerm::Namespace => self.namespace,
+            RankTerm::InScopeStatic => self.in_scope_static,
+            RankTerm::Depth => self.depth,
+            RankTerm::MatchingName => self.matching_name,
+            RankTerm::TypeDistance => self.type_distance,
+            RankTerm::AbstractTypes => self.abstract_types,
+        }
+    }
+
+    /// The 15 configurations of the paper's Table 2, with their column
+    /// labels: `All`, `-n -s -d -m -t -a -at`, `+n +s +d +m +t +a +at`.
+    pub fn table2_variants() -> Vec<(String, RankConfig)> {
+        let mut out = vec![("All".to_owned(), RankConfig::all())];
+        for t in RankTerm::ALL {
+            out.push((format!("-{}", t.code()), RankConfig::without(&[t])));
+        }
+        out.push((
+            "-at".to_owned(),
+            RankConfig::without(&[RankTerm::AbstractTypes, RankTerm::TypeDistance]),
+        ));
+        for t in RankTerm::ALL {
+            out.push((format!("+{}", t.code()), RankConfig::only(&[t])));
+        }
+        out.push((
+            "+at".to_owned(),
+            RankConfig::only(&[RankTerm::AbstractTypes, RankTerm::TypeDistance]),
+        ));
+        out
+    }
+}
+
+/// A per-term decomposition of a completion's score.
+///
+/// The ranking function is a sum of independent non-negative terms, so the
+/// decomposition is exact: the term values always sum to the score under
+/// the corresponding configuration (a property test checks this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreBreakdown {
+    /// `(term, contribution)` for every term, in [`RankTerm::ALL`] order.
+    pub terms: [(RankTerm, u32); 6],
+    /// The total score under the ranker's configuration.
+    pub total: u32,
+}
+
+impl ScoreBreakdown {
+    /// Contribution of one term.
+    pub fn term(&self, term: RankTerm) -> u32 {
+        self.terms
+            .iter()
+            .find(|(t, _)| *t == term)
+            .map(|(_, v)| *v)
+            .expect("all terms present")
+    }
+}
+
+/// Scores completed expressions (the specification the engine follows).
+///
+/// `abs` is optional: without a solution every abstract type is undefined,
+/// which uniformly penalises all argument positions when the term is on.
+#[derive(Clone, Copy)]
+pub struct Ranker<'a> {
+    /// The program database.
+    pub db: &'a Database,
+    /// The query context (locals, enclosing type).
+    pub ctx: &'a Context,
+    /// Abstract-type solution, if available.
+    pub abs: Option<&'a AbsTypes<'a>>,
+    /// Active terms.
+    pub config: RankConfig,
+}
+
+impl<'a> std::fmt::Debug for Ranker<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ranker")
+            .field("config", &self.config)
+            .field("has_abs", &self.abs.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Ranker<'a> {
+    /// Creates a ranker.
+    pub fn new(
+        db: &'a Database,
+        ctx: &'a Context,
+        abs: Option<&'a AbsTypes<'a>>,
+        config: RankConfig,
+    ) -> Self {
+        Ranker {
+            db,
+            ctx,
+            abs,
+            config,
+        }
+    }
+
+    /// The cost of one member-access link.
+    pub fn link_cost(&self) -> u32 {
+        if self.config.depth {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Scores a completed expression. Returns `None` if the expression does
+    /// not type-check in the context (type-incorrect completions are never
+    /// produced, regardless of which terms are enabled).
+    pub fn score(&self, e: &Expr) -> Option<u32> {
+        match e {
+            Expr::Local(l) => {
+                if l.index() < self.ctx.locals.len() {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            Expr::This => self.ctx.this_type().map(|_| 0),
+            Expr::IntLit(_)
+            | Expr::DoubleLit(_)
+            | Expr::BoolLit(_)
+            | Expr::StrLit(_)
+            | Expr::Null
+            | Expr::Hole0
+            | Expr::Opaque { .. } => Some(0),
+            Expr::StaticField(_) => Some(self.link_cost()),
+            Expr::FieldAccess(base, f) => {
+                let base_score = self.score(base)?;
+                let base_ty = self.expr_type(base)?;
+                match base_ty {
+                    ValueTy::Known(t)
+                        if self
+                            .db
+                            .types()
+                            .implicitly_convertible(t, self.db.field(*f).declaring()) => {}
+                    ValueTy::Wildcard => {}
+                    _ => return None,
+                }
+                Some(base_score + self.link_cost())
+            }
+            Expr::Call(m, args) => self.score_call(*m, args),
+            Expr::Assign(l, r) => {
+                let ls = self.score(l)?;
+                let rs = self.score(r)?;
+                let lt = self.expr_type(l)?;
+                let rt = self.expr_type(r)?;
+                let td = match (rt, lt) {
+                    (ValueTy::Known(from), ValueTy::Known(to)) => {
+                        self.db.types().type_distance(from, to)?
+                    }
+                    _ => 0,
+                };
+                let td_term = if self.config.type_distance { td } else { 0 };
+                let abs_term = self.pair_abs_term(l, r);
+                Some(ls + rs + td_term + abs_term)
+            }
+            Expr::Cmp(_, l, r) => {
+                let ls = self.score(l)?;
+                let rs = self.score(r)?;
+                let lt = self.expr_type(l)?;
+                let rt = self.expr_type(r)?;
+                let td = match (lt, rt) {
+                    (ValueTy::Known(a), ValueTy::Known(b)) => {
+                        self.db.types().comparable_pair(a, b)?.distance
+                    }
+                    _ => 0,
+                };
+                let td_term = if self.config.type_distance { td } else { 0 };
+                let abs_term = self.pair_abs_term(l, r);
+                let name_term = if self.config.matching_name && !self.same_trailing_name(l, r) {
+                    3
+                } else {
+                    0
+                };
+                Some(ls + rs + td_term + abs_term + name_term)
+            }
+        }
+    }
+
+    fn score_call(&self, m: MethodId, args: &[Expr]) -> Option<u32> {
+        let md = self.db.method(m);
+        if args.len() != md.full_arity() {
+            return None;
+        }
+        // Zero-argument calls are lookups: depth cost only.
+        if md.params().is_empty() {
+            let base = match args.first() {
+                Some(recv) => {
+                    let s = self.score(recv)?;
+                    match self.expr_type(recv)? {
+                        ValueTy::Known(t)
+                            if self.db.types().implicitly_convertible(t, md.declaring()) => {}
+                        ValueTy::Wildcard => {}
+                        _ => return None,
+                    }
+                    s
+                }
+                None => 0,
+            };
+            return Some(base + self.link_cost());
+        }
+        let param_tys = md.full_param_types();
+        let mut total = 0u32;
+        for (i, (arg, want)) in args.iter().zip(&param_tys).enumerate() {
+            total += self.score(arg)?;
+            match self.expr_type(arg)? {
+                ValueTy::Known(t) => {
+                    let d = self.db.types().type_distance(t, *want)?;
+                    if self.config.type_distance {
+                        total += d;
+                    }
+                }
+                ValueTy::Wildcard => {}
+            }
+            if self.config.abstract_types && !self.arg_abs_matches(m, i, arg) {
+                total += 1;
+            }
+        }
+        if self.config.in_scope_static && !(md.is_static() && self.static_in_scope(m)) {
+            total += 1;
+        }
+        if self.config.namespace {
+            total += self.namespace_term(m, args, &param_tys);
+        }
+        Some(total)
+    }
+
+    /// The common-namespace term: `3 - min(3, p)`.
+    fn namespace_term(&self, m: MethodId, args: &[Expr], _param_tys: &[TypeId]) -> u32 {
+        let mut arg_ns = Vec::new();
+        for arg in args {
+            if let Ok(ValueTy::Known(t)) = self.db.expr_ty(arg, self.ctx) {
+                let def = self.db.types().get(t);
+                if !def.is_primitive() && t != self.db.types().object() {
+                    arg_ns.push(def.namespace());
+                }
+            }
+        }
+        let sim = if arg_ns.len() <= 1 {
+            0
+        } else {
+            let decl_ns = self
+                .db
+                .types()
+                .get(self.db.method(m).declaring())
+                .namespace();
+            arg_ns.push(decl_ns);
+            self.db.types().namespaces().common_prefix_len(arg_ns)
+        };
+        3 - (sim.min(3) as u32)
+    }
+
+    /// Whether `m` is a static method callable without qualification from
+    /// the context (declared on the enclosing type or a supertype of it).
+    fn static_in_scope(&self, m: MethodId) -> bool {
+        let Some(enclosing) = self.ctx.enclosing_type else {
+            return false;
+        };
+        let declaring = self.db.method(m).declaring();
+        self.db.member_lookup_chain(enclosing).contains(&declaring)
+    }
+
+    fn arg_abs_matches(&self, m: MethodId, i: usize, arg: &Expr) -> bool {
+        let Some(abs) = self.abs else { return false };
+        let a = abs.expr_class(self.ctx.enclosing_method, arg);
+        let p = abs.param_class(m, i);
+        AbsTypes::matches(a, p)
+    }
+
+    fn pair_abs_term(&self, l: &Expr, r: &Expr) -> u32 {
+        if !self.config.abstract_types {
+            return 0;
+        }
+        let matched = self.abs.is_some_and(|abs| {
+            AbsTypes::matches(
+                abs.expr_class(self.ctx.enclosing_method, l),
+                abs.expr_class(self.ctx.enclosing_method, r),
+            )
+        });
+        u32::from(!matched)
+    }
+
+    /// Whether both sides end in a member (or local) of the same name.
+    fn same_trailing_name(&self, l: &Expr, r: &Expr) -> bool {
+        match (self.trailing_name(l), self.trailing_name(r)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn trailing_name<'s>(&'s self, e: &'s Expr) -> Option<&'s str> {
+        match e {
+            Expr::StaticField(f) | Expr::FieldAccess(_, f) => Some(self.db.field(*f).name()),
+            Expr::Call(m, _) => Some(self.db.method(*m).name()),
+            Expr::Local(l) => self.ctx.locals.get(l.index()).map(|loc| loc.name.as_str()),
+            _ => None,
+        }
+    }
+
+    fn expr_type(&self, e: &Expr) -> Option<ValueTy> {
+        self.db.expr_ty(e, self.ctx).ok()
+    }
+
+    /// Decomposes an expression's score into per-term contributions.
+    ///
+    /// Exploits the ranking function's additivity: each term's contribution
+    /// is the expression's score under a configuration enabling only that
+    /// term. Terms disabled in this ranker's configuration report 0 and are
+    /// excluded from `total`. Returns `None` if the expression is ill-typed.
+    pub fn explain(&self, e: &Expr) -> Option<ScoreBreakdown> {
+        let mut terms = [(RankTerm::Namespace, 0u32); 6];
+        let mut total = 0u32;
+        for (slot, term) in terms.iter_mut().zip(RankTerm::ALL) {
+            let value = if self.config.enabled(term) {
+                let solo = Ranker::new(self.db, self.ctx, self.abs, RankConfig::only(&[term]));
+                solo.score(e)?
+            } else {
+                0
+            };
+            *slot = (term, value);
+            total += value;
+        }
+        debug_assert_eq!(self.score(e), Some(total), "terms must be additive");
+        Some(ScoreBreakdown { terms, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pex_model::minics::compile;
+    use pex_model::{CmpOp, Local};
+
+    fn setup() -> (Database, Context) {
+        let db = compile(
+            r#"
+            namespace Geo {
+                struct Point { int X; int Y; }
+                class Line {
+                    Geo.Point P1;
+                    Geo.Point Mid();
+                    static double Distance(Geo.Point a, Geo.Point b);
+                }
+                class Other {
+                    static double Far(Geo.Point a, Geo.Point b);
+                }
+            }
+            namespace App.Deep.Nested {
+                class Client {
+                    static void Use(Geo.Point p) { }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let point = db.types().lookup_qualified("Geo.Point").unwrap();
+        let line = db.types().lookup_qualified("Geo.Line").unwrap();
+        let ctx = Context::instance(
+            line,
+            vec![
+                Local {
+                    name: "p".into(),
+                    ty: point,
+                },
+                Local {
+                    name: "ln".into(),
+                    ty: line,
+                },
+            ],
+        );
+        (db, ctx)
+    }
+
+    fn e(db: &Database, ctx: &Context, src: &str) -> Expr {
+        match crate::parse_partial(db, ctx, src).unwrap() {
+            crate::PartialExpr::Known(e) => e,
+            other => panic!("not complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_counts_links_times_two() {
+        let (db, ctx) = setup();
+        let r = Ranker::new(&db, &ctx, None, RankConfig::only(&[RankTerm::Depth]));
+        assert_eq!(r.score(&e(&db, &ctx, "p")), Some(0));
+        assert_eq!(r.score(&e(&db, &ctx, "ln.P1")), Some(2));
+        assert_eq!(r.score(&e(&db, &ctx, "ln.P1.X")), Some(4));
+        assert_eq!(
+            r.score(&e(&db, &ctx, "ln.Mid()")),
+            Some(2),
+            "zero-arg call = lookup"
+        );
+        assert_eq!(r.score(&e(&db, &ctx, "ln.Mid().Y")), Some(4));
+        let off = Ranker::new(&db, &ctx, None, RankConfig::none());
+        assert_eq!(off.score(&e(&db, &ctx, "ln.P1.X")), Some(0));
+    }
+
+    #[test]
+    fn type_distance_on_call_args() {
+        let (db, ctx) = setup();
+        // Use(p): param type Point, arg Point -> td 0.
+        let r = Ranker::new(&db, &ctx, None, RankConfig::only(&[RankTerm::TypeDistance]));
+        let call = e(&db, &ctx, "App.Deep.Nested.Client.Use(p)");
+        assert_eq!(r.score(&call), Some(0));
+        // Distance(p, ln.P1): args score includes the lookup? depth off -> 0.
+        let call2 = e(&db, &ctx, "Geo.Line.Distance(p, ln.P1)");
+        assert_eq!(r.score(&call2), Some(0));
+    }
+
+    #[test]
+    fn in_scope_static_term() {
+        let (db, ctx) = setup();
+        let r = Ranker::new(
+            &db,
+            &ctx,
+            None,
+            RankConfig::only(&[RankTerm::InScopeStatic]),
+        );
+        // Distance is a static of the enclosing type Line: no penalty.
+        assert_eq!(r.score(&e(&db, &ctx, "Geo.Line.Distance(p, p)")), Some(0));
+        // Far is a static of another type: +1.
+        assert_eq!(r.score(&e(&db, &ctx, "Geo.Other.Far(p, p)")), Some(1));
+    }
+
+    #[test]
+    fn namespace_term_prefers_cohesive_calls() {
+        let (db, ctx) = setup();
+        let r = Ranker::new(&db, &ctx, None, RankConfig::only(&[RankTerm::Namespace]));
+        // Two non-primitive args in Geo, method in Geo: prefix len 1 -> 3-1=2.
+        assert_eq!(r.score(&e(&db, &ctx, "Geo.Line.Distance(p, p)")), Some(2));
+        // Single non-primitive argument: sim forced to 0 -> term 3.
+        assert_eq!(
+            r.score(&e(&db, &ctx, "App.Deep.Nested.Client.Use(p)")),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn matching_name_term_on_comparisons() {
+        let (db, ctx) = setup();
+        let r = Ranker::new(&db, &ctx, None, RankConfig::only(&[RankTerm::MatchingName]));
+        let same = e(&db, &ctx, "p.X >= ln.P1.X");
+        let diff = e(&db, &ctx, "p.X >= ln.P1.Y");
+        assert_eq!(r.score(&same), Some(0));
+        assert_eq!(r.score(&diff), Some(3));
+        // Locals compare by name too.
+        let pp = Expr::cmp(CmpOp::Lt, e(&db, &ctx, "p.X"), e(&db, &ctx, "p.X"));
+        assert_eq!(r.score(&pp), Some(0));
+    }
+
+    #[test]
+    fn ill_typed_scores_none_even_with_terms_off() {
+        let (db, ctx) = setup();
+        let r = Ranker::new(&db, &ctx, None, RankConfig::none());
+        // Point >= Point is not comparable.
+        let p = e(&db, &ctx, "p");
+        let bad = Expr::cmp(CmpOp::Ge, p.clone(), p);
+        assert_eq!(r.score(&bad), None);
+    }
+
+    #[test]
+    fn wildcard_holes_cost_abs_mismatch_only() {
+        let (db, ctx) = setup();
+        let dist = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Distance")
+            .unwrap();
+        let call = Expr::Call(dist, vec![e(&db, &ctx, "p"), Expr::Hole0]);
+        let r_t = Ranker::new(&db, &ctx, None, RankConfig::only(&[RankTerm::TypeDistance]));
+        assert_eq!(r_t.score(&call), Some(0), "0-holes add no type distance");
+        let r_a = Ranker::new(
+            &db,
+            &ctx,
+            None,
+            RankConfig::only(&[RankTerm::AbstractTypes]),
+        );
+        // No abs solution provided: every position mismatches -> +2.
+        assert_eq!(r_a.score(&call), Some(2));
+    }
+
+    #[test]
+    fn table2_has_fifteen_variants() {
+        let variants = RankConfig::table2_variants();
+        assert_eq!(variants.len(), 15);
+        assert_eq!(variants[0].0, "All");
+        assert!(variants.iter().any(|(n, _)| n == "-at"));
+        assert!(variants.iter().any(|(n, _)| n == "+at"));
+        let minus_d = variants.iter().find(|(n, _)| n == "-d").unwrap();
+        assert!(!minus_d.1.depth);
+        assert!(minus_d.1.namespace);
+        let plus_m = variants.iter().find(|(n, _)| n == "+m").unwrap();
+        assert!(plus_m.1.matching_name);
+        assert!(!plus_m.1.depth);
+    }
+}

@@ -1,0 +1,75 @@
+//! Fuzz-style property tests: the query parser must never panic — every
+//! input either parses or returns a positioned error.
+
+use proptest::prelude::*;
+
+use pex_core::parse_partial;
+use pex_corpus::builtin;
+use pex_model::{Context, Database};
+
+fn setup() -> (Database, Context) {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig3_context(&db);
+    (db, ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: no panics, errors carry in-range offsets.
+    #[test]
+    fn parser_total_on_arbitrary_strings(input in ".{0,60}") {
+        let (db, ctx) = setup();
+        match parse_partial(&db, &ctx, &input) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.at <= input.chars().count()),
+        }
+    }
+
+    /// Query-alphabet soup: strings built from the tokens the grammar
+    /// actually uses, which exercise deeper parser paths.
+    #[test]
+    fn parser_total_on_query_alphabet(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "?", "0", "(", ")", "{", "}", ",", ".", ".?f", ".?*m", ".?m",
+                ":=", "=", "<", ">=", "point", "this", "shapeStyle", "Distance",
+                "DynamicGeometry", "Math", "InfinitePoint", "X", " ", "42", "1.5",
+            ]),
+            0..14,
+        )
+    ) {
+        let (db, ctx) = setup();
+        let input: String = parts.concat();
+        match parse_partial(&db, &ctx, &input) {
+            Ok(query) => {
+                // Whatever parses must at least have a printable shape.
+                prop_assert!(!query.shape().is_empty());
+            }
+            Err(e) => prop_assert!(e.at <= input.chars().count()),
+        }
+    }
+
+    /// The mini-C# frontend is total too.
+    #[test]
+    fn minics_total_on_arbitrary_strings(input in ".{0,80}") {
+        let _ = pex_model::minics::compile(&input);
+    }
+
+    /// ... and on keyword soup.
+    #[test]
+    fn minics_total_on_keyword_soup(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "namespace", "class", "struct", "interface", "enum", "static",
+                "void", "var", "return", "this", "int", "string", "{", "}",
+                "(", ")", ";", ",", ".", "=", "<", ">=", "N", "C", "x", " ",
+                "[Comparable]", "private", "get", "set",
+            ]),
+            0..20,
+        )
+    ) {
+        let input: String = parts.join(" ");
+        let _ = pex_model::minics::compile(&input);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the ranking function over generated corpora:
+//! additivity (the score under any configuration is the sum of its enabled
+//! terms' solo scores), monotonicity (removing a term never raises a
+//! score), and breakdown consistency.
+
+use proptest::prelude::*;
+
+use pex_abstract::AbsTypes;
+use pex_core::{RankConfig, RankTerm, Ranker};
+use pex_corpus::{generate, ClientProfile, LibraryProfile};
+use pex_model::{Context, Database, Expr, MethodId};
+
+fn small_db(seed: u64) -> Database {
+    let lib = LibraryProfile {
+        types: 25,
+        namespaces: 4,
+        ..Default::default()
+    };
+    let client = ClientProfile {
+        classes: 2,
+        ..Default::default()
+    };
+    generate(&lib, &client, seed)
+}
+
+fn sites(db: &Database) -> Vec<(MethodId, usize, Expr)> {
+    let mut out = Vec::new();
+    for m in db.methods() {
+        if let Some(body) = db.method(m).body() {
+            for (si, stmt) in body.stmts.iter().enumerate() {
+                if let Some(e) = stmt.expr() {
+                    out.push((m, si, e.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scores_are_additive_over_terms(seed in 0u64..400) {
+        let db = small_db(seed);
+        for (m, si, expr) in sites(&db).into_iter().take(25) {
+            let body = db.method(m).body().expect("sites come from bodies");
+            let ctx = Context::at_statement(&db, m, body, si);
+            let abs = AbsTypes::for_query(&db, m, si);
+            let full = Ranker::new(&db, &ctx, Some(&abs), RankConfig::all());
+            let Some(total) = full.score(&expr) else { continue };
+            // Sum of solo terms equals the full score.
+            let mut sum = 0;
+            for term in RankTerm::ALL {
+                let solo = Ranker::new(&db, &ctx, Some(&abs), RankConfig::only(&[term]));
+                sum += solo.score(&expr).expect("typedness is config-independent");
+            }
+            prop_assert_eq!(sum, total, "additivity violated for {:?}", expr);
+            // Complementarity: without(t) + only(t) == all.
+            for term in RankTerm::ALL {
+                let without =
+                    Ranker::new(&db, &ctx, Some(&abs), RankConfig::without(&[term]));
+                let solo = Ranker::new(&db, &ctx, Some(&abs), RankConfig::only(&[term]));
+                prop_assert_eq!(
+                    without.score(&expr).expect("typed") + solo.score(&expr).expect("typed"),
+                    total
+                );
+            }
+            // Breakdown agrees.
+            let breakdown = full.explain(&expr).expect("typed");
+            prop_assert_eq!(breakdown.total, total);
+            let term_sum: u32 = breakdown.terms.iter().map(|(_, v)| *v).sum();
+            prop_assert_eq!(term_sum, total);
+        }
+    }
+
+    #[test]
+    fn empty_config_scores_zero(seed in 0u64..200) {
+        let db = small_db(seed);
+        for (m, si, expr) in sites(&db).into_iter().take(15) {
+            let body = db.method(m).body().expect("sites come from bodies");
+            let ctx = Context::at_statement(&db, m, body, si);
+            let none = Ranker::new(&db, &ctx, None, RankConfig::none());
+            if let Some(score) = none.score(&expr) {
+                prop_assert_eq!(score, 0, "no terms, no cost: {:?}", expr);
+            }
+        }
+    }
+
+    #[test]
+    fn typedness_is_config_independent(seed in 0u64..200) {
+        let db = small_db(seed);
+        for (m, si, expr) in sites(&db).into_iter().take(15) {
+            let body = db.method(m).body().expect("sites come from bodies");
+            let ctx = Context::at_statement(&db, m, body, si);
+            let all = Ranker::new(&db, &ctx, None, RankConfig::all());
+            let none = Ranker::new(&db, &ctx, None, RankConfig::none());
+            prop_assert_eq!(all.score(&expr).is_some(), none.score(&expr).is_some());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Hand-written mini corpora reproducing the paper's running examples
+//! (Sections 2 and 4.1): a miniature Paint.NET for Figure 2, a miniature
+//! DynamicGeometry for Figures 3 and 4, and the Family.Show fragment used
+//! to motivate abstract type inference.
+
+use pex_model::minics::compile;
+use pex_model::{Context, Database, Local};
+
+/// Mini Paint.NET: the API surface behind Figure 2's result list for the
+/// query `?({img, size})`.
+pub const PAINT_DOT_NET: &str = r#"
+namespace System.Drawing {
+    struct Size {
+        int Width;
+        int Height;
+        bool Equals(object other);
+    }
+}
+namespace PaintDotNet {
+    class Document {
+        int Width;
+        int Height;
+        void OnDeserialization(object sender);
+    }
+    class Pair {
+        static PaintDotNet.Pair Create(object first, object second);
+    }
+    class Triple {
+        static PaintDotNet.Triple Create(object first, object second, object third);
+    }
+    class Quadruple {
+        static PaintDotNet.Quadruple Create(object a, object b, object c, object d);
+    }
+    class ObjectUtil {
+        static bool ReferenceEquals(object a, object b);
+    }
+}
+namespace PaintDotNet.Functional {
+    class Func {
+        static object Bind(object f, object arg1, object arg2);
+    }
+}
+namespace PaintDotNet.Actions {
+    enum AnchorEdge { TopLeft, Top, TopRight, Left, Middle, Right, BottomLeft, Bottom, BottomRight }
+    struct ColorBgra { byte B; byte G; byte R; byte A; }
+    class CanvasSizeAction {
+        static PaintDotNet.Document ResizeDocument(
+            PaintDotNet.Document document,
+            System.Drawing.Size newSize,
+            PaintDotNet.Actions.AnchorEdge edge,
+            PaintDotNet.Actions.ColorBgra background);
+    }
+}
+namespace PaintDotNet.PropertySystem {
+    class Property {
+        static PaintDotNet.PropertySystem.Property Create(object name, object value, object extra);
+    }
+    class StaticListChoiceProperty {
+        static PaintDotNet.PropertySystem.StaticListChoiceProperty CreateForEnum(
+            object enumType, object defaultValue, bool readOnly);
+    }
+}
+namespace PaintDotNet.Client {
+    class AppHost {
+        static PaintDotNet.Client.AppHost Current;
+        PaintDotNet.Document Doc;
+        System.Drawing.Size PreferredSize;
+        PaintDotNet.Actions.AnchorEdge Edge;
+        PaintDotNet.Actions.ColorBgra Fill;
+    }
+    class DocumentUtils {
+        static PaintDotNet.Document Normalize(PaintDotNet.Document d) { return d; }
+        static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; }
+    }
+    class Startup {
+        // Teaches the abstract-type solver which values flow into
+        // ResizeDocument: the AppHost fields and the utility slots end up
+        // in the same abstract classes as ResizeDocument's parameters.
+        static void Run(PaintDotNet.Client.AppHost host) {
+            var doc = host.Doc;
+            var size = host.PreferredSize;
+            PaintDotNet.Actions.CanvasSizeAction.ResizeDocument(
+                PaintDotNet.Client.DocumentUtils.Normalize(doc),
+                PaintDotNet.Client.DocumentUtils.Clamp(size),
+                host.Edge,
+                host.Fill);
+        }
+    }
+    class Scratch {
+        // The Figure 2 query site: `img` and `size` are locals initialised
+        // from the host, so their abstract types match ResizeDocument's
+        // parameters even though the query expression itself does not
+        // exist yet.
+        static void Example() {
+            var img = PaintDotNet.Client.AppHost.Current.Doc;
+            var size = PaintDotNet.Client.AppHost.Current.PreferredSize;
+        }
+    }
+}
+"#;
+
+/// Mini DynamicGeometry: the context of Figures 3 and 4 (`EllipseArc` with
+/// `Distance(point, ?)` and `Segment` with `point.?*m >= this.?*m`).
+pub const DYNAMIC_GEOMETRY: &str = r#"
+namespace DynamicGeometry {
+    [Comparable] struct DateTime { }
+    struct Point {
+        double X;
+        double Y;
+    }
+    class Math {
+        static DynamicGeometry.Point InfinitePoint;
+        static double Distance(DynamicGeometry.Point a, DynamicGeometry.Point b);
+    }
+    class Glyph {
+        DynamicGeometry.Point RenderTransformOrigin;
+    }
+    class ShapeStyle {
+        DynamicGeometry.Glyph GetSampleGlyph();
+    }
+    class Shape {
+        DynamicGeometry.Point RenderTransformOrigin;
+    }
+    class ArcShape {
+        DynamicGeometry.Point Point;
+    }
+    class Figure {
+        DynamicGeometry.Point StartPoint;
+    }
+    class EllipseArc {
+        DynamicGeometry.Point BeginLocation;
+        DynamicGeometry.Point Center;
+        DynamicGeometry.Point EndLocation;
+        DynamicGeometry.Shape shape;
+        DynamicGeometry.ArcShape ArcShape;
+        DynamicGeometry.Figure Figure;
+        DynamicGeometry.Shape Shape { get; }
+    }
+    class Segment {
+        DynamicGeometry.Point P1;
+        DynamicGeometry.Point P2;
+        DynamicGeometry.Point Midpoint;
+        double Length;
+        DynamicGeometry.Point FirstValidValue();
+    }
+}
+"#;
+
+/// The Family.Show fragment of Section 4.1: `Path.Combine` chains whose
+/// first arguments share a "path-like" abstract type distinct from the
+/// "name-like" second arguments.
+pub const FAMILY_SHOW: &str = r#"
+namespace Sys {
+    class Path {
+        static string Combine(string path1, string path2);
+    }
+    class Directory {
+        static bool Exists(string path);
+        static void CreateDirectory(string path);
+    }
+    class Environment {
+        static string GetFolderPath(Sys.Folder folder);
+    }
+    enum Folder { MyDocuments, Desktop, ProgramFiles }
+    class App { static string ApplicationFolderName; }
+    class Const { static string DataFileName; }
+}
+namespace FamilyShow {
+    class Store {
+        string GetDataPath() {
+            var appLocation = Sys.Path.Combine(
+                Sys.Environment.GetFolderPath(Sys.Folder.MyDocuments),
+                Sys.App.ApplicationFolderName);
+            Sys.Directory.Exists(appLocation);
+            Sys.Directory.CreateDirectory(appLocation);
+            return Sys.Path.Combine(appLocation, Sys.Const.DataFileName);
+        }
+    }
+}
+"#;
+
+/// Compiles the mini Paint.NET corpus.
+///
+/// # Panics
+///
+/// Never — the source is a compile-tested constant.
+pub fn paint_dot_net() -> Database {
+    compile(PAINT_DOT_NET).expect("builtin corpus compiles")
+}
+
+/// Compiles the mini DynamicGeometry corpus.
+pub fn dynamic_geometry() -> Database {
+    compile(DYNAMIC_GEOMETRY).expect("builtin corpus compiles")
+}
+
+/// Compiles the Family.Show corpus.
+pub fn family_show() -> Database {
+    compile(FAMILY_SHOW).expect("builtin corpus compiles")
+}
+
+/// The context of the paper's Figure 2: locals `img` (a `Document`) and
+/// `size` (a `Size`), outside any type. Use [`paint_query_site`] when the
+/// abstract-type solver should see the `Shrink` method's body.
+pub fn paint_context(db: &Database) -> Context {
+    let doc = db
+        .types()
+        .lookup_qualified("PaintDotNet.Document")
+        .expect("Document");
+    let size = db
+        .types()
+        .lookup_qualified("System.Drawing.Size")
+        .expect("Size");
+    Context::with_locals(
+        None,
+        vec![
+            Local {
+                name: "img".into(),
+                ty: doc,
+            },
+            Local {
+                name: "size".into(),
+                ty: size,
+            },
+        ],
+    )
+}
+
+/// The Figure 2 query site inside `Scratch.Example`: the context at the end
+/// of its body, where `img` and `size` are live locals whose abstract types
+/// the solver has learned from the rest of the program. Returns the context
+/// and the enclosing method (for abstract-type solvers).
+pub fn paint_query_site(db: &Database) -> (Context, pex_model::MethodId) {
+    let example = db
+        .methods()
+        .find(|m| db.method(*m).name() == "Example")
+        .expect("Scratch.Example exists in the builtin corpus");
+    let body = db.method(example).body().expect("Example has a body");
+    let ctx = Context::at_statement(db, example, body, body.stmts.len());
+    (ctx, example)
+}
+
+/// The context of Figure 3: inside `EllipseArc`, with locals `point` (the
+/// only local `Point`) and `shapeStyle`.
+pub fn geometry_fig3_context(db: &Database) -> Context {
+    let arc = db
+        .types()
+        .lookup_qualified("DynamicGeometry.EllipseArc")
+        .expect("EllipseArc");
+    let point = db
+        .types()
+        .lookup_qualified("DynamicGeometry.Point")
+        .expect("Point");
+    let style = db
+        .types()
+        .lookup_qualified("DynamicGeometry.ShapeStyle")
+        .expect("ShapeStyle");
+    Context::instance(
+        arc,
+        vec![
+            Local {
+                name: "point".into(),
+                ty: point,
+            },
+            Local {
+                name: "shapeStyle".into(),
+                ty: style,
+            },
+        ],
+    )
+}
+
+/// The context of Figure 4: inside `Segment`, with local `point`.
+pub fn geometry_fig4_context(db: &Database) -> Context {
+    let seg = db
+        .types()
+        .lookup_qualified("DynamicGeometry.Segment")
+        .expect("Segment");
+    let point = db
+        .types()
+        .lookup_qualified("DynamicGeometry.Point")
+        .expect("Point");
+    Context::instance(
+        seg,
+        vec![Local {
+            name: "point".into(),
+            ty: point,
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_corpora_compile() {
+        assert!(paint_dot_net().method_count() > 5);
+        assert!(dynamic_geometry().field_count() > 10);
+        assert!(family_show().method_count() >= 5);
+    }
+
+    #[test]
+    fn contexts_resolve() {
+        let db = paint_dot_net();
+        let ctx = paint_context(&db);
+        assert_eq!(ctx.locals.len(), 2);
+        let db = dynamic_geometry();
+        assert!(geometry_fig3_context(&db).has_this);
+        assert_eq!(geometry_fig4_context(&db).locals.len(), 1);
+    }
+}

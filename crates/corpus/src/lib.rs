@@ -1,0 +1,25 @@
+//! # pex-corpus
+//!
+//! Corpus substrate for the `pex` workspace: the code the evaluation runs
+//! over.
+//!
+//! The paper evaluated on seven mature C# codebases read through CCI. Those
+//! binaries are not reproducible here, so this crate provides two
+//! substitutes (documented in DESIGN.md):
+//!
+//! * [`builtin`] — small hand-written corpora in mini-C# that recreate the
+//!   paper's worked examples exactly (Figures 2-4 and the Family.Show
+//!   abstract-type example);
+//! * [`gen`] / [`profiles`] — a deterministic, seeded generator of
+//!   framework-shaped projects, with one profile per Table 1 project.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod gen;
+pub mod names;
+pub mod profiles;
+
+pub use gen::{generate, ClientProfile, LibraryProfile};
+pub use profiles::{table1_projects, ProjectProfile};

@@ -1,0 +1,340 @@
+//! Deterministic identifier generation for synthetic corpora.
+//!
+//! Names are built from fixed word lists so generated code looks like real
+//! framework code (`DocumentLayoutManager.ResizeContent(...)`) and so that
+//! *shared concept names* (`X`, `Width`, `Name`, ...) recur across types —
+//! the signal the ranking function's matching-name and abstract-type terms
+//! key on.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use pex_types::PrimKind;
+
+/// Nouns used in type and member names.
+pub const NOUNS: &[&str] = &[
+    "Document",
+    "Layer",
+    "Canvas",
+    "Brush",
+    "Shape",
+    "Stream",
+    "Buffer",
+    "Node",
+    "Element",
+    "Entry",
+    "Record",
+    "Track",
+    "Album",
+    "Playlist",
+    "Installer",
+    "Package",
+    "Bundle",
+    "Panel",
+    "Widget",
+    "Window",
+    "Dialog",
+    "Menu",
+    "Command",
+    "Action",
+    "Event",
+    "Handler",
+    "Filter",
+    "Query",
+    "Index",
+    "Cache",
+    "Session",
+    "Context",
+    "Manager",
+    "Provider",
+    "Factory",
+    "Builder",
+    "Reader",
+    "Writer",
+    "Parser",
+    "Scanner",
+    "Printer",
+    "Renderer",
+    "Encoder",
+    "Decoder",
+    "Palette",
+    "Gradient",
+    "Texture",
+    "Sprite",
+    "Glyph",
+    "Segment",
+    "Region",
+    "Margin",
+];
+
+/// Verbs used in method names.
+pub const VERBS: &[&str] = &[
+    "Get",
+    "Set",
+    "Create",
+    "Make",
+    "Build",
+    "Load",
+    "Save",
+    "Open",
+    "Close",
+    "Read",
+    "Write",
+    "Parse",
+    "Render",
+    "Draw",
+    "Paint",
+    "Resize",
+    "Scale",
+    "Rotate",
+    "Translate",
+    "Merge",
+    "Split",
+    "Append",
+    "Insert",
+    "Remove",
+    "Find",
+    "Lookup",
+    "Resolve",
+    "Attach",
+    "Detach",
+    "Register",
+    "Apply",
+    "Commit",
+    "Reset",
+    "Update",
+    "Refresh",
+    "Validate",
+    "Compute",
+];
+
+/// Adjective-ish prefixes for namespaces and subsystems.
+pub const AREAS: &[&str] = &[
+    "Core",
+    "Actions",
+    "Effects",
+    "Rendering",
+    "Layout",
+    "Data",
+    "Media",
+    "Audio",
+    "Video",
+    "Text",
+    "Input",
+    "Network",
+    "Storage",
+    "Config",
+    "Tools",
+    "Utils",
+    "Collections",
+    "Diagnostics",
+    "Security",
+    "Interop",
+    "Drawing",
+    "Controls",
+    "Widgets",
+    "Services",
+];
+
+/// A shared concept: a member name that recurs across many types with a
+/// consistent primitive type (giving the matching-name term real signal).
+#[derive(Debug, Clone, Copy)]
+pub struct Concept {
+    /// Member name.
+    pub name: &'static str,
+    /// The primitive type every occurrence uses.
+    pub prim: PrimKind,
+}
+
+/// The shared concept pool.
+pub const CONCEPTS: &[Concept] = &[
+    Concept {
+        name: "X",
+        prim: PrimKind::Double,
+    },
+    Concept {
+        name: "Y",
+        prim: PrimKind::Double,
+    },
+    Concept {
+        name: "Width",
+        prim: PrimKind::Int,
+    },
+    Concept {
+        name: "Height",
+        prim: PrimKind::Int,
+    },
+    Concept {
+        name: "Length",
+        prim: PrimKind::Double,
+    },
+    Concept {
+        name: "Count",
+        prim: PrimKind::Int,
+    },
+    Concept {
+        name: "Name",
+        prim: PrimKind::String,
+    },
+    Concept {
+        name: "Title",
+        prim: PrimKind::String,
+    },
+    Concept {
+        name: "Id",
+        prim: PrimKind::Int,
+    },
+    Concept {
+        name: "Value",
+        prim: PrimKind::Double,
+    },
+    Concept {
+        name: "Index",
+        prim: PrimKind::Int,
+    },
+    Concept {
+        name: "Opacity",
+        prim: PrimKind::Float,
+    },
+    Concept {
+        name: "Duration",
+        prim: PrimKind::Double,
+    },
+    Concept {
+        name: "Size",
+        prim: PrimKind::Long,
+    },
+];
+
+/// Deterministic, collision-avoiding name factory.
+#[derive(Debug, Default)]
+pub struct NameFactory {
+    used: std::collections::HashSet<String>,
+}
+
+impl NameFactory {
+    /// Creates an empty factory.
+    pub fn new() -> Self {
+        NameFactory::default()
+    }
+
+    /// A fresh UpperCamelCase type name.
+    pub fn type_name(&mut self, rng: &mut StdRng) -> String {
+        loop {
+            let a = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let b = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let name = if rng.gen_bool(0.45) {
+                a.to_string()
+            } else {
+                format!("{a}{b}")
+            };
+            if self.used.insert(format!("T:{name}")) {
+                return name;
+            }
+            // Disambiguate with a numeral when the word pool runs dry.
+            let name = format!("{a}{b}{}", rng.gen_range(2..99));
+            if self.used.insert(format!("T:{name}")) {
+                return name;
+            }
+        }
+    }
+
+    /// A method name, unique within the given type.
+    pub fn method_name(&mut self, rng: &mut StdRng, owner: &str) -> String {
+        loop {
+            let v = VERBS[rng.gen_range(0..VERBS.len())];
+            let n = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let name = format!("{v}{n}");
+            if self.used.insert(format!("M:{owner}:{name}")) {
+                return name;
+            }
+            let name = format!("{v}{n}{}", rng.gen_range(2..99));
+            if self.used.insert(format!("M:{owner}:{name}")) {
+                return name;
+            }
+        }
+    }
+
+    /// A (non-concept) field name, unique within the given type.
+    pub fn field_name(&mut self, rng: &mut StdRng, owner: &str) -> String {
+        loop {
+            let n = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let name = if rng.gen_bool(0.7) {
+                n.to_string()
+            } else {
+                format!("{}{n}", NOUNS[rng.gen_range(0..NOUNS.len())])
+            };
+            if self.used.insert(format!("F:{owner}:{name}")) {
+                return name;
+            }
+            let name = format!("{n}{}", rng.gen_range(2..99));
+            if self.used.insert(format!("F:{owner}:{name}")) {
+                return name;
+            }
+        }
+    }
+
+    /// Reserves a concept member name on a type; returns `false` if already
+    /// present there.
+    pub fn reserve_concept(&mut self, owner: &str, concept: &Concept) -> bool {
+        self.used.insert(format!("F:{owner}:{}", concept.name))
+    }
+
+    /// A camelCase local/parameter name.
+    pub fn local_name(rng: &mut StdRng, i: usize) -> String {
+        let n = NOUNS[rng.gen_range(0..NOUNS.len())];
+        let mut name: String = n.to_owned();
+        if let Some(first) = name.get_mut(0..1) {
+            let lower = first.to_ascii_lowercase();
+            name.replace_range(0..1, &lower);
+        }
+        format!("{name}{i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_unique_and_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut f1 = NameFactory::new();
+        let mut f2 = NameFactory::new();
+        let a: Vec<String> = (0..200).map(|_| f1.type_name(&mut rng1)).collect();
+        let b: Vec<String> = (0..200).map(|_| f2.type_name(&mut rng2)).collect();
+        assert_eq!(a, b, "same seed, same names");
+        let set: std::collections::HashSet<&String> = a.iter().collect();
+        assert_eq!(set.len(), a.len(), "no collisions");
+    }
+
+    #[test]
+    fn member_names_unique_per_owner() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = NameFactory::new();
+        let m1 = f.method_name(&mut rng, "A");
+        // Same name can appear on another type.
+        f.used.insert(format!("M:B:{m1}"));
+        let fields: Vec<String> = (0..100).map(|_| f.field_name(&mut rng, "A")).collect();
+        let set: std::collections::HashSet<&String> = fields.iter().collect();
+        assert_eq!(set.len(), fields.len());
+    }
+
+    #[test]
+    fn concepts_reserve_once() {
+        let mut f = NameFactory::new();
+        assert!(f.reserve_concept("A", &CONCEPTS[0]));
+        assert!(!f.reserve_concept("A", &CONCEPTS[0]));
+        assert!(f.reserve_concept("B", &CONCEPTS[0]));
+    }
+
+    #[test]
+    fn local_names_are_camel_case() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = NameFactory::local_name(&mut rng, 3);
+        assert!(n.chars().next().unwrap().is_ascii_lowercase());
+        assert!(n.ends_with('3'));
+    }
+}

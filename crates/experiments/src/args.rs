@@ -1,0 +1,171 @@
+//! Experiment 5.2 — predicting method arguments (Figures 13 and 14, and
+//! the Section 5.2 speed claim).
+//!
+//! For each argument of each call, the argument is replaced by `?` and the
+//! engine must regenerate the original expression. Arguments whose form the
+//! completer cannot generate (constants, computations) are "not guessable".
+
+use std::time::Instant;
+
+use pex_core::PartialExpr;
+use pex_model::{Expr, ExprKindName};
+
+use crate::extract::CallSite;
+use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::stats::{bar, pct, RankStats, TextTable};
+
+/// Outcome for one argument position of one call.
+#[derive(Debug, Clone)]
+pub struct ArgOutcome {
+    /// Index into the project list.
+    pub project: usize,
+    /// Syntactic class of the original argument (Figure 14).
+    pub kind: ExprKindName,
+    /// Rank of the original argument among the hole's completions
+    /// (`None` for not-guessable arguments or past-limit ranks).
+    pub rank: Option<usize>,
+    /// Whether the original argument was a bare local variable.
+    pub is_local: bool,
+    /// Wall-clock microseconds for the query (guessable arguments only).
+    pub micros: u128,
+}
+
+/// Runs the experiment over all projects.
+pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
+    let mut out = Vec::new();
+    for (pi, project) in projects.iter().enumerate() {
+        let sites = sample(&project.extracted.calls, cfg.max_sites);
+        for_each_site(
+            &project.db,
+            cfg.use_abs.then_some(&project.abs_cache),
+            &sites,
+            |c: &CallSite| (c.enclosing, c.stmt),
+            |site, ctx, abs| {
+                let db = &project.db;
+                for (i, arg) in site.args.iter().enumerate() {
+                    let kind = arg.kind_name(|m, argc| db.is_zero_arg_call(m, argc));
+                    let is_local = matches!(arg, Expr::Local(_));
+                    if kind == ExprKindName::NotGuessable {
+                        out.push(ArgOutcome {
+                            project: pi,
+                            kind,
+                            rank: None,
+                            is_local,
+                            micros: 0,
+                        });
+                        continue;
+                    }
+                    let comp = completer(project, ctx, abs, cfg, None);
+                    let args: Vec<PartialExpr> = site
+                        .args
+                        .iter()
+                        .enumerate()
+                        .map(|(j, a)| {
+                            if j == i {
+                                PartialExpr::Hole
+                            } else {
+                                PartialExpr::Known(a.clone())
+                            }
+                        })
+                        .collect();
+                    let query = PartialExpr::KnownCall {
+                        candidates: vec![site.target],
+                        args,
+                    };
+                    let original = Expr::Call(site.target, site.args.clone());
+                    let t0 = Instant::now();
+                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
+                    let micros = t0.elapsed().as_micros();
+                    out.push(ArgOutcome {
+                        project: pi,
+                        kind,
+                        rank,
+                        is_local,
+                        micros,
+                    });
+                }
+            },
+        );
+    }
+    out
+}
+
+/// Figure 13: rank CDF for guessable arguments, with and without the
+/// low-hanging fruit of bare local variables.
+pub fn render_fig13(outcomes: &[ArgOutcome]) -> String {
+    let guessable: Vec<&ArgOutcome> = outcomes
+        .iter()
+        .filter(|o| o.kind != ExprKindName::NotGuessable)
+        .collect();
+    let normal: RankStats = guessable.iter().map(|o| o.rank).collect();
+    let no_vars: RankStats = guessable
+        .iter()
+        .filter(|o| !o.is_local)
+        .map(|o| o.rank)
+        .collect();
+    let thresholds = [1usize, 2, 3, 5, 10, 20];
+    let mut table = TextTable::new(vec!["rank <=", "all guessable", "no variables", "(bar)"]);
+    for &k in &thresholds {
+        table.row(vec![
+            k.to_string(),
+            pct(normal.top(k)),
+            pct(no_vars.top(k)),
+            bar(normal.top(k), 30),
+        ]);
+    }
+    format!(
+        "Figure 13. Proportion of method arguments guessed with a given rank\n\
+         (n = {} guessable arguments, {} excluding locals)\n\n{}",
+        normal.len(),
+        no_vars.len(),
+        table.render()
+    )
+}
+
+/// Figure 14: distribution of argument expression forms.
+pub fn render_fig14(outcomes: &[ArgOutcome]) -> String {
+    let n = outcomes.len().max(1);
+    let mut table = TextTable::new(vec!["argument form", "count", "share", "(bar)"]);
+    for kind in ExprKindName::ALL {
+        let count = outcomes.iter().filter(|o| o.kind == kind).count();
+        table.row(vec![
+            kind.label().to_string(),
+            count.to_string(),
+            pct(count as f64 / n as f64),
+            bar(count as f64 / n as f64, 30),
+        ]);
+    }
+    format!(
+        "Figure 14. Distribution of argument expression forms (n = {} arguments)\n\n{}",
+        outcomes.len(),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::load_projects;
+
+    #[test]
+    fn argument_prediction_runs() {
+        let projects = load_projects(0.002);
+        let cfg = ExperimentConfig {
+            limit: 50,
+            max_sites: Some(5),
+            ..Default::default()
+        };
+        let outcomes = run(&projects, &cfg);
+        assert!(!outcomes.is_empty());
+        // Guessable local arguments should usually be recovered.
+        let locals: Vec<&ArgOutcome> = outcomes.iter().filter(|o| o.is_local).collect();
+        if !locals.is_empty() {
+            let found = locals.iter().filter(|o| o.rank.is_some()).count();
+            assert!(found * 3 >= locals.len() * 2, "{found}/{}", locals.len());
+        }
+        assert!(render_fig13(&outcomes).contains("no variables"));
+        let fig14 = render_fig14(&outcomes);
+        assert!(fig14.contains("local variable"));
+        assert!(fig14.contains("not guessable"));
+    }
+}

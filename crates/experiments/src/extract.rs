@@ -1,0 +1,202 @@
+//! Query-site extraction: the paper's methodology of taking existing
+//! expressions out of a codebase and turning them into queries.
+//!
+//! "We performed experiments where our tool found expressions in mature
+//! software projects, removed some information to make those expressions
+//! into partial expressions, and ran our algorithm on those partial
+//! expressions to see where the real expression ranks in the results."
+
+use pex_model::{Body, Context, Database, Expr, MethodId};
+
+/// A method-call occurrence in a body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The client method whose body contains the call.
+    pub enclosing: MethodId,
+    /// Statement index (the abstract-type cutoff point).
+    pub stmt: usize,
+    /// The called (intended) method.
+    pub target: MethodId,
+    /// Receiver-first argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// An assignment statement occurrence.
+#[derive(Debug, Clone)]
+pub struct AssignSite {
+    /// The client method whose body contains the assignment.
+    pub enclosing: MethodId,
+    /// Statement index.
+    pub stmt: usize,
+    /// The full assignment expression.
+    pub expr: Expr,
+}
+
+/// A comparison statement occurrence.
+#[derive(Debug, Clone)]
+pub struct CmpSite {
+    /// The client method whose body contains the comparison.
+    pub enclosing: MethodId,
+    /// Statement index.
+    pub stmt: usize,
+    /// The full comparison expression.
+    pub expr: Expr,
+}
+
+/// Everything extracted from one database.
+#[derive(Debug, Default)]
+pub struct Extracted {
+    /// All method calls (including nested ones).
+    pub calls: Vec<CallSite>,
+    /// All assignment statements.
+    pub assigns: Vec<AssignSite>,
+    /// All comparison statements.
+    pub cmps: Vec<CmpSite>,
+}
+
+/// Walks every body in the database and collects query sites. Statements
+/// nested in `if`/`while` blocks are visited too; their sites carry the
+/// enclosing *top-level* statement index, which is the abstract-type
+/// cutoff point.
+pub fn extract(db: &Database) -> Extracted {
+    let mut out = Extracted::default();
+    for m in db.methods() {
+        let Some(body) = db.method(m).body() else {
+            continue;
+        };
+        for (si, stmt) in body.stmts.iter().enumerate() {
+            for expr in stmt.exprs_recursive() {
+                collect_calls(m, si, expr, &mut out.calls);
+                match expr {
+                    Expr::Assign(..) => out.assigns.push(AssignSite {
+                        enclosing: m,
+                        stmt: si,
+                        expr: expr.clone(),
+                    }),
+                    Expr::Cmp(..) => out.cmps.push(CmpSite {
+                        enclosing: m,
+                        stmt: si,
+                        expr: expr.clone(),
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+fn collect_calls(m: MethodId, si: usize, e: &Expr, out: &mut Vec<CallSite>) {
+    if let Expr::Call(target, args) = e {
+        out.push(CallSite {
+            enclosing: m,
+            stmt: si,
+            target: *target,
+            args: args.clone(),
+        });
+    }
+    for child in e.children() {
+        collect_calls(m, si, child, out);
+    }
+}
+
+/// The context at a site (locals live before its statement).
+pub fn site_context(db: &Database, enclosing: MethodId, stmt: usize) -> Context {
+    let body = db.method(enclosing).body().expect("sites come from bodies");
+    Context::at_statement(db, enclosing, body, stmt)
+}
+
+/// The body of a site's enclosing method.
+pub fn site_body(db: &Database, enclosing: MethodId) -> &Body {
+    db.method(enclosing).body().expect("sites come from bodies")
+}
+
+/// Number of trailing instance field-lookup links on an expression
+/// (capped at `cap` for efficiency).
+pub fn trailing_lookups(db: &Database, e: &Expr, cap: usize) -> usize {
+    let mut n = 0;
+    let mut cur = e;
+    while n < cap {
+        match cur {
+            Expr::FieldAccess(base, f) if !db.field(*f).is_static() => {
+                n += 1;
+                cur = base;
+            }
+            _ => break,
+        }
+    }
+    n
+}
+
+/// Removes `k` trailing field lookups, returning the remaining base (which
+/// must still be a well-formed expression). Returns `None` if fewer than
+/// `k` trailing lookups exist or the base would be a bare static-field root
+/// stripped past its start.
+pub fn strip_lookups(db: &Database, e: &Expr, k: usize) -> Option<Expr> {
+    let mut cur = e.clone();
+    for _ in 0..k {
+        match cur {
+            Expr::FieldAccess(base, f) if !db.field(f).is_static() => {
+                cur = *base;
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pex_model::minics::compile;
+
+    fn db() -> Database {
+        compile(
+            r#"
+            namespace N {
+                struct Point { int X; int Y; }
+                class Line { N.Point P1; }
+                class Util {
+                    static int Add(int a, int b);
+                }
+                class Client {
+                    N.Line Ln;
+                    void M(N.Line ln, int k) {
+                        Util.Add(k, Util.Add(k, k));
+                        ln.P1.X = k;
+                        ln.P1.X >= this.Ln.P1.Y;
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_nested_calls_and_statements() {
+        let db = db();
+        let ex = extract(&db);
+        assert_eq!(ex.calls.len(), 2, "outer and nested Add");
+        assert_eq!(ex.assigns.len(), 1);
+        assert_eq!(ex.cmps.len(), 1);
+        let ctx = site_context(&db, ex.calls[0].enclosing, ex.calls[0].stmt);
+        assert_eq!(ctx.locals.len(), 2);
+    }
+
+    #[test]
+    fn trailing_lookup_counting_and_stripping() {
+        let db = db();
+        let ex = extract(&db);
+        let Expr::Assign(lhs, _) = &ex.assigns[0].expr else {
+            panic!()
+        };
+        // lhs = ln.P1.X : two trailing lookups.
+        assert_eq!(trailing_lookups(&db, lhs, 5), 2);
+        let stripped = strip_lookups(&db, lhs, 1).unwrap();
+        assert_eq!(trailing_lookups(&db, &stripped, 5), 1);
+        let base = strip_lookups(&db, lhs, 2).unwrap();
+        assert!(matches!(base, Expr::Local(_)));
+        assert!(strip_lookups(&db, lhs, 3).is_none());
+    }
+}

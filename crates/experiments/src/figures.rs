@@ -1,0 +1,138 @@
+//! Reproductions of the paper's worked examples: the ranked result lists of
+//! Figures 2, 3 and 4, run against the hand-written builtin corpora.
+
+use pex_abstract::AbsTypes;
+use pex_core::{Completer, MethodIndex, RankConfig};
+use pex_corpus::builtin;
+use pex_model::Expr;
+
+fn render_list(title: &str, query: &str, items: Vec<String>) -> String {
+    let mut out = format!("{title}\nQuery: {query}\n\n");
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(&format!("{:>3}. {item}\n", i + 1));
+    }
+    out
+}
+
+/// Figure 2: the top 10 results for `?({img, size})` on mini Paint.NET.
+pub fn render_fig2() -> String {
+    let db = builtin::paint_dot_net();
+    let (ctx, shrink) = builtin::paint_query_site(&db);
+    let abs = AbsTypes::for_query(&db, shrink, usize::MAX);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), Some(&abs));
+    let query = pex_core::parse_partial(&db, &ctx, "?({img, size})").expect("query parses");
+    let items = completer
+        .complete(&query, 10)
+        .iter()
+        .map(|c| format!("{}   (score {})", completer.render(c), c.score))
+        .collect();
+    render_list(
+        "Figure 2. Results for a method-name query on mini Paint.NET",
+        "?({img, size})",
+        items,
+    )
+}
+
+/// Figure 3: the top 10 fillers for `Distance(point, ?)` inside
+/// `EllipseArc`.
+pub fn render_fig3() -> String {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig3_context(&db);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+    let query = pex_core::parse_partial(&db, &ctx, "Distance(point, ?)").expect("query parses");
+    let items = completer
+        .complete(&query, 10)
+        .iter()
+        .map(|c| {
+            // Show just the hole's filler, as the paper does.
+            let filler = match &c.expr {
+                Expr::Call(_, args) => args.last().expect("Distance has two arguments"),
+                other => other,
+            };
+            format!(
+                "{}   (score {})",
+                pex_model::render_expr(&db, &ctx, filler, pex_model::CallStyle::Receiver),
+                c.score
+            )
+        })
+        .collect();
+    render_list(
+        "Figure 3. Fillers for the second argument of Distance inside EllipseArc",
+        "Distance(point, ?)",
+        items,
+    )
+}
+
+/// Figure 4: the top 10 completions for `point.?*m >= this.?*m` inside
+/// `Segment`.
+pub fn render_fig4() -> String {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig4_context(&db);
+    let index = MethodIndex::build(&db);
+    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+    let query = pex_core::parse_partial(&db, &ctx, "point.?*m >= this.?*m").expect("query parses");
+    let items = completer
+        .complete(&query, 10)
+        .iter()
+        .map(|c| format!("{}   (score {})", completer.render(c), c.score))
+        .collect();
+    render_list(
+        "Figure 4. Joint completion of both sides of a comparison inside Segment",
+        "point.?*m >= this.?*m",
+        items,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_ranks_resize_document_first() {
+        let out = render_fig2();
+        let first = out.lines().nth(3).expect("has results");
+        assert!(
+            first.contains("CanvasSizeAction.ResizeDocument(img, size, 0, 0)"),
+            "paper's #1 result must be first:\n{out}"
+        );
+        // The distractors from the paper's list appear somewhere in the top 10.
+        assert!(out.contains("Pair.Create"), "{out}");
+    }
+
+    #[test]
+    fn fig3_contains_paper_results() {
+        let out = render_fig3();
+        let first = out.lines().nth(3).expect("has results");
+        assert!(
+            first.contains("point"),
+            "the bare local ranks first:\n{out}"
+        );
+        assert!(out.contains("this.Center"), "{out}");
+        assert!(out.contains("DynamicGeometry.Math.InfinitePoint"), "{out}");
+        assert!(
+            out.contains("shapeStyle.GetSampleGlyph().RenderTransformOrigin"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn fig4_prefers_same_named_fields() {
+        let out = render_fig4();
+        // Same-name completions (X >= ... X) must dominate the top of the
+        // list; mixed-name pairs like X >= Length carry the +3 penalty.
+        let lines: Vec<&str> = out.lines().skip(3).take(4).collect();
+        for line in &lines {
+            assert!(
+                (line.contains(".X") && line.matches(".X").count() >= 2)
+                    || line.matches(".Y").count() >= 2,
+                "top results should pair same-named fields:\n{out}"
+            );
+        }
+        assert!(
+            out.contains("point.X >= this.P1.X") || out.contains("point.Y >= this.P1.Y"),
+            "{out}"
+        );
+    }
+}

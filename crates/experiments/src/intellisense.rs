@@ -1,0 +1,109 @@
+//! The paper's model of Visual Studio Intellisense (Section 5.1):
+//!
+//! "We modeled Intellisense as being given the receiver (or receiver type
+//! for static calls) and listing its members in alphabetic order.
+//! Intellisense knows which argument is the receiver but is not using
+//! knowledge of the arguments. It was considered to list only instance
+//! members for instance receivers and only static members for static
+//! receivers."
+
+use pex_model::{Context, Database, ValueTy};
+
+use crate::extract::CallSite;
+
+/// Alphabetical rank (0-based) of the intended method in the Intellisense
+/// member list, or `None` when the receiver's type cannot be determined.
+pub fn intellisense_rank(db: &Database, ctx: &Context, site: &CallSite) -> Option<usize> {
+    let md = db.method(site.target);
+    let mut names: Vec<&str> = if md.is_static() {
+        // Static call: list the static members of the declaring type.
+        let t = md.declaring();
+        let mut out: Vec<&str> = db
+            .methods_of(t)
+            .iter()
+            .filter(|m| db.method(**m).is_static())
+            .map(|m| db.method(*m).name())
+            .collect();
+        out.extend(
+            db.static_fields(t, ctx.enclosing_type)
+                .iter()
+                .map(|f| db.field(*f).name()),
+        );
+        out
+    } else {
+        // Instance call: list instance members of the receiver's static type.
+        let recv = site.args.first()?;
+        let recv_ty = match db.expr_ty(recv, ctx).ok()? {
+            ValueTy::Known(t) => t,
+            ValueTy::Wildcard => return None,
+        };
+        let mut out: Vec<&str> = Vec::new();
+        for owner in db.member_lookup_chain(recv_ty) {
+            for m in db.methods_of(owner) {
+                let cd = db.method(*m);
+                if !cd.is_static() && db.accessible(cd.visibility(), owner, ctx.enclosing_type) {
+                    out.push(cd.name());
+                }
+            }
+        }
+        out.extend(
+            db.instance_fields(recv_ty, ctx.enclosing_type)
+                .iter()
+                .map(|f| db.field(*f).name()),
+        );
+        out
+    };
+    names.sort_unstable();
+    names.dedup();
+    let target = db.method(site.target).name();
+    names.iter().position(|n| *n == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, site_context};
+    use pex_model::minics::compile;
+
+    #[test]
+    fn alphabetical_rank_of_members() {
+        let db = compile(
+            r#"
+            namespace N {
+                class Box {
+                    void Alpha();
+                    void Mid();
+                    void Zoo();
+                    int Beta;
+                    static void SAlpha();
+                    static void SZoo();
+                }
+                class Client {
+                    void M(N.Box b) {
+                        b.Mid();
+                        N.Box.SZoo();
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let ex = extract(&db);
+        // Instance: members sorted [Alpha, Beta, Mid, Zoo] -> Mid at 2.
+        let inst = ex
+            .calls
+            .iter()
+            .find(|c| db.method(c.target).name() == "Mid")
+            .unwrap();
+        let ctx = site_context(&db, inst.enclosing, inst.stmt);
+        assert_eq!(intellisense_rank(&db, &ctx, inst), Some(2));
+        // Static: members sorted [SAlpha, SZoo] -> SZoo at 1.
+        let stat = ex
+            .calls
+            .iter()
+            .find(|c| db.method(c.target).name() == "SZoo")
+            .unwrap();
+        let ctx = site_context(&db, stat.enclosing, stat.stmt);
+        assert_eq!(intellisense_rank(&db, &ctx, stat), Some(1));
+    }
+}

@@ -1,0 +1,279 @@
+//! Experiment 5.3 — predicting field lookups in assignments and
+//! comparisons (Figures 15 and 16, and the Section 5.3 speed claim).
+//!
+//! Final field lookups are removed from one or both sides; `.?m` (for
+//! assignments) or `.?m.?m` (for comparisons) is appended to **both** sides
+//! and the engine must regenerate the original expression.
+
+use std::time::Instant;
+
+use pex_core::{PartialExpr, SuffixKind};
+use pex_model::Expr;
+
+use crate::extract::{strip_lookups, trailing_lookups};
+use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::stats::{pct, RankStats, TextTable};
+
+/// Which side(s) of an assignment lost a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignCase {
+    /// Lookup removed from the target (left) side.
+    Target,
+    /// Lookup removed from the source (right) side.
+    Source,
+    /// Lookup removed from both sides.
+    Both,
+}
+
+/// Which side(s) of a comparison lost lookups, and how many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpCase {
+    /// One lookup removed from the left side.
+    Left,
+    /// One lookup removed from the right side.
+    Right,
+    /// One lookup removed from each side.
+    Both,
+    /// Two lookups removed from the left side.
+    TwoLeft,
+    /// Two lookups removed from the right side.
+    TwoRight,
+}
+
+impl CmpCase {
+    /// Row label matching the paper's Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            CmpCase::Left => "Left",
+            CmpCase::Right => "Right",
+            CmpCase::Both => "Both",
+            CmpCase::TwoLeft => "2xLeft",
+            CmpCase::TwoRight => "2xRight",
+        }
+    }
+}
+
+/// Outcome of one lookup-removal query.
+#[derive(Debug, Clone)]
+pub struct AssignOutcome {
+    /// Index into the project list.
+    pub project: usize,
+    /// Which side(s) were stripped.
+    pub case: AssignCase,
+    /// Rank of the original assignment, if found within the limit.
+    pub rank: Option<usize>,
+    /// Wall-clock microseconds for the query.
+    pub micros: u128,
+}
+
+/// Outcome of one comparison lookup-removal query.
+#[derive(Debug, Clone)]
+pub struct CmpOutcome {
+    /// Index into the project list.
+    pub project: usize,
+    /// Which side(s) were stripped, and how deep.
+    pub case: CmpCase,
+    /// Rank of the original comparison, if found within the limit.
+    pub rank: Option<usize>,
+    /// Wall-clock microseconds for the query.
+    pub micros: u128,
+}
+
+fn m_suffix(base: Expr, layers: usize) -> PartialExpr {
+    let mut pe = PartialExpr::Known(base);
+    for _ in 0..layers {
+        pe = PartialExpr::suffix(pe, SuffixKind::Method);
+    }
+    pe
+}
+
+/// Runs both halves of the experiment.
+pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>, Vec<CmpOutcome>) {
+    let mut assigns = Vec::new();
+    let mut cmps = Vec::new();
+    for (pi, project) in projects.iter().enumerate() {
+        let asites = sample(&project.extracted.assigns, cfg.max_sites);
+        for_each_site(
+            &project.db,
+            cfg.use_abs.then_some(&project.abs_cache),
+            &asites,
+            |s| (s.enclosing, s.stmt),
+            |site, ctx, abs| {
+                let db = &project.db;
+                let Expr::Assign(lhs, rhs) = &site.expr else {
+                    return;
+                };
+                let l = trailing_lookups(db, lhs, 1);
+                let r = trailing_lookups(db, rhs, 1);
+                let mut cases = Vec::new();
+                if l >= 1 {
+                    cases.push((AssignCase::Target, 1usize, 0usize));
+                }
+                if r >= 1 {
+                    cases.push((AssignCase::Source, 0, 1));
+                }
+                if l >= 1 && r >= 1 {
+                    cases.push((AssignCase::Both, 1, 1));
+                }
+                for (case, sl, sr) in cases {
+                    let (Some(lb), Some(rb)) =
+                        (strip_lookups(db, lhs, sl), strip_lookups(db, rhs, sr))
+                    else {
+                        continue;
+                    };
+                    // `.?m` appended to both sides (paper Section 5.3).
+                    let query = PartialExpr::assign(m_suffix(lb, 1), m_suffix(rb, 1));
+                    let comp = completer(project, ctx, abs, cfg, None);
+                    let t0 = Instant::now();
+                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    assigns.push(AssignOutcome {
+                        project: pi,
+                        case,
+                        rank,
+                        micros: t0.elapsed().as_micros(),
+                    });
+                }
+            },
+        );
+
+        let csites = sample(&project.extracted.cmps, cfg.max_sites);
+        for_each_site(
+            &project.db,
+            cfg.use_abs.then_some(&project.abs_cache),
+            &csites,
+            |s| (s.enclosing, s.stmt),
+            |site, ctx, abs| {
+                let db = &project.db;
+                let Expr::Cmp(op, lhs, rhs) = &site.expr else {
+                    return;
+                };
+                let l = trailing_lookups(db, lhs, 2);
+                let r = trailing_lookups(db, rhs, 2);
+                let mut cases = Vec::new();
+                if l >= 1 {
+                    cases.push((CmpCase::Left, 1usize, 0usize));
+                }
+                if r >= 1 {
+                    cases.push((CmpCase::Right, 0, 1));
+                }
+                if l >= 1 && r >= 1 {
+                    cases.push((CmpCase::Both, 1, 1));
+                }
+                if l >= 2 {
+                    cases.push((CmpCase::TwoLeft, 2, 0));
+                }
+                if r >= 2 {
+                    cases.push((CmpCase::TwoRight, 0, 2));
+                }
+                for (case, sl, sr) in cases {
+                    let (Some(lb), Some(rb)) =
+                        (strip_lookups(db, lhs, sl), strip_lookups(db, rhs, sr))
+                    else {
+                        continue;
+                    };
+                    // `.?m.?m` appended to both sides (paper Section 5.3).
+                    let query = PartialExpr::cmp(*op, m_suffix(lb, 2), m_suffix(rb, 2));
+                    let comp = completer(project, ctx, abs, cfg, None);
+                    let t0 = Instant::now();
+                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    cmps.push(CmpOutcome {
+                        project: pi,
+                        case,
+                        rank,
+                        micros: t0.elapsed().as_micros(),
+                    });
+                }
+            },
+        );
+    }
+    (assigns, cmps)
+}
+
+fn cdf_table<C: Copy + PartialEq>(cases: &[(C, &str)], get: impl Fn(C) -> RankStats) -> TextTable {
+    let thresholds = [1usize, 5, 10, 20];
+    let mut headers = vec!["case".to_string(), "n".to_string()];
+    headers.extend(thresholds.iter().map(|k| format!("top {k}")));
+    let mut table = TextTable::new(headers);
+    for &(case, label) in cases {
+        let stats = get(case);
+        let mut row = vec![label.to_string(), stats.len().to_string()];
+        row.extend(thresholds.iter().map(|&k| pct(stats.top(k))));
+        table.row(row);
+    }
+    table
+}
+
+/// Figure 15: assignments with lookups removed.
+pub fn render_fig15(outcomes: &[AssignOutcome]) -> String {
+    let table = cdf_table(
+        &[
+            (AssignCase::Target, "Target"),
+            (AssignCase::Source, "Source"),
+            (AssignCase::Both, "Both"),
+        ],
+        |case| {
+            outcomes
+                .iter()
+                .filter(|o| o.case == case)
+                .map(|o| o.rank)
+                .collect()
+        },
+    );
+    format!(
+        "Figure 15. Assignments: rank of the original after removing final lookups\n\n{}",
+        table.render()
+    )
+}
+
+/// Figure 16: comparisons with lookups removed.
+pub fn render_fig16(outcomes: &[CmpOutcome]) -> String {
+    let table = cdf_table(
+        &[
+            (CmpCase::Left, "Left"),
+            (CmpCase::Right, "Right"),
+            (CmpCase::Both, "Both"),
+            (CmpCase::TwoLeft, "2xLeft"),
+            (CmpCase::TwoRight, "2xRight"),
+        ],
+        |case| {
+            outcomes
+                .iter()
+                .filter(|o| o.case == case)
+                .map(|o| o.rank)
+                .collect()
+        },
+    );
+    format!(
+        "Figure 16. Comparisons: rank of the original after removing final lookups\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::load_projects;
+
+    #[test]
+    fn lookup_experiments_run() {
+        let projects = load_projects(0.003);
+        let cfg = ExperimentConfig {
+            limit: 50,
+            max_sites: Some(8),
+            ..Default::default()
+        };
+        let (assigns, cmps) = run(&projects, &cfg);
+        assert!(!assigns.is_empty(), "expected assignment sites");
+        // Assignments in the corpus always target a field, so Target cases
+        // must exist and often succeed.
+        let target: Vec<&AssignOutcome> = assigns
+            .iter()
+            .filter(|o| o.case == AssignCase::Target)
+            .collect();
+        assert!(!target.is_empty());
+        let found = target.iter().filter(|o| o.rank.is_some()).count();
+        assert!(found > 0, "at least some targets re-found");
+        assert!(render_fig15(&assigns).contains("Target"));
+        assert!(render_fig16(&cmps).contains("2xRight"));
+    }
+}

@@ -1,0 +1,304 @@
+//! `pex-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! pex-experiments <command> [--scale S] [--limit N] [--max-sites N]
+//!                           [--t2-max-sites N] [--no-abs] [--out DIR]
+//!
+//! commands:
+//!   all       everything below, in order
+//!   examples  Figures 2-4 (worked examples on the builtin corpora)
+//!   table1    Table 1 (method-name prediction per project)
+//!   fig9      rank CDF, overall / instance / static
+//!   fig10     arguments needed, by call arity
+//!   fig11     rank difference vs the Intellisense model
+//!   fig12     same, knowing the return type
+//!   fig13     argument-prediction rank CDF
+//!   fig14     argument expression-form distribution
+//!   fig15     assignment lookup removal
+//!   fig16     comparison lookup removal
+//!   table2    ranking-term sensitivity (15 configurations)
+//!   speed     query latency vs the paper's interactive thresholds
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use pex_experiments::{
+    args as args_exp, baselines, figures, lookups, methods, scaling, sensitivity, speed,
+    ExperimentConfig,
+};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        print!("{}", HELP);
+        return;
+    }
+    let command = argv[0].clone();
+    let mut cfg = ExperimentConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut t2_max_sites: Option<usize> = Some(12);
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut take_value = || -> String {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--scale" => cfg.scale = take_value().parse().expect("--scale takes a float"),
+            "--limit" => cfg.limit = take_value().parse().expect("--limit takes an integer"),
+            "--max-sites" => {
+                cfg.max_sites = Some(take_value().parse().expect("--max-sites takes an integer"))
+            }
+            "--t2-max-sites" => {
+                t2_max_sites = Some(
+                    take_value()
+                        .parse()
+                        .expect("--t2-max-sites takes an integer"),
+                )
+            }
+            "--no-abs" => cfg.use_abs = false,
+            "--three-args" => cfg.max_subset = 3,
+            "--out" => out_dir = Some(PathBuf::from(take_value())),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let sections: std::cell::RefCell<Vec<(String, String)>> = std::cell::RefCell::new(Vec::new());
+    let emit = |name: &str, content: String| {
+        println!("{content}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            let path = dir.join(format!("{name}.txt"));
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(content.as_bytes()).expect("write output file");
+            eprintln!("wrote {}", path.display());
+        }
+        sections.borrow_mut().push((name.to_owned(), content));
+    };
+
+    let wants = |what: &str| command == what || command == "all";
+
+    if command == "dump" {
+        // Write each generated project back out as mini-C# source.
+        let projects = pex_experiments::load_projects(cfg.scale);
+        let dir = out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("corpus-dump"));
+        std::fs::create_dir_all(&dir).expect("create dump directory");
+        for p in &projects {
+            let source = pex_experiments::harness::dump_project(p);
+            let path = dir.join(format!("{}.mcs", p.name.replace([' ', '.'], "_")));
+            std::fs::write(&path, source).expect("write project source");
+            eprintln!("wrote {}", path.display());
+        }
+        return;
+    }
+
+    if wants("examples") {
+        emit("fig2", figures::render_fig2());
+        emit("fig3", figures::render_fig3());
+        emit("fig4", figures::render_fig4());
+        if command == "examples" {
+            return;
+        }
+    }
+
+    let needs_corpus = [
+        "table1",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "table2",
+        "speed",
+        "baselines",
+        "scaling",
+        "all",
+        "dump",
+    ]
+    .contains(&command.as_str());
+    if !needs_corpus {
+        eprintln!("unknown command `{command}`\n");
+        print!("{HELP}");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "generating the 7 Table 1 projects at scale {} (use --scale to change)...",
+        cfg.scale
+    );
+    let projects = pex_experiments::load_projects(cfg.scale);
+    for p in &projects {
+        eprintln!(
+            "  {:<12} {:>5} methods, {:>5} calls, {:>4} assignments, {:>4} comparisons",
+            p.name,
+            p.db.method_count(),
+            p.extracted.calls.len(),
+            p.extracted.assigns.len(),
+            p.extracted.cmps.len(),
+        );
+    }
+
+    let methods_needed = ["table1", "fig9", "fig10", "fig11", "fig12", "speed"]
+        .iter()
+        .any(|c| wants(c));
+    let method_outcomes = if methods_needed {
+        eprintln!("running experiment 5.1 (method names)...");
+        methods::run(&projects, &cfg)
+    } else {
+        Vec::new()
+    };
+    if wants("table1") {
+        emit(
+            "table1",
+            methods::render_table1(&projects, &method_outcomes),
+        );
+    }
+    if wants("fig9") {
+        emit("fig9", methods::render_fig9(&method_outcomes));
+    }
+    if wants("fig10") {
+        emit("fig10", methods::render_fig10(&method_outcomes));
+    }
+    if wants("fig11") {
+        emit("fig11", methods::render_fig11(&method_outcomes));
+    }
+    if wants("fig12") {
+        emit("fig12", methods::render_fig12(&method_outcomes));
+    }
+
+    let args_needed = ["fig13", "fig14", "speed"].iter().any(|c| wants(c));
+    let arg_outcomes = if args_needed {
+        eprintln!("running experiment 5.2 (method arguments)...");
+        args_exp::run(&projects, &cfg)
+    } else {
+        Vec::new()
+    };
+    if wants("fig13") {
+        emit("fig13", args_exp::render_fig13(&arg_outcomes));
+    }
+    if wants("fig14") {
+        emit("fig14", args_exp::render_fig14(&arg_outcomes));
+    }
+
+    let lookups_needed = ["fig15", "fig16", "speed"].iter().any(|c| wants(c));
+    let (assign_outcomes, cmp_outcomes) = if lookups_needed {
+        eprintln!("running experiment 5.3 (field lookups)...");
+        lookups::run(&projects, &cfg)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    if wants("fig15") {
+        emit("fig15", lookups::render_fig15(&assign_outcomes));
+    }
+    if wants("fig16") {
+        emit("fig16", lookups::render_fig16(&cmp_outcomes));
+    }
+
+    if wants("speed") {
+        let rows = vec![
+            speed::SpeedRow::new(
+                "methods (best query)",
+                method_outcomes.iter().map(|o| o.micros),
+            ),
+            speed::SpeedRow::new("arguments", arg_outcomes.iter().map(|o| o.micros)),
+            speed::SpeedRow::new(
+                "lookups",
+                assign_outcomes
+                    .iter()
+                    .map(|o| o.micros)
+                    .chain(cmp_outcomes.iter().map(|o| o.micros)),
+            ),
+        ];
+        emit("speed", speed::render_speed(&rows));
+    }
+
+    if wants("baselines") {
+        eprintln!("running the Prospector-style baseline comparison...");
+        let bl_cfg = ExperimentConfig {
+            max_sites: cfg.max_sites.or(Some(60)),
+            ..cfg.clone()
+        };
+        let outcomes = baselines::run(&projects, &bl_cfg);
+        emit("baselines", baselines::render(&outcomes));
+    }
+
+    if command == "scaling" {
+        eprintln!("running the scaling study (Paint.NET profile)...");
+        let points = scaling::run(&[0.01, 0.05, 0.15, 0.4], &cfg);
+        emit("scaling", scaling::render(&points));
+    }
+
+    if wants("table2") {
+        eprintln!(
+            "running experiment 5.4 (sensitivity, 15 configurations, {} sites/project)...",
+            t2_max_sites
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "all".into())
+        );
+        let t2_cfg = ExperimentConfig {
+            max_sites: t2_max_sites,
+            ..cfg.clone()
+        };
+        let rows = sensitivity::run(&projects, &t2_cfg);
+        emit("table2", sensitivity::render_table2(&rows));
+    }
+
+    // A combined report for `all --out DIR`.
+    if command == "all" {
+        if let Some(dir) = &out_dir {
+            let mut report = String::from(
+                "# pex evaluation report\n\nRegenerated tables and figures of\n\
+                 'Type-Directed Completion of Partial Expressions' (PLDI 2012).\n",
+            );
+            report.push_str(&format!(
+                "\nConfiguration: scale {}, limit {}, abstract types {}.\n",
+                cfg.scale,
+                cfg.limit,
+                if cfg.use_abs { "on" } else { "off" }
+            ));
+            for (name, content) in sections.borrow().iter() {
+                report.push_str(&format!("\n---\n\n## {name}\n\n```text\n{content}\n```\n"));
+            }
+            let path = dir.join("REPORT.md");
+            std::fs::write(&path, report).expect("write combined report");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+const HELP: &str = "\
+pex-experiments -- regenerate the tables and figures of
+'Type-Directed Completion of Partial Expressions' (PLDI 2012)
+
+USAGE:
+    pex-experiments <command> [flags]
+
+COMMANDS:
+    all | examples | table1 | fig9 | fig10 | fig11 | fig12 |
+    fig13 | fig14 | fig15 | fig16 | table2 | speed | baselines
+    scaling            query latency vs corpus scale (not part of `all`)
+    dump               write the generated projects as mini-C# source
+
+FLAGS:
+    --scale S          corpus scale relative to the paper (default 0.02)
+    --limit N          rank search limit (default 100)
+    --max-sites N      cap sites per project per experiment
+    --t2-max-sites N   cap sites per project for Table 2 (default 12)
+    --no-abs           disable abstract-type inference
+    --three-args       also measure 3-argument subsets (fig10 extra column)
+    --out DIR          also write each artefact to DIR/<name>.txt
+";

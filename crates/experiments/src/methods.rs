@@ -1,0 +1,364 @@
+//! Experiment 5.1 — predicting method names (Table 1, Figures 9-12, and
+//! the Section 5.1 speed claim).
+//!
+//! For every call with at least two arguments (receiver included), every
+//! subset of one or two arguments becomes a `?({...})` query; the outcome
+//! is the best rank of the intended method across those queries.
+
+use std::time::Instant;
+
+use pex_core::{Completion, PartialExpr};
+use pex_model::Expr;
+
+use crate::extract::CallSite;
+use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::intellisense::intellisense_rank;
+use crate::stats::{bar, pct, RankStats, TextTable};
+
+/// Outcome of the best-subset search for one call.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// Index into the project list.
+    pub project: usize,
+    /// Whether the intended method is static.
+    pub is_static: bool,
+    /// Total arguments of the intended call (receiver included).
+    pub full_arity: usize,
+    /// Best rank over all 1- and 2-argument subsets (0-based).
+    pub best: Option<usize>,
+    /// Best rank over 1-argument subsets only.
+    pub best_1arg: Option<usize>,
+    /// Best rank over subsets of up to 3 arguments (only measured when
+    /// [`ExperimentConfig::max_subset`] is at least 3).
+    pub best_3arg: Option<usize>,
+    /// Best rank when the engine additionally knows the return type.
+    pub best_ret: Option<usize>,
+    /// Alphabetical Intellisense rank of the intended method.
+    pub alpha: Option<usize>,
+    /// Wall-clock microseconds of the best-ranked query.
+    pub micros: u128,
+}
+
+/// All index subsets of `0..n` with 1 to `max` elements, smaller first.
+fn subsets(n: usize, max: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(vec![i]);
+    }
+    if max >= 2 {
+        for i in 0..n {
+            for j in i + 1..n {
+                out.push(vec![i, j]);
+            }
+        }
+    }
+    if max >= 3 {
+        for i in 0..n {
+            for j in i + 1..n {
+                for k in j + 1..n {
+                    out.push(vec![i, j, k]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the experiment over all projects.
+pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
+    let mut out = Vec::new();
+    for (pi, project) in projects.iter().enumerate() {
+        let sites: Vec<CallSite> = project
+            .extracted
+            .calls
+            .iter()
+            .filter(|c| c.args.len() >= 2)
+            .cloned()
+            .collect();
+        let sites = sample(&sites, cfg.max_sites);
+        for_each_site(
+            &project.db,
+            cfg.use_abs.then_some(&project.abs_cache),
+            &sites,
+            |c| (c.enclosing, c.stmt),
+            |site, ctx, abs| {
+                let comp = completer(project, ctx, abs, cfg, None);
+                let md = project.db.method(site.target);
+                let ret = md.return_type();
+                let comp_ret = completer(project, ctx, abs, cfg, Some(ret));
+                let target = site.target;
+                let pred = move |c: &Completion| matches!(c.expr, Expr::Call(m, _) if m == target);
+
+                let mut best: Option<usize> = None;
+                let mut best_1arg: Option<usize> = None;
+                let mut best_3arg: Option<usize> = None;
+                let mut best_ret: Option<usize> = None;
+                let mut best_micros: u128 = 0;
+                for subset in subsets(site.args.len(), cfg.max_subset) {
+                    let query = PartialExpr::UnknownCall(
+                        subset
+                            .iter()
+                            .map(|&i| PartialExpr::Known(site.args[i].clone()))
+                            .collect(),
+                    );
+                    let t0 = Instant::now();
+                    let rank = comp.rank_of(&query, cfg.limit, pred);
+                    let micros = t0.elapsed().as_micros();
+                    if rank.is_some() && (best_3arg.is_none() || rank < best_3arg) {
+                        best_3arg = rank;
+                    }
+                    if subset.len() <= 2 && rank.is_some() && (best.is_none() || rank < best) {
+                        best = rank;
+                        best_micros = micros;
+                    }
+                    if subset.len() == 1
+                        && rank.is_some()
+                        && (best_1arg.is_none() || rank < best_1arg)
+                    {
+                        best_1arg = rank;
+                    }
+                    let rrank = comp_ret.rank_of(&query, cfg.limit, pred);
+                    if rrank.is_some() && (best_ret.is_none() || rrank < best_ret) {
+                        best_ret = rrank;
+                    }
+                    if best == Some(0) && best_ret == Some(0) && best_1arg.is_some() {
+                        break; // cannot improve further
+                    }
+                }
+                out.push(CallOutcome {
+                    project: pi,
+                    is_static: md.is_static(),
+                    full_arity: site.args.len(),
+                    best,
+                    best_1arg,
+                    best_3arg: if cfg.max_subset >= 3 { best_3arg } else { None },
+                    best_ret,
+                    alpha: intellisense_rank(&project.db, ctx, site),
+                    micros: best_micros,
+                });
+            },
+        );
+    }
+    out
+}
+
+/// Table 1: per-project call counts and top-10 / top-10..20 counts.
+pub fn render_table1(projects: &[Project], outcomes: &[CallOutcome]) -> String {
+    let mut table = TextTable::new(vec!["Program", "# calls", "# top 10", "# top 10..20"]);
+    let (mut tc, mut t10, mut t20) = (0usize, 0usize, 0usize);
+    for (pi, project) in projects.iter().enumerate() {
+        let ranks: RankStats = outcomes
+            .iter()
+            .filter(|o| o.project == pi)
+            .map(|o| o.best)
+            .collect();
+        let top10 = ranks.count_top(10);
+        let top20 = ranks.count_top(20) - top10;
+        table.row(vec![
+            project.name.to_string(),
+            ranks.len().to_string(),
+            top10.to_string(),
+            top20.to_string(),
+        ]);
+        tc += ranks.len();
+        t10 += top10;
+        t20 += top20;
+    }
+    let all: RankStats = outcomes.iter().map(|o| o.best).collect();
+    table.row(vec![
+        "Totals".to_string(),
+        tc.to_string(),
+        format!("{} ({})", t10, pct(all.top(10))),
+        format!("{} ({})", t20, pct(all.top(20) - all.top(10))),
+    ]);
+    format!(
+        "Table 1. Summary of quality of best results for each call\n\n{}",
+        table.render()
+    )
+}
+
+/// Figure 9: CDF of the best rank, overall and split by call kind.
+pub fn render_fig9(outcomes: &[CallOutcome]) -> String {
+    let all: RankStats = outcomes.iter().map(|o| o.best).collect();
+    let inst: RankStats = outcomes
+        .iter()
+        .filter(|o| !o.is_static)
+        .map(|o| o.best)
+        .collect();
+    let stat: RankStats = outcomes
+        .iter()
+        .filter(|o| o.is_static)
+        .map(|o| o.best)
+        .collect();
+    let thresholds = [1usize, 2, 3, 5, 10, 15, 20, 30];
+    let mut table = TextTable::new(vec!["rank <=", "all", "instance", "static", "all (bar)"]);
+    for &k in &thresholds {
+        table.row(vec![
+            k.to_string(),
+            pct(all.top(k)),
+            pct(inst.top(k)),
+            pct(stat.top(k)),
+            bar(all.top(k), 30),
+        ]);
+    }
+    format!(
+        "Figure 9. Proportion of calls of each type with the best rank at least the given value\n\
+         (n = {} calls: {} instance, {} static)\n\n{}",
+        all.len(),
+        inst.len(),
+        stat.len(),
+        table.render()
+    )
+}
+
+/// Figure 10: how many arguments the query needs, by call arity. When the
+/// run measured 3-argument subsets, a third column reproduces the paper's
+/// remark that "adding a third argument leads to only negligible
+/// improvement".
+pub fn render_fig10(outcomes: &[CallOutcome]) -> String {
+    let has_three = outcomes.iter().any(|o| o.best_3arg.is_some());
+    let mut headers = vec![
+        "call arity",
+        "# calls",
+        "top20 w/ 1 arg",
+        "top20 w/ <=2 args",
+    ];
+    if has_three {
+        headers.push("top20 w/ <=3 args");
+    }
+    let mut table = TextTable::new(headers);
+    let max_arity = outcomes.iter().map(|o| o.full_arity).max().unwrap_or(2);
+    for arity in 2..=max_arity.min(10) {
+        let of_arity: Vec<&CallOutcome> =
+            outcomes.iter().filter(|o| o.full_arity == arity).collect();
+        if of_arity.is_empty() {
+            continue;
+        }
+        let one: RankStats = of_arity.iter().map(|o| o.best_1arg).collect();
+        let two: RankStats = of_arity.iter().map(|o| o.best).collect();
+        let mut row = vec![
+            arity.to_string(),
+            of_arity.len().to_string(),
+            pct(one.top(20)),
+            pct(two.top(20)),
+        ];
+        if has_three {
+            let three: RankStats = of_arity.iter().map(|o| o.best_3arg).collect();
+            row.push(pct(three.top(20)));
+        }
+        table.row(row);
+    }
+    format!(
+        "Figure 10. Calls guessable (top 20) by argument-subset size, by arity\n\n{}",
+        table.render()
+    )
+}
+
+fn diff_histogram(pairs: &[(usize, usize)]) -> TextTable {
+    let buckets: [(&str, i64, i64); 7] = [
+        ("<= -20 (ours much better)", i64::MIN, -20),
+        ("-19 .. -10", -19, -10),
+        ("-9 .. -1", -9, -1),
+        ("0", 0, 0),
+        ("1 .. 9", 1, 9),
+        ("10 .. 19", 10, 19),
+        (">= 20 (Intellisense better)", 20, i64::MAX),
+    ];
+    let mut table = TextTable::new(vec!["rank difference (ours - IS)", "calls", "share"]);
+    let n = pairs.len().max(1);
+    for (label, lo, hi) in buckets {
+        let count = pairs
+            .iter()
+            .filter(|(ours, alpha)| {
+                let d = *ours as i64 - *alpha as i64;
+                d >= lo && d <= hi
+            })
+            .count();
+        table.row(vec![
+            label.to_string(),
+            count.to_string(),
+            pct(count as f64 / n as f64),
+        ]);
+    }
+    table
+}
+
+/// Figure 11: rank difference between our best query and the Intellisense
+/// model (negative = we rank the intended method higher).
+pub fn render_fig11(outcomes: &[CallOutcome]) -> String {
+    let pairs: Vec<(usize, usize)> = outcomes
+        .iter()
+        .filter_map(|o| Some((o.best?, o.alpha?)))
+        .collect();
+    format!(
+        "Figure 11. Difference in rank between our algorithm and Intellisense\n\
+         (n = {} calls where both produced the intended method)\n\n{}",
+        pairs.len(),
+        diff_histogram(&pairs).render()
+    )
+}
+
+/// Figure 12: the same comparison when our engine filters by the known
+/// return type.
+pub fn render_fig12(outcomes: &[CallOutcome]) -> String {
+    let pairs: Vec<(usize, usize)> = outcomes
+        .iter()
+        .filter_map(|o| Some((o.best_ret?, o.alpha?)))
+        .collect();
+    format!(
+        "Figure 12. Rank difference vs Intellisense, filtering by the correct return type\n\
+         (n = {} calls)\n\n{}",
+        pairs.len(),
+        diff_histogram(&pairs).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::load_projects;
+
+    fn tiny() -> (Vec<Project>, Vec<CallOutcome>) {
+        let projects = load_projects(0.002);
+        let cfg = ExperimentConfig {
+            limit: 50,
+            max_sites: Some(5),
+            ..Default::default()
+        };
+        let outcomes = run(&projects, &cfg);
+        (projects, outcomes)
+    }
+
+    #[test]
+    fn subsets_enumerate_singles_and_pairs() {
+        assert_eq!(subsets(2, 2), vec![vec![0], vec![1], vec![0, 1]]);
+        assert_eq!(subsets(3, 2).len(), 3 + 3);
+        assert_eq!(subsets(3, 3).len(), 3 + 3 + 1);
+        assert_eq!(subsets(4, 3).len(), 4 + 6 + 4);
+        assert!(subsets(1, 2).len() == 1);
+        assert_eq!(subsets(3, 1).len(), 3);
+    }
+
+    #[test]
+    fn experiment_produces_outcomes_and_tables() {
+        let (projects, outcomes) = tiny();
+        assert!(!outcomes.is_empty());
+        // Most calls should be findable: these are real calls from the
+        // corpus, so at least *some* subset ranks them.
+        let found = outcomes.iter().filter(|o| o.best.is_some()).count();
+        assert!(found * 2 >= outcomes.len(), "{found}/{}", outcomes.len());
+        // Return-type filtering never hurts the rank.
+        for o in &outcomes {
+            if let (Some(b), Some(r)) = (o.best, o.best_ret) {
+                assert!(r <= b, "filtering must improve or preserve rank: {o:?}");
+            }
+        }
+        let t1 = render_table1(&projects, &outcomes);
+        assert!(t1.contains("Paint.NET"));
+        assert!(t1.contains("Totals"));
+        assert!(render_fig9(&outcomes).contains("instance"));
+        assert!(render_fig10(&outcomes).contains("call arity"));
+        assert!(render_fig11(&outcomes).contains("rank difference"));
+        assert!(render_fig12(&outcomes).contains("return type"));
+    }
+}

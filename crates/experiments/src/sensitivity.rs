@@ -1,0 +1,200 @@
+//! Experiment 5.4 — sensitivity analysis of the ranking function
+//! (Table 2): every experiment re-run under 15 ranking configurations,
+//! reporting the proportion of correct answers in the top 20.
+
+use pex_core::RankConfig;
+use pex_model::ExprKindName;
+
+use crate::harness::{ExperimentConfig, Project};
+use crate::lookups::{AssignCase, CmpCase};
+use crate::stats::{RankStats, TextTable};
+use crate::{args, lookups, methods};
+
+/// One row of Table 2 under every configuration.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Row group (Methods / Arguments / Assignments / Comparisons).
+    pub group: &'static str,
+    /// Row label within the group.
+    pub label: &'static str,
+    /// Number of queries in the row.
+    pub count: usize,
+    /// Top-20 proportion per configuration, in
+    /// [`RankConfig::table2_variants`] order.
+    pub values: Vec<f64>,
+}
+
+/// Runs Table 2: all experiments under each ranking-term configuration.
+///
+/// `base` supplies the scale/limit/sampling; its `rank` field is replaced
+/// per column. This is the most expensive harness entry point — use
+/// `max_sites` to bound it.
+pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
+    let variants = RankConfig::table2_variants();
+    let mut rows: Vec<Table2Row> = Vec::new();
+
+    for (vi, (_, rank)) in variants.iter().enumerate() {
+        let cfg = ExperimentConfig {
+            rank: *rank,
+            limit: base.limit.min(40),
+            ..base.clone()
+        };
+
+        let method_outcomes = methods::run(projects, &cfg);
+        let arg_outcomes = args::run(projects, &cfg);
+        let (assign_outcomes, cmp_outcomes) = lookups::run(projects, &cfg);
+
+        let mut push = |group: &'static str, label: &'static str, stats: RankStats| {
+            if let Some(row) = rows
+                .iter_mut()
+                .find(|r| r.group == group && r.label == label)
+            {
+                debug_assert_eq!(row.values.len(), vi);
+                row.values.push(stats.top(20));
+            } else {
+                rows.push(Table2Row {
+                    group,
+                    label,
+                    count: stats.len(),
+                    values: vec![stats.top(20)],
+                });
+            }
+        };
+
+        push(
+            "Methods",
+            "All",
+            method_outcomes.iter().map(|o| o.best).collect(),
+        );
+        push(
+            "Methods",
+            "Instance",
+            method_outcomes
+                .iter()
+                .filter(|o| !o.is_static)
+                .map(|o| o.best)
+                .collect(),
+        );
+        push(
+            "Methods",
+            "Static",
+            method_outcomes
+                .iter()
+                .filter(|o| o.is_static)
+                .map(|o| o.best)
+                .collect(),
+        );
+
+        let guessable: Vec<&args::ArgOutcome> = arg_outcomes
+            .iter()
+            .filter(|o| o.kind != ExprKindName::NotGuessable)
+            .collect();
+        push(
+            "Arguments",
+            "Normal",
+            guessable.iter().map(|o| o.rank).collect(),
+        );
+        push(
+            "Arguments",
+            "No variables",
+            guessable
+                .iter()
+                .filter(|o| !o.is_local)
+                .map(|o| o.rank)
+                .collect(),
+        );
+
+        for (case, label) in [
+            (AssignCase::Target, "Target"),
+            (AssignCase::Source, "Source"),
+            (AssignCase::Both, "Both"),
+        ] {
+            push(
+                "Assignments",
+                label,
+                assign_outcomes
+                    .iter()
+                    .filter(|o| o.case == case)
+                    .map(|o| o.rank)
+                    .collect(),
+            );
+        }
+        for case in [
+            CmpCase::Left,
+            CmpCase::Right,
+            CmpCase::Both,
+            CmpCase::TwoLeft,
+            CmpCase::TwoRight,
+        ] {
+            push(
+                "Comparisons",
+                case.label(),
+                cmp_outcomes
+                    .iter()
+                    .filter(|o| o.case == case)
+                    .map(|o| o.rank)
+                    .collect(),
+            );
+        }
+    }
+    rows
+}
+
+/// Renders Table 2 in the paper's layout (rows = experiments, columns =
+/// configurations).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let variants = RankConfig::table2_variants();
+    let mut headers: Vec<String> = vec!["".into(), "Count".into()];
+    headers.extend(variants.iter().map(|(name, _)| name.clone()));
+    let mut table = TextTable::new(headers);
+    let mut current_group = "";
+    for row in rows {
+        if row.group != current_group {
+            current_group = row.group;
+            let mut group_row = vec![format!("[{}]", row.group)];
+            group_row.resize(2 + variants.len(), String::new());
+            table.row(group_row);
+        }
+        let mut cells = vec![row.label.to_string(), row.count.to_string()];
+        cells.extend(row.values.iter().map(|v| format!("{v:.2}")));
+        table.row(cells);
+    }
+    format!(
+        "Table 2. Ranking function term sensitivity (proportion of correct answers in top 20)\n\
+         Columns: All = full ranking; -x = without term x; +x = only term x\n\
+         (n=namespace, s=in-scope static, d=depth, m=matching name, t=type distance, a=abstract types)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::load_projects;
+
+    #[test]
+    fn table2_has_all_rows_and_columns() {
+        let projects = load_projects(0.002);
+        let cfg = ExperimentConfig {
+            limit: 20,
+            max_sites: Some(3),
+            ..Default::default()
+        };
+        let rows = run(&projects, &cfg);
+        assert_eq!(
+            rows.len(),
+            13,
+            "3 method + 2 argument + 3 assignment + 5 comparison rows"
+        );
+        for row in &rows {
+            assert_eq!(row.values.len(), 15, "{}/{}", row.group, row.label);
+            for v in &row.values {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+        let rendered = render_table2(&rows);
+        assert!(rendered.contains("[Methods]"));
+        assert!(rendered.contains("2xRight"));
+        assert!(rendered.contains("-at"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Query-latency measurement (the speed paragraphs of Sections 5.1-5.3).
+//!
+//! The paper reports the proportion of queries answered within interactive
+//! thresholds: method queries < 0.5 s for 98.9 % of calls, argument queries
+//! < 0.1 s for 92 % and < 0.5 s for 98 %, lookup queries < 0.5 s for
+//! 99.5 %. This module renders the same proportions plus percentiles.
+
+use crate::stats::{pct, percentile, proportion_under, TextTable};
+
+/// Latency summary for one experiment family.
+#[derive(Debug, Clone)]
+pub struct SpeedRow {
+    /// Experiment label.
+    pub label: &'static str,
+    /// Per-query wall-clock times in microseconds.
+    pub micros: Vec<u128>,
+}
+
+impl SpeedRow {
+    /// Creates a row, dropping zero samples (unmeasured queries).
+    pub fn new(label: &'static str, micros: impl IntoIterator<Item = u128>) -> Self {
+        SpeedRow {
+            label,
+            micros: micros.into_iter().filter(|&m| m > 0).collect(),
+        }
+    }
+}
+
+/// Renders the latency table.
+pub fn render_speed(rows: &[SpeedRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "experiment",
+        "n",
+        "< 0.1 s",
+        "< 0.5 s",
+        "p50 (us)",
+        "p90 (us)",
+        "p99 (us)",
+    ]);
+    for row in rows {
+        table.row(vec![
+            row.label.to_string(),
+            row.micros.len().to_string(),
+            pct(proportion_under(&row.micros, 100_000)),
+            pct(proportion_under(&row.micros, 500_000)),
+            percentile(&row.micros, 50.0).to_string(),
+            percentile(&row.micros, 90.0).to_string(),
+            percentile(&row.micros, 99.0).to_string(),
+        ]);
+    }
+    format!(
+        "Query latency (paper: methods 98.9% < 0.5s; arguments 92% < 0.1s, 98% < 0.5s; lookups 99.5% < 0.5s)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_rows_drop_unmeasured() {
+        let row = SpeedRow::new("x", [0, 10, 20, 0, 30]);
+        assert_eq!(row.micros.len(), 3);
+    }
+
+    #[test]
+    fn render_contains_thresholds() {
+        let rows = vec![SpeedRow::new(
+            "methods (best query)",
+            (1..1000u128).map(|i| i * 100),
+        )];
+        let s = render_speed(&rows);
+        assert!(s.contains("< 0.5 s"));
+        assert!(s.contains("methods (best query)"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Rank statistics and plain-text table/figure rendering.
+
+/// A collection of query outcomes: the 0-based rank of the correct answer,
+/// or `None` when it was not found within the search limit.
+#[derive(Debug, Clone, Default)]
+pub struct RankStats {
+    ranks: Vec<Option<usize>>,
+}
+
+impl RankStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        RankStats::default()
+    }
+
+    /// Records one outcome.
+    pub fn push(&mut self, rank: Option<usize>) {
+        self.ranks.push(rank);
+    }
+
+    /// Number of outcomes recorded.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Number of outcomes with rank strictly below `k` (i.e. in the top
+    /// `k`, 1-based).
+    pub fn count_top(&self, k: usize) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.is_some_and(|r| r < k))
+            .count()
+    }
+
+    /// Proportion with the correct answer in the top `k` (0 when empty).
+    pub fn top(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            0.0
+        } else {
+            self.count_top(k) as f64 / self.ranks.len() as f64
+        }
+    }
+
+    /// CDF values at the given rank thresholds (1-based).
+    pub fn cdf(&self, thresholds: &[usize]) -> Vec<f64> {
+        thresholds.iter().map(|&k| self.top(k)).collect()
+    }
+
+    /// Iterates the raw outcomes.
+    pub fn iter(&self) -> impl Iterator<Item = Option<usize>> + '_ {
+        self.ranks.iter().copied()
+    }
+}
+
+impl FromIterator<Option<usize>> for RankStats {
+    fn from_iter<I: IntoIterator<Item = Option<usize>>>(iter: I) -> Self {
+        RankStats {
+            ranks: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Value at percentile `p` (0..=100) of a sample, by nearest-rank.
+pub fn percentile(samples: &[u128], p: f64) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Proportion of samples at or below a threshold.
+pub fn proportion_under(samples: &[u128], threshold: u128) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s <= threshold).count() as f64 / samples.len() as f64
+}
+
+/// A plain-text aligned table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || matches!(c, '.' | '%' | '-' | '+' | '<' | '>'))
+                    && !cell.is_empty();
+                if numeric {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar for a proportion in `[0, 1]`.
+pub fn bar(p: f64, width: usize) -> String {
+    let filled = (p.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!(
+        "{}{}",
+        "#".repeat(filled),
+        ".".repeat(width.saturating_sub(filled))
+    )
+}
+
+/// Formats a proportion as a percentage with one decimal.
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_stats_top_k() {
+        let s: RankStats = [Some(0), Some(9), Some(10), Some(25), None]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.count_top(10), 2);
+        assert_eq!(s.count_top(20), 3);
+        assert!((s.top(10) - 0.4).abs() < 1e-9);
+        assert_eq!(s.cdf(&[1, 10, 26]), vec![0.2, 0.4, 0.8]);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RankStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.top(10), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&xs, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert!((proportion_under(&xs, 10) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Program", "# calls", "# top 10"]);
+        t.row(vec!["Paint.NET", "3188", "2288"]);
+        t.row(vec!["WiX", "13192", "11430"]);
+        let s = t.render();
+        assert!(s.contains("Paint.NET"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn bars_and_percent() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(pct(0.845), "84.5%");
+    }
+}

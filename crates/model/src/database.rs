@@ -1,0 +1,801 @@
+//! The program database: a type table plus members and bodies.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pex_types::{TypeId, TypeTable};
+
+use crate::{Body, Context, Expr, Field, FieldId, Method, MethodId, Param, ValueTy, Visibility};
+
+/// Result alias for database operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+/// Errors raised by database construction or expression typing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A field with this name already exists on the type.
+    DuplicateField {
+        /// The clashing member name.
+        name: String,
+    },
+    /// An expression referenced a local slot outside the context.
+    UnknownLocal {
+        /// The offending slot index.
+        index: usize,
+    },
+    /// `this` was used where no instance context exists.
+    NoThis,
+    /// An instance member was accessed through an incompatible base
+    /// expression, or a static member through an instance path.
+    BadMemberAccess {
+        /// The member name.
+        name: String,
+    },
+    /// A call had the wrong number of arguments.
+    BadArity {
+        /// The method name.
+        name: String,
+        /// Expected argument count (receiver included for instance methods).
+        expected: usize,
+        /// Provided argument count.
+        actual: usize,
+    },
+    /// An argument (or operand, or assignment source) had a type with no
+    /// implicit conversion to the required type.
+    TypeMismatch {
+        /// Description of the position being checked.
+        at: String,
+    },
+    /// The left side of an assignment is not assignable.
+    NotAssignable,
+    /// The operands of a comparison are not comparable.
+    NotComparable,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateField { name } => {
+                write!(f, "field `{name}` is already declared on this type")
+            }
+            ModelError::UnknownLocal { index } => {
+                write!(f, "local slot {index} is not in scope")
+            }
+            ModelError::NoThis => write!(f, "`this` used outside an instance method"),
+            ModelError::BadMemberAccess { name } => {
+                write!(f, "invalid access to member `{name}`")
+            }
+            ModelError::BadArity {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "call to `{name}` expects {expected} arguments, got {actual}"
+                )
+            }
+            ModelError::TypeMismatch { at } => write!(f, "type mismatch at {at}"),
+            ModelError::NotAssignable => write!(f, "left side of assignment is not assignable"),
+            ModelError::NotComparable => write!(f, "operands are not comparable"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A global value usable as the root of a completion chain: a public static
+/// field, or a public zero-argument static method (paper Section 3:
+/// "any local in scope or global (static field or zero-argument static
+/// method)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlobalRef {
+    /// A static field or property.
+    Field(FieldId),
+    /// A zero-argument static method with a non-void return.
+    Method(MethodId),
+}
+
+/// The program under analysis: types, members and bodies.
+///
+/// A `Database` is built either programmatically (`add_*` methods) or from
+/// mini-C# source via [`crate::minics::compile`]. It is immutable during
+/// completion; the engine and the abstract-type inference only read it.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    types: TypeTable,
+    methods: Vec<Method>,
+    fields: Vec<Field>,
+    type_methods: HashMap<TypeId, Vec<MethodId>>,
+    type_fields: HashMap<TypeId, Vec<FieldId>>,
+}
+
+impl Database {
+    /// Creates an empty database over a fresh [`TypeTable`].
+    pub fn new() -> Self {
+        Database::with_types(TypeTable::new())
+    }
+
+    /// Creates a database over an existing type table.
+    pub fn with_types(types: TypeTable) -> Self {
+        Database {
+            types,
+            methods: Vec::new(),
+            fields: Vec::new(),
+            type_methods: HashMap::new(),
+            type_fields: HashMap::new(),
+        }
+    }
+
+    /// The underlying type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Mutable access to the type table (for declaring new types).
+    pub fn types_mut(&mut self) -> &mut TypeTable {
+        &mut self.types
+    }
+
+    /// Adds a method. Overloads (same name, same type) are allowed.
+    pub fn add_method(
+        &mut self,
+        declaring: TypeId,
+        name: &str,
+        is_static: bool,
+        params: Vec<Param>,
+        ret: TypeId,
+        visibility: Visibility,
+    ) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(Method {
+            name: name.to_owned(),
+            declaring,
+            is_static,
+            params,
+            ret,
+            visibility,
+            overrides: None,
+            body: None,
+        });
+        self.type_methods.entry(declaring).or_default().push(id);
+        id
+    }
+
+    /// Adds a field or property.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the type already declares a field with this name.
+    pub fn add_field(
+        &mut self,
+        declaring: TypeId,
+        name: &str,
+        is_static: bool,
+        ty: TypeId,
+        visibility: Visibility,
+        is_property: bool,
+    ) -> ModelResult<FieldId> {
+        if self
+            .type_fields
+            .get(&declaring)
+            .map(|fs| fs.iter().any(|f| self.fields[f.index()].name == name))
+            .unwrap_or(false)
+        {
+            return Err(ModelError::DuplicateField {
+                name: name.to_owned(),
+            });
+        }
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push(Field {
+            name: name.to_owned(),
+            declaring,
+            is_static,
+            ty,
+            visibility,
+            is_property,
+        });
+        self.type_fields.entry(declaring).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Adds an enum member as a public static field of the enum type.
+    pub fn add_enum_member(&mut self, enum_ty: TypeId, name: &str) -> ModelResult<FieldId> {
+        self.add_field(enum_ty, name, true, enum_ty, Visibility::Public, false)
+    }
+
+    /// Attaches a body to a method (replacing any previous one).
+    pub fn set_body(&mut self, method: MethodId, body: Body) {
+        self.methods[method.index()].body = Some(body);
+    }
+
+    /// Records that `method` overrides `base` (for abstract-type sharing).
+    pub fn set_overrides(&mut self, method: MethodId, base: MethodId) {
+        self.methods[method.index()].overrides = Some(base);
+    }
+
+    /// The method behind an id.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// The field behind an id.
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.index()]
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All method ids.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        (0..self.methods.len() as u32).map(MethodId)
+    }
+
+    /// All field ids.
+    pub fn fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        (0..self.fields.len() as u32).map(FieldId)
+    }
+
+    /// Methods declared directly on a type.
+    pub fn methods_of(&self, ty: TypeId) -> &[MethodId] {
+        self.type_methods.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Fields declared directly on a type.
+    pub fn fields_of(&self, ty: TypeId) -> &[FieldId] {
+        self.type_fields.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Follows override edges to the root definition of a method.
+    pub fn root_method(&self, mut id: MethodId) -> MethodId {
+        while let Some(base) = self.methods[id.index()].overrides {
+            id = base;
+        }
+        id
+    }
+
+    /// The member-lookup chain of a type: the type itself followed by all
+    /// supertypes in breadth-first order (base chain, interfaces, `Object`).
+    /// Instance member lookup walks this chain.
+    pub fn member_lookup_chain(&self, ty: TypeId) -> Vec<TypeId> {
+        let mut out = vec![ty];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            for s in self.types.immediate_supertypes(cur) {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether a member with the given visibility and declaring type is
+    /// accessible from a context enclosed (if at all) by `from`.
+    pub fn accessible(
+        &self,
+        visibility: Visibility,
+        declaring: TypeId,
+        from: Option<TypeId>,
+    ) -> bool {
+        match visibility {
+            Visibility::Public => true,
+            Visibility::Private => from == Some(declaring),
+        }
+    }
+
+    /// Accessible instance fields/properties of `ty`, including inherited
+    /// ones, in lookup-chain order. `from` is the enclosing type of the code
+    /// doing the access (for private members).
+    pub fn instance_fields(&self, ty: TypeId, from: Option<TypeId>) -> Vec<FieldId> {
+        let mut out = Vec::new();
+        for owner in self.member_lookup_chain(ty) {
+            for &f in self.fields_of(owner) {
+                let fd = &self.fields[f.index()];
+                if !fd.is_static && self.accessible(fd.visibility, owner, from) {
+                    out.push(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// Accessible zero-argument, non-void instance methods of `ty`,
+    /// including inherited ones. These are the `.?m` candidates.
+    pub fn zero_arg_instance_methods(&self, ty: TypeId, from: Option<TypeId>) -> Vec<MethodId> {
+        let mut out = Vec::new();
+        for owner in self.member_lookup_chain(ty) {
+            for &m in self.methods_of(owner) {
+                let md = &self.methods[m.index()];
+                if !md.is_static
+                    && md.params.is_empty()
+                    && md.ret != self.types.void_ty()
+                    && self.accessible(md.visibility, owner, from)
+                {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Accessible static fields of `ty` (declared directly; statics are not
+    /// inherited for lookup purposes in this model).
+    pub fn static_fields(&self, ty: TypeId, from: Option<TypeId>) -> Vec<FieldId> {
+        self.fields_of(ty)
+            .iter()
+            .copied()
+            .filter(|&f| {
+                let fd = &self.fields[f.index()];
+                fd.is_static && self.accessible(fd.visibility, ty, from)
+            })
+            .collect()
+    }
+
+    /// All public globals in the program: static fields and zero-argument
+    /// non-void static methods. These seed `?` holes and `.?*` chains.
+    pub fn globals(&self) -> Vec<GlobalRef> {
+        let mut out = Vec::new();
+        for (i, fd) in self.fields.iter().enumerate() {
+            if fd.is_static && fd.visibility == Visibility::Public {
+                out.push(GlobalRef::Field(FieldId(i as u32)));
+            }
+        }
+        for (i, md) in self.methods.iter().enumerate() {
+            if md.is_static
+                && md.visibility == Visibility::Public
+                && md.params.is_empty()
+                && md.ret != self.types.void_ty()
+            {
+                out.push(GlobalRef::Method(MethodId(i as u32)));
+            }
+        }
+        out
+    }
+
+    /// Finds methods by simple name across the whole program (convenience
+    /// for tests, examples and tooling).
+    pub fn methods_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = MethodId> + 'a {
+        self.methods()
+            .filter(move |m| self.method(*m).name() == name)
+    }
+
+    /// Finds the unique method with the given `Namespace.Type.Name`
+    /// qualified name, if exactly one exists (overloads return `None`).
+    pub fn find_method(&self, qualified: &str) -> Option<MethodId> {
+        let mut found = None;
+        for m in self.methods() {
+            if self.qualified_method_name(m) == qualified {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(m);
+            }
+        }
+        found
+    }
+
+    /// Finds the field with the given `Namespace.Type.Name` qualified name.
+    pub fn find_field(&self, qualified: &str) -> Option<FieldId> {
+        self.fields()
+            .find(|f| self.qualified_field_name(*f) == qualified)
+    }
+
+    /// Renders a method as `Namespace.Type.Name`.
+    pub fn qualified_method_name(&self, id: MethodId) -> String {
+        let m = self.method(id);
+        format!("{}.{}", self.types.qualified_name(m.declaring), m.name)
+    }
+
+    /// Renders a field as `Namespace.Type.Name`.
+    pub fn qualified_field_name(&self, id: FieldId) -> String {
+        let f = self.field(id);
+        format!("{}.{}", self.types.qualified_name(f.declaring), f.name)
+    }
+
+    /// The static type of an expression in a context.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the expression is ill-formed for the context
+    /// (unknown local slot, `this` in a static context, arity mismatch,
+    /// inconvertible argument or operand types).
+    pub fn expr_ty(&self, expr: &Expr, ctx: &Context) -> ModelResult<ValueTy> {
+        match expr {
+            Expr::Local(l) => ctx
+                .locals
+                .get(l.index())
+                .map(|loc| ValueTy::Known(loc.ty))
+                .ok_or(ModelError::UnknownLocal { index: l.index() }),
+            Expr::This => ctx
+                .this_type()
+                .map(ValueTy::Known)
+                .ok_or(ModelError::NoThis),
+            Expr::StaticField(f) => {
+                let fd = self.field(*f);
+                if !fd.is_static {
+                    return Err(ModelError::BadMemberAccess {
+                        name: fd.name.clone(),
+                    });
+                }
+                Ok(ValueTy::Known(fd.ty))
+            }
+            Expr::FieldAccess(base, f) => {
+                let fd = self.field(*f);
+                if fd.is_static {
+                    return Err(ModelError::BadMemberAccess {
+                        name: fd.name.clone(),
+                    });
+                }
+                let base_ty = self.expr_ty(base, ctx)?;
+                self.require_convertible(base_ty, fd.declaring, "receiver of field access")?;
+                Ok(ValueTy::Known(fd.ty))
+            }
+            Expr::Call(m, args) => {
+                let md = self.method(*m);
+                let expected = md.full_arity();
+                if args.len() != expected {
+                    return Err(ModelError::BadArity {
+                        name: md.name.clone(),
+                        expected,
+                        actual: args.len(),
+                    });
+                }
+                let param_tys = md.full_param_types();
+                for (i, (arg, want)) in args.iter().zip(param_tys.iter()).enumerate() {
+                    let got = self.expr_ty(arg, ctx)?;
+                    self.require_convertible(got, *want, &format!("argument {i}"))?;
+                }
+                Ok(ValueTy::Known(md.ret))
+            }
+            Expr::Assign(lhs, rhs) => {
+                if !matches!(
+                    lhs.as_ref(),
+                    Expr::Local(_) | Expr::StaticField(_) | Expr::FieldAccess(..)
+                ) {
+                    return Err(ModelError::NotAssignable);
+                }
+                let lt = self.expr_ty(lhs, ctx)?;
+                let rt = self.expr_ty(rhs, ctx)?;
+                match lt {
+                    ValueTy::Known(t) => {
+                        self.require_convertible(rt, t, "assignment source")?;
+                        Ok(ValueTy::Known(t))
+                    }
+                    ValueTy::Wildcard => Ok(ValueTy::Wildcard),
+                }
+            }
+            Expr::Cmp(_, lhs, rhs) => {
+                let lt = self.expr_ty(lhs, ctx)?;
+                let rt = self.expr_ty(rhs, ctx)?;
+                // A wildcard operand can take any comparable type.
+                if let (ValueTy::Known(a), ValueTy::Known(b)) = (lt, rt) {
+                    if self.types.comparable_pair(a, b).is_none() {
+                        return Err(ModelError::NotComparable);
+                    }
+                }
+                Ok(ValueTy::Known(self.types.bool_ty()))
+            }
+            Expr::IntLit(_) => Ok(ValueTy::Known(self.types.int_ty())),
+            Expr::DoubleLit(_) => Ok(ValueTy::Known(self.types.double_ty())),
+            Expr::BoolLit(_) => Ok(ValueTy::Known(self.types.bool_ty())),
+            Expr::StrLit(_) => Ok(ValueTy::Known(self.types.string_ty())),
+            Expr::Null | Expr::Hole0 => Ok(ValueTy::Wildcard),
+            Expr::Opaque { ty, .. } => Ok(ValueTy::Known(*ty)),
+        }
+    }
+
+    fn require_convertible(&self, got: ValueTy, want: TypeId, at: &str) -> ModelResult<()> {
+        match got {
+            ValueTy::Wildcard => Ok(()),
+            ValueTy::Known(t) => {
+                if self.types.implicitly_convertible(t, want) {
+                    Ok(())
+                } else {
+                    Err(ModelError::TypeMismatch { at: at.to_owned() })
+                }
+            }
+        }
+    }
+
+    /// Whether a call with `argc` total arguments to `m` is a zero-argument
+    /// instance call (receiver only) or a zero-argument static call.
+    pub fn is_zero_arg_call(&self, m: MethodId, argc: usize) -> bool {
+        let md = self.method(m);
+        md.params.is_empty() && argc == usize::from(!md.is_static)
+    }
+
+    /// Convenience for tests and corpora: type of a comparison's general
+    /// operand, if the two sides are comparable.
+    pub fn comparison_general(&self, a: TypeId, b: TypeId) -> Option<TypeId> {
+        self.types.comparable_pair(a, b).map(|p| p.general)
+    }
+
+    /// Validates an entire body in the context of its method: every
+    /// statement's expression must type-check, `Init` slots must be declared
+    /// in order (and only at the top level), `if`/`while` conditions must be
+    /// boolean, and return expressions must convert to the return type.
+    pub fn check_body(&self, method: MethodId, body: &Body) -> ModelResult<()> {
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            let ctx = Context::at_statement(self, method, body, i);
+            self.check_stmt(method, body, stmt, &ctx, false)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        method: MethodId,
+        body: &Body,
+        stmt: &crate::Stmt,
+        ctx: &Context,
+        nested: bool,
+    ) -> ModelResult<()> {
+        let md = self.method(method);
+        match stmt {
+            crate::Stmt::Init(l, e) => {
+                if nested || l.index() < body.param_count || l.index() >= body.locals.len() {
+                    return Err(ModelError::UnknownLocal { index: l.index() });
+                }
+                let got = self.expr_ty(e, ctx)?;
+                self.require_convertible(got, body.locals[l.index()].1, "initialiser")?;
+            }
+            crate::Stmt::Expr(e) => {
+                self.expr_ty(e, ctx)?;
+            }
+            crate::Stmt::Return(Some(e)) => {
+                let got = self.expr_ty(e, ctx)?;
+                self.require_convertible(got, md.ret, "return value")?;
+            }
+            crate::Stmt::Return(None) => {}
+            crate::Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let got = self.expr_ty(cond, ctx)?;
+                self.require_convertible(got, self.types.bool_ty(), "if condition")?;
+                for inner in then_body.iter().chain(else_body.iter()) {
+                    self.check_stmt(method, body, inner, ctx, true)?;
+                }
+            }
+            crate::Stmt::While {
+                cond,
+                body: loop_body,
+            } => {
+                let got = self.expr_ty(cond, ctx)?;
+                self.require_convertible(got, self.types.bool_ty(), "while condition")?;
+                for inner in loop_body {
+                    self.check_stmt(method, body, inner, ctx, true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, LocalId};
+
+    fn tiny() -> (Database, TypeId, TypeId, FieldId, MethodId) {
+        let mut db = Database::new();
+        let ns = db.types_mut().namespaces_mut().intern(&["Geo"]);
+        let point = db.types_mut().declare_struct(ns, "Point").unwrap();
+        let line = db.types_mut().declare_class(ns, "Line").unwrap();
+        let int = db.types().int_ty();
+        let x = db
+            .add_field(point, "X", false, int, Visibility::Public, false)
+            .unwrap();
+        let _p1 = db
+            .add_field(line, "P1", false, point, Visibility::Public, false)
+            .unwrap();
+        let len = db.add_method(
+            line,
+            "GetLength",
+            false,
+            vec![],
+            db.types().double_ty(),
+            Visibility::Public,
+        );
+        let _ = ns;
+        (db, point, line, x, len)
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let (mut db, point, ..) = tiny();
+        let int = db.types().int_ty();
+        assert!(matches!(
+            db.add_field(point, "X", false, int, Visibility::Public, false),
+            Err(ModelError::DuplicateField { .. })
+        ));
+    }
+
+    #[test]
+    fn typing_of_chains_and_calls() {
+        let (db, point, line, x, len) = tiny();
+        let ctx = Context::with_locals(
+            None,
+            vec![
+                crate::Local {
+                    name: "ln".into(),
+                    ty: line,
+                },
+                crate::Local {
+                    name: "p".into(),
+                    ty: point,
+                },
+            ],
+        );
+        let ln = Expr::Local(LocalId(0));
+        let p = Expr::Local(LocalId(1));
+        // ln.P1 has type Point; p.X has type int; ln.GetLength() is double.
+        let p1 = db.fields().find(|f| db.field(*f).name() == "P1").unwrap();
+        assert_eq!(
+            db.expr_ty(&Expr::field(ln.clone(), p1), &ctx).unwrap(),
+            ValueTy::Known(point)
+        );
+        assert_eq!(
+            db.expr_ty(&Expr::field(p.clone(), x), &ctx).unwrap(),
+            ValueTy::Known(db.types().int_ty())
+        );
+        assert_eq!(
+            db.expr_ty(&Expr::Call(len, vec![ln.clone()]), &ctx)
+                .unwrap(),
+            ValueTy::Known(db.types().double_ty())
+        );
+        // Receiver of wrong type is an error.
+        assert!(db.expr_ty(&Expr::Call(len, vec![p]), &ctx).is_err());
+        // Wrong arity is an error.
+        assert!(db.expr_ty(&Expr::Call(len, vec![]), &ctx).is_err());
+    }
+
+    #[test]
+    fn this_requires_instance_context() {
+        let (db, _, line, ..) = tiny();
+        let static_ctx = Context::with_locals(Some(line), vec![]);
+        assert!(db.expr_ty(&Expr::This, &static_ctx).is_err());
+        let inst_ctx = Context::instance(line, vec![]);
+        assert_eq!(
+            db.expr_ty(&Expr::This, &inst_ctx).unwrap(),
+            ValueTy::Known(line)
+        );
+    }
+
+    #[test]
+    fn comparisons_require_comparable_operands() {
+        let (db, point, ..) = tiny();
+        let ctx = Context::with_locals(
+            None,
+            vec![
+                crate::Local {
+                    name: "a".into(),
+                    ty: db.types().int_ty(),
+                },
+                crate::Local {
+                    name: "p".into(),
+                    ty: point,
+                },
+            ],
+        );
+        let a = Expr::Local(LocalId(0));
+        let p = Expr::Local(LocalId(1));
+        assert!(db
+            .expr_ty(&Expr::cmp(CmpOp::Ge, a.clone(), Expr::IntLit(3)), &ctx)
+            .is_ok());
+        assert!(db
+            .expr_ty(&Expr::cmp(CmpOp::Lt, a.clone(), p.clone()), &ctx)
+            .is_err());
+        // Wildcard (null) operands are allowed through.
+        assert!(db
+            .expr_ty(&Expr::cmp(CmpOp::Lt, a, Expr::Null), &ctx)
+            .is_ok());
+    }
+
+    #[test]
+    fn assignment_typing() {
+        let (db, point, line, x, _) = tiny();
+        let ctx = Context::with_locals(
+            None,
+            vec![
+                crate::Local {
+                    name: "p".into(),
+                    ty: point,
+                },
+                crate::Local {
+                    name: "ln".into(),
+                    ty: line,
+                },
+            ],
+        );
+        let p = Expr::Local(LocalId(0));
+        let ln = Expr::Local(LocalId(1));
+        let px = Expr::field(p.clone(), x);
+        assert!(db
+            .expr_ty(&Expr::assign(px.clone(), Expr::IntLit(1)), &ctx)
+            .is_ok());
+        // int field cannot receive a Line.
+        assert!(db.expr_ty(&Expr::assign(px, ln.clone()), &ctx).is_err());
+        // Calls are not assignable.
+        assert!(db
+            .expr_ty(&Expr::assign(Expr::IntLit(1), ln), &ctx)
+            .is_err());
+    }
+
+    #[test]
+    fn qualified_lookups() {
+        let (db, _, line, ..) = tiny();
+        let len = db.find_method("Geo.Line.GetLength").unwrap();
+        assert_eq!(db.method(len).declaring(), line);
+        assert!(db.find_method("Geo.Line.Nope").is_none());
+        assert_eq!(db.methods_named("GetLength").count(), 1);
+        let p1 = db.find_field("Geo.Line.P1").unwrap();
+        assert_eq!(db.field(p1).name(), "P1");
+        assert!(db.find_field("Geo.Line.Nope").is_none());
+    }
+
+    #[test]
+    fn globals_collects_static_members() {
+        let (mut db, point, line, ..) = tiny();
+        let f = db
+            .add_field(line, "Origin", true, point, Visibility::Public, false)
+            .unwrap();
+        let m = db.add_method(line, "MakeUnit", true, vec![], line, Visibility::Public);
+        let hidden = db
+            .add_field(line, "secret", true, point, Visibility::Private, false)
+            .unwrap();
+        let void_m = db.add_method(
+            line,
+            "Reset",
+            true,
+            vec![],
+            db.types().void_ty(),
+            Visibility::Public,
+        );
+        let globals = db.globals();
+        assert!(globals.contains(&GlobalRef::Field(f)));
+        assert!(globals.contains(&GlobalRef::Method(m)));
+        assert!(!globals.contains(&GlobalRef::Field(hidden)));
+        assert!(!globals.contains(&GlobalRef::Method(void_m)));
+    }
+
+    #[test]
+    fn inherited_members_visible_through_chain() {
+        let (mut db, point, line, ..) = tiny();
+        let ns = db.types_mut().namespaces_mut().intern(&["Geo"]);
+        let arrow = db.types_mut().declare_class(ns, "Arrow").unwrap();
+        db.types_mut().set_base(arrow, line).unwrap();
+        let fields = db.instance_fields(arrow, None);
+        let names: Vec<&str> = fields.iter().map(|f| db.field(*f).name()).collect();
+        assert!(
+            names.contains(&"P1"),
+            "inherited P1 visible on Arrow: {names:?}"
+        );
+        let methods = db.zero_arg_instance_methods(arrow, None);
+        assert!(methods.iter().any(|m| db.method(*m).name() == "GetLength"));
+        let _ = point;
+    }
+
+    #[test]
+    fn private_members_respect_context() {
+        let (mut db, point, line, ..) = tiny();
+        let hidden = db
+            .add_field(line, "cache", false, point, Visibility::Private, false)
+            .unwrap();
+        assert!(!db.instance_fields(line, None).contains(&hidden));
+        assert!(db.instance_fields(line, Some(line)).contains(&hidden));
+    }
+}

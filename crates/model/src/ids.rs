@@ -1,0 +1,86 @@
+//! Identifiers for members and locals.
+
+use std::fmt;
+
+/// Identifier of a method in a [`crate::Database`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(pub(crate) u32);
+
+impl MethodId {
+    /// Raw index inside the issuing database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from [`MethodId::index`]; only valid with the same
+    /// database.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        MethodId(index as u32)
+    }
+}
+
+impl fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m#{}", self.0)
+    }
+}
+
+/// Identifier of a field or property in a [`crate::Database`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId(pub(crate) u32);
+
+impl FieldId {
+    /// Raw index inside the issuing database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from [`FieldId::index`]; only valid with the same
+    /// database.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        FieldId(index as u32)
+    }
+}
+
+impl fmt::Debug for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f#{}", self.0)
+    }
+}
+
+/// Index of a local variable within a [`crate::Body`] or [`crate::Context`].
+///
+/// A method's parameters occupy the leading local slots (indexes
+/// `0..param_count`), followed by locals in declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalId(pub u32);
+
+impl LocalId {
+    /// Raw slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(MethodId::from_index(MethodId(9).index()), MethodId(9));
+        assert_eq!(FieldId::from_index(FieldId(3).index()), FieldId(3));
+        assert_eq!(format!("{:?}", LocalId(2)), "l#2");
+    }
+}

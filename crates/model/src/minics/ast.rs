@@ -1,0 +1,192 @@
+//! Abstract syntax for the mini-C# language, produced by [`super::parser`].
+
+use crate::CmpOp;
+
+/// A compilation unit: `using` directives followed by namespace declarations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct File {
+    /// Imported namespaces, each as path segments.
+    pub usings: Vec<Vec<String>>,
+    /// Namespace blocks.
+    pub namespaces: Vec<NsDecl>,
+}
+
+/// A `namespace A.B { ... }` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NsDecl {
+    /// Dotted path segments.
+    pub path: Vec<String>,
+    /// Types declared in the block.
+    pub types: Vec<TypeDecl>,
+}
+
+/// What sort of type a declaration introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeDeclKind {
+    /// `class`
+    Class,
+    /// `struct`
+    Struct,
+    /// `interface`
+    Interface,
+    /// `enum`
+    Enum,
+}
+
+/// A type declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// Class, struct, interface or enum.
+    pub kind: TypeDeclKind,
+    /// Simple name.
+    pub name: String,
+    /// Base list: for classes the first class found becomes the base class,
+    /// every other entry must be an interface. For interfaces all entries
+    /// are extended interfaces.
+    pub bases: Vec<TypeRef>,
+    /// Fields, properties and methods (empty for enums).
+    pub members: Vec<MemberDecl>,
+    /// Enum member names (enums only).
+    pub enum_members: Vec<String>,
+    /// Whether the declaration carried the `[Comparable]` attribute, making
+    /// values orderable by the relational operators (the paper's `DateTime`).
+    pub comparable: bool,
+    /// Source line of the declaration (for error reporting).
+    pub line: u32,
+    /// Source column of the declaration.
+    pub col: u32,
+}
+
+/// A (possibly dotted) type reference as written in source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeRef {
+    /// Path segments; a single segment may also be a primitive keyword.
+    pub segments: Vec<String>,
+    /// Source line.
+    pub line: u32,
+    /// Source column.
+    pub col: u32,
+}
+
+/// A member of a class/struct/interface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberDecl {
+    /// `static? Type Name;` or `static? Type Name { get; set? ; }`
+    Field {
+        /// Whether declared `static`.
+        is_static: bool,
+        /// Declared type.
+        ty: TypeRef,
+        /// Member name.
+        name: String,
+        /// Whether declared with accessor syntax (a property).
+        is_property: bool,
+        /// Whether declared `private`.
+        is_private: bool,
+    },
+    /// `static? (void|Type) Name(params) body?`
+    Method {
+        /// Whether declared `static`.
+        is_static: bool,
+        /// Return type; `None` is `void`.
+        ret: Option<TypeRef>,
+        /// Method name.
+        name: String,
+        /// `(type, name)` parameter list.
+        params: Vec<(TypeRef, String)>,
+        /// Body statements; `None` when declared with `;` (interface or
+        /// library surface).
+        body: Option<Vec<Stmt>>,
+        /// Whether declared `private`.
+        is_private: bool,
+    },
+}
+
+/// A statement in a method body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `Type name = expr;` or `var name = expr;` (`ty` is `None` for `var`).
+    Local {
+        /// Declared type, or `None` for `var`.
+        ty: Option<TypeRef>,
+        /// Local name.
+        name: String,
+        /// Initialiser.
+        init: Expr,
+        /// Source line.
+        line: u32,
+        /// Source column.
+        col: u32,
+    },
+    /// `expr;`
+    Expr(Expr),
+    /// `return expr?;`
+    Return(Option<Expr>, u32, u32),
+    /// `if (cond) { ... } else { ... }` — branch bodies may not declare
+    /// locals.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// `then` branch statements.
+        then_body: Vec<Stmt>,
+        /// `else` branch statements (empty when absent).
+        else_body: Vec<Stmt>,
+        /// Source line of the `if`.
+        line: u32,
+        /// Source column of the `if`.
+        col: u32,
+    },
+    /// `while (cond) { ... }` — the body may not declare locals.
+    While {
+        /// Condition expression.
+        cond: Expr,
+        /// Loop body statements.
+        body: Vec<Stmt>,
+        /// Source line of the `while`.
+        line: u32,
+        /// Source column of the `while`.
+        col: u32,
+    },
+}
+
+/// An expression as written in source; names are unresolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A bare identifier.
+    Ident(String, u32, u32),
+    /// `this`
+    This(u32, u32),
+    /// `base.name`
+    Member(Box<Expr>, String, u32, u32),
+    /// `callee(args)` — the callee must end in a name.
+    Invoke(Box<Expr>, Vec<Expr>, u32, u32),
+    /// `lhs = rhs`
+    Assign(Box<Expr>, Box<Expr>),
+    /// `lhs op rhs`
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Double(f64),
+    /// `true` / `false`
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `null`
+    Null(u32, u32),
+}
+
+impl Expr {
+    /// Source position of the expression, when one was recorded.
+    pub fn pos(&self) -> (u32, u32) {
+        match self {
+            Expr::Ident(_, l, c)
+            | Expr::This(l, c)
+            | Expr::Member(_, _, l, c)
+            | Expr::Invoke(_, _, l, c)
+            | Expr::Null(l, c) => (*l, *c),
+            Expr::Assign(l, _) | Expr::Cmp(_, l, _) => l.pos(),
+            _ => (0, 0),
+        }
+    }
+}

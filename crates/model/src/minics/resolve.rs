@@ -1,0 +1,1044 @@
+//! Name resolution and lowering from the mini-C# AST to a [`Database`].
+//!
+//! Resolution follows the C# shape the paper's examples rely on:
+//!
+//! * a simple name resolves to (in order) a local, a member of the enclosing
+//!   type, a type reachable from the enclosing namespaces or `using`s, or a
+//!   namespace root;
+//! * member access walks a three-state machine (namespace → type → value);
+//! * method overloads are selected by arity and implicit convertibility,
+//!   preferring the lowest total type distance.
+
+use std::collections::HashMap;
+
+use pex_types::{PrimKind, TypeId};
+
+use crate::{Body, Database, Expr, LocalId, MethodId, Param, Stmt, ValueTy, Visibility};
+
+use super::ast;
+use super::{MiniCsError, MiniCsResult};
+
+/// Lowers parsed files into a fresh [`Database`].
+///
+/// # Errors
+///
+/// Returns the first semantic error (unknown name, duplicate declaration,
+/// no matching overload, type mismatch, ...) with its source position.
+pub fn lower(files: &[ast::File]) -> MiniCsResult<Database> {
+    let mut db = Database::new();
+
+    // Pass 1: declare all types (and enum members).
+    let mut works: Vec<TypeWork<'_>> = Vec::new();
+    for file in files {
+        for ns_decl in &file.namespaces {
+            let ns = db.types_mut().namespaces_mut().intern(&ns_decl.path);
+            for decl in &ns_decl.types {
+                let declared = match decl.kind {
+                    ast::TypeDeclKind::Class => db.types_mut().declare_class(ns, &decl.name),
+                    ast::TypeDeclKind::Struct => db.types_mut().declare_struct(ns, &decl.name),
+                    ast::TypeDeclKind::Interface => {
+                        db.types_mut().declare_interface(ns, &decl.name)
+                    }
+                    ast::TypeDeclKind::Enum => db.types_mut().declare_enum(ns, &decl.name),
+                };
+                let ty =
+                    declared.map_err(|e| MiniCsError::new(decl.line, decl.col, e.to_string()))?;
+                if decl.comparable {
+                    db.types_mut().set_comparable(ty, true);
+                }
+                for member in &decl.enum_members {
+                    db.add_enum_member(ty, member)
+                        .map_err(|e| MiniCsError::new(decl.line, decl.col, e.to_string()))?;
+                }
+                works.push(TypeWork {
+                    ty,
+                    decl,
+                    ns_path: &ns_decl.path,
+                    usings: &file.usings,
+                });
+            }
+        }
+    }
+
+    // Pass 2: resolve base lists.
+    for work in &works {
+        let mut base_set = false;
+        for base_ref in &work.decl.bases {
+            let base = resolve_type_ref(&db, work.ns_path, work.usings, base_ref)?;
+            let base_is_class = db.types().get(base).is_class();
+            match work.decl.kind {
+                ast::TypeDeclKind::Class if base_is_class => {
+                    if base_set {
+                        return Err(MiniCsError::new(
+                            base_ref.line,
+                            base_ref.col,
+                            "classes can have only one base class",
+                        ));
+                    }
+                    db.types_mut().set_base(work.ty, base).map_err(|e| {
+                        MiniCsError::new(base_ref.line, base_ref.col, e.to_string())
+                    })?;
+                    base_set = true;
+                }
+                _ => {
+                    db.types_mut()
+                        .add_interface_impl(work.ty, base)
+                        .map_err(|e| {
+                            MiniCsError::new(base_ref.line, base_ref.col, e.to_string())
+                        })?;
+                }
+            }
+        }
+    }
+
+    // Pass 3: declare members (signatures only).
+    type BodyWork<'w> = (
+        MethodId,
+        &'w TypeWork<'w>,
+        &'w [(ast::TypeRef, String)],
+        &'w [ast::Stmt],
+    );
+    let mut method_bodies: Vec<BodyWork<'_>> = Vec::new();
+    for work in &works {
+        for member in &work.decl.members {
+            match member {
+                ast::MemberDecl::Field {
+                    is_static,
+                    ty,
+                    name,
+                    is_property,
+                    is_private,
+                } => {
+                    let fty = resolve_type_ref(&db, work.ns_path, work.usings, ty)?;
+                    db.add_field(
+                        work.ty,
+                        name,
+                        *is_static,
+                        fty,
+                        visibility(*is_private),
+                        *is_property,
+                    )
+                    .map_err(|e| MiniCsError::new(ty.line, ty.col, e.to_string()))?;
+                }
+                ast::MemberDecl::Method {
+                    is_static,
+                    ret,
+                    name,
+                    params,
+                    body,
+                    is_private,
+                } => {
+                    let ret_ty = match ret {
+                        None => db.types().void_ty(),
+                        Some(tr) => resolve_type_ref(&db, work.ns_path, work.usings, tr)?,
+                    };
+                    let mut lowered = Vec::with_capacity(params.len());
+                    for (tr, pname) in params {
+                        let pty = resolve_type_ref(&db, work.ns_path, work.usings, tr)?;
+                        lowered.push(Param {
+                            name: pname.clone(),
+                            ty: pty,
+                        });
+                    }
+                    let mid = db.add_method(
+                        work.ty,
+                        name,
+                        *is_static,
+                        lowered,
+                        ret_ty,
+                        visibility(*is_private),
+                    );
+                    if let Some(stmts) = body {
+                        method_bodies.push((mid, work, params, stmts));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 4: override detection (nearest matching signature up the chain).
+    link_overrides(&mut db);
+
+    // Pass 5: compile bodies.
+    for (mid, work, _params, stmts) in method_bodies {
+        let body = compile_body(&db, mid, work, stmts)?;
+        let check = db.check_body(mid, &body);
+        if let Err(e) = check {
+            // Positions were already validated stmt-by-stmt; this is a
+            // safety net for constructs the incremental checks missed.
+            return Err(MiniCsError::new(
+                work.decl.line,
+                work.decl.col,
+                e.to_string(),
+            ));
+        }
+        db.set_body(mid, body);
+    }
+
+    Ok(db)
+}
+
+fn visibility(is_private: bool) -> Visibility {
+    if is_private {
+        Visibility::Private
+    } else {
+        Visibility::Public
+    }
+}
+
+struct TypeWork<'a> {
+    ty: TypeId,
+    decl: &'a ast::TypeDecl,
+    ns_path: &'a [String],
+    usings: &'a [Vec<String>],
+}
+
+/// Links each instance method to the nearest method it overrides: same name,
+/// same parameter types, declared on a strict supertype. Override chains
+/// share abstract-type slots (paper Section 4.1).
+fn link_overrides(db: &mut Database) {
+    let mut links = Vec::new();
+    for m in db.methods() {
+        let md = db.method(m);
+        if md.is_static() {
+            continue;
+        }
+        let sig: Vec<TypeId> = md.params().iter().map(|p| p.ty).collect();
+        let chain = db.member_lookup_chain(md.declaring());
+        'search: for owner in chain.into_iter().skip(1) {
+            for &cand in db.methods_of(owner) {
+                let cd = db.method(cand);
+                if !cd.is_static()
+                    && cd.name() == md.name()
+                    && cd.params().len() == sig.len()
+                    && cd.params().iter().zip(&sig).all(|(p, s)| p.ty == *s)
+                {
+                    links.push((m, cand));
+                    break 'search;
+                }
+            }
+        }
+    }
+    for (m, base) in links {
+        db.set_overrides(m, base);
+    }
+}
+
+/// Resolves a source type reference against the enclosing namespace chain,
+/// the `using` list and absolute paths.
+fn resolve_type_ref(
+    db: &Database,
+    ns_path: &[String],
+    usings: &[Vec<String>],
+    tr: &ast::TypeRef,
+) -> MiniCsResult<TypeId> {
+    if tr.segments.len() == 1 {
+        let kw = tr.segments[0].as_str();
+        if let Some(p) = PrimKind::from_keyword(kw) {
+            return Ok(db.types().prim(p));
+        }
+        if kw == "object" {
+            return Ok(db.types().object());
+        }
+    }
+    let (name, prefix) = tr.segments.split_last().expect("paths are non-empty");
+    let mut candidates: Vec<Vec<&str>> = Vec::new();
+    for i in (0..=ns_path.len()).rev() {
+        let mut p: Vec<&str> = ns_path[..i].iter().map(String::as_str).collect();
+        p.extend(prefix.iter().map(String::as_str));
+        candidates.push(p);
+    }
+    for u in usings {
+        let mut p: Vec<&str> = u.iter().map(String::as_str).collect();
+        p.extend(prefix.iter().map(String::as_str));
+        candidates.push(p);
+    }
+    for cand in candidates {
+        let dotted = cand.join(".");
+        if let Some(ns) = db.types().namespaces().lookup_dotted(&dotted) {
+            if let Some(ty) = db.types().lookup(ns, name) {
+                return Ok(ty);
+            }
+        }
+    }
+    Err(MiniCsError::new(
+        tr.line,
+        tr.col,
+        format!("unknown type `{}`", tr.segments.join(".")),
+    ))
+}
+
+/// Whether some interned namespace has `path` as a (strict or full) prefix.
+fn is_ns_prefix(db: &Database, path: &[String]) -> bool {
+    db.types().namespaces().iter().any(|id| {
+        let segs = db.types().namespaces().segments(id);
+        segs.len() >= path.len() && segs[..path.len()] == *path
+    })
+}
+
+/// Intermediate resolution state for dotted chains.
+enum Res {
+    Value(Expr, ValueTy),
+    Type(TypeId),
+    Namespace(Vec<String>),
+}
+
+struct BodyCompiler<'a> {
+    db: &'a Database,
+    method: MethodId,
+    ns_path: &'a [String],
+    usings: &'a [Vec<String>],
+    body: Body,
+    local_names: HashMap<String, LocalId>,
+}
+
+fn compile_body(
+    db: &Database,
+    mid: MethodId,
+    work: &TypeWork<'_>,
+    stmts: &[ast::Stmt],
+) -> MiniCsResult<Body> {
+    let md = db.method(mid);
+    let mut body = Body::default();
+    let mut local_names = HashMap::new();
+    for p in md.params() {
+        local_names.insert(p.name.clone(), LocalId(body.locals.len() as u32));
+        body.locals.push((p.name.clone(), p.ty));
+    }
+    body.param_count = body.locals.len();
+    let mut compiler = BodyCompiler {
+        db,
+        method: mid,
+        ns_path: work.ns_path,
+        usings: work.usings,
+        body,
+        local_names,
+    };
+    for stmt in stmts {
+        compiler.stmt(stmt)?;
+    }
+    Ok(compiler.body)
+}
+
+impl<'a> BodyCompiler<'a> {
+    fn stmt(&mut self, stmt: &ast::Stmt) -> MiniCsResult<()> {
+        let lowered = self.lower_stmt(stmt, false)?;
+        self.body.stmts.push(lowered);
+        Ok(())
+    }
+
+    /// Lowers one statement. `nested` statements (inside `if`/`while`
+    /// blocks) may not declare locals, keeping the live-local model a
+    /// prefix of the slot table.
+    fn lower_stmt(&mut self, stmt: &ast::Stmt, nested: bool) -> MiniCsResult<Stmt> {
+        match stmt {
+            ast::Stmt::Local {
+                ty,
+                name,
+                init,
+                line,
+                col,
+            } => {
+                if nested {
+                    return Err(MiniCsError::new(
+                        *line,
+                        *col,
+                        "local declarations are not allowed inside `if`/`while` blocks",
+                    ));
+                }
+                let (e, ety) = self.value(init)?;
+                let declared = match ty {
+                    Some(tr) => resolve_type_ref(self.db, self.ns_path, self.usings, tr)?,
+                    None => ety.known().ok_or_else(|| {
+                        MiniCsError::new(*line, *col, "cannot infer the type of `var` from `null`")
+                    })?,
+                };
+                if let ValueTy::Known(t) = ety {
+                    if !self.db.types().implicitly_convertible(t, declared) {
+                        return Err(MiniCsError::new(
+                            *line,
+                            *col,
+                            format!(
+                                "initialiser of type `{}` does not convert to `{}`",
+                                self.db.types().qualified_name(t),
+                                self.db.types().qualified_name(declared)
+                            ),
+                        ));
+                    }
+                }
+                let id = LocalId(self.body.locals.len() as u32);
+                self.body.locals.push((name.clone(), declared));
+                self.local_names.insert(name.clone(), id);
+                Ok(Stmt::Init(id, e))
+            }
+            ast::Stmt::Expr(e) => {
+                let (expr, _) = self.value(e)?;
+                Ok(Stmt::Expr(expr))
+            }
+            ast::Stmt::Return(None, ..) => Ok(Stmt::Return(None)),
+            ast::Stmt::Return(Some(e), line, col) => {
+                let (expr, ety) = self.value(e)?;
+                let ret = self.db.method(self.method).return_type();
+                if let ValueTy::Known(t) = ety {
+                    if !self.db.types().implicitly_convertible(t, ret) {
+                        return Err(MiniCsError::new(
+                            *line,
+                            *col,
+                            "return value does not convert to the return type",
+                        ));
+                    }
+                }
+                Ok(Stmt::Return(Some(expr)))
+            }
+            ast::Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+                col,
+            } => {
+                let (cexpr, cty) = self.value(cond)?;
+                self.require_bool(cty, *line, *col)?;
+                let then_body = self.lower_block(then_body)?;
+                let else_body = self.lower_block(else_body)?;
+                Ok(Stmt::If {
+                    cond: cexpr,
+                    then_body,
+                    else_body,
+                })
+            }
+            ast::Stmt::While {
+                cond,
+                body,
+                line,
+                col,
+            } => {
+                let (cexpr, cty) = self.value(cond)?;
+                self.require_bool(cty, *line, *col)?;
+                let body = self.lower_block(body)?;
+                Ok(Stmt::While { cond: cexpr, body })
+            }
+        }
+    }
+
+    fn lower_block(&mut self, stmts: &[ast::Stmt]) -> MiniCsResult<Vec<Stmt>> {
+        stmts
+            .iter()
+            .map(|stmt| self.lower_stmt(stmt, true))
+            .collect()
+    }
+
+    fn require_bool(&self, ty: ValueTy, line: u32, col: u32) -> MiniCsResult<()> {
+        match ty {
+            ValueTy::Known(t)
+                if self
+                    .db
+                    .types()
+                    .implicitly_convertible(t, self.db.types().bool_ty()) =>
+            {
+                Ok(())
+            }
+            ValueTy::Wildcard => Ok(()),
+            _ => Err(MiniCsError::new(line, col, "condition must be boolean")),
+        }
+    }
+
+    fn value(&mut self, e: &ast::Expr) -> MiniCsResult<(Expr, ValueTy)> {
+        let (line, col) = e.pos();
+        match self.resolve(e)? {
+            Res::Value(expr, ty) => Ok((expr, ty)),
+            Res::Type(t) => Err(MiniCsError::new(
+                line,
+                col,
+                format!(
+                    "`{}` is a type, not a value",
+                    self.db.types().qualified_name(t)
+                ),
+            )),
+            Res::Namespace(path) => Err(MiniCsError::new(
+                line,
+                col,
+                format!("`{}` is a namespace, not a value", path.join(".")),
+            )),
+        }
+    }
+
+    fn resolve(&mut self, e: &ast::Expr) -> MiniCsResult<Res> {
+        match e {
+            ast::Expr::Int(v) => Ok(Res::Value(
+                Expr::IntLit(*v),
+                ValueTy::Known(self.db.types().int_ty()),
+            )),
+            ast::Expr::Double(v) => Ok(Res::Value(
+                Expr::DoubleLit(*v),
+                ValueTy::Known(self.db.types().double_ty()),
+            )),
+            ast::Expr::Bool(v) => Ok(Res::Value(
+                Expr::BoolLit(*v),
+                ValueTy::Known(self.db.types().bool_ty()),
+            )),
+            ast::Expr::Str(s) => Ok(Res::Value(
+                Expr::StrLit(s.clone()),
+                ValueTy::Known(self.db.types().string_ty()),
+            )),
+            ast::Expr::Null(..) => Ok(Res::Value(Expr::Null, ValueTy::Wildcard)),
+            ast::Expr::This(line, col) => {
+                let md = self.db.method(self.method);
+                if md.is_static() {
+                    return Err(MiniCsError::new(*line, *col, "`this` in a static method"));
+                }
+                Ok(Res::Value(Expr::This, ValueTy::Known(md.declaring())))
+            }
+            ast::Expr::Ident(name, line, col) => self.resolve_simple_name(name, *line, *col),
+            ast::Expr::Member(base, name, line, col) => {
+                let base_res = self.resolve(base)?;
+                self.resolve_member(base_res, name, *line, *col)
+            }
+            ast::Expr::Invoke(callee, args, line, col) => {
+                self.resolve_invoke(callee, args, *line, *col)
+            }
+            ast::Expr::Assign(lhs, rhs) => {
+                let (le, lt) = self.value(lhs)?;
+                let (re, rt) = self.value(rhs)?;
+                let (line, col) = lhs.pos();
+                if !matches!(
+                    le,
+                    Expr::Local(_) | Expr::StaticField(_) | Expr::FieldAccess(..)
+                ) {
+                    return Err(MiniCsError::new(line, col, "expression is not assignable"));
+                }
+                if let (ValueTy::Known(l), ValueTy::Known(r)) = (lt, rt) {
+                    if !self.db.types().implicitly_convertible(r, l) {
+                        return Err(MiniCsError::new(
+                            line,
+                            col,
+                            "assignment source does not convert to the target type",
+                        ));
+                    }
+                }
+                Ok(Res::Value(Expr::assign(le, re), lt))
+            }
+            ast::Expr::Cmp(op, lhs, rhs) => {
+                let (le, lt) = self.value(lhs)?;
+                let (re, rt) = self.value(rhs)?;
+                let (line, col) = lhs.pos();
+                if let (ValueTy::Known(l), ValueTy::Known(r)) = (lt, rt) {
+                    if self.db.types().comparable_pair(l, r).is_none() {
+                        return Err(MiniCsError::new(line, col, "operands are not comparable"));
+                    }
+                }
+                Ok(Res::Value(
+                    Expr::cmp(*op, le, re),
+                    ValueTy::Known(self.db.types().bool_ty()),
+                ))
+            }
+        }
+    }
+
+    fn resolve_simple_name(&mut self, name: &str, line: u32, col: u32) -> MiniCsResult<Res> {
+        // 1. Locals and parameters.
+        if let Some(&id) = self.local_names.get(name) {
+            let ty = self.body.locals[id.index()].1;
+            return Ok(Res::Value(Expr::Local(id), ValueTy::Known(ty)));
+        }
+        // 2. Members of the enclosing type.
+        let md = self.db.method(self.method);
+        let enclosing = md.declaring();
+        for owner in self.db.member_lookup_chain(enclosing) {
+            for &f in self.db.fields_of(owner) {
+                let fd = self.db.field(f);
+                if fd.name() == name && self.db.accessible(fd.visibility(), owner, Some(enclosing))
+                {
+                    return if fd.is_static() {
+                        Ok(Res::Value(Expr::StaticField(f), ValueTy::Known(fd.ty())))
+                    } else if md.is_static() {
+                        Err(MiniCsError::new(
+                            line,
+                            col,
+                            format!("instance field `{name}` used in a static method"),
+                        ))
+                    } else {
+                        Ok(Res::Value(
+                            Expr::field(Expr::This, f),
+                            ValueTy::Known(fd.ty()),
+                        ))
+                    };
+                }
+            }
+        }
+        // 3. A type.
+        let tr = ast::TypeRef {
+            segments: vec![name.to_owned()],
+            line,
+            col,
+        };
+        if let Ok(ty) = resolve_type_ref(self.db, self.ns_path, self.usings, &tr) {
+            return Ok(Res::Type(ty));
+        }
+        // 4. A namespace root.
+        let path = vec![name.to_owned()];
+        if is_ns_prefix(self.db, &path) {
+            return Ok(Res::Namespace(path));
+        }
+        Err(MiniCsError::new(
+            line,
+            col,
+            format!("unknown name `{name}`"),
+        ))
+    }
+
+    fn resolve_member(&mut self, base: Res, name: &str, line: u32, col: u32) -> MiniCsResult<Res> {
+        let enclosing = Some(self.db.method(self.method).declaring());
+        match base {
+            Res::Value(expr, ty) => {
+                let t = ty.known().ok_or_else(|| {
+                    MiniCsError::new(line, col, "cannot access a member of `null`")
+                })?;
+                for owner in self.db.member_lookup_chain(t) {
+                    for &f in self.db.fields_of(owner) {
+                        let fd = self.db.field(f);
+                        if fd.name() == name
+                            && !fd.is_static()
+                            && self.db.accessible(fd.visibility(), owner, enclosing)
+                        {
+                            return Ok(Res::Value(Expr::field(expr, f), ValueTy::Known(fd.ty())));
+                        }
+                    }
+                }
+                Err(MiniCsError::new(
+                    line,
+                    col,
+                    format!(
+                        "type `{}` has no accessible instance field `{name}`",
+                        self.db.types().qualified_name(t)
+                    ),
+                ))
+            }
+            Res::Type(t) => {
+                for &f in self.db.fields_of(t) {
+                    let fd = self.db.field(f);
+                    if fd.name() == name
+                        && fd.is_static()
+                        && self.db.accessible(fd.visibility(), t, enclosing)
+                    {
+                        return Ok(Res::Value(Expr::StaticField(f), ValueTy::Known(fd.ty())));
+                    }
+                }
+                Err(MiniCsError::new(
+                    line,
+                    col,
+                    format!(
+                        "type `{}` has no accessible static field `{name}`",
+                        self.db.types().qualified_name(t)
+                    ),
+                ))
+            }
+            Res::Namespace(mut path) => {
+                if let Some(ns) = self.db.types().namespaces().lookup_dotted(&path.join(".")) {
+                    if let Some(ty) = self.db.types().lookup(ns, name) {
+                        return Ok(Res::Type(ty));
+                    }
+                }
+                path.push(name.to_owned());
+                if is_ns_prefix(self.db, &path) {
+                    return Ok(Res::Namespace(path));
+                }
+                Err(MiniCsError::new(
+                    line,
+                    col,
+                    format!("unknown namespace or type `{}`", path.join(".")),
+                ))
+            }
+        }
+    }
+
+    fn resolve_invoke(
+        &mut self,
+        callee: &ast::Expr,
+        args: &[ast::Expr],
+        line: u32,
+        col: u32,
+    ) -> MiniCsResult<Res> {
+        let mut lowered: Vec<(Expr, ValueTy)> = Vec::with_capacity(args.len());
+        for a in args {
+            lowered.push(self.value(a)?);
+        }
+        let md = self.db.method(self.method);
+        let enclosing = md.declaring();
+
+        // Determine the candidate set and the receiver expression.
+        let (name, candidates): (&str, Vec<(MethodId, Option<Expr>)>) = match callee {
+            ast::Expr::Ident(name, ..) => {
+                let mut cands = Vec::new();
+                for owner in self.db.member_lookup_chain(enclosing) {
+                    for &m in self.db.methods_of(owner) {
+                        let cd = self.db.method(m);
+                        if cd.name() != name
+                            || !self.db.accessible(cd.visibility(), owner, Some(enclosing))
+                        {
+                            continue;
+                        }
+                        if cd.is_static() {
+                            cands.push((m, None));
+                        } else if !md.is_static() {
+                            cands.push((m, Some(Expr::This)));
+                        }
+                    }
+                }
+                (name.as_str(), cands)
+            }
+            ast::Expr::Member(base, name, bline, bcol) => {
+                let base_res = self.resolve(base)?;
+                match base_res {
+                    Res::Value(expr, ty) => {
+                        let t = ty.known().ok_or_else(|| {
+                            MiniCsError::new(*bline, *bcol, "cannot call a method on `null`")
+                        })?;
+                        let mut cands = Vec::new();
+                        for owner in self.db.member_lookup_chain(t) {
+                            for &m in self.db.methods_of(owner) {
+                                let cd = self.db.method(m);
+                                if cd.name() == name
+                                    && !cd.is_static()
+                                    && self.db.accessible(cd.visibility(), owner, Some(enclosing))
+                                {
+                                    cands.push((m, Some(expr.clone())));
+                                }
+                            }
+                        }
+                        (name.as_str(), cands)
+                    }
+                    Res::Type(t) => {
+                        let mut cands = Vec::new();
+                        for owner in self.db.member_lookup_chain(t) {
+                            for &m in self.db.methods_of(owner) {
+                                let cd = self.db.method(m);
+                                if cd.name() == name
+                                    && cd.is_static()
+                                    && self.db.accessible(cd.visibility(), owner, Some(enclosing))
+                                {
+                                    cands.push((m, None));
+                                }
+                            }
+                        }
+                        (name.as_str(), cands)
+                    }
+                    Res::Namespace(path) => {
+                        return Err(MiniCsError::new(
+                            *bline,
+                            *bcol,
+                            format!("cannot call a method on namespace `{}`", path.join(".")),
+                        ))
+                    }
+                }
+            }
+            other => {
+                let (l, c) = other.pos();
+                return Err(MiniCsError::new(
+                    l.max(line),
+                    c.max(col),
+                    "expression is not callable",
+                ));
+            }
+        };
+
+        // Overload selection: arity + convertibility, then min total distance.
+        let mut best: Option<(u32, MethodId, Option<&Expr>)> = None;
+        let mut best_recv: Option<Option<Expr>> = None;
+        for (m, recv) in &candidates {
+            let cd = self.db.method(*m);
+            if cd.params().len() != lowered.len() {
+                continue;
+            }
+            let mut total = 0u32;
+            let mut ok = true;
+            for ((_, at), p) in lowered.iter().zip(cd.params()) {
+                match at {
+                    ValueTy::Wildcard => {}
+                    ValueTy::Known(t) => match self.db.types().type_distance(*t, p.ty) {
+                        Some(d) => total += d,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if best.as_ref().map(|(b, ..)| total < *b).unwrap_or(true) {
+                best = Some((total, *m, None));
+                best_recv = Some(recv.clone());
+            }
+        }
+        let (Some((_, m, _)), Some(recv)) = (best, best_recv) else {
+            return Err(MiniCsError::new(
+                line,
+                col,
+                format!("no matching overload of `{name}` for these argument types"),
+            ));
+        };
+        let mut call_args: Vec<Expr> = Vec::with_capacity(lowered.len() + 1);
+        if let Some(r) = recv {
+            call_args.push(r);
+        }
+        call_args.extend(lowered.into_iter().map(|(e, _)| e));
+        let ret = self.db.method(m).return_type();
+        Ok(Res::Value(Expr::Call(m, call_args), ValueTy::Known(ret)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::compile;
+    use crate::{CallStyle, Context, Expr, Stmt};
+
+    const GEO: &str = r#"
+        namespace Geo {
+            struct Point { int X; int Y; }
+            class Shape {
+                Point Center;
+                double Area() { return 0.0; }
+            }
+            class Circle : Shape {
+                double Radius;
+                double Area() { return this.Radius; }
+                static Circle Unit;
+                static double Distance(Point a, Point b) { return 0.0; }
+            }
+            class Client {
+                void Run(Circle c, Point p) {
+                    var d = Circle.Distance(p, c.Center);
+                    double a = c.Area();
+                    c.Radius = a;
+                    p.X >= c.Center.Y;
+                    Helper(d);
+                }
+                void Helper(double x) { return; }
+            }
+        }
+    "#;
+
+    #[test]
+    fn compiles_and_links_overrides() {
+        let db = compile(GEO).unwrap();
+        let circle_area = db
+            .methods()
+            .find(|m| {
+                db.method(*m).name() == "Area"
+                    && db.types().qualified_name(db.method(*m).declaring()) == "Geo.Circle"
+            })
+            .unwrap();
+        let shape_area = db
+            .methods()
+            .find(|m| {
+                db.method(*m).name() == "Area"
+                    && db.types().qualified_name(db.method(*m).declaring()) == "Geo.Shape"
+            })
+            .unwrap();
+        assert_eq!(db.method(circle_area).overrides(), Some(shape_area));
+        assert_eq!(db.root_method(circle_area), shape_area);
+    }
+
+    #[test]
+    fn bodies_resolve_locals_members_and_calls() {
+        let db = compile(GEO).unwrap();
+        let run = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Run")
+            .unwrap();
+        let body = db.method(run).body().unwrap();
+        assert_eq!(body.param_count, 2);
+        assert_eq!(body.locals.len(), 4); // c, p, d, a
+                                          // First statement: var d = Circle.Distance(p, c.Center);
+        let Stmt::Init(_, Expr::Call(m, args)) = &body.stmts[0] else {
+            panic!("expected init with call, got {:?}", body.stmts[0]);
+        };
+        assert_eq!(db.method(*m).name(), "Distance");
+        assert_eq!(args.len(), 2, "static call takes explicit args only");
+        // `var` picked up the return type double.
+        assert_eq!(body.locals[2].1, db.types().double_ty());
+        // Rendering round-trips through context naming.
+        let ctx = Context::at_statement(&db, run, body, 1);
+        let Stmt::Init(_, a_init) = &body.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(
+            crate::render_expr(&db, &ctx, a_init, CallStyle::Receiver),
+            "c.Area()"
+        );
+    }
+
+    #[test]
+    fn unqualified_member_and_bare_call() {
+        let db = compile(GEO).unwrap();
+        let run = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Run")
+            .unwrap();
+        let body = db.method(run).body().unwrap();
+        // Last statement: Helper(d) resolves to this.Helper(d).
+        let Stmt::Expr(Expr::Call(m, args)) = body.stmts.last().unwrap() else {
+            panic!("expected bare call");
+        };
+        assert_eq!(db.method(*m).name(), "Helper");
+        assert_eq!(args.len(), 2);
+        assert!(matches!(args[0], Expr::This));
+    }
+
+    #[test]
+    fn overload_selection_prefers_precise_types() {
+        let db = compile(
+            r#"
+            namespace N {
+                class Base { }
+                class Derived : Base { }
+                class Lib {
+                    static int Pick(Base b) { return 1; }
+                    static int Pick(Derived d) { return 2; }
+                }
+                class Client {
+                    void M(Derived d) { Lib.Pick(d); }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let client_m = db.methods().find(|m| db.method(*m).name() == "M").unwrap();
+        let body = db.method(client_m).body().unwrap();
+        let Stmt::Expr(Expr::Call(m, _)) = &body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            db.method(*m).params()[0].name,
+            "d",
+            "picked the Derived overload"
+        );
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = compile("namespace N { class C { void M() { x; } } }").unwrap_err();
+        assert!(err.msg.contains("unknown name `x`"), "{err}");
+        let err =
+            compile("namespace N { class C { int F; void M() { this.F = \"s\"; } } }").unwrap_err();
+        assert!(err.msg.contains("does not convert"), "{err}");
+        let err = compile("namespace N { class C { static void M() { this.ToString(); } } }")
+            .unwrap_err();
+        assert!(err.msg.contains("`this` in a static method"), "{err}");
+        let err = compile("namespace N { class C { void M(UnknownType t) { } } }").unwrap_err();
+        assert!(err.msg.contains("unknown type"), "{err}");
+    }
+
+    #[test]
+    fn enum_members_resolve_as_static_fields() {
+        let db = compile(
+            r#"
+            namespace N {
+                enum Color { Red, Green }
+                class C {
+                    Color Pick() { return Color.Red; }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let pick = db
+            .methods()
+            .find(|m| db.method(*m).name() == "Pick")
+            .unwrap();
+        let body = db.method(pick).body().unwrap();
+        let Stmt::Return(Some(Expr::StaticField(f))) = &body.stmts[0] else {
+            panic!("expected static-field return");
+        };
+        assert_eq!(db.field(*f).name(), "Red");
+    }
+
+    #[test]
+    fn if_and_while_statements_lower() {
+        let db = compile(
+            r#"
+            namespace N {
+                class C {
+                    int Count;
+                    void Tick();
+                    void M(int limit) {
+                        int i = 0;
+                        while (i < limit) {
+                            this.Tick();
+                            this.Count = i;
+                        }
+                        if (this.Count >= limit) {
+                            this.Tick();
+                        } else {
+                            this.Count = 0;
+                        }
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let m = db.methods().find(|m| db.method(*m).name() == "M").unwrap();
+        let body = db.method(m).body().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        let Stmt::While {
+            body: loop_body, ..
+        } = &body.stmts[1]
+        else {
+            panic!("expected while, got {:?}", body.stmts[1]);
+        };
+        assert_eq!(loop_body.len(), 2);
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &body.stmts[2]
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+        db.check_body(m, body).unwrap();
+    }
+
+    #[test]
+    fn nested_declarations_and_bad_conditions_rejected() {
+        let err = compile("namespace N { class C { void M() { if (true) { int x = 1; } } } }")
+            .unwrap_err();
+        assert!(err.msg.contains("not allowed inside"), "{err}");
+        let err =
+            compile("namespace N { class C { void M(int k) { while (k) { } } } }").unwrap_err();
+        assert!(err.msg.contains("condition must be boolean"), "{err}");
+    }
+
+    #[test]
+    fn using_directives_open_namespaces() {
+        let db = compile(
+            r#"
+            using Lib.Deep;
+            namespace Lib.Deep { class Helper { static int Zero; } }
+            namespace App {
+                class C {
+                    int M() { return Helper.Zero; }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(db.types().lookup_qualified("Lib.Deep.Helper").is_some());
+    }
+
+    #[test]
+    fn cross_file_references() {
+        let db = super::super::compile_many(&[
+            "namespace A { class First { static A.B.Second Make(); } }",
+            "namespace A.B { class Second : A.First { } }",
+        ])
+        .unwrap();
+        let second = db.types().lookup_qualified("A.B.Second").unwrap();
+        let first = db.types().lookup_qualified("A.First").unwrap();
+        assert_eq!(db.types().declared_base(second), Some(first));
+    }
+}

@@ -1,0 +1,283 @@
+//! Type distance `td(α, β)` and operator comparability (paper Section 4.1).
+
+use std::collections::VecDeque;
+
+use crate::{TypeId, TypeKind, TypeTable};
+
+/// How two sides of a relational operator relate, as computed by
+/// [`TypeTable::comparable_pair`].
+///
+/// The paper treats binary operators "as methods with two parameters both of
+/// the more general type, so the type distance between the two arguments to
+/// the operator is used"; `general` is that more general type and `distance`
+/// the type distance between the two sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparablePair {
+    /// The more general of the two operand types.
+    pub general: TypeId,
+    /// `td` between the less and the more general operand type.
+    pub distance: u32,
+}
+
+impl TypeTable {
+    /// The paper's type distance `td(from, to)`.
+    ///
+    /// Returns `None` when there is no implicit conversion from `from` to
+    /// `to`; `Some(0)` when the types are equal; `Some(1)` for primitives
+    /// related by implicit widening; otherwise one plus the minimum distance
+    /// over the immediate declared supertypes of `from` (the hop count of the
+    /// shortest upward path through the hierarchy, e.g.
+    /// `td(Rectangle, Shape) = 1`, `td(Rectangle, Object) = 2`).
+    pub fn type_distance(&self, from: TypeId, to: TypeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        if let (Some(pa), Some(pb)) = (self.get(from).prim_kind(), self.get(to).prim_kind()) {
+            return if pa.widens_to(pb) { Some(1) } else { None };
+        }
+        if matches!(self.get(from).kind(), TypeKind::Void)
+            || matches!(self.get(to).kind(), TypeKind::Void)
+        {
+            return None;
+        }
+        // Breadth-first search upward through immediate declared supertypes.
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[from.index()] = 0;
+        queue.push_back(from);
+        while let Some(t) = queue.pop_front() {
+            let d = dist[t.index()];
+            for s in self.immediate_supertypes(t) {
+                if dist[s.index()] == u32::MAX {
+                    dist[s.index()] = d + 1;
+                    if s == to {
+                        return Some(d + 1);
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether an implicit conversion from `from` to `to` exists
+    /// (equivalently, whether `td(from, to)` is defined).
+    pub fn implicitly_convertible(&self, from: TypeId, to: TypeId) -> bool {
+        self.type_distance(from, to).is_some()
+    }
+
+    /// All types `u` (including `from` itself) such that `td(from, u)` is
+    /// defined, paired with their distance, in non-decreasing distance order.
+    ///
+    /// This is the set the method index walks when looking for candidate
+    /// methods accepting an argument of type `from`: progressively farther
+    /// entries yield progressively worse-ranked results (paper Section 4.2).
+    pub fn conversion_targets(&self, from: TypeId) -> Vec<(TypeId, u32)> {
+        let mut out = vec![(from, 0)];
+        if let Some(pa) = self.get(from).prim_kind() {
+            for (i, pb) in crate::PrimKind::ALL.iter().enumerate() {
+                if pa.widens_to(*pb) {
+                    out.push((self.prim(crate::PrimKind::ALL[i]), 1));
+                }
+            }
+        }
+        if matches!(self.get(from).kind(), TypeKind::Void) {
+            return out;
+        }
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[from.index()] = 0;
+        queue.push_back(from);
+        while let Some(t) = queue.pop_front() {
+            let d = dist[t.index()];
+            for s in self.immediate_supertypes(t) {
+                if dist[s.index()] == u32::MAX {
+                    dist[s.index()] = d + 1;
+                    out.push((s, d + 1));
+                    queue.push_back(s);
+                }
+            }
+        }
+        out.sort_by_key(|&(t, d)| (d, t));
+        out.dedup_by_key(|&mut (t, _)| t);
+        out
+    }
+
+    /// Decides whether a relational operator (`<`, `>=`, ...) accepts a pair
+    /// of operand types, and if so which is the more general type.
+    ///
+    /// Valid pairs are: ordered primitives related by identity or widening;
+    /// and non-primitive types where one side implicitly converts to the
+    /// other and the more general side is marked comparable (enums with
+    /// themselves, plus types opted in via [`TypeTable::set_comparable`]).
+    pub fn comparable_pair(&self, a: TypeId, b: TypeId) -> Option<ComparablePair> {
+        if let (Some(pa), Some(pb)) = (self.get(a).prim_kind(), self.get(b).prim_kind()) {
+            if !pa.comparable_with(pb) {
+                return None;
+            }
+            let general = if pa.widens_to(pb) { b } else { a };
+            let distance = if pa == pb { 0 } else { 1 };
+            return Some(ComparablePair { general, distance });
+        }
+        if self.get(a).is_primitive() || self.get(b).is_primitive() {
+            // A primitive never compares against a non-primitive: the only
+            // shared supertype is Object, which is not ordered.
+            return None;
+        }
+        let forward = self
+            .type_distance(a, b)
+            .filter(|_| self.get(b).is_comparable())
+            .map(|d| ComparablePair {
+                general: b,
+                distance: d,
+            });
+        let backward = self
+            .type_distance(b, a)
+            .filter(|_| self.get(a).is_comparable())
+            .map(|d| ComparablePair {
+                general: a,
+                distance: d,
+            });
+        match (forward, backward) {
+            (Some(f), Some(g)) => Some(if g.distance < f.distance { g } else { f }),
+            (f, g) => f.or(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NamespaceId, PrimKind};
+
+    fn hierarchy() -> (TypeTable, TypeId, TypeId, TypeId) {
+        // Object <- Shape <- Rectangle, plus interface IDrawable on Shape.
+        let mut t = TypeTable::new();
+        let ns = t.namespaces_mut().intern(&["Geometry"]);
+        let shape = t.declare_class(ns, "Shape").unwrap();
+        let rect = t.declare_class(ns, "Rectangle").unwrap();
+        t.set_base(rect, shape).unwrap();
+        let drawable = t.declare_interface(ns, "IDrawable").unwrap();
+        t.add_interface_impl(shape, drawable).unwrap();
+        (t, shape, rect, drawable)
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        let (t, shape, rect, _) = hierarchy();
+        assert_eq!(t.type_distance(rect, shape), Some(1));
+        assert_eq!(t.type_distance(rect, t.object()), Some(2));
+        assert_eq!(t.type_distance(shape, t.object()), Some(1));
+        assert_eq!(t.type_distance(shape, rect), None);
+        assert_eq!(t.type_distance(rect, rect), Some(0));
+    }
+
+    #[test]
+    fn interface_paths_count() {
+        let (t, shape, rect, drawable) = hierarchy();
+        assert_eq!(t.type_distance(shape, drawable), Some(1));
+        assert_eq!(t.type_distance(rect, drawable), Some(2));
+        assert_eq!(t.type_distance(drawable, t.object()), Some(1));
+        assert_eq!(t.type_distance(drawable, shape), None);
+    }
+
+    #[test]
+    fn primitive_distances_are_flat() {
+        let t = TypeTable::new();
+        let int = t.int_ty();
+        let long = t.prim(PrimKind::Long);
+        let double = t.double_ty();
+        assert_eq!(t.type_distance(int, long), Some(1));
+        assert_eq!(t.type_distance(int, double), Some(1));
+        assert_eq!(t.type_distance(double, int), None);
+        assert_eq!(t.type_distance(int, t.object()), Some(1));
+        assert_eq!(t.type_distance(t.string_ty(), t.object()), Some(1));
+        assert_eq!(t.type_distance(int, t.string_ty()), None);
+    }
+
+    #[test]
+    fn void_converts_to_nothing() {
+        let t = TypeTable::new();
+        assert_eq!(t.type_distance(t.void_ty(), t.object()), None);
+        assert_eq!(t.type_distance(t.int_ty(), t.void_ty()), None);
+        assert_eq!(t.type_distance(t.void_ty(), t.void_ty()), Some(0));
+    }
+
+    #[test]
+    fn conversion_targets_sorted_and_complete() {
+        let (t, shape, rect, drawable) = hierarchy();
+        let targets = t.conversion_targets(rect);
+        let ids: Vec<TypeId> = targets.iter().map(|&(t, _)| t).collect();
+        assert_eq!(targets[0], (rect, 0));
+        assert!(ids.contains(&shape));
+        assert!(ids.contains(&drawable));
+        assert!(ids.contains(&t.object()));
+        for w in targets.windows(2) {
+            assert!(w[0].1 <= w[1].1, "distances must be non-decreasing");
+        }
+        for &(u, d) in &targets {
+            assert_eq!(t.type_distance(rect, u), Some(d));
+        }
+    }
+
+    #[test]
+    fn conversion_targets_for_primitives_include_widenings() {
+        let t = TypeTable::new();
+        let targets = t.conversion_targets(t.int_ty());
+        let ids: Vec<TypeId> = targets.iter().map(|&(ty, _)| ty).collect();
+        assert!(ids.contains(&t.prim(PrimKind::Long)));
+        assert!(ids.contains(&t.double_ty()));
+        assert!(ids.contains(&t.object()));
+        assert!(!ids.contains(&t.prim(PrimKind::Short)));
+    }
+
+    #[test]
+    fn comparability_of_primitives() {
+        let t = TypeTable::new();
+        let p = t.comparable_pair(t.int_ty(), t.double_ty()).unwrap();
+        assert_eq!(p.general, t.double_ty());
+        assert_eq!(p.distance, 1);
+        let q = t.comparable_pair(t.int_ty(), t.int_ty()).unwrap();
+        assert_eq!(q.general, t.int_ty());
+        assert_eq!(q.distance, 0);
+        assert!(t.comparable_pair(t.bool_ty(), t.bool_ty()).is_none());
+        assert!(t.comparable_pair(t.string_ty(), t.string_ty()).is_none());
+        assert!(t.comparable_pair(t.int_ty(), t.object()).is_none());
+    }
+
+    #[test]
+    fn comparability_of_marked_types() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let datetime = t.declare_struct(ns, "DateTime").unwrap();
+        t.set_comparable(datetime, true);
+        let p = t.comparable_pair(datetime, datetime).unwrap();
+        assert_eq!(p.general, datetime);
+        assert_eq!(p.distance, 0);
+
+        let plain = t.declare_struct(ns, "Plain").unwrap();
+        assert!(t.comparable_pair(plain, plain).is_none());
+        assert!(t.comparable_pair(datetime, plain).is_none());
+
+        let e1 = t.declare_enum(ns, "E1").unwrap();
+        let e2 = t.declare_enum(ns, "E2").unwrap();
+        assert!(t.comparable_pair(e1, e1).is_some());
+        assert!(t.comparable_pair(e1, e2).is_none());
+    }
+
+    #[test]
+    fn comparability_through_subtyping() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let base = t.declare_class(ns, "Version").unwrap();
+        let derived = t.declare_class(ns, "SemVer").unwrap();
+        t.set_base(derived, base).unwrap();
+        t.set_comparable(base, true);
+        let p = t.comparable_pair(derived, base).unwrap();
+        assert_eq!(p.general, base);
+        assert_eq!(p.distance, 1);
+        let q = t.comparable_pair(base, derived).unwrap();
+        assert_eq!(q.general, base);
+        assert_eq!(q.distance, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for type-table construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for fallible [`crate::TypeTable`] operations.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+/// Errors raised while constructing or mutating a [`crate::TypeTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A type with the same name already exists in the namespace.
+    DuplicateType {
+        /// The clashing simple name.
+        name: String,
+    },
+    /// Setting this base class would create an inheritance cycle.
+    InheritanceCycle {
+        /// Simple name of the type whose base was being set.
+        name: String,
+    },
+    /// The operation requires a class but the id names something else.
+    NotAClass {
+        /// Simple name of the offending type.
+        name: String,
+    },
+    /// The operation requires an interface but the id names something else.
+    NotAnInterface {
+        /// Simple name of the offending type.
+        name: String,
+    },
+    /// A base was requested for a type that cannot have one (e.g. `Object`).
+    BaseNotAllowed {
+        /// Simple name of the offending type.
+        name: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateType { name } => {
+                write!(f, "type `{name}` is already declared in this namespace")
+            }
+            TypeError::InheritanceCycle { name } => {
+                write!(
+                    f,
+                    "setting this base for `{name}` would create an inheritance cycle"
+                )
+            }
+            TypeError::NotAClass { name } => write!(f, "`{name}` is not a class"),
+            TypeError::NotAnInterface { name } => write!(f, "`{name}` is not an interface"),
+            TypeError::BaseNotAllowed { name } => {
+                write!(f, "`{name}` cannot be given a base class")
+            }
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let e = TypeError::DuplicateType { name: "Foo".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("Foo"));
+        assert!(!msg.ends_with('.'));
+    }
+}

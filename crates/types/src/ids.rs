@@ -1,0 +1,73 @@
+//! Index-based identifiers for interned types and namespaces.
+
+use std::fmt;
+
+/// Identifier of a type interned in a [`crate::TypeTable`].
+///
+/// `TypeId`s are small copyable indexes; all information about the type lives
+/// in the table that issued the id. Ids from different tables must not be
+/// mixed (doing so yields wrong answers or panics, never unsafety).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// Raw index of this type inside its [`crate::TypeTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `TypeId` from a raw index previously obtained from
+    /// [`TypeId::index`]. The caller is responsible for using it only with
+    /// the table it came from.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TypeId(index as u32)
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty#{}", self.0)
+    }
+}
+
+/// Identifier of an interned namespace path (see [`crate::Namespaces`]).
+///
+/// The global (empty) namespace always has id `NamespaceId::GLOBAL`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NamespaceId(pub(crate) u32);
+
+impl NamespaceId {
+    /// The root namespace, i.e. the empty path.
+    pub const GLOBAL: NamespaceId = NamespaceId(0);
+
+    /// Raw index of this namespace in its [`crate::Namespaces`] arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NamespaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_id_round_trips_through_index() {
+        let id = TypeId(42);
+        assert_eq!(TypeId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", TypeId(7)), "ty#7");
+        assert_eq!(format!("{:?}", NamespaceId::GLOBAL), "ns#0");
+    }
+}

@@ -1,0 +1,453 @@
+//! The type table: an arena of type definitions plus hierarchy maintenance.
+
+use std::collections::HashMap;
+
+use crate::{NamespaceId, Namespaces, PrimKind, TypeDef, TypeError, TypeId, TypeKind, TypeResult};
+
+/// Ids of the types every table contains from birth.
+#[derive(Debug, Clone, Copy)]
+pub struct WellKnown {
+    /// `System.Object`, the root of the reference hierarchy and the boxing
+    /// target of every value type.
+    pub object: TypeId,
+    /// `void`, the return "type" of methods that return nothing. It converts
+    /// to nothing and nothing converts to it.
+    pub void: TypeId,
+}
+
+/// Arena of all types in a modelled program plus the namespace arena.
+///
+/// A fresh table contains `System.Object`, `void`, and the fourteen
+/// primitives of [`PrimKind`] (registered in the global namespace under their
+/// C# keywords). User types are added with the `declare_*` methods and wired
+/// up with [`TypeTable::set_base`] / [`TypeTable::add_interface_impl`], which
+/// enforce acyclicity.
+#[derive(Debug, Clone)]
+pub struct TypeTable {
+    namespaces: Namespaces,
+    types: Vec<TypeDef>,
+    by_name: HashMap<(NamespaceId, String), TypeId>,
+    well_known: WellKnown,
+    prims: [TypeId; PrimKind::ALL.len()],
+}
+
+impl Default for TypeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeTable {
+    /// Creates a table pre-populated with `Object`, `void` and the primitives.
+    pub fn new() -> Self {
+        let mut namespaces = Namespaces::new();
+        let system = namespaces.intern(&["System"]);
+        let mut table = TypeTable {
+            namespaces,
+            types: Vec::new(),
+            by_name: HashMap::new(),
+            // Placeholder ids, fixed up immediately below.
+            well_known: WellKnown {
+                object: TypeId(0),
+                void: TypeId(0),
+            },
+            prims: [TypeId(0); PrimKind::ALL.len()],
+        };
+        let object = table
+            .push(system, "Object", TypeKind::Class { base: None }, false)
+            .expect("fresh table");
+        let void = table
+            .push(system, "Void", TypeKind::Void, false)
+            .expect("fresh table");
+        table.well_known = WellKnown { object, void };
+        for (i, p) in PrimKind::ALL.iter().enumerate() {
+            let id = table
+                .push(
+                    NamespaceId::GLOBAL,
+                    p.keyword(),
+                    TypeKind::Primitive(*p),
+                    p.is_ordered(),
+                )
+                .expect("fresh table");
+            table.prims[i] = id;
+        }
+        table
+    }
+
+    fn push(
+        &mut self,
+        namespace: NamespaceId,
+        name: &str,
+        kind: TypeKind,
+        comparable: bool,
+    ) -> TypeResult<TypeId> {
+        let key = (namespace, name.to_owned());
+        if self.by_name.contains_key(&key) {
+            return Err(TypeError::DuplicateType {
+                name: name.to_owned(),
+            });
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(TypeDef {
+            name: name.to_owned(),
+            namespace,
+            kind,
+            interfaces: Vec::new(),
+            comparable,
+        });
+        self.by_name.insert(key, id);
+        Ok(id)
+    }
+
+    /// The namespace arena.
+    pub fn namespaces(&self) -> &Namespaces {
+        &self.namespaces
+    }
+
+    /// Mutable access to the namespace arena (for interning new paths).
+    pub fn namespaces_mut(&mut self) -> &mut Namespaces {
+        &mut self.namespaces
+    }
+
+    /// Ids of the always-present types.
+    pub fn well_known(&self) -> WellKnown {
+        self.well_known
+    }
+
+    /// `System.Object`.
+    pub fn object(&self) -> TypeId {
+        self.well_known.object
+    }
+
+    /// The `void` pseudo-type.
+    pub fn void_ty(&self) -> TypeId {
+        self.well_known.void
+    }
+
+    /// The table id of a primitive kind.
+    pub fn prim(&self, kind: PrimKind) -> TypeId {
+        self.prims[PrimKind::ALL
+            .iter()
+            .position(|p| *p == kind)
+            .expect("all kinds listed")]
+    }
+
+    /// Shorthand for [`TypeTable::prim`] with [`PrimKind::Int`].
+    pub fn int_ty(&self) -> TypeId {
+        self.prim(PrimKind::Int)
+    }
+
+    /// Shorthand for [`TypeTable::prim`] with [`PrimKind::Bool`].
+    pub fn bool_ty(&self) -> TypeId {
+        self.prim(PrimKind::Bool)
+    }
+
+    /// Shorthand for [`TypeTable::prim`] with [`PrimKind::Double`].
+    pub fn double_ty(&self) -> TypeId {
+        self.prim(PrimKind::Double)
+    }
+
+    /// Shorthand for [`TypeTable::prim`] with [`PrimKind::String`].
+    pub fn string_ty(&self) -> TypeId {
+        self.prim(PrimKind::String)
+    }
+
+    /// Declares a class deriving `Object` (until [`TypeTable::set_base`]).
+    pub fn declare_class(&mut self, ns: NamespaceId, name: &str) -> TypeResult<TypeId> {
+        self.push(ns, name, TypeKind::Class { base: None }, false)
+    }
+
+    /// Declares an interface.
+    pub fn declare_interface(&mut self, ns: NamespaceId, name: &str) -> TypeResult<TypeId> {
+        self.push(ns, name, TypeKind::Interface, false)
+    }
+
+    /// Declares a struct (user value type).
+    pub fn declare_struct(&mut self, ns: NamespaceId, name: &str) -> TypeResult<TypeId> {
+        self.push(ns, name, TypeKind::Struct, false)
+    }
+
+    /// Declares an enum. Enums are comparable with themselves by default.
+    pub fn declare_enum(&mut self, ns: NamespaceId, name: &str) -> TypeResult<TypeId> {
+        self.push(ns, name, TypeKind::Enum, true)
+    }
+
+    /// Sets the direct base class of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `class` is not a class, is `Object`, if `base` is not a
+    /// class, or if the edge would create a cycle.
+    pub fn set_base(&mut self, class: TypeId, base: TypeId) -> TypeResult<()> {
+        if class == self.well_known.object {
+            return Err(TypeError::BaseNotAllowed {
+                name: self.get(class).name.clone(),
+            });
+        }
+        if !self.get(class).is_class() {
+            return Err(TypeError::NotAClass {
+                name: self.get(class).name.clone(),
+            });
+        }
+        if !self.get(base).is_class() {
+            return Err(TypeError::NotAClass {
+                name: self.get(base).name.clone(),
+            });
+        }
+        // Walk up from `base`; reaching `class` means a cycle.
+        let mut cur = Some(base);
+        while let Some(t) = cur {
+            if t == class {
+                return Err(TypeError::InheritanceCycle {
+                    name: self.get(class).name.clone(),
+                });
+            }
+            cur = self.declared_base(t);
+        }
+        match &mut self.types[class.index()].kind {
+            TypeKind::Class { base: b } => *b = Some(base),
+            _ => unreachable!("checked is_class above"),
+        }
+        Ok(())
+    }
+
+    /// Records that `ty` implements (or, for interfaces, extends) `iface`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `iface` is not an interface or a cycle would be created
+    /// between interfaces.
+    pub fn add_interface_impl(&mut self, ty: TypeId, iface: TypeId) -> TypeResult<()> {
+        if !self.get(iface).is_interface() {
+            return Err(TypeError::NotAnInterface {
+                name: self.get(iface).name.clone(),
+            });
+        }
+        if self.get(ty).is_interface() {
+            // Cycle check through interface-extends edges.
+            let mut stack = vec![iface];
+            let mut seen = vec![false; self.types.len()];
+            while let Some(t) = stack.pop() {
+                if t == ty {
+                    return Err(TypeError::InheritanceCycle {
+                        name: self.get(ty).name.clone(),
+                    });
+                }
+                if std::mem::replace(&mut seen[t.index()], true) {
+                    continue;
+                }
+                stack.extend(self.get(t).interfaces.iter().copied());
+            }
+        }
+        let list = &mut self.types[ty.index()].interfaces;
+        if !list.contains(&iface) {
+            list.push(iface);
+        }
+        Ok(())
+    }
+
+    /// Marks a non-primitive type as ordered by the relational operators
+    /// (the paper's `DateTime` example).
+    pub fn set_comparable(&mut self, ty: TypeId, comparable: bool) {
+        self.types[ty.index()].comparable = comparable;
+    }
+
+    /// The definition behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn get(&self, id: TypeId) -> &TypeDef {
+        &self.types[id.index()]
+    }
+
+    /// Looks up a type by namespace and simple name.
+    pub fn lookup(&self, ns: NamespaceId, name: &str) -> Option<TypeId> {
+        self.by_name.get(&(ns, name.to_owned())).copied()
+    }
+
+    /// Looks up a type by fully qualified dotted name (e.g.
+    /// `"System.Object"`; primitives by keyword, e.g. `"int"`).
+    pub fn lookup_qualified(&self, qualified: &str) -> Option<TypeId> {
+        match qualified.rfind('.') {
+            None => self.lookup(NamespaceId::GLOBAL, qualified),
+            Some(i) => {
+                let ns = self.namespaces.lookup_dotted(&qualified[..i])?;
+                self.lookup(ns, &qualified[i + 1..])
+            }
+        }
+    }
+
+    /// Number of types in the table.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// A table is never empty (well-known types are always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all type ids in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// Fully qualified dotted name of a type (primitives by keyword).
+    pub fn qualified_name(&self, id: TypeId) -> String {
+        let def = self.get(id);
+        let ns = self.namespaces.dotted(def.namespace);
+        if ns.is_empty() {
+            def.name.clone()
+        } else {
+            format!("{ns}.{}", def.name)
+        }
+    }
+
+    /// The declared base class edge, without the implicit `Object` fallback.
+    pub fn declared_base(&self, id: TypeId) -> Option<TypeId> {
+        match self.get(id).kind {
+            TypeKind::Class { base } => base,
+            _ => None,
+        }
+    }
+
+    /// The effective base in the conversion graph: the declared base for
+    /// classes (defaulting to `Object`), and `Object` for value types,
+    /// primitives and interfaces (boxing / the universal reference target).
+    /// `Object` and `void` have none.
+    pub fn base_of(&self, id: TypeId) -> Option<TypeId> {
+        if id == self.well_known.object || id == self.well_known.void {
+            return None;
+        }
+        match self.get(id).kind {
+            TypeKind::Class { base } => Some(base.unwrap_or(self.well_known.object)),
+            TypeKind::Void => None,
+            TypeKind::Interface | TypeKind::Struct | TypeKind::Enum | TypeKind::Primitive(_) => {
+                Some(self.well_known.object)
+            }
+        }
+    }
+
+    /// Immediate declared supertypes in the conversion graph: the effective
+    /// base plus declared interfaces. This is the `s(α)` of the paper's type
+    /// distance definition.
+    pub fn immediate_supertypes(&self, id: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        if let Some(b) = self.base_of(id) {
+            out.push(b);
+        }
+        out.extend(self.get(id).interfaces.iter().copied());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_has_well_known_types() {
+        let t = TypeTable::new();
+        assert_eq!(t.get(t.object()).name(), "Object");
+        assert_eq!(t.qualified_name(t.object()), "System.Object");
+        assert_eq!(t.qualified_name(t.int_ty()), "int");
+        assert_eq!(t.lookup_qualified("System.Object"), Some(t.object()));
+        assert_eq!(t.lookup_qualified("int"), Some(t.int_ty()));
+        assert_eq!(t.lookup_qualified("Nope.Object"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_per_namespace() {
+        let mut t = TypeTable::new();
+        let ns = t.namespaces_mut().intern(&["A"]);
+        let other = t.namespaces_mut().intern(&["B"]);
+        t.declare_class(ns, "C").unwrap();
+        assert!(matches!(
+            t.declare_class(ns, "C"),
+            Err(TypeError::DuplicateType { .. })
+        ));
+        // Same simple name in another namespace is fine.
+        t.declare_class(other, "C").unwrap();
+    }
+
+    #[test]
+    fn base_cycles_rejected() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let a = t.declare_class(ns, "A").unwrap();
+        let b = t.declare_class(ns, "B").unwrap();
+        t.set_base(b, a).unwrap();
+        assert!(matches!(
+            t.set_base(a, b),
+            Err(TypeError::InheritanceCycle { .. })
+        ));
+        assert!(matches!(
+            t.set_base(a, a),
+            Err(TypeError::InheritanceCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn object_cannot_get_a_base() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let a = t.declare_class(ns, "A").unwrap();
+        let obj = t.object();
+        assert!(matches!(
+            t.set_base(obj, a),
+            Err(TypeError::BaseNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn interface_extends_cycle_rejected() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let i = t.declare_interface(ns, "I").unwrap();
+        let j = t.declare_interface(ns, "J").unwrap();
+        t.add_interface_impl(j, i).unwrap();
+        assert!(matches!(
+            t.add_interface_impl(i, j),
+            Err(TypeError::InheritanceCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn implementing_a_class_is_an_error() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let a = t.declare_class(ns, "A").unwrap();
+        let b = t.declare_class(ns, "B").unwrap();
+        assert!(matches!(
+            t.add_interface_impl(a, b),
+            Err(TypeError::NotAnInterface { .. })
+        ));
+    }
+
+    #[test]
+    fn base_of_defaults_to_object() {
+        let mut t = TypeTable::new();
+        let ns = NamespaceId::GLOBAL;
+        let a = t.declare_class(ns, "A").unwrap();
+        let s = t.declare_struct(ns, "S").unwrap();
+        let e = t.declare_enum(ns, "E").unwrap();
+        assert_eq!(t.base_of(a), Some(t.object()));
+        assert_eq!(t.base_of(s), Some(t.object()));
+        assert_eq!(t.base_of(e), Some(t.object()));
+        assert_eq!(t.base_of(t.object()), None);
+        assert_eq!(t.base_of(t.void_ty()), None);
+        assert_eq!(t.base_of(t.int_ty()), Some(t.object()));
+    }
+
+    #[test]
+    fn enums_default_comparable() {
+        let mut t = TypeTable::new();
+        let e = t.declare_enum(NamespaceId::GLOBAL, "E").unwrap();
+        assert!(t.get(e).is_comparable());
+        let c = t.declare_class(NamespaceId::GLOBAL, "DateTime").unwrap();
+        assert!(!t.get(c).is_comparable());
+        t.set_comparable(c, true);
+        assert!(t.get(c).is_comparable());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the type-distance lattice over random hierarchies.
+
+use proptest::prelude::*;
+
+use pex_types::{NamespaceId, PrimKind, TypeId, TypeTable};
+
+/// A recipe for a random hierarchy: per class, an optional base among the
+/// earlier classes; per class, optional interface links.
+#[derive(Debug, Clone)]
+struct Recipe {
+    bases: Vec<Option<usize>>,         // bases[i] < i
+    iface_of: Vec<Option<usize>>,      // class i implements interface iface_of[i]
+    iface_extends: Vec<Option<usize>>, // interface j extends earlier interface
+}
+
+fn recipe(max_classes: usize, max_ifaces: usize) -> impl Strategy<Value = Recipe> {
+    (2..max_classes, 1..max_ifaces).prop_flat_map(|(nc, ni)| {
+        let bases = (0..nc)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    proptest::option::of(0..i).boxed()
+                }
+            })
+            .collect::<Vec<_>>();
+        let iface_of = (0..nc)
+            .map(|_| proptest::option::of(0..ni))
+            .collect::<Vec<_>>();
+        let iface_extends = (0..ni)
+            .map(|j| {
+                if j == 0 {
+                    Just(None).boxed()
+                } else {
+                    proptest::option::of(0..j).boxed()
+                }
+            })
+            .collect::<Vec<_>>();
+        (bases, iface_of, iface_extends).prop_map(|(bases, iface_of, iface_extends)| Recipe {
+            bases,
+            iface_of,
+            iface_extends,
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> (TypeTable, Vec<TypeId>, Vec<TypeId>) {
+    let mut table = TypeTable::new();
+    let ns = NamespaceId::GLOBAL;
+    let ifaces: Vec<TypeId> = (0..recipe.iface_extends.len())
+        .map(|j| {
+            table
+                .declare_interface(ns, &format!("I{j}"))
+                .expect("unique names")
+        })
+        .collect();
+    for (j, ext) in recipe.iface_extends.iter().enumerate() {
+        if let Some(k) = ext {
+            table
+                .add_interface_impl(ifaces[j], ifaces[*k])
+                .expect("acyclic by construction");
+        }
+    }
+    let classes: Vec<TypeId> = (0..recipe.bases.len())
+        .map(|i| {
+            table
+                .declare_class(ns, &format!("C{i}"))
+                .expect("unique names")
+        })
+        .collect();
+    for (i, base) in recipe.bases.iter().enumerate() {
+        if let Some(b) = base {
+            table
+                .set_base(classes[i], classes[*b])
+                .expect("acyclic by construction");
+        }
+        if let Some(j) = recipe.iface_of[i] {
+            table
+                .add_interface_impl(classes[i], ifaces[j])
+                .expect("interfaces are interfaces");
+        }
+    }
+    (table, classes, ifaces)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_laws_hold(recipe in recipe(10, 5)) {
+        let (table, classes, ifaces) = build(&recipe);
+        let all: Vec<TypeId> = classes.iter().chain(ifaces.iter()).copied().collect();
+        let object = table.object();
+
+        for &a in &all {
+            // Identity.
+            prop_assert_eq!(table.type_distance(a, a), Some(0));
+            // Everything nominal converts to Object.
+            let to_obj = table.type_distance(a, object);
+            prop_assert!(to_obj.is_some());
+            // ... and Object converts to nothing else.
+            if a != object {
+                prop_assert_eq!(table.type_distance(object, a), None);
+            }
+        }
+
+        // Triangle inequality along composable conversions, and
+        // antisymmetry (both directions defined only for equal types).
+        for &a in &all {
+            for &b in &all {
+                let ab = table.type_distance(a, b);
+                if a != b && ab.is_some() {
+                    prop_assert_eq!(table.type_distance(b, a), None);
+                }
+                for &c in &all {
+                    if let (Some(d1), Some(d2)) =
+                        (ab, table.type_distance(b, c))
+                    {
+                        let ac = table.type_distance(a, c);
+                        prop_assert!(ac.is_some(), "convertibility must compose");
+                        prop_assert!(
+                            ac.expect("checked") <= d1 + d2,
+                            "distance must satisfy the triangle inequality"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_targets_agree_with_distance(recipe in recipe(10, 5)) {
+        let (table, classes, ifaces) = build(&recipe);
+        let all: Vec<TypeId> = classes.iter().chain(ifaces.iter()).copied().collect();
+        for &a in &all {
+            let targets = table.conversion_targets(a);
+            // Sorted by distance, complete, and consistent.
+            let mut last = 0;
+            for &(t, d) in &targets {
+                prop_assert_eq!(table.type_distance(a, t), Some(d));
+                prop_assert!(d >= last);
+                last = d;
+            }
+            for &b in &all {
+                if let Some(d) = table.type_distance(a, b) {
+                    prop_assert!(
+                        targets.contains(&(b, d)),
+                        "reachable type missing from conversion targets"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparable_pairs_are_symmetric(a in 0..14usize, b in 0..14usize) {
+        let table = TypeTable::new();
+        let ta = table.prim(PrimKind::ALL[a]);
+        let tb = table.prim(PrimKind::ALL[b]);
+        let ab = table.comparable_pair(ta, tb);
+        let ba = table.comparable_pair(tb, ta);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(x), Some(y)) = (ab, ba) {
+            prop_assert_eq!(x.general, y.general);
+            prop_assert_eq!(x.distance, y.distance);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! API discovery: the paper's Section 2 scenario.
+//!
+//! You are using an image-editing framework and want to shrink an image.
+//! Your instinct is `img.Shrink(size)` — but no such API exists. Instead of
+//! hunting through namespaces, you ask: *which method takes my `img` and my
+//! `size`?* — the query `?({img, size})`.
+//!
+//! Run with: `cargo run --example api_discovery`
+
+use pex::corpus::builtin;
+use pex::prelude::*;
+
+fn main() {
+    // The mini Paint.NET corpus: the real API is
+    // PaintDotNet.Actions.CanvasSizeAction.ResizeDocument(document, size, edge, background)
+    let db = builtin::paint_dot_net();
+    let (ctx, site_method) = builtin::paint_query_site(&db);
+
+    // Abstract type inference over the whole program (the paper's Lackwit
+    // refinement): string-typed "paths" separate from string-typed "names",
+    // Document-typed values that flow into ResizeDocument separate from
+    // other Documents.
+    let abs = AbsTypes::for_query(&db, site_method, usize::MAX);
+
+    let index = MethodIndex::build(&db);
+    let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), Some(&abs));
+
+    println!("You wanted:  img.Shrink(size)      — which does not exist.");
+    println!("You ask:     ?({{img, size}})\n");
+
+    let query = parse_partial(&db, &ctx, "?({img, size})").expect("query parses");
+    for (i, completion) in engine.complete(&query, 10).iter().enumerate() {
+        println!(
+            "{:>3}. {}  (score {})",
+            i + 1,
+            engine.render(completion),
+            completion.score
+        );
+    }
+
+    println!();
+    println!("The top result is the paper's Figure 2 answer: the resize API");
+    println!("lives on CanvasSizeAction, takes your two values in its first");
+    println!("two positions, and leaves `0` holes for the arguments you can");
+    println!("fill in next (the anchor edge and the background colour).");
+
+    // Every produced completion is a legal completion of the query per the
+    // paper's Figure 6 semantics:
+    for completion in engine.complete(&query, 10) {
+        assert!(derives(&db, &ctx, &query, &completion.expr));
+    }
+}

@@ -1,0 +1,52 @@
+//! Argument filling: the paper's Figure 3 scenario.
+//!
+//! You know the method — `Distance` between two `Point`s — but not where
+//! the second endpoint lives. The query `Distance(point, ?)` enumerates
+//! every Point-typed value reachable from scope: locals, fields of `this`,
+//! globals, and chains of lookups, shortest first.
+//!
+//! Run with: `cargo run --example argument_filling`
+
+use pex::corpus::builtin;
+use pex::prelude::*;
+
+fn main() {
+    let db = builtin::dynamic_geometry();
+    // Inside DynamicGeometry.EllipseArc, with locals `point` and `shapeStyle`.
+    let ctx = builtin::geometry_fig3_context(&db);
+    let index = MethodIndex::build(&db);
+    let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+
+    println!("Query: Distance(point, ?)   — inside EllipseArc\n");
+    let query = parse_partial(&db, &ctx, "Distance(point, ?)").expect("query parses");
+    for (i, completion) in engine.complete(&query, 10).iter().enumerate() {
+        // Show just the filler, like the paper's Figure 3.
+        let filler = match &completion.expr {
+            Expr::Call(_, args) => args.last().expect("two arguments"),
+            other => other,
+        };
+        println!(
+            "{:>3}. {}  (score {})",
+            i + 1,
+            pex::model::render_expr(&db, &ctx, filler, CallStyle::Receiver),
+            completion.score
+        );
+    }
+
+    // The same hole, but restricted by an expected result type: the
+    // engine's return-type filter (the paper's Figure 12 mode).
+    println!("\nSame context, query `?` expecting a Glyph:");
+    let glyph = db
+        .types()
+        .lookup_qualified("DynamicGeometry.Glyph")
+        .unwrap();
+    let filtered =
+        Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(CompleteOptions {
+            expected: Some(glyph),
+            ..Default::default()
+        });
+    let hole = parse_partial(&db, &ctx, "?").expect("query parses");
+    for (i, completion) in filtered.complete(&hole, 5).iter().enumerate() {
+        println!("{:>3}. {}", i + 1, filtered.render(completion));
+    }
+}

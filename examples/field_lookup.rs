@@ -1,0 +1,49 @@
+//! Field-lookup completion: the paper's Figure 4 scenario.
+//!
+//! `point.?*m >= this.?*m` asks for field lookups (or zero-argument calls)
+//! on both sides of a comparison *simultaneously* — only pairs whose types
+//! are comparable survive, and pairs ending in the same member name (`X`
+//! with `X`) are preferred over mismatched ones (`X` with `Length`).
+//!
+//! Run with: `cargo run --example field_lookup`
+
+use pex::corpus::builtin;
+use pex::prelude::*;
+
+fn main() {
+    let db = builtin::dynamic_geometry();
+    // Inside DynamicGeometry.Segment, with local `point`.
+    let ctx = builtin::geometry_fig4_context(&db);
+    let index = MethodIndex::build(&db);
+    let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+
+    println!("Query: point.?*m >= this.?*m   — inside Segment\n");
+    let query = parse_partial(&db, &ctx, "point.?*m >= this.?*m").expect("query parses");
+    for (i, completion) in engine.complete(&query, 10).iter().enumerate() {
+        println!(
+            "{:>3}. {}  (score {})",
+            i + 1,
+            engine.render(completion),
+            completion.score
+        );
+    }
+
+    // The assignment variant of the same machinery: complete a missing
+    // final lookup on both sides of an assignment.
+    println!("\nQuery: point.?f = this.Midpoint.?f\n");
+    let query = parse_partial(&db, &ctx, "point.?f = this.Midpoint.?f").expect("query parses");
+    for (i, completion) in engine.complete(&query, 6).iter().enumerate() {
+        println!(
+            "{:>3}. {}  (score {})",
+            i + 1,
+            engine.render(completion),
+            completion.score
+        );
+    }
+
+    // Both sides complete jointly: an int field never gets assigned from a
+    // Point, so ill-typed pairs are absent by construction.
+    for completion in engine.complete(&query, 20) {
+        assert!(db.expr_ty(&completion.expr, &ctx).is_ok());
+    }
+}

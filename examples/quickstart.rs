@@ -1,0 +1,75 @@
+//! Quickstart: build a code model from mini-C# source, then run one query
+//! of each kind the paper supports.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pex::prelude::*;
+
+fn main() {
+    // 1. A small program: a geometry library plus one client class.
+    let db = pex::model::minics::compile(
+        r#"
+        namespace Geo {
+            struct Point { double X; double Y; }
+            class Segment {
+                Geo.Point P1;
+                Geo.Point P2;
+                Geo.Point Midpoint();
+                double DistanceTo(Geo.Point other);
+                static double Distance(Geo.Point a, Geo.Point b);
+                static Geo.Segment Unit;
+            }
+            class Canvas {
+                void DrawLine(Geo.Point from, Geo.Point to, double width);
+                void DrawMarker(Geo.Segment on, Geo.Point at);
+                void Clear();
+            }
+        }
+        "#,
+    )
+    .expect("source compiles");
+
+    // 2. A query context: inside no particular type, with two locals.
+    let point = db.types().lookup_qualified("Geo.Point").unwrap();
+    let seg = db.types().lookup_qualified("Geo.Segment").unwrap();
+    let ctx = Context::with_locals(
+        None,
+        vec![
+            Local {
+                name: "p".into(),
+                ty: point,
+            },
+            Local {
+                name: "seg".into(),
+                ty: seg,
+            },
+        ],
+    );
+
+    // 3. The engine: a method index (built once per program) + a completer.
+    let index = MethodIndex::build(&db);
+    let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+
+    for query_text in [
+        // Which method takes a Point and a Segment-ish thing?
+        "?({p, seg})",
+        // Fill in the second argument of a known method.
+        "Geo.Segment.Distance(p, ?)",
+        // A hole: everything reachable from scope, best first.
+        "?",
+        // Joint completion of both sides of a comparison.
+        "p.?*m >= seg.?*m",
+    ] {
+        let query = parse_partial(&db, &ctx, query_text).expect("query parses");
+        println!("query: {query_text}");
+        for (i, completion) in engine.complete(&query, 5).iter().enumerate() {
+            println!(
+                "  {}. {}  (score {})",
+                i + 1,
+                engine.render(completion),
+                completion.score
+            );
+        }
+        println!();
+    }
+}

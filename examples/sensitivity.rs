@@ -1,0 +1,75 @@
+//! Ranking-term ablation on a live query: how each term of the paper's
+//! Figure 7 ranking function changes an actual result list (the
+//! interactive counterpart of the paper's Table 2).
+//!
+//! Run with: `cargo run --example sensitivity`
+
+use pex::corpus::builtin;
+use pex::prelude::*;
+
+fn show(db: &Database, ctx: &Context, index: &MethodIndex, label: &str, config: RankConfig) {
+    let engine = Completer::new(db, ctx, index, config, None);
+    let query = parse_partial(db, ctx, "point.?*m >= this.?*m").expect("query parses");
+    println!("{label}:");
+    for (i, completion) in engine.complete(&query, 5).iter().enumerate() {
+        println!(
+            "  {}. {}  (score {})",
+            i + 1,
+            engine.render(completion),
+            completion.score
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let db = builtin::dynamic_geometry();
+    let ctx = builtin::geometry_fig4_context(&db);
+    let index = MethodIndex::build(&db);
+
+    // The full ranking function: same-named short chains first.
+    show(
+        &db,
+        &ctx,
+        &index,
+        "All terms (paper's configuration)",
+        RankConfig::all(),
+    );
+
+    // Without the matching-name term, `point.X >= this.Length` is as good
+    // as `point.X >= this.P1.X` was.
+    show(
+        &db,
+        &ctx,
+        &index,
+        "Without matching-name (-m)",
+        RankConfig::without(&[RankTerm::MatchingName]),
+    );
+
+    // Without the depth term, long chains tie with short ones and the list
+    // degrades to type-correct noise — the paper's Table 2 shows depth is
+    // the decisive term for lookup queries.
+    show(
+        &db,
+        &ctx,
+        &index,
+        "Without depth (-d)",
+        RankConfig::without(&[RankTerm::Depth]),
+    );
+
+    // Only depth: surprisingly close to the full function for this query
+    // family, exactly as Table 2 reports.
+    show(
+        &db,
+        &ctx,
+        &index,
+        "Only depth (+d)",
+        RankConfig::only(&[RankTerm::Depth]),
+    );
+
+    println!("All 15 Table 2 configurations are available via RankConfig::table2_variants():");
+    for (name, _) in RankConfig::table2_variants() {
+        print!("{name} ");
+    }
+    println!();
+}

@@ -1,0 +1,88 @@
+//! Smoke tests for the full evaluation pipeline at a tiny scale: every
+//! artefact renders, all metrics sit in range, and the whole pipeline is
+//! deterministic (same inputs → byte-identical reports).
+
+use pex::experiments::{
+    args, baselines, harness::ExperimentConfig, load_projects, lookups, methods, sensitivity, speed,
+};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        limit: 40,
+        max_sites: Some(4),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_artefacts_render_at_tiny_scale() {
+    let projects = load_projects(0.002);
+    assert_eq!(projects.len(), 7);
+    let cfg = tiny_cfg();
+
+    let m = methods::run(&projects, &cfg);
+    assert!(!m.is_empty());
+    let t1 = methods::render_table1(&projects, &m);
+    assert!(t1.contains("Totals"));
+    for render in [
+        methods::render_fig9(&m),
+        methods::render_fig10(&m),
+        methods::render_fig11(&m),
+        methods::render_fig12(&m),
+    ] {
+        assert!(render.contains('%'), "percentages expected:\n{render}");
+    }
+
+    let a = args::run(&projects, &cfg);
+    assert!(args::render_fig13(&a).contains("guessable"));
+    assert!(args::render_fig14(&a).contains("not guessable"));
+
+    let (assigns, cmps) = lookups::run(&projects, &cfg);
+    assert!(lookups::render_fig15(&assigns).contains("Target"));
+    assert!(lookups::render_fig16(&cmps).contains("Left"));
+
+    let b = baselines::run(&projects, &cfg);
+    assert!(baselines::render(&b).contains("insynth-style"));
+
+    let rows = vec![speed::SpeedRow::new("methods", m.iter().map(|o| o.micros))];
+    assert!(speed::render_speed(&rows).contains("p99"));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = tiny_cfg();
+    let run_once = || {
+        let projects = load_projects(0.002);
+        let m = methods::run(&projects, &cfg);
+        let a = args::run(&projects, &cfg);
+        let (assigns, cmps) = lookups::run(&projects, &cfg);
+        format!(
+            "{}\n{}\n{}\n{}\n{}",
+            methods::render_table1(&projects, &m),
+            methods::render_fig9(&m),
+            args::render_fig13(&a),
+            lookups::render_fig15(&assigns),
+            lookups::render_fig16(&cmps),
+        )
+    };
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "two identical runs must agree byte-for-byte"
+    );
+}
+
+#[test]
+fn sensitivity_runs_at_tiny_scale() {
+    let projects = load_projects(0.002);
+    let cfg = ExperimentConfig {
+        limit: 20,
+        max_sites: Some(2),
+        ..Default::default()
+    };
+    let rows = sensitivity::run(&projects, &cfg);
+    assert_eq!(rows.len(), 13);
+    let rendered = sensitivity::render_table2(&rows);
+    assert!(rendered.contains("[Methods]"));
+    assert!(rendered.contains("+at"));
+}
