@@ -1,0 +1,199 @@
+//! Perf-trajectory benchmarks: the memoized type-relation cache vs the
+//! per-query BFS it replaced, and parallel vs sequential experiment replay.
+//!
+//! Unlike the other benches this one post-processes its results into a
+//! machine-readable `BENCH_results.json` at the workspace root, so future
+//! changes can compare against recorded numbers. Run with
+//! `cargo bench --bench speedups`.
+
+use std::path::PathBuf;
+
+use criterion::{black_box, BenchResult, Criterion};
+
+use pex_core::{CandidateScratch, MethodIndex};
+use pex_corpus::table1_projects;
+use pex_experiments::{load_projects, methods, ExperimentConfig};
+use pex_model::Database;
+use pex_types::TypeId;
+
+/// The scale the acceptance numbers are pinned to (Table 1 at 0.02).
+const SCALE: f64 = 0.02;
+
+/// The pre-cache `candidates_for`: a fresh BFS over the conversion graph
+/// plus a fresh `vec![false; method_count]` dedupe bitmap per query.
+fn candidates_cold_bfs(index: &MethodIndex, db: &Database, ty: TypeId) -> Vec<pex_model::MethodId> {
+    let mut out = Vec::new();
+    let mut seen = vec![false; db.method_count()];
+    for (target, _) in db.types().conversion_targets_bfs(ty) {
+        for &m in index.exact(target) {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let profile = table1_projects()
+        .into_iter()
+        .next()
+        .expect("profiles are non-empty");
+    let db = profile.generate(SCALE);
+    let index = MethodIndex::build(&db);
+    let types: Vec<TypeId> = db.types().iter().collect();
+    // Prime both cache layers so the cached benches measure steady-state
+    // lookups, which is what the engine's hot loops see.
+    let _ = db.types().conversion_index();
+    for &ty in &types {
+        let _ = index.candidates_for_cached(&db, ty);
+    }
+
+    c.bench_function("speedups/candidates_for_cold_bfs", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &ty in &types {
+                total += candidates_cold_bfs(&index, &db, black_box(ty)).len();
+            }
+            black_box(total)
+        })
+    });
+    // Middle tier: conversion targets from the memoized index, dedupe via
+    // reusable scratch, but the walk itself redone every call.
+    c.bench_function("speedups/candidates_for_scratch_walk", |b| {
+        let mut scratch = CandidateScratch::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &ty in &types {
+                total += index
+                    .candidates_for_with(&db, black_box(ty), &mut scratch)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    // Steady state: the per-type candidate memo the engine consumes.
+    c.bench_function("speedups/candidates_for_cached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &ty in &types {
+                total += index.candidates_for_cached(&db, black_box(ty)).len();
+            }
+            black_box(total)
+        })
+    });
+
+    // Sanity: all three paths agree, so the speedups compare equal work.
+    let mut scratch = CandidateScratch::new();
+    for &ty in &types {
+        let cold = candidates_cold_bfs(&index, &db, ty);
+        assert_eq!(
+            cold,
+            index.candidates_for_with(&db, ty, &mut scratch),
+            "cold and scratch candidate walks diverged for {ty:?}"
+        );
+        assert_eq!(
+            cold.as_slice(),
+            index.candidates_for_cached(&db, ty),
+            "cold walk and candidate memo diverged for {ty:?}"
+        );
+    }
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let projects = load_projects(SCALE);
+    let cfg = |threads: Option<usize>| ExperimentConfig {
+        limit: 40,
+        max_sites: Some(6),
+        threads,
+        ..Default::default()
+    };
+    c.bench_function("speedups/methods_replay_sequential", |b| {
+        let cfg = cfg(Some(1));
+        b.iter(|| black_box(methods::run(&projects, &cfg)))
+    });
+    c.bench_function("speedups/methods_replay_parallel", |b| {
+        let cfg = cfg(None);
+        b.iter(|| black_box(methods::run(&projects, &cfg)))
+    });
+}
+
+fn median_of(results: &[BenchResult], id: &str) -> Option<f64> {
+    results.iter().find(|r| r.id == id).map(|r| r.median_ns)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the collected results (plus derived speedups) as JSON, without
+/// any serialization dependency.
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"pex-bench-speedups/1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{ \"scale\": {SCALE}, \"replay_threads\": {} }},\n",
+        rayon::current_num_threads()
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {} }}{}\n",
+            json_escape(&r.id),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    let speedup = |num: &str, den: &str| -> Option<f64> {
+        match (median_of(results, num), median_of(results, den)) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    };
+    let fmt_opt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "null".into())
+    };
+    out.push_str("  \"derived\": {\n");
+    out.push_str(&format!(
+        "    \"candidates_for_speedup\": {},\n",
+        fmt_opt(speedup(
+            "speedups/candidates_for_cold_bfs",
+            "speedups/candidates_for_cached"
+        ))
+    ));
+    out.push_str(&format!(
+        "    \"methods_replay_speedup\": {}\n",
+        fmt_opt(speedup(
+            "speedups/methods_replay_sequential",
+            "speedups/methods_replay_parallel"
+        ))
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(12);
+    bench_candidates(&mut c);
+    bench_replay(&mut c);
+    let results = c.results();
+    if results.is_empty() {
+        // `--list` or a filter that matched nothing: no numbers to record.
+        return;
+    }
+    let json = render_json(results);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_results.json");
+    std::fs::write(&path, &json).expect("write BENCH_results.json");
+    println!("\nwrote {}", path.display());
+    print!("{json}");
+}

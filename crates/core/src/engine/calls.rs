@@ -1,61 +1,26 @@
 //! Expansion of method-call queries: given one concrete choice of argument
 //! completions (a combo), produce every type-correct, scored call.
 
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::collections::HashSet;
 
-use pex_model::{Database, Expr, MethodId, ValueTy};
-use pex_types::TypeId;
+use pex_model::{Expr, MethodId, ValueTy};
 
 use crate::rank::Ranker;
 
 use super::index::MethodIndex;
 use super::stream::{Completion, ScoredStream};
 
-/// Per-query memo of index lookups — the paper's "grouping computations by
-/// type" optimisation (Section 4.2): argument combos that repeat a type do
-/// not repeat the supertype walk.
-#[derive(Debug, Default)]
-pub(crate) struct CandidateCache {
-    candidates: RefCell<HashMap<TypeId, Rc<Vec<MethodId>>>>,
-    counts: RefCell<HashMap<TypeId, usize>>,
-}
-
-impl CandidateCache {
-    pub(crate) fn candidates(
-        &self,
-        index: &MethodIndex,
-        db: &Database,
-        ty: TypeId,
-    ) -> Rc<Vec<MethodId>> {
-        if let Some(hit) = self.candidates.borrow().get(&ty) {
-            return Rc::clone(hit);
-        }
-        let computed = Rc::new(index.candidates_for(db, ty));
-        self.candidates
-            .borrow_mut()
-            .insert(ty, Rc::clone(&computed));
-        computed
-    }
-
-    pub(crate) fn count(&self, index: &MethodIndex, db: &Database, ty: TypeId) -> usize {
-        if let Some(hit) = self.counts.borrow().get(&ty) {
-            return *hit;
-        }
-        let computed = index.candidate_count(db, ty);
-        self.counts.borrow_mut().insert(ty, computed);
-        computed
-    }
-}
-
 /// Expands a `?({...})` combo: finds candidate methods via the index, places
 /// the arguments injectively into argument positions (receiver included),
 /// fills the rest with `0`, and scores each resulting call.
+///
+/// Candidate lists and counts come from the index's per-type memo
+/// ([`MethodIndex::candidates_for_cached`]), so argument combos that repeat
+/// a type — within one query or across queries against the same index —
+/// never repeat the supertype walk.
 pub(crate) fn expand_unknown_call(
     ranker: &Ranker<'_>,
     index: &MethodIndex,
-    cache: &CandidateCache,
     items: &[Completion],
 ) -> Vec<Completion> {
     let db = ranker.db;
@@ -63,18 +28,18 @@ pub(crate) fn expand_unknown_call(
     let mut best: Option<(usize, usize)> = None; // (arg position, count)
     for (i, item) in items.iter().enumerate() {
         if let ValueTy::Known(t) = item.ty {
-            let count = cache.count(index, db, t);
+            let count = index.candidate_count_cached(db, t);
             if best.map(|(_, c)| count < c).unwrap_or(true) {
                 best = Some((i, count));
             }
         }
     }
-    let candidates: Rc<Vec<MethodId>> = match best {
+    let candidates: &[MethodId] = match best {
         Some((i, _)) => match items[i].ty {
-            ValueTy::Known(t) => cache.candidates(index, db, t),
+            ValueTy::Known(t) => index.candidates_for_cached(db, t),
             ValueTy::Wildcard => unreachable!("best is only set for known types"),
         },
-        None => Rc::new(index.all_with_args().to_vec()),
+        None => index.all_with_args(),
     };
 
     let mut out = Vec::new();

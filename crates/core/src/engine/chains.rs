@@ -74,7 +74,7 @@ impl TypeFilter {
                     // subtype of DateTime compares like a DateTime).
                     None => db
                         .types()
-                        .conversion_targets(t)
+                        .conversion_targets_ref(t)
                         .iter()
                         .any(|&(u, _)| db.types().get(u).is_comparable()),
                 }

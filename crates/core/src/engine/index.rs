@@ -4,14 +4,58 @@
 //! which at least one of the arguments may be of that type." To save memory
 //! the paper stores methods under the *exact* parameter type and follows
 //! supertype pointers at query time; [`MethodIndex::candidates_for`] does
-//! the same walk via [`pex_types::TypeTable::conversion_targets`], so
-//! progressively farther entries correspond to progressively worse type
-//! distances.
+//! the same walk via the memoized
+//! [`pex_types::TypeTable::conversion_targets_ref`] lists, so progressively
+//! farther entries correspond to progressively worse type distances.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use pex_model::{Database, MethodId};
 use pex_types::TypeId;
+
+/// Reusable dedupe scratch for the candidate walks, hoisted out of the
+/// per-call `vec![false; method_count]` allocation it replaces.
+///
+/// Marks are generation-stamped, so "clearing" between walks is a single
+/// counter bump rather than an O(methods) reset. One scratch lives in each
+/// completer's candidate cache; callers without one can rely on the
+/// allocating convenience wrappers.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateScratch {
+    marks: Vec<u32>,
+    stamp: u32,
+}
+
+impl CandidateScratch {
+    /// A fresh scratch; grows to the database's method count on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new walk over `n` candidates, invalidating earlier marks.
+    fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: old marks could alias, so reset once per 2^32.
+            self.marks.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Marks slot `i`, returning whether it was unmarked in this walk.
+    fn mark(&mut self, i: usize) -> bool {
+        if self.marks[i] == self.stamp {
+            false
+        } else {
+            self.marks[i] = self.stamp;
+            true
+        }
+    }
+}
 
 /// Index from parameter type (receiver included) to declaring methods.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +64,12 @@ pub struct MethodIndex {
     /// Methods with at least one argument position (receiver or declared
     /// parameter) — the fallback set when no argument type is known.
     with_args: Vec<MethodId>,
+    /// Per-type memo of the full deduplicated candidate list, filled on
+    /// first lookup — the paper's "grouping computations by type"
+    /// optimisation (Section 4.2) hoisted from per-query to per-index.
+    /// `OnceLock` cells keep the index `Sync`, so parallel replay workers
+    /// share fills instead of repeating them.
+    memo: Vec<OnceLock<Box<[MethodId]>>>,
 }
 
 impl MethodIndex {
@@ -44,6 +94,7 @@ impl MethodIndex {
         MethodIndex {
             by_param,
             with_args,
+            memo: (0..db.types().len()).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -55,12 +106,29 @@ impl MethodIndex {
     /// Methods that can accept an argument of type `ty` in some position:
     /// the union of the exact entries of every implicit-conversion target of
     /// `ty`, ordered by type distance (near first) and deduplicated.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`MethodIndex::candidates_for_with`]; hot paths should hold a
+    /// [`CandidateScratch`] and call that directly.
     pub fn candidates_for(&self, db: &Database, ty: TypeId) -> Vec<MethodId> {
+        self.candidates_for_with(db, ty, &mut CandidateScratch::new())
+    }
+
+    /// [`MethodIndex::candidates_for`] with caller-provided dedupe scratch
+    /// (no per-call allocation): the conversion-target list comes from the
+    /// type table's memoized index and `scratch` replaces the visited
+    /// bitmap.
+    pub fn candidates_for_with(
+        &self,
+        db: &Database,
+        ty: TypeId,
+        scratch: &mut CandidateScratch,
+    ) -> Vec<MethodId> {
         let mut out = Vec::new();
-        let mut seen = vec![false; db.method_count()];
-        for (target, _) in db.types().conversion_targets(ty) {
+        scratch.begin(db.method_count());
+        for &(target, _) in db.types().conversion_targets_ref(ty) {
             for &m in self.exact(target) {
-                if !std::mem::replace(&mut seen[m.index()], true) {
+                if scratch.mark(m.index()) {
                     out.push(m);
                 }
             }
@@ -68,15 +136,55 @@ impl MethodIndex {
         out
     }
 
-    /// Size of [`MethodIndex::candidates_for`] without materialising it.
+    /// Exact size of [`MethodIndex::candidates_for`] without materialising
+    /// the method list (same deduplicated walk, counting only). Used by the
+    /// "pick the argument with the smallest candidate set" heuristic of
+    /// paper Section 4.2, which therefore compares true set sizes.
     pub fn candidate_count(&self, db: &Database, ty: TypeId) -> usize {
-        // Upper bound (duplicates across levels are rare enough for the
-        // "pick the smallest set" heuristic).
-        db.types()
-            .conversion_targets(ty)
-            .iter()
-            .map(|&(t, _)| self.exact(t).len())
-            .sum()
+        self.candidate_count_with(db, ty, &mut CandidateScratch::new())
+    }
+
+    /// [`MethodIndex::candidate_count`] with caller-provided scratch.
+    pub fn candidate_count_with(
+        &self,
+        db: &Database,
+        ty: TypeId,
+        scratch: &mut CandidateScratch,
+    ) -> usize {
+        let mut n = 0;
+        scratch.begin(db.method_count());
+        for &(target, _) in db.types().conversion_targets_ref(ty) {
+            for &m in self.exact(target) {
+                if scratch.mark(m.index()) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// [`MethodIndex::candidates_for`], memoized per type for the lifetime
+    /// of the index: the first lookup of each type performs the
+    /// deduplicated supertype walk, every later lookup borrows the stored
+    /// list. The engine's hot paths go through here, so repeated queries
+    /// against one database pay the walk at most once per type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` was declared after this index was built; the index is
+    /// a snapshot and must be rebuilt when the database grows.
+    pub fn candidates_for_cached(&self, db: &Database, ty: TypeId) -> &[MethodId] {
+        let cell = self
+            .memo
+            .get(ty.index())
+            .expect("type declared after MethodIndex::build; rebuild the index");
+        cell.get_or_init(|| self.candidates_for(db, ty).into_boxed_slice())
+    }
+
+    /// [`MethodIndex::candidate_count`] served from the per-type memo:
+    /// exact (deduplicated) and O(1) after the first lookup of `ty`.
+    pub fn candidate_count_cached(&self, db: &Database, ty: TypeId) -> usize {
+        self.candidates_for_cached(db, ty).len()
     }
 
     /// The fallback candidate set: every method with at least one argument
@@ -151,5 +259,58 @@ mod tests {
         assert!(!animal_cands.contains(&house));
         assert!(animal_cands.contains(&admit));
         assert!(idx.candidate_count(&db, dog) >= dog_cands.len());
+    }
+
+    #[test]
+    fn candidate_count_is_exact() {
+        let db = setup();
+        let idx = MethodIndex::build(&db);
+        for ty in db.types().iter() {
+            assert_eq!(
+                idx.candidate_count(&db, ty),
+                idx.candidates_for(&db, ty).len(),
+                "count must equal the deduplicated candidate list for {ty:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_candidates_match_fresh_walk() {
+        let db = setup();
+        let idx = MethodIndex::build(&db);
+        // Repeated memo reads (first fills, then hits) must equal the
+        // uncached walk for every type.
+        for _ in 0..2 {
+            for ty in db.types().iter() {
+                assert_eq!(
+                    idx.candidates_for_cached(&db, ty),
+                    idx.candidates_for(&db, ty).as_slice()
+                );
+                assert_eq!(
+                    idx.candidate_count_cached(&db, ty),
+                    idx.candidate_count(&db, ty)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let db = setup();
+        let idx = MethodIndex::build(&db);
+        let mut scratch = CandidateScratch::new();
+        // Walks interleaved through one scratch must match fresh walks.
+        for _ in 0..3 {
+            for ty in db.types().iter() {
+                assert_eq!(
+                    idx.candidates_for_with(&db, ty, &mut scratch),
+                    idx.candidates_for(&db, ty)
+                );
+                assert_eq!(
+                    idx.candidate_count_with(&db, ty, &mut scratch),
+                    idx.candidate_count(&db, ty)
+                );
+            }
+        }
     }
 }

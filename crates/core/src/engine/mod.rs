@@ -11,7 +11,7 @@ pub(crate) mod index;
 pub mod reach;
 pub(crate) mod stream;
 
-pub use index::MethodIndex;
+pub use index::{CandidateScratch, MethodIndex};
 pub use reach::ReachIndex;
 pub use stream::Completion;
 
@@ -63,9 +63,6 @@ pub struct Completer<'a> {
     abs: Option<&'a AbsTypes<'a>>,
     options: CompleteOptions,
     reach: Option<&'a ReachIndex>,
-    /// Per-completer memo of index lookups (paper Section 4.2's "grouping
-    /// computations by type").
-    cand_cache: calls::CandidateCache,
 }
 
 impl<'a> Completer<'a> {
@@ -85,7 +82,6 @@ impl<'a> Completer<'a> {
             abs,
             options: CompleteOptions::default(),
             reach: None,
-            cand_cache: calls::CandidateCache::default(),
         }
     }
 
@@ -268,9 +264,8 @@ impl<'a> Completer<'a> {
                     .collect();
                 let product = ProductStream::new(arg_streams);
                 let index = self.index;
-                let cache = &self.cand_cache;
                 let expand = move |combo: &stream::Combo| {
-                    calls::expand_unknown_call(&ranker, index, cache, &combo.items)
+                    calls::expand_unknown_call(&ranker, index, &combo.items)
                 };
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
             }

@@ -11,7 +11,7 @@ use pex_core::PartialExpr;
 use pex_model::{Expr, ExprKindName};
 
 use crate::extract::CallSite;
-use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::harness::{completer, map_sites, sample, ExperimentConfig, Project};
 use crate::stats::{bar, pct, RankStats, TextTable};
 
 /// Outcome for one argument position of one call.
@@ -26,21 +26,24 @@ pub struct ArgOutcome {
     pub rank: Option<usize>,
     /// Whether the original argument was a bare local variable.
     pub is_local: bool,
-    /// Wall-clock microseconds for the query (guessable arguments only).
-    pub micros: u128,
+    /// Wall-clock nanoseconds for the query (0 = unmeasured: the argument
+    /// was not guessable, so no query ran).
+    pub nanos: u128,
 }
 
-/// Runs the experiment over all projects.
+/// Runs the experiment over all projects. Sites replay in parallel (see
+/// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
     let mut out = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
         let sites = sample(&project.extracted.calls, cfg.max_sites);
-        for_each_site(
+        out.extend(map_sites(
             &project.db,
             cfg.use_abs.then_some(&project.abs_cache),
             &sites,
             |c: &CallSite| (c.enclosing, c.stmt),
-            |site, ctx, abs| {
+            cfg.threads,
+            |site, ctx, abs, out| {
                 let db = &project.db;
                 for (i, arg) in site.args.iter().enumerate() {
                     let kind = arg.kind_name(|m, argc| db.is_zero_arg_call(m, argc));
@@ -51,7 +54,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
                             kind,
                             rank: None,
                             is_local,
-                            micros: 0,
+                            nanos: 0,
                         });
                         continue;
                     }
@@ -75,17 +78,17 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
                     let original = Expr::Call(site.target, site.args.clone());
                     let t0 = Instant::now();
                     let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
-                    let micros = t0.elapsed().as_micros();
+                    let nanos = t0.elapsed().as_nanos();
                     out.push(ArgOutcome {
                         project: pi,
                         kind,
                         rank,
                         is_local,
-                        micros,
+                        nanos,
                     });
                 }
             },
-        );
+        ));
     }
     out
 }

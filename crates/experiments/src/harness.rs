@@ -8,6 +8,7 @@ use pex_abstract::{AbsTypes, ConstraintCache, MethodSweep};
 use pex_core::{CompleteOptions, Completer, MethodIndex, RankConfig, ReachIndex};
 use pex_corpus::table1_projects;
 use pex_model::{Context, Database, MethodId};
+use rayon::prelude::*;
 
 use crate::extract::{extract, Extracted};
 
@@ -30,6 +31,11 @@ pub struct ExperimentConfig {
     /// uses 2; 3 measures its "a third argument adds only negligible
     /// improvement" remark).
     pub max_subset: usize,
+    /// Worker threads for site replay: `None` uses rayon's default
+    /// (`RAYON_NUM_THREADS` or all cores), `Some(1)` forces the strictly
+    /// sequential path, `Some(n)` pins an n-worker pool. Outcome order is
+    /// identical in every mode — see [`map_sites`].
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -41,6 +47,7 @@ impl Default for ExperimentConfig {
             rank: RankConfig::all(),
             max_sites: None,
             max_subset: 2,
+            threads: None,
         }
     }
 }
@@ -113,6 +120,28 @@ pub fn sample<T: Clone>(items: &[T], max: Option<usize>) -> Vec<T> {
     }
 }
 
+/// Groups sites by enclosing method, preserving first-occurrence method
+/// order and sorting each group by statement index.
+fn group_by_method<S>(sites: &[S], key: fn(&S) -> (MethodId, usize)) -> Vec<(MethodId, Vec<&S>)> {
+    let mut by_method: HashMap<MethodId, Vec<&S>> = HashMap::new();
+    let mut order: Vec<MethodId> = Vec::new();
+    for s in sites {
+        let (m, _) = key(s);
+        if !by_method.contains_key(&m) {
+            order.push(m);
+        }
+        by_method.entry(m).or_default().push(s);
+    }
+    order
+        .into_iter()
+        .map(|m| {
+            let mut group = by_method.remove(&m).expect("grouped above");
+            group.sort_by_key(|s| key(s).1);
+            (m, group)
+        })
+        .collect()
+}
+
 /// Iterates sites grouped by enclosing method with an amortised
 /// abstract-type sweep: for each site the callback receives the context and
 /// the abstract solution truncated at the site's statement (the paper's
@@ -126,19 +155,7 @@ pub fn for_each_site<S, F>(
 ) where
     F: FnMut(&S, &Context, Option<&AbsTypes<'_>>),
 {
-    // Group sites by method, preserving statement order within a method.
-    let mut by_method: HashMap<MethodId, Vec<&S>> = HashMap::new();
-    let mut order: Vec<MethodId> = Vec::new();
-    for s in sites {
-        let (m, _) = key(s);
-        if !by_method.contains_key(&m) {
-            order.push(m);
-        }
-        by_method.entry(m).or_default().push(s);
-    }
-    for m in order {
-        let mut group = by_method.remove(&m).expect("grouped above");
-        group.sort_by_key(|s| key(s).1);
+    for (m, group) in group_by_method(sites, key) {
         let mut sweep = abs_cache.map(|cache| MethodSweep::with_cache(db, cache, m));
         for site in group {
             let (method, stmt) = key(site);
@@ -152,6 +169,58 @@ pub fn for_each_site<S, F>(
             }
         }
     }
+}
+
+/// Parallel site replay: the same visit as [`for_each_site`], but method
+/// groups are distributed across rayon workers and the callback *collects*
+/// outcomes instead of mutating shared state.
+///
+/// Determinism contract: each group keeps its own `MethodSweep` (the
+/// per-method amortisation is preserved) and is processed in statement
+/// order; the per-group outcome vectors are then reassembled in the same
+/// first-occurrence group order the sequential walk uses. The returned
+/// outcome order is therefore **identical for every thread count**,
+/// including the strictly sequential `threads == Some(1)` path.
+pub fn map_sites<S, R, F>(
+    db: &Database,
+    abs_cache: Option<&ConstraintCache>,
+    sites: &[S],
+    key: fn(&S) -> (MethodId, usize),
+    threads: Option<usize>,
+    f: F,
+) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(&S, &Context, Option<&AbsTypes<'_>>, &mut Vec<R>) + Sync,
+{
+    let groups = group_by_method(sites, key);
+    let run_group = |&(m, ref group): &(MethodId, Vec<&S>)| -> Vec<R> {
+        let mut out = Vec::new();
+        let mut sweep = abs_cache.map(|cache| MethodSweep::with_cache(db, cache, m));
+        for &site in group {
+            let (method, stmt) = key(site);
+            let body = db.method(method).body().expect("sites come from bodies");
+            let ctx = Context::at_statement(db, method, body, stmt);
+            if let Some(sweep) = sweep.as_mut() {
+                sweep.advance_to(stmt);
+                f(site, &ctx, Some(sweep.abs()), &mut out);
+            } else {
+                f(site, &ctx, None, &mut out);
+            }
+        }
+        out
+    };
+    let parts: Vec<Vec<R>> = match threads {
+        Some(1) => groups.iter().map(run_group).collect(),
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool")
+            .install(|| groups.par_iter().map(run_group).collect()),
+        None => groups.par_iter().map(run_group).collect(),
+    };
+    parts.into_iter().flatten().collect()
 }
 
 /// Builds a completer for one site.
@@ -214,5 +283,40 @@ mod tests {
             },
         );
         assert_eq!(seen, p.extracted.calls.len());
+    }
+
+    #[test]
+    fn map_sites_order_is_thread_count_invariant() {
+        let ps = load_projects(0.002);
+        let p = &ps[0];
+        let collect = |threads: Option<usize>| {
+            map_sites(
+                &p.db,
+                Some(&p.abs_cache),
+                &p.extracted.calls,
+                |c| (c.enclosing, c.stmt),
+                threads,
+                |site, ctx, abs, out| {
+                    assert!(abs.is_some());
+                    assert!(ctx.enclosing_method.is_some());
+                    out.push((site.enclosing, site.stmt));
+                },
+            )
+        };
+        let sequential = collect(Some(1));
+        assert_eq!(sequential.len(), p.extracted.calls.len());
+        // The sequential walk and map_sites visit in the same order...
+        let mut visited = Vec::new();
+        for_each_site(
+            &p.db,
+            Some(&p.abs_cache),
+            &p.extracted.calls,
+            |c| (c.enclosing, c.stmt),
+            |site, _, _| visited.push((site.enclosing, site.stmt)),
+        );
+        assert_eq!(sequential, visited);
+        // ... and the order survives any worker count (even > core count).
+        assert_eq!(sequential, collect(Some(4)));
+        assert_eq!(sequential, collect(None));
     }
 }

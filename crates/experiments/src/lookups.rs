@@ -11,7 +11,7 @@ use pex_core::{PartialExpr, SuffixKind};
 use pex_model::Expr;
 
 use crate::extract::{strip_lookups, trailing_lookups};
-use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::harness::{completer, map_sites, sample, ExperimentConfig, Project};
 use crate::stats::{pct, RankStats, TextTable};
 
 /// Which side(s) of an assignment lost a lookup.
@@ -62,8 +62,8 @@ pub struct AssignOutcome {
     pub case: AssignCase,
     /// Rank of the original assignment, if found within the limit.
     pub rank: Option<usize>,
-    /// Wall-clock microseconds for the query.
-    pub micros: u128,
+    /// Wall-clock nanoseconds for the query.
+    pub nanos: u128,
 }
 
 /// Outcome of one comparison lookup-removal query.
@@ -75,8 +75,8 @@ pub struct CmpOutcome {
     pub case: CmpCase,
     /// Rank of the original comparison, if found within the limit.
     pub rank: Option<usize>,
-    /// Wall-clock microseconds for the query.
-    pub micros: u128,
+    /// Wall-clock nanoseconds for the query.
+    pub nanos: u128,
 }
 
 fn m_suffix(base: Expr, layers: usize) -> PartialExpr {
@@ -87,18 +87,20 @@ fn m_suffix(base: Expr, layers: usize) -> PartialExpr {
     pe
 }
 
-/// Runs both halves of the experiment.
+/// Runs both halves of the experiment. Sites replay in parallel (see
+/// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>, Vec<CmpOutcome>) {
     let mut assigns = Vec::new();
     let mut cmps = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
         let asites = sample(&project.extracted.assigns, cfg.max_sites);
-        for_each_site(
+        assigns.extend(map_sites(
             &project.db,
             cfg.use_abs.then_some(&project.abs_cache),
             &asites,
             |s| (s.enclosing, s.stmt),
-            |site, ctx, abs| {
+            cfg.threads,
+            |site, ctx, abs, assigns| {
                 let db = &project.db;
                 let Expr::Assign(lhs, rhs) = &site.expr else {
                     return;
@@ -130,19 +132,20 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                         project: pi,
                         case,
                         rank,
-                        micros: t0.elapsed().as_micros(),
+                        nanos: t0.elapsed().as_nanos(),
                     });
                 }
             },
-        );
+        ));
 
         let csites = sample(&project.extracted.cmps, cfg.max_sites);
-        for_each_site(
+        cmps.extend(map_sites(
             &project.db,
             cfg.use_abs.then_some(&project.abs_cache),
             &csites,
             |s| (s.enclosing, s.stmt),
-            |site, ctx, abs| {
+            cfg.threads,
+            |site, ctx, abs, cmps| {
                 let db = &project.db;
                 let Expr::Cmp(op, lhs, rhs) = &site.expr else {
                     return;
@@ -180,11 +183,11 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                         project: pi,
                         case,
                         rank,
-                        micros: t0.elapsed().as_micros(),
+                        nanos: t0.elapsed().as_nanos(),
                     });
                 }
             },
-        );
+        ));
     }
     (assigns, cmps)
 }

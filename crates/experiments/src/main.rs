@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pex-experiments <command> [--scale S] [--limit N] [--max-sites N]
-//!                           [--t2-max-sites N] [--no-abs] [--out DIR]
+//!                           [--t2-max-sites N] [--no-abs] [--threads N]
+//!                           [--out DIR]
 //!
 //! commands:
 //!   all       everything below, in order
@@ -63,6 +64,9 @@ fn main() {
             }
             "--no-abs" => cfg.use_abs = false,
             "--three-args" => cfg.max_subset = 3,
+            "--threads" => {
+                cfg.threads = Some(take_value().parse().expect("--threads takes an integer"))
+            }
             "--out" => out_dir = Some(PathBuf::from(take_value())),
             other => {
                 eprintln!("unknown flag {other}");
@@ -212,15 +216,15 @@ fn main() {
         let rows = vec![
             speed::SpeedRow::new(
                 "methods (best query)",
-                method_outcomes.iter().map(|o| o.micros),
+                method_outcomes.iter().map(|o| o.nanos),
             ),
-            speed::SpeedRow::new("arguments", arg_outcomes.iter().map(|o| o.micros)),
+            speed::SpeedRow::new("arguments", arg_outcomes.iter().map(|o| o.nanos)),
             speed::SpeedRow::new(
                 "lookups",
                 assign_outcomes
                     .iter()
-                    .map(|o| o.micros)
-                    .chain(cmp_outcomes.iter().map(|o| o.micros)),
+                    .map(|o| o.nanos)
+                    .chain(cmp_outcomes.iter().map(|o| o.nanos)),
             ),
         ];
         emit("speed", speed::render_speed(&rows));
@@ -300,5 +304,7 @@ FLAGS:
     --t2-max-sites N   cap sites per project for Table 2 (default 12)
     --no-abs           disable abstract-type inference
     --three-args       also measure 3-argument subsets (fig10 extra column)
+    --threads N        replay worker threads (1 = sequential; default: all
+                       cores, or RAYON_NUM_THREADS when set)
     --out DIR          also write each artefact to DIR/<name>.txt
 ";

@@ -11,7 +11,7 @@ use pex_core::{Completion, PartialExpr};
 use pex_model::Expr;
 
 use crate::extract::CallSite;
-use crate::harness::{completer, for_each_site, sample, ExperimentConfig, Project};
+use crate::harness::{completer, map_sites, sample, ExperimentConfig, Project};
 use crate::intellisense::intellisense_rank;
 use crate::stats::{bar, pct, RankStats, TextTable};
 
@@ -35,8 +35,9 @@ pub struct CallOutcome {
     pub best_ret: Option<usize>,
     /// Alphabetical Intellisense rank of the intended method.
     pub alpha: Option<usize>,
-    /// Wall-clock microseconds of the best-ranked query.
-    pub micros: u128,
+    /// Wall-clock nanoseconds of the best-ranked query (0 = unmeasured:
+    /// no subset ranked the intended method).
+    pub nanos: u128,
 }
 
 /// All index subsets of `0..n` with 1 to `max` elements, smaller first.
@@ -64,7 +65,8 @@ fn subsets(n: usize, max: usize) -> Vec<Vec<usize>> {
     out
 }
 
-/// Runs the experiment over all projects.
+/// Runs the experiment over all projects. Sites replay in parallel (see
+/// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
     let mut out = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
@@ -76,12 +78,13 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
             .cloned()
             .collect();
         let sites = sample(&sites, cfg.max_sites);
-        for_each_site(
+        out.extend(map_sites(
             &project.db,
             cfg.use_abs.then_some(&project.abs_cache),
             &sites,
             |c| (c.enclosing, c.stmt),
-            |site, ctx, abs| {
+            cfg.threads,
+            |site, ctx, abs, out| {
                 let comp = completer(project, ctx, abs, cfg, None);
                 let md = project.db.method(site.target);
                 let ret = md.return_type();
@@ -93,7 +96,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                 let mut best_1arg: Option<usize> = None;
                 let mut best_3arg: Option<usize> = None;
                 let mut best_ret: Option<usize> = None;
-                let mut best_micros: u128 = 0;
+                let mut best_nanos: u128 = 0;
                 for subset in subsets(site.args.len(), cfg.max_subset) {
                     let query = PartialExpr::UnknownCall(
                         subset
@@ -103,13 +106,13 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                     );
                     let t0 = Instant::now();
                     let rank = comp.rank_of(&query, cfg.limit, pred);
-                    let micros = t0.elapsed().as_micros();
+                    let nanos = t0.elapsed().as_nanos();
                     if rank.is_some() && (best_3arg.is_none() || rank < best_3arg) {
                         best_3arg = rank;
                     }
                     if subset.len() <= 2 && rank.is_some() && (best.is_none() || rank < best) {
                         best = rank;
-                        best_micros = micros;
+                        best_nanos = nanos;
                     }
                     if subset.len() == 1
                         && rank.is_some()
@@ -134,10 +137,10 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                     best_3arg: if cfg.max_subset >= 3 { best_3arg } else { None },
                     best_ret,
                     alpha: intellisense_rank(&project.db, ctx, site),
-                    micros: best_micros,
+                    nanos: best_nanos,
                 });
             },
-        );
+        ));
     }
     out
 }

@@ -4,6 +4,13 @@
 //! thresholds: method queries < 0.5 s for 98.9 % of calls, argument queries
 //! < 0.1 s for 92 % and < 0.5 s for 98 %, lookup queries < 0.5 s for
 //! 99.5 %. This module renders the same proportions plus percentiles.
+//!
+//! Samples are kept in **nanoseconds**. An earlier revision recorded whole
+//! microseconds and dropped zero-µs samples, which silently discarded the
+//! *fastest* measured queries and skewed p50/p90 upward; at nanosecond
+//! resolution a measured query is never zero, so the only dropped samples
+//! are the explicit `0` placeholders experiments use for queries that never
+//! ran (e.g. not-guessable arguments).
 
 use crate::stats::{pct, percentile, proportion_under, TextTable};
 
@@ -12,16 +19,17 @@ use crate::stats::{pct, percentile, proportion_under, TextTable};
 pub struct SpeedRow {
     /// Experiment label.
     pub label: &'static str,
-    /// Per-query wall-clock times in microseconds.
-    pub micros: Vec<u128>,
+    /// Per-query wall-clock times in nanoseconds.
+    pub nanos: Vec<u128>,
 }
 
 impl SpeedRow {
-    /// Creates a row, dropping zero samples (unmeasured queries).
-    pub fn new(label: &'static str, micros: impl IntoIterator<Item = u128>) -> Self {
+    /// Creates a row from nanosecond samples, dropping only the exact-zero
+    /// unmeasured placeholders (queries that never ran).
+    pub fn new(label: &'static str, nanos: impl IntoIterator<Item = u128>) -> Self {
         SpeedRow {
             label,
-            micros: micros.into_iter().filter(|&m| m > 0).collect(),
+            nanos: nanos.into_iter().filter(|&n| n > 0).collect(),
         }
     }
 }
@@ -40,12 +48,12 @@ pub fn render_speed(rows: &[SpeedRow]) -> String {
     for row in rows {
         table.row(vec![
             row.label.to_string(),
-            row.micros.len().to_string(),
-            pct(proportion_under(&row.micros, 100_000)),
-            pct(proportion_under(&row.micros, 500_000)),
-            percentile(&row.micros, 50.0).to_string(),
-            percentile(&row.micros, 90.0).to_string(),
-            percentile(&row.micros, 99.0).to_string(),
+            row.nanos.len().to_string(),
+            pct(proportion_under(&row.nanos, 100_000_000)),
+            pct(proportion_under(&row.nanos, 500_000_000)),
+            (percentile(&row.nanos, 50.0) / 1_000).to_string(),
+            (percentile(&row.nanos, 90.0) / 1_000).to_string(),
+            (percentile(&row.nanos, 99.0) / 1_000).to_string(),
         ]);
     }
     format!(
@@ -59,16 +67,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn speed_rows_drop_unmeasured() {
-        let row = SpeedRow::new("x", [0, 10, 20, 0, 30]);
-        assert_eq!(row.micros.len(), 3);
+    fn speed_rows_drop_only_unmeasured_placeholders() {
+        // Sub-microsecond samples (would have been 0 µs) survive.
+        let row = SpeedRow::new("x", [0, 10, 20, 0, 999, 30]);
+        assert_eq!(row.nanos.len(), 4);
+        assert!(row.nanos.contains(&999));
     }
 
     #[test]
     fn render_contains_thresholds() {
         let rows = vec![SpeedRow::new(
             "methods (best query)",
-            (1..1000u128).map(|i| i * 100),
+            (1..1000u128).map(|i| i * 100_000),
         )];
         let s = render_speed(&rows);
         assert!(s.contains("< 0.5 s"));

@@ -1,0 +1,92 @@
+//! Property tests for the parallel-replay determinism contract: running an
+//! experiment with any worker count must produce exactly the rows the
+//! sequential run produces, in the same order (timings excepted — they are
+//! wall-clock measurements, not results).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use pex_experiments::{load_projects, lookups, methods, ExperimentConfig, Project};
+
+/// Shared tiny corpus; generating it once keeps the property cases fast.
+fn projects() -> &'static [Project] {
+    static PROJECTS: OnceLock<Vec<Project>> = OnceLock::new();
+    PROJECTS.get_or_init(|| load_projects(0.003))
+}
+
+fn cfg(limit: usize, max_sites: usize, threads: Option<usize>) -> ExperimentConfig {
+    ExperimentConfig {
+        limit,
+        max_sites: Some(max_sites),
+        threads,
+        ..Default::default()
+    }
+}
+
+/// A [`methods::CallOutcome`] minus its wall-clock field.
+type CallRow = (
+    usize,
+    bool,
+    usize,
+    Option<usize>,
+    Option<usize>,
+    Option<usize>,
+    Option<usize>,
+    Option<usize>,
+);
+
+fn call_rows(outcomes: &[methods::CallOutcome]) -> Vec<CallRow> {
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.project,
+                o.is_static,
+                o.full_arity,
+                o.best,
+                o.best_1arg,
+                o.best_3arg,
+                o.best_ret,
+                o.alpha,
+            )
+        })
+        .collect()
+}
+
+fn assign_rows(v: &[lookups::AssignOutcome]) -> Vec<(usize, lookups::AssignCase, Option<usize>)> {
+    v.iter().map(|o| (o.project, o.case, o.rank)).collect()
+}
+
+fn cmp_rows(v: &[lookups::CmpOutcome]) -> Vec<(usize, lookups::CmpCase, Option<usize>)> {
+    v.iter().map(|o| (o.project, o.case, o.rank)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_methods_replay_equals_sequential(
+        limit in 10usize..40,
+        max_sites in 2usize..6,
+        workers in 2usize..6,
+    ) {
+        let sequential = methods::run(projects(), &cfg(limit, max_sites, Some(1)));
+        let parallel = methods::run(projects(), &cfg(limit, max_sites, Some(workers)));
+        prop_assert_eq!(call_rows(&sequential), call_rows(&parallel));
+        let auto = methods::run(projects(), &cfg(limit, max_sites, None));
+        prop_assert_eq!(call_rows(&sequential), call_rows(&auto));
+    }
+
+    #[test]
+    fn parallel_lookups_replay_equals_sequential(
+        limit in 10usize..40,
+        max_sites in 2usize..6,
+        workers in 2usize..6,
+    ) {
+        let (sa, sc) = lookups::run(projects(), &cfg(limit, max_sites, Some(1)));
+        let (pa, pc) = lookups::run(projects(), &cfg(limit, max_sites, Some(workers)));
+        prop_assert_eq!(assign_rows(&sa), assign_rows(&pa));
+        prop_assert_eq!(cmp_rows(&sc), cmp_rows(&pc));
+    }
+}

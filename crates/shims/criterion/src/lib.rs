@@ -1,0 +1,296 @@
+//! Offline vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate, implementing the subset this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], and [`criterion_main!`].
+//!
+//! Measurement model: each benchmark is auto-calibrated to a per-sample
+//! batch size whose wall time clears a minimum resolution threshold, then
+//! `sample_size` batches are timed and per-iteration statistics (median,
+//! mean, min, max) are reported on stdout. Statistics are also retained on
+//! the [`Criterion`] value so `harness = false` bench binaries can
+//! post-process them (e.g. compute speedups and emit JSON).
+//!
+//! CLI behavior: any non-flag argument filters benchmarks by substring
+//! (like real criterion); `--list` lists names. All other flags cargo
+//! passes (`--bench`, ...) are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u64,
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, auto-calibrating the batch size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch clears the resolution
+        // floor, so short routines aren't dominated by timer noise.
+        let floor = Duration::from_micros(200);
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= floor || iters >= 1 << 22 {
+                break;
+            }
+            // Jump straight toward the floor rather than doubling blindly.
+            let scale = (floor.as_nanos() as u64 / dt.as_nanos().max(1) as u64).clamp(2, 16);
+            iters = iters.saturating_mul(scale);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some((samples, iters));
+    }
+}
+
+/// The benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    list_only: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--list" {
+                list_only = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            sample_size: 50,
+            filter,
+            list_only,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or lists / filters out) a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_owned(), f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, group: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: group.to_owned(),
+        }
+    }
+
+    /// All results collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let (mut samples, iters) = bencher
+            .result
+            .expect("benchmark closure must call Bencher::iter");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = samples.len();
+        let median_ns = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let result = BenchResult {
+            median_ns,
+            mean_ns: samples.iter().sum::<f64>() / n as f64,
+            min_ns: samples[0],
+            max_ns: samples[n - 1],
+            samples: n,
+            iters_per_sample: iters,
+            id,
+        };
+        println!(
+            "{:<55} median {:>12}  (mean {}, range {} .. {}, {} samples x {} iters)",
+            result.id,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+    }
+}
+
+/// Human-readable nanosecond formatting.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named benchmark group (ids are prefixed with the group name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.prefix);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Closes the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_stats() {
+        let mut c = Criterion {
+            sample_size: 5,
+            filter: None,
+            list_only: false,
+            results: Vec::new(),
+        };
+        c.bench_function("probe/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let r = &c.results()[0];
+        assert_eq!(r.id, "probe/sum");
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_filters_apply() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("keep".to_owned()),
+            list_only: false,
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("keep_me", |b| b.iter(|| 1 + 1));
+        g.bench_function("skip_me", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/keep_me");
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,731 @@
+//! Offline vendored stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * strategies for integer ranges, tuples, `Vec<Strategy>`, [`Just`],
+//!   [`collection::vec`], [`option::of`], [`sample::select`], [`any`], and
+//!   `".{m,n}"`-style string patterns;
+//! * the [`Strategy`](strategy::Strategy) combinators `prop_map`,
+//!   `prop_flat_map`, and `boxed`.
+//!
+//! Semantics: each test runs `cases` seeded random samples. Seeds are
+//! derived deterministically from the test's module path and name, so runs
+//! are reproducible; set `PEX_PROPTEST_SEED` to perturb the whole suite.
+//! There is **no shrinking** — on failure the offending inputs are printed
+//! in full via `Debug` instead.
+
+#![forbid(unsafe_code)]
+
+/// The strategy abstraction: a recipe for generating random values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+    use std::rc::Rc;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy simply draws one sample per call.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value: fmt::Debug;
+
+        /// Draws one sample.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to build a second strategy,
+        /// then samples from that.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased [`Strategy`].
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    impl<V> fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// A vector of strategies generates element-wise (one draw per slot).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// `&'static str` patterns act as miniature regexes. Supported forms:
+    /// `".{m,n}"` (between `m` and `n` arbitrary non-newline characters)
+    /// and plain literals containing no metacharacters.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_dot_repeat(self) {
+                Some((lo, hi)) => {
+                    let len = rng.gen_range(lo..=hi);
+                    (0..len).map(|_| arbitrary_char(rng)).collect()
+                }
+                None => {
+                    assert!(
+                        !self.contains(['.', '*', '+', '?', '[', '(', '{', '\\', '|']),
+                        "proptest shim: unsupported string pattern {self:?} \
+                         (only \".{{m,n}}\" and literals are implemented)"
+                    );
+                    (*self).to_owned()
+                }
+            }
+        }
+    }
+
+    /// Parses exactly `".{m,n}"`, the one regex form the workspace uses.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// An arbitrary non-newline character: mostly printable ASCII (which is
+    /// what exercises the parsers), sprinkled with tabs, non-ASCII letters,
+    /// and the occasional arbitrary scalar value.
+    fn arbitrary_char(rng: &mut TestRng) -> char {
+        const SPICE: &[char] = &['\t', 'é', 'λ', '中', '🦀', '\u{0}', '\u{7f}', '\u{a0}'];
+        match rng.gen_range(0u32..10) {
+            0 => SPICE[rng.gen_range(0..SPICE.len())],
+            1 => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    if c != '\n' && c != '\r' {
+                        break c;
+                    }
+                }
+            },
+            _ => char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("printable ASCII"),
+        }
+    }
+}
+
+/// Strategies for standard collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A vector of `size.into()` draws from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// `Some` of a draw from `inner` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            rng.gen_bool(0.5).then(|| self.inner.generate(rng))
+        }
+    }
+}
+
+/// Strategies that sample from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// A uniform draw from the given non-empty list.
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// The `any::<T>()` entry point for types with a canonical full-range
+/// strategy.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, Standard};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Standard + fmt::Debug {}
+    impl<T: Standard + fmt::Debug> Arbitrary for T {}
+
+    /// A uniform draw over all of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// The case runner behind the [`proptest!`] macro.
+pub mod test_runner {
+    use std::fmt;
+    use std::panic::{catch_unwind, UnwindSafe};
+
+    /// The RNG handed to strategies (the rand shim's xoshiro256++).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs were unsuitable (case is skipped, not failed).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-property error.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A skip-this-case error.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Runs one case body, converting panics into [`TestCaseError::Fail`]
+    /// so plain `assert!`/`unwrap` failures report the generated inputs.
+    pub fn catch<F>(body: F) -> Result<(), TestCaseError>
+    where
+        F: FnOnce() -> Result<(), TestCaseError> + UnwindSafe,
+    {
+        match catch_unwind(body) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic with non-string payload");
+                Err(TestCaseError::Fail(format!("panicked: {msg}")))
+            }
+        }
+    }
+
+    /// FNV-1a, for deriving stable per-test seeds from test names.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` seeded cases of `f`, panicking with the inputs
+    /// of the first failing case. `f` returns the case result plus a
+    /// `Debug` rendering of the generated inputs.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let base = fnv1a(name)
+            ^ std::env::var("PEX_PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0u64);
+        for case in 0..config.cases {
+            let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(seed);
+            let (result, inputs) = f(&mut rng);
+            match result {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest shim: {name} failed on case {case}/{} (seed {seed:#018x})\n\
+                     {msg}\nwith inputs:\n{inputs}",
+                    config.cases
+                ),
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Bodies behave as if inside a function
+/// returning `Result<(), TestCaseError>`: `?` and `return Ok(())` work,
+/// and `prop_assert!` family failures report the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(concat!("  ", stringify!($arg), " = "));
+                            __s.push_str(&::std::format!("{:?}", &$arg));
+                            __s.push('\n');
+                        )+
+                        __s
+                    };
+                    let __result = $crate::test_runner::catch(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > {
+                                $body
+                                #[allow(unreachable_code)]
+                                return ::std::result::Result::Ok(());
+                            },
+                        ),
+                    );
+                    (__result, __inputs)
+                },
+            );
+        }
+    )* };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n{}",
+            __l, __r, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: {:?}\n{}",
+            __l, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 10u64..=20) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_and_vec_of_strategies(v in (1usize..5).prop_flat_map(|n| {
+            (0..n).map(|i| (0..i + 1).boxed()).collect::<Vec<_>>()
+        })) {
+            for (i, &x) in v.iter().enumerate() {
+                prop_assert!(x <= i);
+            }
+        }
+
+        #[test]
+        fn collection_vec_exact_and_ranged(
+            exact in crate::collection::vec(0u32..5, 7),
+            ranged in crate::collection::vec(0u32..5, 2..6),
+        ) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+            prop_assert!(!s.contains('\n'));
+        }
+
+        #[test]
+        fn select_and_option(
+            word in crate::sample::select(vec!["a", "b", "c"]),
+            opt in crate::option::of(0u8..3),
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&word));
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+        }
+
+        #[test]
+        fn early_return_and_question_mark(n in 0u32..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            let parsed: u32 = n
+                .to_string()
+                .parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, n);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::test_runner::run_cases(
+                "determinism_probe",
+                &ProptestConfig::with_cases(16),
+                |rng| {
+                    out.push((0u64..1000).generate(rng));
+                    (Ok(()), String::new())
+                },
+            );
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "with inputs")]
+    fn failures_report_inputs() {
+        crate::test_runner::run_cases("failure_probe", &ProptestConfig::with_cases(4), |_rng| {
+            (Err(TestCaseError::fail("nope")), "  x = 42\n".to_owned())
+        });
+    }
+
+    #[test]
+    fn panics_inside_cases_are_reported() {
+        let err = crate::test_runner::catch(std::panic::AssertUnwindSafe(|| {
+            panic!("boom {}", 1);
+        }));
+        match err {
+            Err(TestCaseError::Fail(msg)) => assert!(msg.contains("boom 1"), "{msg}"),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline vendored stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, implementing the subset this workspace uses: `par_iter()` over
+//! slices, `into_par_iter()` over `usize` ranges, `.map(...)`, and
+//! `.collect::<Vec<_>>()`.
+//!
+//! Execution model: [`std::thread::scope`] workers pull item indices from a
+//! shared atomic counter (dynamic load balancing) and return `(index,
+//! value)` pairs; the caller reassembles them **by index**, so collected
+//! output order is always identical to the sequential order regardless of
+//! scheduling. Thread count comes from `RAYON_NUM_THREADS` when set (like
+//! real rayon), else [`std::thread::available_parallelism`]. Worker panics
+//! propagate to the caller.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of its closure (a simplified stand-in for real rayon's
+    /// scoped pools).
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count: an installed [`ThreadPool`]'s size if inside
+/// [`ThreadPool::install`], else `RAYON_NUM_THREADS` if set and positive,
+/// else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Builder matching the real crate's `ThreadPoolBuilder` surface.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (this shim never fails, but
+/// the signature matches the real crate).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` keeps the automatic default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; `Result` matches the real crate.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A fixed-size pool. The shim has no persistent workers: `install` simply
+/// pins [`current_num_threads`] for parallel calls made inside the closure,
+/// which spawn scoped threads as usual.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count in effect on this thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let effective = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let _restore = Restore(INSTALLED_THREADS.with(|c| c.replace(Some(effective))));
+        op()
+    }
+}
+
+/// Runs `f(0..n)` across the worker pool, returning results in index
+/// order. The single-threaded and empty cases never spawn.
+fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// The eager parallel-iterator abstraction: sources know how to map
+/// themselves across the pool in index order.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps every element through `f` in parallel, preserving order.
+    fn drive<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Lazily composes a map step.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Materializes the iterator (sequential element order).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving sequential element order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+        par.drive(|x| x)
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive<R2, F2>(self, f: F2) -> Vec<R2>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        let inner_f = self.f;
+        self.inner.drive(move |x| f(inner_f(x)))
+    }
+}
+
+/// Borrowing source: `slice.par_iter()`.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        par_map_indices(self.items.len(), |i| f(&self.items[i]))
+    }
+}
+
+/// Types offering `par_iter()` over borrowed elements.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator.
+    type Iter: ParallelIterator;
+
+    /// A parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// Owning source for index ranges: `(0..n).into_par_iter()`.
+pub struct RangeParIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn drive<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = self.start;
+        par_map_indices(self.end.saturating_sub(start), |i| f(start + i))
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The owning parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_par_map_preserves_order() {
+        let got: Vec<String> = (0..257).into_par_iter().map(|i| format!("#{i}")).collect();
+        assert_eq!(got.len(), 257);
+        assert_eq!(got[0], "#0");
+        assert_eq!(got[256], "#256");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (5..6).into_par_iter().map(|i| i).collect();
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        // The parse is re-read per call, so this is inherently racy across
+        // tests in one binary; keep the assertion structural only.
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap();
+        let inside = pool.install(|| {
+            // Parallel calls inside still produce ordered output.
+            let v: Vec<usize> = (0..40).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(v, (1..41).collect::<Vec<usize>>());
+            super::current_num_threads()
+        });
+        assert_eq!(inside, 7);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64)
+                .into_par_iter()
+                .map(|i| if i == 33 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

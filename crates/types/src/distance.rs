@@ -28,7 +28,22 @@ impl TypeTable {
     /// over the immediate declared supertypes of `from` (the hop count of the
     /// shortest upward path through the hierarchy, e.g.
     /// `td(Rectangle, Shape) = 1`, `td(Rectangle, Object) = 2`).
+    ///
+    /// Served from the memoized [`TypeTable::conversion_index`]; the
+    /// uncached reference implementation is
+    /// [`TypeTable::type_distance_bfs`].
     pub fn type_distance(&self, from: TypeId, to: TypeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        self.conversion_index().distance(from, to)
+    }
+
+    /// Uncached reference implementation of [`TypeTable::type_distance`]:
+    /// a fresh breadth-first search per query. Kept as the oracle that the
+    /// [`crate::ConversionIndex`] is property-tested (and benchmarked)
+    /// against.
+    pub fn type_distance_bfs(&self, from: TypeId, to: TypeId) -> Option<u32> {
         if from == to {
             return Some(0);
         }
@@ -72,7 +87,24 @@ impl TypeTable {
     /// This is the set the method index walks when looking for candidate
     /// methods accepting an argument of type `from`: progressively farther
     /// entries yield progressively worse-ranked results (paper Section 4.2).
+    ///
+    /// Served from the memoized [`TypeTable::conversion_index`]. Hot paths
+    /// should prefer [`TypeTable::conversion_targets_ref`], which borrows
+    /// the cached list instead of cloning it.
     pub fn conversion_targets(&self, from: TypeId) -> Vec<(TypeId, u32)> {
+        self.conversion_index().targets(from).to_vec()
+    }
+
+    /// Borrowing variant of [`TypeTable::conversion_targets`]: the cached
+    /// list itself, with no allocation.
+    pub fn conversion_targets_ref(&self, from: TypeId) -> &[(TypeId, u32)] {
+        self.conversion_index().targets(from)
+    }
+
+    /// Uncached reference implementation of
+    /// [`TypeTable::conversion_targets`] (the per-query BFS oracle; see
+    /// [`TypeTable::type_distance_bfs`]).
+    pub fn conversion_targets_bfs(&self, from: TypeId) -> Vec<(TypeId, u32)> {
         let mut out = vec![(from, 0)];
         if let Some(pa) = self.get(from).prim_kind() {
             for (i, pb) in crate::PrimKind::ALL.iter().enumerate() {

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod convindex;
 mod def;
 mod distance;
 mod error;
@@ -46,6 +47,7 @@ mod namespace;
 mod primitive;
 mod table;
 
+pub use convindex::ConversionIndex;
 pub use def::{TypeDef, TypeKind};
 pub use distance::ComparablePair;
 pub use error::{TypeError, TypeResult};

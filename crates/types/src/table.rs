@@ -1,8 +1,12 @@
 //! The type table: an arena of type definitions plus hierarchy maintenance.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use crate::{NamespaceId, Namespaces, PrimKind, TypeDef, TypeError, TypeId, TypeKind, TypeResult};
+use crate::{
+    ConversionIndex, NamespaceId, Namespaces, PrimKind, TypeDef, TypeError, TypeId, TypeKind,
+    TypeResult,
+};
 
 /// Ids of the types every table contains from birth.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +33,9 @@ pub struct TypeTable {
     by_name: HashMap<(NamespaceId, String), TypeId>,
     well_known: WellKnown,
     prims: [TypeId; PrimKind::ALL.len()],
+    /// Lazily built conversion cache; cleared by every hierarchy mutator
+    /// so it can never go stale (all mutators take `&mut self`).
+    conv: OnceLock<ConversionIndex>,
 }
 
 impl Default for TypeTable {
@@ -52,6 +59,7 @@ impl TypeTable {
                 void: TypeId(0),
             },
             prims: [TypeId(0); PrimKind::ALL.len()],
+            conv: OnceLock::new(),
         };
         let object = table
             .push(system, "Object", TypeKind::Class { base: None }, false)
@@ -87,6 +95,7 @@ impl TypeTable {
                 name: name.to_owned(),
             });
         }
+        self.conv.take();
         let id = TypeId(self.types.len() as u32);
         self.types.push(TypeDef {
             name: name.to_owned(),
@@ -208,6 +217,7 @@ impl TypeTable {
             TypeKind::Class { base: b } => *b = Some(base),
             _ => unreachable!("checked is_class above"),
         }
+        self.conv.take();
         Ok(())
     }
 
@@ -242,6 +252,7 @@ impl TypeTable {
         let list = &mut self.types[ty.index()].interfaces;
         if !list.contains(&iface) {
             list.push(iface);
+            self.conv.take();
         }
         Ok(())
     }
@@ -339,6 +350,15 @@ impl TypeTable {
         }
         out.extend(self.get(id).interfaces.iter().copied());
         out
+    }
+
+    /// The memoized conversion cache for the current hierarchy, built on
+    /// first use (and after any hierarchy mutation) in one pass over the
+    /// table. All distance/target queries on `TypeTable` go through this;
+    /// engine hot paths can also hold it directly to skip the `OnceLock`
+    /// read per call.
+    pub fn conversion_index(&self) -> &ConversionIndex {
+        self.conv.get_or_init(|| ConversionIndex::build(self))
     }
 }
 

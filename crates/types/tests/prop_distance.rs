@@ -153,6 +153,31 @@ proptest! {
     }
 
     #[test]
+    fn conversion_index_matches_bfs_oracle(recipe in recipe(12, 6)) {
+        // The memoized index is built by DP over the conversion DAG; the
+        // BFS walk is the reference oracle. They must agree exactly —
+        // distances, target sets, and target order — on every pair,
+        // primitives and `object` included.
+        let (table, _, _) = build(&recipe);
+        let index = table.conversion_index();
+        for from in table.iter() {
+            let oracle = table.conversion_targets_bfs(from);
+            prop_assert_eq!(
+                index.targets(from),
+                oracle.as_slice(),
+                "target list mismatch for {:?}", from
+            );
+            for to in table.iter() {
+                prop_assert_eq!(
+                    index.distance(from, to),
+                    table.type_distance_bfs(from, to),
+                    "distance mismatch for {:?} -> {:?}", from, to
+                );
+            }
+        }
+    }
+
+    #[test]
     fn comparable_pairs_are_symmetric(a in 0..14usize, b in 0..14usize) {
         let table = TypeTable::new();
         let ta = table.prim(PrimKind::ALL[a]);

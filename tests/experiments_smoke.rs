@@ -44,7 +44,7 @@ fn all_artefacts_render_at_tiny_scale() {
     let b = baselines::run(&projects, &cfg);
     assert!(baselines::render(&b).contains("insynth-style"));
 
-    let rows = vec![speed::SpeedRow::new("methods", m.iter().map(|o| o.micros))];
+    let rows = vec![speed::SpeedRow::new("methods", m.iter().map(|o| o.nanos))];
     assert!(speed::render_speed(&rows).contains("p99"));
 }
 
