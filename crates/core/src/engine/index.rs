@@ -124,6 +124,7 @@ impl MethodIndex {
         ty: TypeId,
         scratch: &mut CandidateScratch,
     ) -> Vec<MethodId> {
+        pex_obs::counter!("index.candidates.walks", 1);
         let mut out = Vec::new();
         scratch.begin(db.method_count());
         for &(target, _) in db.types().conversion_targets_ref(ty) {
@@ -174,6 +175,27 @@ impl MethodIndex {
     /// Panics if `ty` was declared after this index was built; the index is
     /// a snapshot and must be rebuilt when the database grows.
     pub fn candidates_for_cached(&self, db: &Database, ty: TypeId) -> &[MethodId] {
+        pex_obs::counter!("index.candidates.lookups", 1);
+        let cell = self
+            .memo
+            .get(ty.index())
+            .expect("type declared after MethodIndex::build; rebuild the index");
+        cell.get_or_init(|| {
+            // Counted inside the init closure: `OnceLock` runs it exactly
+            // once per cell even under racing parallel workers, so the
+            // fill total equals the number of distinct types materialised
+            // — deterministic for any thread count. Hits are derived as
+            // lookups − fills.
+            pex_obs::counter!("index.candidates.fills", 1);
+            self.candidates_for(db, ty).into_boxed_slice()
+        })
+    }
+
+    /// [`MethodIndex::candidates_for_cached`] without observability probes:
+    /// the baseline for the obs-overhead benchmark (`speedups` measures the
+    /// probed path against this with the registry enabled and disabled).
+    /// Not for production call sites — use the instrumented twin.
+    pub fn candidates_for_cached_raw(&self, db: &Database, ty: TypeId) -> &[MethodId] {
         let cell = self
             .memo
             .get(ty.index())

@@ -118,6 +118,7 @@ impl<'a> Completer<'a> {
     /// All completions of `pe`, lazily, in non-decreasing score order,
     /// deduplicated.
     pub fn completions(&self, pe: &PartialExpr) -> CompletionIter<'_> {
+        pex_obs::counter!("engine.queries", 1);
         let filter = match self.options.expected {
             Some(t) => TypeFilter::one_of(vec![t]),
             None => TypeFilter::any(),
@@ -126,6 +127,9 @@ impl<'a> Completer<'a> {
             stream: self.stream_for(pe, filter),
             seen: std::collections::HashSet::new(),
             steps_left: self.options.max_steps,
+            span: pex_obs::span("query"),
+            generated: 0,
+            emitted: 0,
         }
     }
 
@@ -352,6 +356,14 @@ pub struct CompletionIter<'s> {
     stream: Box<dyn ScoredStream + 's>,
     seen: std::collections::HashSet<String>,
     steps_left: usize,
+    /// Open "query" span: the iterator's lifetime *is* the query, so the
+    /// span closes (recording wall time into `span.query`) on drop.
+    span: Option<pex_obs::Span>,
+    /// Candidates pulled from the stream, counted locally and flushed to
+    /// the registry once per query on drop (no per-candidate atomics).
+    generated: u64,
+    /// Candidates that survived dedup and were yielded to the caller.
+    emitted: u64,
 }
 
 impl<'s> Iterator for CompletionIter<'s> {
@@ -361,12 +373,23 @@ impl<'s> Iterator for CompletionIter<'s> {
         while self.steps_left > 0 {
             self.steps_left -= 1;
             let c = self.stream.next_item()?;
+            self.generated += 1;
             let key = format!("{:?}", c.expr);
             if self.seen.insert(key) {
+                self.emitted += 1;
                 return Some(c);
             }
         }
         None
+    }
+}
+
+impl Drop for CompletionIter<'_> {
+    fn drop(&mut self) {
+        pex_obs::counter!("engine.candidates.generated", self.generated);
+        pex_obs::counter!("engine.candidates.emitted", self.emitted);
+        // `self.span` drops after this body, closing the query span last.
+        let _ = &self.span;
     }
 }
 

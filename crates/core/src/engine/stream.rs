@@ -170,6 +170,7 @@ impl<'a> ProductStream<'a> {
         }
         self.seen.insert(idx.clone());
         self.heap.push(Reverse((score, idx)));
+        pex_obs::gauge_max!("engine.product.heap.max", self.heap.len() as u64);
     }
 
     fn start(&mut self) {
@@ -277,6 +278,7 @@ where
                             completion,
                         }));
                     }
+                    pex_obs::gauge_max!("engine.expand.buffer.max", self.buffer.len() as u64);
                 }
             }
         }

@@ -249,6 +249,7 @@ impl<'a> Ranker<'a> {
     /// The cost of one member-access link.
     pub fn link_cost(&self) -> u32 {
         if self.config.depth {
+            pex_obs::counter!("rank.term.depth.evals", 1);
             2
         } else {
             0
@@ -259,6 +260,7 @@ impl<'a> Ranker<'a> {
     /// not type-check in the context (type-incorrect completions are never
     /// produced, regardless of which terms are enabled).
     pub fn score(&self, e: &Expr) -> Option<u32> {
+        pex_obs::counter!("rank.score.evals", 1);
         match e {
             Expr::Local(l) => {
                 if l.index() < self.ctx.locals.len() {
@@ -302,7 +304,12 @@ impl<'a> Ranker<'a> {
                     }
                     _ => 0,
                 };
-                let td_term = if self.config.type_distance { td } else { 0 };
+                let td_term = if self.config.type_distance {
+                    pex_obs::counter!("rank.term.type_distance.evals", 1);
+                    td
+                } else {
+                    0
+                };
                 let abs_term = self.pair_abs_term(l, r);
                 Some(ls + rs + td_term + abs_term)
             }
@@ -317,10 +324,20 @@ impl<'a> Ranker<'a> {
                     }
                     _ => 0,
                 };
-                let td_term = if self.config.type_distance { td } else { 0 };
+                let td_term = if self.config.type_distance {
+                    pex_obs::counter!("rank.term.type_distance.evals", 1);
+                    td
+                } else {
+                    0
+                };
                 let abs_term = self.pair_abs_term(l, r);
-                let name_term = if self.config.matching_name && !self.same_trailing_name(l, r) {
-                    3
+                let name_term = if self.config.matching_name {
+                    pex_obs::counter!("rank.term.matching_name.evals", 1);
+                    if self.same_trailing_name(l, r) {
+                        0
+                    } else {
+                        3
+                    }
                 } else {
                     0
                 };
@@ -359,19 +376,27 @@ impl<'a> Ranker<'a> {
                 ValueTy::Known(t) => {
                     let d = self.db.types().type_distance(t, *want)?;
                     if self.config.type_distance {
+                        pex_obs::counter!("rank.term.type_distance.evals", 1);
                         total += d;
                     }
                 }
                 ValueTy::Wildcard => {}
             }
-            if self.config.abstract_types && !self.arg_abs_matches(m, i, arg) {
+            if self.config.abstract_types {
+                pex_obs::counter!("rank.term.abstract_types.evals", 1);
+                if !self.arg_abs_matches(m, i, arg) {
+                    total += 1;
+                }
+            }
+        }
+        if self.config.in_scope_static {
+            pex_obs::counter!("rank.term.in_scope_static.evals", 1);
+            if !(md.is_static() && self.static_in_scope(m)) {
                 total += 1;
             }
         }
-        if self.config.in_scope_static && !(md.is_static() && self.static_in_scope(m)) {
-            total += 1;
-        }
         if self.config.namespace {
+            pex_obs::counter!("rank.term.namespace.evals", 1);
             total += self.namespace_term(m, args, &param_tys);
         }
         Some(total)
@@ -423,6 +448,7 @@ impl<'a> Ranker<'a> {
         if !self.config.abstract_types {
             return 0;
         }
+        pex_obs::counter!("rank.term.abstract_types.evals", 1);
         let matched = self.abs.is_some_and(|abs| {
             AbsTypes::matches(
                 abs.expr_class(self.ctx.enclosing_method, l),

@@ -34,6 +34,7 @@ pub struct ArgOutcome {
 /// Runs the experiment over all projects. Sites replay in parallel (see
 /// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
+    let _span = pex_obs::span("phase.args");
     let mut out = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
         let sites = sample(&project.extracted.calls, cfg.max_sites);
@@ -79,6 +80,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
                     let t0 = Instant::now();
                     let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
                     let nanos = t0.elapsed().as_nanos();
+                    pex_obs::histogram!("site.args.ns", nanos as u64);
                     out.push(ArgOutcome {
                         project: pi,
                         kind,

@@ -194,7 +194,10 @@ where
     R: Send,
     F: Fn(&S, &Context, Option<&AbsTypes<'_>>, &mut Vec<R>) + Sync,
 {
+    let _span = pex_obs::span("replay.map_sites");
     let groups = group_by_method(sites, key);
+    pex_obs::counter!("replay.sites", sites.len() as u64);
+    pex_obs::counter!("replay.groups", groups.len() as u64);
     let run_group = |&(m, ref group): &(MethodId, Vec<&S>)| -> Vec<R> {
         let mut out = Vec::new();
         let mut sweep = abs_cache.map(|cache| MethodSweep::with_cache(db, cache, m));

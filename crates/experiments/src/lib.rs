@@ -35,6 +35,7 @@ pub mod insynth;
 pub mod intellisense;
 pub mod lookups;
 pub mod methods;
+pub mod obs_report;
 pub mod prospector;
 pub mod scaling;
 pub mod sensitivity;

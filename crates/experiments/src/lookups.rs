@@ -90,6 +90,7 @@ fn m_suffix(base: Expr, layers: usize) -> PartialExpr {
 /// Runs both halves of the experiment. Sites replay in parallel (see
 /// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>, Vec<CmpOutcome>) {
+    let _span = pex_obs::span("phase.lookups");
     let mut assigns = Vec::new();
     let mut cmps = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
@@ -128,11 +129,13 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                     let comp = completer(project, ctx, abs, cfg, None);
                     let t0 = Instant::now();
                     let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    let nanos = t0.elapsed().as_nanos();
+                    pex_obs::histogram!("site.lookups.ns", nanos as u64);
                     assigns.push(AssignOutcome {
                         project: pi,
                         case,
                         rank,
-                        nanos: t0.elapsed().as_nanos(),
+                        nanos,
                     });
                 }
             },
@@ -179,11 +182,13 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                     let comp = completer(project, ctx, abs, cfg, None);
                     let t0 = Instant::now();
                     let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    let nanos = t0.elapsed().as_nanos();
+                    pex_obs::histogram!("site.lookups.ns", nanos as u64);
                     cmps.push(CmpOutcome {
                         project: pi,
                         case,
                         rank,
-                        nanos: t0.elapsed().as_nanos(),
+                        nanos,
                     });
                 }
             },

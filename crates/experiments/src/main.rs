@@ -3,7 +3,7 @@
 //! ```text
 //! pex-experiments <command> [--scale S] [--limit N] [--max-sites N]
 //!                           [--t2-max-sites N] [--no-abs] [--threads N]
-//!                           [--out DIR]
+//!                           [--out DIR] [--metrics-out FILE] [--trace FILE]
 //!
 //! commands:
 //!   all       everything below, in order
@@ -22,14 +22,41 @@
 //! ```
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use pex_experiments::{
-    args as args_exp, baselines, figures, lookups, methods, scaling, sensitivity, speed,
-    ExperimentConfig,
+    args as args_exp, baselines, figures, lookups, methods, obs_report, scaling, sensitivity,
+    speed, ExperimentConfig,
 };
+use pex_obs::{JsonLinesSink, StderrPrettySink, TeeSink};
+
+/// End-of-run observability surface: the human-readable summary (for
+/// `all`/`speed`), the `--metrics-out` document, and the sink flush (the
+/// trace writer is buffered and the global sink never drops).
+fn finish(command: &str, cfg: &ExperimentConfig, metrics_out: Option<&Path>) {
+    let snap = pex_obs::registry().snapshot();
+    if command == "all" || command == "speed" {
+        pex_obs::message!("{}", obs_report::render_summary(&snap).trim_end());
+    }
+    if let Some(path) = metrics_out {
+        let config = format!(
+            "{{ \"command\": \"{}\", \"scale\": {}, \"limit\": {}, \"threads\": {} }}",
+            command,
+            cfg.scale,
+            cfg.limit,
+            cfg.threads.map_or("null".to_owned(), |n| n.to_string())
+        );
+        std::fs::write(path, obs_report::metrics_json(&snap, &config))
+            .expect("write --metrics-out file");
+        pex_obs::message!("wrote {}", path.display());
+    }
+    pex_obs::flush_sink();
+}
 
 fn main() {
+    // Structured diagnostics: stderr pretty-printer by default; `--trace`
+    // tees span events to a JSON-lines file on top of it.
+    pex_obs::set_sink(Box::new(StderrPrettySink));
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
         print!("{}", HELP);
@@ -39,13 +66,15 @@ fn main() {
     let mut cfg = ExperimentConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut t2_max_sites: Option<usize> = Some(12);
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < argv.len() {
         let flag = argv[i].as_str();
         let mut take_value = || -> String {
             i += 1;
             argv.get(i).cloned().unwrap_or_else(|| {
-                eprintln!("missing value for {flag}");
+                pex_obs::message!("missing value for {flag}");
                 std::process::exit(2);
             })
         };
@@ -68,12 +97,21 @@ fn main() {
                 cfg.threads = Some(take_value().parse().expect("--threads takes an integer"))
             }
             "--out" => out_dir = Some(PathBuf::from(take_value())),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(take_value())),
+            "--trace" => trace_out = Some(PathBuf::from(take_value())),
             other => {
-                eprintln!("unknown flag {other}");
+                pex_obs::message!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if let Some(path) = &trace_out {
+        let trace = JsonLinesSink::create(path).expect("create --trace file");
+        pex_obs::set_sink(Box::new(TeeSink(
+            Box::new(StderrPrettySink),
+            Box::new(trace),
+        )));
     }
 
     let sections: std::cell::RefCell<Vec<(String, String)>> = std::cell::RefCell::new(Vec::new());
@@ -84,7 +122,7 @@ fn main() {
             let path = dir.join(format!("{name}.txt"));
             let mut f = std::fs::File::create(&path).expect("create output file");
             f.write_all(content.as_bytes()).expect("write output file");
-            eprintln!("wrote {}", path.display());
+            pex_obs::message!("wrote {}", path.display());
         }
         sections.borrow_mut().push((name.to_owned(), content));
     };
@@ -102,8 +140,9 @@ fn main() {
             let source = pex_experiments::harness::dump_project(p);
             let path = dir.join(format!("{}.mcs", p.name.replace([' ', '.'], "_")));
             std::fs::write(&path, source).expect("write project source");
-            eprintln!("wrote {}", path.display());
+            pex_obs::message!("wrote {}", path.display());
         }
+        finish(&command, &cfg, metrics_out.as_deref());
         return;
     }
 
@@ -112,6 +151,7 @@ fn main() {
         emit("fig3", figures::render_fig3());
         emit("fig4", figures::render_fig4());
         if command == "examples" {
+            finish(&command, &cfg, metrics_out.as_deref());
             return;
         }
     }
@@ -135,18 +175,19 @@ fn main() {
     ]
     .contains(&command.as_str());
     if !needs_corpus {
-        eprintln!("unknown command `{command}`\n");
+        pex_obs::message!("unknown command `{command}`\n");
         print!("{HELP}");
+        pex_obs::flush_sink();
         std::process::exit(2);
     }
 
-    eprintln!(
+    pex_obs::message!(
         "generating the 7 Table 1 projects at scale {} (use --scale to change)...",
         cfg.scale
     );
     let projects = pex_experiments::load_projects(cfg.scale);
     for p in &projects {
-        eprintln!(
+        pex_obs::message!(
             "  {:<12} {:>5} methods, {:>5} calls, {:>4} assignments, {:>4} comparisons",
             p.name,
             p.db.method_count(),
@@ -160,7 +201,7 @@ fn main() {
         .iter()
         .any(|c| wants(c));
     let method_outcomes = if methods_needed {
-        eprintln!("running experiment 5.1 (method names)...");
+        pex_obs::message!("running experiment 5.1 (method names)...");
         methods::run(&projects, &cfg)
     } else {
         Vec::new()
@@ -186,7 +227,7 @@ fn main() {
 
     let args_needed = ["fig13", "fig14", "speed"].iter().any(|c| wants(c));
     let arg_outcomes = if args_needed {
-        eprintln!("running experiment 5.2 (method arguments)...");
+        pex_obs::message!("running experiment 5.2 (method arguments)...");
         args_exp::run(&projects, &cfg)
     } else {
         Vec::new()
@@ -200,7 +241,7 @@ fn main() {
 
     let lookups_needed = ["fig15", "fig16", "speed"].iter().any(|c| wants(c));
     let (assign_outcomes, cmp_outcomes) = if lookups_needed {
-        eprintln!("running experiment 5.3 (field lookups)...");
+        pex_obs::message!("running experiment 5.3 (field lookups)...");
         lookups::run(&projects, &cfg)
     } else {
         (Vec::new(), Vec::new())
@@ -231,7 +272,7 @@ fn main() {
     }
 
     if wants("baselines") {
-        eprintln!("running the Prospector-style baseline comparison...");
+        pex_obs::message!("running the Prospector-style baseline comparison...");
         let bl_cfg = ExperimentConfig {
             max_sites: cfg.max_sites.or(Some(60)),
             ..cfg.clone()
@@ -241,13 +282,13 @@ fn main() {
     }
 
     if command == "scaling" {
-        eprintln!("running the scaling study (Paint.NET profile)...");
+        pex_obs::message!("running the scaling study (Paint.NET profile)...");
         let points = scaling::run(&[0.01, 0.05, 0.15, 0.4], &cfg);
         emit("scaling", scaling::render(&points));
     }
 
     if wants("table2") {
-        eprintln!(
+        pex_obs::message!(
             "running experiment 5.4 (sensitivity, 15 configurations, {} sites/project)...",
             t2_max_sites
                 .map(|n| n.to_string())
@@ -279,9 +320,11 @@ fn main() {
             }
             let path = dir.join("REPORT.md");
             std::fs::write(&path, report).expect("write combined report");
-            eprintln!("wrote {}", path.display());
+            pex_obs::message!("wrote {}", path.display());
         }
     }
+
+    finish(&command, &cfg, metrics_out.as_deref());
 }
 
 const HELP: &str = "\
@@ -307,4 +350,12 @@ FLAGS:
     --threads N        replay worker threads (1 = sequential; default: all
                        cores, or RAYON_NUM_THREADS when set)
     --out DIR          also write each artefact to DIR/<name>.txt
+    --metrics-out FILE write the observability registry as JSON: per-phase
+                       latency histograms (p50/p90/p99/max), cache hit
+                       rates, ranking-term evaluation counts
+    --trace FILE       write tracing span events as JSON lines (one object
+                       per completed span; stderr output is unchanged)
+
+`all` and `speed` print a human-readable observability summary (latency
+percentiles per phase, cache hit rates) to stderr when done.
 ";

@@ -68,6 +68,7 @@ fn subsets(n: usize, max: usize) -> Vec<Vec<usize>> {
 /// Runs the experiment over all projects. Sites replay in parallel (see
 /// [`map_sites`]); the outcome order is independent of the thread count.
 pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
+    let _span = pex_obs::span("phase.methods");
     let mut out = Vec::new();
     for (pi, project) in projects.iter().enumerate() {
         let sites: Vec<CallSite> = project
@@ -127,6 +128,9 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                     if best == Some(0) && best_ret == Some(0) && best_1arg.is_some() {
                         break; // cannot improve further
                     }
+                }
+                if best_nanos > 0 {
+                    pex_obs::histogram!("site.methods.ns", best_nanos as u64);
                 }
                 out.push(CallOutcome {
                     project: pi,

@@ -1,0 +1,214 @@
+//! Scoped tracing spans with monotonic-clock timing.
+//!
+//! [`span`] opens a span that closes when the returned guard drops. Every
+//! close records the wall-clock duration into the `span.<name>` histogram;
+//! a [`crate::sink::Event::SpanEnd`] event is additionally built and
+//! delivered only when a sink that wants spans is installed (`--trace`),
+//! so the default configuration pays no per-span formatting or locking.
+//!
+//! Nesting (parent name, depth) comes from a thread-local stack of open
+//! span names. Guards are `!Send`: a span must close on the thread that
+//! opened it or the stack would be popped on the wrong thread.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::sink::{emit_span, sink_wants_spans, thread_label, Event};
+
+/// Process epoch for `start_ns` timestamps: the instant of the first probe.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a named span, or returns `None` when the registry is disabled (a
+/// binding of `None` drops immediately and records nothing).
+///
+/// ```
+/// {
+///     let _span = pex_obs::span("doc.phase");
+///     // ... timed work ...
+/// } // duration lands in the "span.doc.phase" histogram here
+/// # let snap = pex_obs::registry().snapshot();
+/// # assert_eq!(snap.histograms["span.doc.phase"].count, 1);
+/// ```
+pub fn span(name: &'static str) -> Option<Span> {
+    if !crate::enabled() {
+        return None;
+    }
+    let (parent, depth) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        let depth = stack.len();
+        stack.push(name);
+        (parent, depth)
+    });
+    // Resolving the histogram handle locks the registry's name map once per
+    // span open; spans bound *phases* (queries, experiment passes), not
+    // per-candidate work, so this stays off the hot path.
+    let histogram = crate::registry().histogram(&format!("span.{name}"));
+    Some(Span {
+        name,
+        parent,
+        depth,
+        start: Instant::now(),
+        histogram,
+        _not_send: PhantomData,
+    })
+}
+
+/// An open span; dropping it closes the span and records its duration.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    start: Instant,
+    histogram: &'static Histogram,
+    /// Spans must drop on their opening thread (thread-local stack).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Span {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The enclosing span's name on this thread, if any.
+    pub fn parent(&self) -> Option<&'static str> {
+        self.parent
+    }
+
+    /// Nesting depth at open time (0 = top-level).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration_ns = self.start.elapsed().as_nanos() as u64;
+        self.histogram.record(duration_ns);
+        STACK.with(|stack| {
+            let popped = stack.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(self.name), "span guards must drop LIFO");
+        });
+        if sink_wants_spans() {
+            let start_ns = self
+                .start
+                .checked_duration_since(epoch())
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            emit_span(Event::SpanEnd {
+                name: self.name,
+                parent: self.parent,
+                depth: self.depth,
+                thread: thread_label(),
+                start_ns,
+                duration_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::tests::CaptureSink;
+    use crate::sink::{set_sink, take_sink, test_lock};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn spans_nest_and_record_durations() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let before = crate::registry().snapshot();
+        let outer_count = |snap: &crate::MetricsSnapshot| {
+            snap.histograms
+                .get("span.test.outer")
+                .map_or(0, |h| h.count)
+        };
+        {
+            let outer = span("test.outer").unwrap();
+            assert_eq!(outer.parent(), None);
+            assert_eq!(outer.depth(), 0);
+            {
+                let inner = span("test.inner").unwrap();
+                assert_eq!(inner.parent(), Some("test.outer"));
+                assert_eq!(inner.depth(), 1);
+            }
+            let sibling = span("test.inner").unwrap();
+            assert_eq!(
+                sibling.parent(),
+                Some("test.outer"),
+                "stack popped on close"
+            );
+        }
+        let after = crate::registry().snapshot();
+        assert_eq!(outer_count(&after) - outer_count(&before), 1);
+        assert!(after.histograms["span.test.inner"].count >= 2);
+    }
+
+    #[test]
+    fn disabled_registry_yields_no_span() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(false);
+        assert!(span("test.disabled").is_none());
+        crate::set_enabled(true);
+        STACK.with(|s| assert!(s.borrow().is_empty(), "no stack residue"));
+    }
+
+    #[test]
+    fn span_events_reach_a_span_wanting_sink() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        set_sink(Box::new(CaptureSink(events.clone())));
+        {
+            let _outer = span("test.ev.outer");
+            let _inner = span("test.ev.inner");
+        }
+        take_sink();
+        {
+            let _untraced = span("test.ev.outer"); // no sink: histogram only
+        }
+        let got = events.lock().unwrap();
+        // Drop order: inner closes first.
+        assert_eq!(got.len(), 2);
+        match &got[0] {
+            Event::SpanEnd {
+                name,
+                parent,
+                depth,
+                ..
+            } => {
+                assert_eq!(*name, "test.ev.inner");
+                assert_eq!(*parent, Some("test.ev.outer"));
+                assert_eq!(*depth, 1);
+            }
+            other => panic!("expected span event, got {other:?}"),
+        }
+        match &got[1] {
+            Event::SpanEnd {
+                name,
+                parent,
+                depth,
+                ..
+            } => {
+                assert_eq!(*name, "test.ev.outer");
+                assert_eq!(*parent, None);
+                assert_eq!(*depth, 0);
+            }
+            other => panic!("expected span event, got {other:?}"),
+        }
+    }
+}

@@ -136,11 +136,43 @@ impl Criterion {
         &self.results
     }
 
+    /// Whether `--list` was requested. Custom measurement code (anything
+    /// not going through [`Bencher::iter`]) should print `id: bench` lines
+    /// for its ids instead of timing anything.
+    pub fn is_listing(&self) -> bool {
+        self.list_only
+    }
+
+    /// Whether `id` passes the CLI substring filter (always true when no
+    /// filter was given).
+    pub fn filter_allows(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Records an externally measured result — e.g. an interleaved paired
+    /// measurement that the per-benchmark [`Bencher`] loop cannot express —
+    /// printing the same stats line as [`Criterion::bench_function`].
+    pub fn record(&mut self, result: BenchResult) {
+        Self::print_result(&result);
+        self.results.push(result);
+    }
+
+    fn print_result(result: &BenchResult) {
+        println!(
+            "{:<55} median {:>12}  (mean {}, range {} .. {}, {} samples x {} iters)",
+            result.id,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
-        if let Some(filter) = &self.filter {
-            if !id.contains(filter.as_str()) {
-                return;
-            }
+        if !self.filter_allows(&id) {
+            return;
         }
         if self.list_only {
             println!("{id}: bench");
@@ -170,16 +202,7 @@ impl Criterion {
             iters_per_sample: iters,
             id,
         };
-        println!(
-            "{:<55} median {:>12}  (mean {}, range {} .. {}, {} samples x {} iters)",
-            result.id,
-            fmt_ns(result.median_ns),
-            fmt_ns(result.mean_ns),
-            fmt_ns(result.min_ns),
-            fmt_ns(result.max_ns),
-            result.samples,
-            result.iters_per_sample,
-        );
+        Self::print_result(&result);
         self.results.push(result);
     }
 }
@@ -284,6 +307,30 @@ mod tests {
         g.finish();
         assert_eq!(c.results().len(), 1);
         assert_eq!(c.results()[0].id, "g/keep_me");
+    }
+
+    #[test]
+    fn record_and_filter_allows_support_custom_measurement() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("pair".to_owned()),
+            list_only: false,
+            results: Vec::new(),
+        };
+        assert!(c.filter_allows("group/pair_a"));
+        assert!(!c.filter_allows("group/other"));
+        assert!(!c.is_listing());
+        c.record(BenchResult {
+            id: "group/pair_a".to_owned(),
+            median_ns: 2.0,
+            mean_ns: 2.5,
+            min_ns: 1.0,
+            max_ns: 4.0,
+            samples: 8,
+            iters_per_sample: 100,
+        });
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "group/pair_a");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct ConversionIndex {
 impl ConversionIndex {
     /// Builds the index for the table's current hierarchy.
     pub fn build(table: &TypeTable) -> Self {
+        pex_obs::counter!("convindex.builds", 1);
         let n = table.len();
         let mut memo: Vec<Option<Vec<(TypeId, u32)>>> = vec![None; n];
         for root in table.iter() {
@@ -106,16 +107,24 @@ impl ConversionIndex {
 
     /// The cached `td(from, to)`.
     pub fn distance(&self, from: TypeId, to: TypeId) -> Option<u32> {
+        pex_obs::counter!("convindex.distance.lookups", 1);
         let list = &self.by_id[from.index()];
-        list.binary_search_by_key(&to, |&(t, _)| t)
+        let found = list
+            .binary_search_by_key(&to, |&(t, _)| t)
             .ok()
-            .map(|i| list[i].1)
+            .map(|i| list[i].1);
+        match found {
+            Some(d) => pex_obs::histogram!("convindex.distance", d),
+            None => pex_obs::counter!("convindex.distance.misses", 1),
+        }
+        found
     }
 
     /// The cached conversion-target list of `from`, sorted by
     /// `(distance, id)` — identical to
     /// [`TypeTable::conversion_targets_bfs`].
     pub fn targets(&self, from: TypeId) -> &[(TypeId, u32)] {
+        pex_obs::counter!("convindex.targets.lookups", 1);
         &self.targets[from.index()]
     }
 

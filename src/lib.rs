@@ -25,6 +25,8 @@
 //!   synthetic projects shaped like the paper's seven C# codebases.
 //! * [`experiments`] ([`pex_experiments`]) — the full evaluation harness
 //!   (every table and figure).
+//! * [`obs`] ([`pex_obs`]) — observability substrate: lock-free metrics,
+//!   tracing spans, and event sinks with a zero-cost kill switch.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ pub use pex_core as core;
 pub use pex_corpus as corpus;
 pub use pex_experiments as experiments;
 pub use pex_model as model;
+pub use pex_obs as obs;
 pub use pex_types as types;
 
 /// The most commonly used items, for `use pex::prelude::*`.
