@@ -13,7 +13,7 @@ use criterion::{black_box, BenchResult, Criterion};
 use pex_core::{CandidateScratch, MethodIndex};
 use pex_corpus::table1_projects;
 use pex_experiments::{load_projects, methods, obs_report, ExperimentConfig};
-use pex_model::Database;
+use pex_model::{Database, ExprKey};
 use pex_types::TypeId;
 
 /// The scale the acceptance numbers are pinned to (Table 1 at 0.02).
@@ -210,6 +210,74 @@ fn bench_obs_overhead(c: &mut Criterion, db: &Database, index: &MethodIndex, typ
     }
 }
 
+/// Dedup-key guard: `CompletionIter` and the call placer dedupe emitted
+/// expressions by hashing [`ExprKey`] directly; this measures that against
+/// the `format!("{:?}", expr)` string keys they used before, on real
+/// completions, and asserts the two schemes partition identically.
+fn bench_dedup(c: &mut Criterion) {
+    let projects = load_projects(SCALE);
+    let project = &projects[0];
+    let site = project
+        .extracted
+        .calls
+        .iter()
+        .find(|s| !s.args.is_empty())
+        .expect("corpus has call sites");
+    let ctx = pex_experiments::extract::site_context(&project.db, site.enclosing, site.stmt);
+    let completer = pex_core::Completer::new(
+        &project.db,
+        &ctx,
+        &project.index,
+        pex_core::RankConfig::all(),
+        None,
+    );
+    let query = pex_core::PartialExpr::UnknownCall(vec![pex_core::PartialExpr::Known(
+        site.args[0].clone(),
+    )]);
+    let exprs: Vec<pex_model::Expr> = completer
+        .completions(&query)
+        .take(500)
+        .map(|comp| comp.expr)
+        .collect();
+    assert!(exprs.len() >= 10, "need a real batch, got {}", exprs.len());
+
+    // Both schemes must agree on what is a duplicate.
+    let by_string: std::collections::HashSet<String> =
+        exprs.iter().map(|e| format!("{e:?}")).collect();
+    let by_key: std::collections::HashSet<ExprKey> =
+        exprs.iter().map(|e| ExprKey(e.clone())).collect();
+    assert_eq!(
+        by_string.len(),
+        by_key.len(),
+        "ExprKey dedup must partition completions exactly like debug-string dedup"
+    );
+
+    c.bench_function("speedups/dedup_key_format_debug", |b| {
+        b.iter(|| {
+            let mut seen = std::collections::HashSet::new();
+            let mut kept = 0usize;
+            for e in &exprs {
+                if seen.insert(format!("{:?}", black_box(e))) {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+    c.bench_function("speedups/dedup_key_expr_hash", |b| {
+        b.iter(|| {
+            let mut seen = std::collections::HashSet::new();
+            let mut kept = 0usize;
+            for e in &exprs {
+                if seen.insert(ExprKey(black_box(e).clone())) {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+}
+
 fn bench_replay(c: &mut Criterion) {
     let projects = load_projects(SCALE);
     let cfg = |threads: Option<usize>| ExperimentConfig {
@@ -309,6 +377,15 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
             "speedups/candidates_consume_raw"
         ))
     ));
+    // Guard for the dedup-key change: hashing ExprKey must not be slower
+    // than building debug strings (ratio > 1.0 means ExprKey wins).
+    out.push_str(&format!(
+        "    \"dedup_key_speedup\": {},\n",
+        fmt_opt(speedup(
+            "speedups/dedup_key_format_debug",
+            "speedups/dedup_key_expr_hash"
+        ))
+    ));
     out.push_str(&format!(
         "    \"methods_replay_speedup\": {}\n",
         fmt_opt(speedup(
@@ -326,6 +403,7 @@ fn main() {
     // this run's traffic (fixture priming plus the benches themselves).
     pex_obs::registry().reset();
     bench_candidates(&mut c);
+    bench_dedup(&mut c);
     bench_replay(&mut c);
     let results = c.results();
     if results.is_empty() {

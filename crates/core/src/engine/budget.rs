@@ -1,0 +1,342 @@
+//! Bounded-resource query execution: step budgets, wall-clock deadlines,
+//! and cooperative cancellation, with every exit path classified.
+//!
+//! The paper's evaluation depends on every query either enumerating far
+//! enough to find the ground-truth expression or being *honestly reported*
+//! as cut off. A silent safety counter cannot provide that: a query that
+//! runs out of steps looks exactly like one that drained its search space,
+//! and downstream rank statistics record it as "not in top n". This module
+//! makes resource exhaustion explicit:
+//!
+//! * [`QueryBudget`] — the caller-facing limits (steps, deadline, cancel
+//!   token), carried by [`super::CompleteOptions`];
+//! * [`QueryOutcome`] — why iteration stopped, surfaced on
+//!   [`super::CompletionIter`] and in [`RankResult`];
+//! * [`CancelToken`] — a thread-safe cooperative cancel flag, shareable
+//!   across harness workers;
+//! * `Budget` — the engine-internal charge meter threaded through every
+//!   stream combinator, so unbounded *internal* loops (chain Dijkstra pops,
+//!   product-frontier expansion, filter skips) are bounded too, not just
+//!   emitted items.
+//!
+//! Deadline checks poll the monotonic clock only once every
+//! `POLL_STRIDE` (64) charges, so the per-charge cost of an armed deadline is
+//! a counter decrement, not a syscall.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a completion query stopped producing items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryOutcome {
+    /// The search space was fully enumerated: every completion the query
+    /// derives was produced. The only outcome that certifies a `None` from
+    /// the iterator as "there is nothing more".
+    Exhausted,
+    /// The caller stopped first — a `take(n)` / result limit was reached,
+    /// a rank predicate matched, or the iterator was dropped mid-stream.
+    /// The enumeration itself was still healthy.
+    Limit,
+    /// The step budget ([`QueryBudget::max_steps`]) ran out. Results are a
+    /// truncated prefix of the full enumeration.
+    StepBudget,
+    /// The wall-clock deadline ([`QueryBudget::deadline`]) passed. Results
+    /// are a truncated prefix of the full enumeration.
+    Deadline,
+    /// The [`CancelToken`] was triggered. Results are a truncated prefix.
+    Cancelled,
+}
+
+impl QueryOutcome {
+    /// Whether the query was cut off by a resource bound rather than
+    /// finishing naturally. Degraded results must not be interpreted as
+    /// "the expression is not enumerable" — only as "we stopped looking".
+    pub fn is_degraded(self) -> bool {
+        matches!(
+            self,
+            QueryOutcome::StepBudget | QueryOutcome::Deadline | QueryOutcome::Cancelled
+        )
+    }
+
+    /// Stable lower-case label, used for counter names and table cells.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryOutcome::Exhausted => "exhausted",
+            QueryOutcome::Limit => "limit",
+            QueryOutcome::StepBudget => "step_budget",
+            QueryOutcome::Deadline => "deadline",
+            QueryOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// The result of [`super::Completer::rank_of`]: the rank, if found, plus
+/// why the enumeration stopped. A `rank` of `None` only means "not
+/// enumerable within the limit" when `outcome` is not degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankResult {
+    /// 0-based rank of the first matching completion, if one was found.
+    pub rank: Option<usize>,
+    /// Why enumeration stopped ([`QueryOutcome::Limit`] when the rank was
+    /// found or the caller's limit was reached).
+    pub outcome: QueryOutcome,
+}
+
+impl RankResult {
+    /// Whether this result is untrustworthy as a "not found": the target
+    /// was not seen, but enumeration was cut off before it could be.
+    pub fn is_degraded(&self) -> bool {
+        self.rank.is_none() && self.outcome.is_degraded()
+    }
+}
+
+/// A cooperative cancellation flag, cheap to clone and safe to share
+/// across threads. Cancelling is sticky: once set, every holder of a clone
+/// observes it and in-flight queries stop at their next charge poll.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (one relaxed load).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Caller-facing resource limits for one query.
+#[derive(Debug, Clone)]
+pub struct QueryBudget {
+    /// Budget on units of enumeration work: candidate pulls plus internal
+    /// stream operations (heap pops, product-frontier combos). Exhausting
+    /// it yields [`QueryOutcome::StepBudget`].
+    pub max_steps: usize,
+    /// Per-query wall-clock budget, armed when the query starts.
+    /// Exceeding it yields [`QueryOutcome::Deadline`]. The clock is polled
+    /// every `POLL_STRIDE` (64) work units, so the effective granularity is a
+    /// few microseconds of enumeration work.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation, polled on the same stride as the
+    /// deadline. Triggering it yields [`QueryOutcome::Cancelled`].
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        QueryBudget {
+            max_steps: 1_000_000,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+/// How many work units pass between polls of the deadline clock and the
+/// cancel token. Chosen so an armed deadline costs one `Instant::now()`
+/// per ~64 heap operations — well under a microsecond of overhead per
+/// poll window — while keeping deadline overshoot to the work those 64
+/// units represent.
+pub(crate) const POLL_STRIDE: u32 = 64;
+
+/// Engine-internal charge meter for one query, shared by every stream in
+/// the query's combinator tree. Streams are per-query and single-threaded,
+/// so this is an `Rc` of `Cell`s, not atomics; the only cross-thread part
+/// is the [`CancelToken`] it polls.
+#[derive(Debug)]
+pub(crate) struct BudgetState {
+    steps_left: Cell<usize>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// Countdown to the next clock/cancel poll; starts at zero so the very
+    /// first charge polls (a zero deadline must trip before any work).
+    until_poll: Cell<u32>,
+    tripped: Cell<Option<QueryOutcome>>,
+}
+
+/// Shared handle to a query's [`BudgetState`].
+#[derive(Debug, Clone)]
+pub(crate) struct Budget(Rc<BudgetState>);
+
+impl Budget {
+    /// Arms a budget for a query starting now.
+    pub(crate) fn start(spec: &QueryBudget) -> Budget {
+        Budget(Rc::new(BudgetState {
+            steps_left: Cell::new(spec.max_steps),
+            deadline: spec.deadline.map(|d| Instant::now() + d),
+            cancel: spec.cancel.clone(),
+            until_poll: Cell::new(0),
+            tripped: Cell::new(None),
+        }))
+    }
+
+    /// A budget that never trips; used by unit tests of individual streams.
+    #[cfg(test)]
+    pub(crate) fn unlimited() -> Budget {
+        Budget::start(&QueryBudget {
+            max_steps: usize::MAX,
+            deadline: None,
+            cancel: None,
+        })
+    }
+
+    /// The outcome that stopped this query, once a limit has tripped.
+    pub(crate) fn tripped(&self) -> Option<QueryOutcome> {
+        self.0.tripped.get()
+    }
+
+    /// Charges one unit of enumeration work. Returns `false` — sticky —
+    /// once any limit has tripped; the caller must stop producing.
+    pub(crate) fn charge(&self) -> bool {
+        let s = &*self.0;
+        if s.tripped.get().is_some() {
+            return false;
+        }
+        let steps = s.steps_left.get();
+        if steps == 0 {
+            s.tripped.set(Some(QueryOutcome::StepBudget));
+            return false;
+        }
+        s.steps_left.set(steps - 1);
+        if s.deadline.is_some() || s.cancel.is_some() {
+            let left = s.until_poll.get();
+            if left > 0 {
+                s.until_poll.set(left - 1);
+            } else {
+                s.until_poll.set(POLL_STRIDE);
+                if s.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    s.tripped.set(Some(QueryOutcome::Cancelled));
+                    return false;
+                }
+                if s.deadline.is_some_and(|dl| Instant::now() >= dl) {
+                    s.tripped.set(Some(QueryOutcome::Deadline));
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(!QueryOutcome::Exhausted.is_degraded());
+        assert!(!QueryOutcome::Limit.is_degraded());
+        assert!(QueryOutcome::StepBudget.is_degraded());
+        assert!(QueryOutcome::Deadline.is_degraded());
+        assert!(QueryOutcome::Cancelled.is_degraded());
+        assert_eq!(QueryOutcome::StepBudget.label(), "step_budget");
+    }
+
+    #[test]
+    fn rank_result_degradation_needs_a_missing_rank() {
+        let found_late = RankResult {
+            rank: Some(7),
+            outcome: QueryOutcome::Limit,
+        };
+        assert!(!found_late.is_degraded());
+        let honest_miss = RankResult {
+            rank: None,
+            outcome: QueryOutcome::Exhausted,
+        };
+        assert!(!honest_miss.is_degraded());
+        let truncated = RankResult {
+            rank: None,
+            outcome: QueryOutcome::Deadline,
+        };
+        assert!(truncated.is_degraded());
+    }
+
+    #[test]
+    fn steps_trip_the_budget() {
+        let b = Budget::start(&QueryBudget {
+            max_steps: 3,
+            ..Default::default()
+        });
+        assert!(b.charge());
+        assert!(b.charge());
+        assert!(b.charge());
+        assert!(!b.charge());
+        assert_eq!(b.tripped(), Some(QueryOutcome::StepBudget));
+        // Sticky.
+        assert!(!b.charge());
+        assert_eq!(b.tripped(), Some(QueryOutcome::StepBudget));
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_charge() {
+        let b = Budget::start(&QueryBudget {
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        assert!(!b.charge());
+        assert_eq!(b.tripped(), Some(QueryOutcome::Deadline));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::start(&QueryBudget {
+            deadline: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        });
+        for _ in 0..1000 {
+            assert!(b.charge());
+        }
+        assert_eq!(b.tripped(), None);
+    }
+
+    #[test]
+    fn cancellation_is_observed_within_a_poll_stride() {
+        let token = CancelToken::new();
+        let b = Budget::start(&QueryBudget {
+            cancel: Some(token.clone()),
+            ..Default::default()
+        });
+        assert!(b.charge());
+        token.cancel();
+        let mut charges = 0;
+        while b.charge() {
+            charges += 1;
+            assert!(
+                charges <= POLL_STRIDE + 1,
+                "cancel must land within a stride"
+            );
+        }
+        assert_eq!(b.tripped(), Some(QueryOutcome::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.charge());
+        }
+        assert_eq!(b.tripped(), None);
+    }
+}

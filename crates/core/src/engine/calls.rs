@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use pex_model::{Expr, MethodId, ValueTy};
+use pex_model::{Expr, ExprKey, MethodId, ValueTy};
 
 use crate::rank::Ranker;
 
@@ -76,7 +76,7 @@ fn place(
     items: &[Completion],
     slots: &mut Vec<Option<usize>>, // slot j -> index into items
     i: usize,
-    seen: &mut HashSet<String>,
+    seen: &mut HashSet<ExprKey>,
     out: &mut Vec<Completion>,
 ) {
     let db = ranker.db;
@@ -89,8 +89,7 @@ fn place(
             })
             .collect();
         let expr = Expr::Call(m, args);
-        let key = format!("{expr:?}");
-        if !seen.insert(key) {
+        if !seen.insert(ExprKey(expr.clone())) {
             return;
         }
         if let Some(score) = ranker.score(&expr) {

@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 use pex_model::{Context, Database, Expr, ValueTy};
 use pex_types::TypeId;
 
+use super::budget::Budget;
 use super::reach::ReachPruner;
 use super::stream::{Completion, ScoredStream};
 
@@ -133,6 +134,10 @@ pub(crate) struct ChainStream<'a> {
     /// successors whose type cannot reach an admissible type within the
     /// remaining link budget are not enqueued.
     pruner: Option<ReachPruner<'a>>,
+    /// The query's shared resource meter: one charge per heap pop, so a
+    /// long filtered skip-run cannot outlive the query's budget between
+    /// emitted items.
+    budget: Budget,
 }
 
 impl<'a> ChainStream<'a> {
@@ -146,6 +151,7 @@ impl<'a> ChainStream<'a> {
         depth_cap: usize,
         link_cost: u32,
         filter: TypeFilter,
+        budget: Budget,
     ) -> Self {
         ChainStream {
             db,
@@ -159,6 +165,7 @@ impl<'a> ChainStream<'a> {
             heap: BinaryHeap::new(),
             seq: 0,
             pruner: None,
+            budget,
         }
     }
 
@@ -270,6 +277,9 @@ impl<'a> ScoredStream for ChainStream<'a> {
 
     fn next_item(&mut self) -> Option<Completion> {
         loop {
+            if !self.budget.charge() {
+                return None;
+            }
             self.absorb_roots();
             let Reverse(state) = self.heap.pop()?;
             self.expand(state.links, &state.completion);
@@ -356,6 +366,7 @@ mod tests {
             6,
             2,
             TypeFilter::any(),
+            Budget::unlimited(),
         );
         let names = renders(&db, &ctx, &mut s, 10);
         assert_eq!(names[0], "ln");
@@ -381,6 +392,7 @@ mod tests {
             6,
             2,
             TypeFilter::any(),
+            Budget::unlimited(),
         );
         let names = renders(&db, &ctx, &mut s, 20);
         assert_eq!(names.len(), 3, "ln, ln.P1, ln.P2 only: {names:?}");
@@ -404,6 +416,7 @@ mod tests {
             6,
             2,
             TypeFilter::one_of(vec![int]),
+            Budget::unlimited(),
         );
         let names = renders(&db, &ctx, &mut s, 20);
         // Only int-typed chains: the X/Y of P1 and P2.
@@ -453,6 +466,7 @@ mod tests {
             1,
             2,
             TypeFilter::any(),
+            Budget::unlimited(),
         );
         let names = renders(&db, &ctx, &mut s, 50);
         assert!(

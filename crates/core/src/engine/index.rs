@@ -195,6 +195,12 @@ impl MethodIndex {
     /// the baseline for the obs-overhead benchmark (`speedups` measures the
     /// probed path against this with the registry enabled and disabled).
     /// Not for production call sites — use the instrumented twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` was declared after this index was built, exactly like
+    /// the instrumented twin: the index is a snapshot and must be rebuilt
+    /// when the database grows.
     pub fn candidates_for_cached_raw(&self, db: &Database, ty: TypeId) -> &[MethodId] {
         let cell = self
             .memo

@@ -5,29 +5,32 @@
 //! products plus reorder buffers for calls and operators — and iterates the
 //! root stream, deduplicating, in non-decreasing score order.
 
+pub mod budget;
 pub(crate) mod calls;
 pub mod chains;
 pub(crate) mod index;
 pub mod reach;
 pub(crate) mod stream;
 
+pub use budget::{CancelToken, QueryBudget, QueryOutcome, RankResult};
 pub use index::{CandidateScratch, MethodIndex};
 pub use reach::ReachIndex;
 pub use stream::Completion;
 
 use pex_abstract::AbsTypes;
-use pex_model::{CallStyle, Context, Database, Expr, GlobalRef, ValueTy};
+use pex_model::{CallStyle, Context, Database, Expr, ExprKey, GlobalRef, ValueTy};
 use pex_types::TypeId;
 
 use crate::partial::PartialExpr;
 use crate::rank::{RankConfig, Ranker};
 
+use budget::Budget;
 use calls::Filtered;
 use chains::{ChainLink, ChainStream, TypeFilter};
 use stream::{ExpandStream, MergeStream, ProductStream, ScoredStream, VecStream};
 
 /// Engine options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompleteOptions {
     /// If set, only completions whose type implicitly converts to this type
     /// are produced (the known-return-type mode of the paper's Figure 12).
@@ -36,8 +39,10 @@ pub struct CompleteOptions {
     /// paper's generator is unbounded; this cap makes every stream finite
     /// while being far beyond any ranked-within-reach completion.
     pub depth_cap: usize,
-    /// Safety budget on iterator steps (deduplication pulls).
-    pub max_steps: usize,
+    /// Per-query resource limits: step budget, wall-clock deadline, and
+    /// cooperative cancellation. Exceeding any of them stops enumeration
+    /// with an explicit, non-[`QueryOutcome::Exhausted`] outcome.
+    pub budget: QueryBudget,
 }
 
 impl Default for CompleteOptions {
@@ -45,7 +50,7 @@ impl Default for CompleteOptions {
         CompleteOptions {
             expected: None,
             depth_cap: 6,
-            max_steps: 1_000_000,
+            budget: QueryBudget::default(),
         }
     }
 }
@@ -116,37 +121,91 @@ impl<'a> Completer<'a> {
     }
 
     /// All completions of `pe`, lazily, in non-decreasing score order,
-    /// deduplicated.
+    /// deduplicated. The iterator's [`CompletionIter::outcome`] reports why
+    /// enumeration stopped once it has; budget trips never yield a silent
+    /// `None`.
     pub fn completions(&self, pe: &PartialExpr) -> CompletionIter<'_> {
         pex_obs::counter!("engine.queries", 1);
         let filter = match self.options.expected {
             Some(t) => TypeFilter::one_of(vec![t]),
             None => TypeFilter::any(),
         };
+        let budget = Budget::start(&self.options.budget);
         CompletionIter {
-            stream: self.stream_for(pe, filter),
+            stream: self.stream_for(pe, filter, &budget),
+            budget,
             seen: std::collections::HashSet::new(),
-            steps_left: self.options.max_steps,
+            finished: None,
             span: pex_obs::span("query"),
             generated: 0,
             emitted: 0,
         }
     }
 
-    /// The top `n` completions of `pe`.
+    /// The top `n` completions of `pe`. Prefer
+    /// [`Completer::complete_with_outcome`] where a truncated enumeration
+    /// must be distinguishable from a complete one.
     pub fn complete(&self, pe: &PartialExpr, n: usize) -> Vec<Completion> {
-        self.completions(pe).take(n).collect()
+        self.complete_with_outcome(pe, n).0
+    }
+
+    /// The top `n` completions of `pe`, plus why enumeration stopped:
+    /// [`QueryOutcome::Limit`] when `n` results were produced with the
+    /// stream still live, [`QueryOutcome::Exhausted`] when the search space
+    /// drained first, and a degraded outcome when a budget tripped first.
+    pub fn complete_with_outcome(
+        &self,
+        pe: &PartialExpr,
+        n: usize,
+    ) -> (Vec<Completion>, QueryOutcome) {
+        let mut iter = self.completions(pe);
+        let mut items = Vec::new();
+        while items.len() < n {
+            match iter.next() {
+                Some(c) => items.push(c),
+                None => break,
+            }
+        }
+        let outcome = iter.outcome().unwrap_or(QueryOutcome::Limit);
+        (items, outcome)
     }
 
     /// 0-based rank of the first completion satisfying `pred` within the
-    /// first `limit` completions, or `None`.
+    /// first `limit` completions, plus why enumeration stopped. A missing
+    /// rank with a degraded outcome means the query was cut off before the
+    /// target could be reached — not that the target is unreachable; see
+    /// [`RankResult::is_degraded`].
     pub fn rank_of(
         &self,
         pe: &PartialExpr,
         limit: usize,
         mut pred: impl FnMut(&Completion) -> bool,
-    ) -> Option<usize> {
-        self.completions(pe).take(limit).position(|c| pred(&c))
+    ) -> RankResult {
+        let mut iter = self.completions(pe);
+        let mut emitted = 0;
+        while emitted < limit {
+            match iter.next() {
+                Some(c) => {
+                    if pred(&c) {
+                        return RankResult {
+                            rank: Some(emitted),
+                            outcome: QueryOutcome::Limit,
+                        };
+                    }
+                    emitted += 1;
+                }
+                None => {
+                    return RankResult {
+                        rank: None,
+                        outcome: iter.outcome().unwrap_or(QueryOutcome::Exhausted),
+                    }
+                }
+            }
+        }
+        RankResult {
+            rank: None,
+            outcome: QueryOutcome::Limit,
+        }
     }
 
     /// Renders a completion in the paper's result-list style.
@@ -194,11 +253,14 @@ impl<'a> Completer<'a> {
     }
 
     /// Compiles a partial expression into a scored stream whose emissions
-    /// satisfy `filter`.
+    /// satisfy `filter`. Every combinator with an internal search loop
+    /// (chain Dijkstra, product frontier) shares `budget`, so a resource
+    /// trip stops work *inside* a pull, not only between pulls.
     fn stream_for<'s>(
         &'s self,
         pe: &PartialExpr,
         filter: TypeFilter,
+        budget: &Budget,
     ) -> Box<dyn ScoredStream + 's> {
         let ranker = self.ranker();
         match pe {
@@ -234,12 +296,13 @@ impl<'a> Completer<'a> {
                         self.options.depth_cap,
                         self.link_cost(),
                         filter,
+                        budget.clone(),
                     )
                     .with_pruner(pruner),
                 )
             }
             PartialExpr::Suffix(base, kind) => {
-                let roots = self.stream_for(base, TypeFilter::any());
+                let roots = self.stream_for(base, TypeFilter::any(), budget);
                 let links = if kind.allows_methods() {
                     ChainLink::FieldsAndMethods
                 } else {
@@ -257,6 +320,7 @@ impl<'a> Completer<'a> {
                         self.options.depth_cap,
                         self.link_cost(),
                         filter,
+                        budget.clone(),
                     )
                     .with_pruner(pruner),
                 )
@@ -264,9 +328,9 @@ impl<'a> Completer<'a> {
             PartialExpr::UnknownCall(args) => {
                 let arg_streams: Vec<Box<dyn ScoredStream + 's>> = args
                     .iter()
-                    .map(|a| self.stream_for(a, TypeFilter::any()))
+                    .map(|a| self.stream_for(a, TypeFilter::any(), budget))
                     .collect();
-                let product = ProductStream::new(arg_streams);
+                let product = ProductStream::new(arg_streams, budget.clone());
                 let index = self.index;
                 let expand = move |combo: &stream::Combo| {
                     calls::expand_unknown_call(&ranker, index, &combo.items)
@@ -292,10 +356,10 @@ impl<'a> Completer<'a> {
                             .iter()
                             .map(|m| self.db.method(*m).full_param_types()[i])
                             .collect();
-                        self.stream_for(a, TypeFilter::one_of(wanted))
+                        self.stream_for(a, TypeFilter::one_of(wanted), budget)
                     })
                     .collect();
-                let product = ProductStream::new(arg_streams);
+                let product = ProductStream::new(arg_streams, budget.clone());
                 let cands = viable;
                 let expand = move |combo: &stream::Combo| {
                     calls::expand_known_call(&ranker, &cands, &combo.items)
@@ -304,10 +368,10 @@ impl<'a> Completer<'a> {
             }
             PartialExpr::Assign(l, r) => {
                 let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
-                    self.stream_for(l, TypeFilter::any()),
-                    self.stream_for(r, TypeFilter::any()),
+                    self.stream_for(l, TypeFilter::any(), budget),
+                    self.stream_for(r, TypeFilter::any(), budget),
                 ];
-                let product = ProductStream::new(streams);
+                let product = ProductStream::new(streams, budget.clone());
                 let expand =
                     move |combo: &stream::Combo| calls::expand_assign(&ranker, &combo.items);
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
@@ -315,7 +379,7 @@ impl<'a> Completer<'a> {
             PartialExpr::Alt(alts) => {
                 let streams: Vec<Box<dyn ScoredStream + 's>> = alts
                     .iter()
-                    .map(|a| self.stream_for(a, filter.clone()))
+                    .map(|a| self.stream_for(a, filter.clone(), budget))
                     .collect();
                 Box::new(MergeStream::new(streams))
             }
@@ -323,10 +387,10 @@ impl<'a> Completer<'a> {
                 // Paper Section 4.2: operands of a relational operator can
                 // only have ordered types; narrow both streams up front.
                 let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
-                    self.stream_for(l, TypeFilter::Ordered),
-                    self.stream_for(r, TypeFilter::Ordered),
+                    self.stream_for(l, TypeFilter::Ordered, budget),
+                    self.stream_for(r, TypeFilter::Ordered, budget),
                 ];
-                let product = ProductStream::new(streams);
+                let product = ProductStream::new(streams, budget.clone());
                 let op = *op;
                 let expand =
                     move |combo: &stream::Combo| calls::expand_cmp(&ranker, op, &combo.items);
@@ -352,10 +416,20 @@ impl<'a> Completer<'a> {
 }
 
 /// Iterator over deduplicated completions in score order.
+///
+/// Returning `None` is no longer ambiguous: [`CompletionIter::outcome`]
+/// reports whether the search space drained ([`QueryOutcome::Exhausted`])
+/// or a resource bound tripped first (`StepBudget` / `Deadline` /
+/// `Cancelled`). On a budget trip the emitted items are always a prefix of
+/// the unbudgeted enumeration — an item produced in the same pull that
+/// tripped the budget is discarded rather than emitted out of order.
 pub struct CompletionIter<'s> {
     stream: Box<dyn ScoredStream + 's>,
-    seen: std::collections::HashSet<String>,
-    steps_left: usize,
+    budget: Budget,
+    seen: std::collections::HashSet<ExprKey>,
+    /// Set exactly once, when iteration stops; also bumps the
+    /// `engine.query.outcome.*` counter for the classification.
+    finished: Option<QueryOutcome>,
     /// Open "query" span: the iterator's lifetime *is* the query, so the
     /// span closes (recording wall time into `span.query`) on drop.
     span: Option<pex_obs::Span>,
@@ -366,26 +440,73 @@ pub struct CompletionIter<'s> {
     emitted: u64,
 }
 
+impl CompletionIter<'_> {
+    /// Why iteration stopped, or `None` while the stream can still
+    /// produce. After [`Iterator::next`] has returned `None` this is
+    /// always `Some`; dropping the iterator mid-stream records
+    /// [`QueryOutcome::Limit`].
+    pub fn outcome(&self) -> Option<QueryOutcome> {
+        self.finished
+    }
+
+    /// Records the final classification (exactly once) and bumps its
+    /// outcome counter.
+    fn finish(&mut self, outcome: QueryOutcome) {
+        if self.finished.is_some() {
+            return;
+        }
+        self.finished = Some(outcome);
+        match outcome {
+            QueryOutcome::Exhausted => pex_obs::counter!("engine.query.outcome.exhausted", 1),
+            QueryOutcome::Limit => pex_obs::counter!("engine.query.outcome.limit", 1),
+            QueryOutcome::StepBudget => pex_obs::counter!("engine.query.outcome.step_budget", 1),
+            QueryOutcome::Deadline => {
+                pex_obs::counter!("engine.query.outcome.deadline", 1);
+                pex_obs::marker("query.deadline_exceeded");
+            }
+            QueryOutcome::Cancelled => pex_obs::counter!("engine.query.outcome.cancelled", 1),
+        }
+    }
+}
+
 impl<'s> Iterator for CompletionIter<'s> {
     type Item = Completion;
 
     fn next(&mut self) -> Option<Completion> {
-        while self.steps_left > 0 {
-            self.steps_left -= 1;
-            let c = self.stream.next_item()?;
+        if self.finished.is_some() {
+            return None;
+        }
+        loop {
+            if !self.budget.charge() {
+                break;
+            }
+            let Some(c) = self.stream.next_item() else {
+                break;
+            };
+            if self.budget.tripped().is_some() {
+                // The budget tripped inside this pull; the item may have
+                // been released by a half-settled reorder buffer, so
+                // emitting it could violate score order. Drop it: emitted
+                // items stay a prefix of the unbudgeted enumeration.
+                break;
+            }
             self.generated += 1;
-            let key = format!("{:?}", c.expr);
-            if self.seen.insert(key) {
+            if self.seen.insert(ExprKey(c.expr.clone())) {
                 self.emitted += 1;
                 return Some(c);
             }
         }
+        let outcome = self.budget.tripped().unwrap_or(QueryOutcome::Exhausted);
+        self.finish(outcome);
         None
     }
 }
 
 impl Drop for CompletionIter<'_> {
     fn drop(&mut self) {
+        // A drop before the stream ended means the caller stopped first
+        // (`take(n)`, rank predicate matched, early return).
+        self.finish(QueryOutcome::Limit);
         pex_obs::counter!("engine.candidates.generated", self.generated);
         pex_obs::counter!("engine.candidates.emitted", self.emitted);
         // `self.span` drops after this body, closing the query span last.
@@ -709,17 +830,133 @@ mod tests {
     }
 
     #[test]
-    fn max_steps_bounds_the_iterator() {
+    fn max_steps_bounds_the_iterator_and_reports_step_budget() {
         let (db, ctx) = setup();
         let index = MethodIndex::build(&db);
         let tiny = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
             CompleteOptions {
-                max_steps: 3,
+                budget: QueryBudget {
+                    max_steps: 3,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
         let q = crate::parse_partial(&db, &ctx, "?").unwrap();
-        assert!(tiny.completions(&q).count() <= 3);
+        let mut iter = tiny.completions(&q);
+        let n = iter.by_ref().count();
+        assert!(n <= 3);
+        // Regression for the headline bug: running out of steps must be
+        // visibly distinct from a drained search space.
+        assert_eq!(iter.outcome(), Some(QueryOutcome::StepBudget));
+    }
+
+    /// End-to-end regression on a corpus whose `?` query exceeds the step
+    /// budget: `complete_with_outcome` and `rank_of` must both surface the
+    /// truncation instead of conflating it with exhaustion or "not found".
+    #[test]
+    fn step_budget_truncation_is_not_reported_as_not_found() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let q = crate::parse_partial(&db, &ctx, "?({img, size})").unwrap();
+
+        // Generous budget: the query drains (call products are finite).
+        let full = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let (all, outcome) = full.complete_with_outcome(&q, usize::MAX);
+        assert_eq!(outcome, QueryOutcome::Exhausted);
+        assert!(!all.is_empty());
+
+        // A budget too small to reach the end: same query, StepBudget.
+        let tiny = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                budget: QueryBudget {
+                    max_steps: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let (trunc, outcome) = tiny.complete_with_outcome(&q, usize::MAX);
+        assert_eq!(outcome, QueryOutcome::StepBudget);
+        assert!(trunc.len() < all.len());
+        // Truncated output is a prefix of the full enumeration.
+        assert_eq!(trunc[..], all[..trunc.len()]);
+
+        // rank_of against a predicate that would eventually match reports
+        // the degradation rather than a plain "not in top n".
+        let miss = tiny.rank_of(&q, 400, |c| {
+            matches!(c.expr, Expr::Call(..)) // first call lies past the budget
+        });
+        if miss.rank.is_none() {
+            assert!(miss.is_degraded(), "truncation must be distinguishable");
+            assert_eq!(miss.outcome, QueryOutcome::StepBudget);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_outcome() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                budget: QueryBudget {
+                    deadline: Some(std::time::Duration::ZERO),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let q = crate::parse_partial(&db, &ctx, "?").unwrap();
+        let mut iter = completer.completions(&q);
+        assert_eq!(iter.next(), None, "a zero deadline trips before any work");
+        assert_eq!(iter.outcome(), Some(QueryOutcome::Deadline));
+        let r = completer.rank_of(&q, 100, |_| true);
+        assert_eq!(r.rank, None);
+        assert_eq!(r.outcome, QueryOutcome::Deadline);
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn cancellation_stops_the_query_with_cancelled_outcome() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let token = CancelToken::new();
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                budget: QueryBudget {
+                    cancel: Some(token.clone()),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let q = crate::parse_partial(&db, &ctx, "?").unwrap();
+        // Not yet cancelled: the query runs normally.
+        assert!(completer.completions(&q).next().is_some());
+        token.cancel();
+        let mut iter = completer.completions(&q);
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.outcome(), Some(QueryOutcome::Cancelled));
+    }
+
+    #[test]
+    fn outcome_classifies_caller_stops_and_exhaustion() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = crate::parse_partial(&db, &ctx, "img.?f").unwrap();
+        // Drained: Exhausted, and only then.
+        let mut iter = completer.completions(&q);
+        while iter.next().is_some() {}
+        assert_eq!(iter.outcome(), Some(QueryOutcome::Exhausted));
+        // Caller stops first: Limit.
+        let (_few, outcome) = completer.complete_with_outcome(&q, 1);
+        assert_eq!(outcome, QueryOutcome::Limit);
+        // A found rank is a Limit stop too.
+        let hit = completer.rank_of(&q, 50, |_| true);
+        assert_eq!(hit.rank, Some(0));
+        assert_eq!(hit.outcome, QueryOutcome::Limit);
+        assert!(!hit.is_degraded());
     }
 
     #[test]

@@ -21,6 +21,8 @@ use std::collections::{BinaryHeap, HashSet};
 
 use pex_model::{Expr, ValueTy};
 
+use super::budget::Budget;
+
 /// A completion: a complete expression (possibly containing `0` holes), its
 /// ranking score, and its static type.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,15 +147,19 @@ pub(crate) struct ProductStream<'a> {
     heap: BinaryHeap<Reverse<(u32, Vec<u32>)>>,
     seen: HashSet<Vec<u32>>,
     started: bool,
+    /// The query's shared resource meter: one charge per frontier combo,
+    /// so large products cannot burn unbounded work inside one settle.
+    budget: Budget,
 }
 
 impl<'a> ProductStream<'a> {
-    pub(crate) fn new(args: Vec<Box<dyn ScoredStream + 'a>>) -> Self {
+    pub(crate) fn new(args: Vec<Box<dyn ScoredStream + 'a>>, budget: Budget) -> Self {
         ProductStream {
             args: args.into_iter().map(CachedStream::new).collect(),
             heap: BinaryHeap::new(),
             seen: HashSet::new(),
             started: false,
+            budget,
         }
     }
 
@@ -190,6 +196,9 @@ impl<'a> ProductStream<'a> {
 
     /// The next cheapest combo.
     pub(crate) fn next_combo(&mut self) -> Option<Combo> {
+        if !self.budget.charge() {
+            return None;
+        }
         self.start();
         let Reverse((score, idx)) = self.heap.pop()?;
         // Successors: bump each coordinate by one.
@@ -354,7 +363,7 @@ mod tests {
     fn product_enumerates_in_sum_order() {
         let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(2)]));
         let b: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(5)]));
-        let mut p = ProductStream::new(vec![a, b]);
+        let mut p = ProductStream::new(vec![a, b], Budget::unlimited());
         let mut sums = Vec::new();
         while let Some(combo) = p.next_combo() {
             assert_eq!(
@@ -370,14 +379,14 @@ mod tests {
     fn product_of_empty_stream_is_empty() {
         let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0)]));
         let b: Box<dyn ScoredStream> = Box::new(VecStream::empty());
-        let mut p = ProductStream::new(vec![a, b]);
+        let mut p = ProductStream::new(vec![a, b], Budget::unlimited());
         assert!(p.next_combo().is_none());
         assert_eq!(p.bound(), None);
     }
 
     #[test]
     fn product_of_zero_args_yields_one_empty_combo() {
-        let mut p = ProductStream::new(vec![]);
+        let mut p = ProductStream::new(vec![], Budget::unlimited());
         let combo = p.next_combo().unwrap();
         assert_eq!(combo.score, 0);
         assert!(combo.items.is_empty());
@@ -389,7 +398,7 @@ mod tests {
         // Combos score 0 and 1; expansion adds +0 or +10. The item at
         // score 1 (from combo 1) must come out before score 10 (combo 0).
         let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1)]));
-        let p = ProductStream::new(vec![a]);
+        let p = ProductStream::new(vec![a], Budget::unlimited());
         let s = ExpandStream::new(p, |combo| {
             vec![
                 Completion {
@@ -427,7 +436,7 @@ mod tests {
             ) {
                 let streams: Vec<Box<dyn ScoredStream>> =
                     lists.iter().cloned().map(boxed).collect();
-                let mut product = ProductStream::new(streams);
+                let mut product = ProductStream::new(streams, Budget::unlimited());
                 let mut got = Vec::new();
                 while let Some(combo) = product.next_combo() {
                     prop_assert_eq!(
@@ -478,7 +487,7 @@ mod tests {
                     v.sort_unstable();
                     v
                 };
-                let product = ProductStream::new(vec![boxed(scores)]);
+                let product = ProductStream::new(vec![boxed(scores)], Budget::unlimited());
                 let mut stream = ExpandStream::new(product, move |combo: &Combo| {
                     extras_for(combo.score)
                         .into_iter()
@@ -502,7 +511,7 @@ mod tests {
     #[test]
     fn expand_skips_empty_expansions() {
         let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1), c(2)]));
-        let p = ProductStream::new(vec![a]);
+        let p = ProductStream::new(vec![a], Budget::unlimited());
         let s = ExpandStream::new(p, |combo| {
             if combo.score == 1 {
                 vec![Completion { score: 1, ..c(0) }]

@@ -55,8 +55,10 @@ pub mod partial;
 pub mod rank;
 
 pub use engine::{
-    chains::ChainLink, CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter,
-    MethodIndex, ReachIndex,
+    budget::{CancelToken, QueryBudget, QueryOutcome, RankResult},
+    chains::ChainLink,
+    CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter, MethodIndex,
+    ReachIndex,
 };
 pub use partial::{derives, parse_partial, ParseError, PartialExpr, SuffixKind};
 pub use rank::{RankConfig, RankTerm, Ranker, ScoreBreakdown};

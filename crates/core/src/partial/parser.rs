@@ -821,16 +821,17 @@ impl<'a> Parser<'a> {
                 alts.push(st);
             }
         }
-        match alts.len() {
-            0 => Err(ParseError::new(
+        match alts.pop() {
+            None => Err(ParseError::new(
                 at,
                 format!(
                     "no accessible method `{name}` takes {} argument(s)",
                     args.len()
                 ),
             )),
-            1 => Ok(alts.pop().expect("length checked")),
-            _ => {
+            Some(only) if alts.is_empty() => Ok(only),
+            Some(last) => {
+                alts.push(last);
                 let parts: Vec<PartialExpr> = alts
                     .into_iter()
                     .map(|st| match st {

@@ -196,6 +196,12 @@ pub struct ScoreBreakdown {
 
 impl ScoreBreakdown {
     /// Contribution of one term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` does not contain every [`RankTerm`] variant — the
+    /// ranker always constructs breakdowns in [`RankTerm::ALL`] order, so
+    /// this only fires on a hand-built malformed value.
     pub fn term(&self, term: RankTerm) -> u32 {
         self.terms
             .iter()

@@ -93,7 +93,12 @@ proptest! {
         let got = check_stream(&db, &ctx, &engine, &q1, 30)?;
         // The intended method must be somewhere findable (it is a real call).
         let rank = engine.rank_of(&q1, 400, |c| matches!(c.expr, Expr::Call(m, _) if m == target));
-        prop_assert!(rank.is_some(), "the real call must be enumerable (got {} items)", got.len());
+        prop_assert!(
+            rank.rank.is_some(),
+            "the real call must be enumerable (got {} items, outcome {:?})",
+            got.len(),
+            rank.outcome
+        );
 
         // Argument-hole query for position 0.
         let mut hole_args: Vec<PartialExpr> =

@@ -26,6 +26,10 @@ pub struct ArgOutcome {
     pub rank: Option<usize>,
     /// Whether the original argument was a bare local variable.
     pub is_local: bool,
+    /// Whether the query was cut short (step budget, deadline, or
+    /// cancellation) before the answer was found — an undecided outcome,
+    /// counted separately from "not found".
+    pub truncated: bool,
     /// Wall-clock nanoseconds for the query (0 = unmeasured: the argument
     /// was not guessable, so no query ran).
     pub nanos: u128,
@@ -44,6 +48,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
             &sites,
             |c: &CallSite| (c.enclosing, c.stmt),
             cfg.threads,
+            Some(&cfg.cancel),
             |site, ctx, abs, out| {
                 let db = &project.db;
                 for (i, arg) in site.args.iter().enumerate() {
@@ -55,6 +60,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
                             kind,
                             rank: None,
                             is_local,
+                            truncated: false,
                             nanos: 0,
                         });
                         continue;
@@ -78,14 +84,15 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<ArgOutcome> {
                     };
                     let original = Expr::Call(site.target, site.args.clone());
                     let t0 = Instant::now();
-                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
+                    let res = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
                     let nanos = t0.elapsed().as_nanos();
                     pex_obs::histogram!("site.args.ns", nanos as u64);
                     out.push(ArgOutcome {
                         project: pi,
                         kind,
-                        rank,
+                        rank: res.rank,
                         is_local,
+                        truncated: res.is_degraded(),
                         nanos,
                     });
                 }
@@ -102,11 +109,11 @@ pub fn render_fig13(outcomes: &[ArgOutcome]) -> String {
         .iter()
         .filter(|o| o.kind != ExprKindName::NotGuessable)
         .collect();
-    let normal: RankStats = guessable.iter().map(|o| o.rank).collect();
+    let normal: RankStats = guessable.iter().map(|o| (o.rank, o.truncated)).collect();
     let no_vars: RankStats = guessable
         .iter()
         .filter(|o| !o.is_local)
-        .map(|o| o.rank)
+        .map(|o| (o.rank, o.truncated))
         .collect();
     let thresholds = [1usize, 2, 3, 5, 10, 20];
     let mut table = TextTable::new(vec!["rank <=", "all guessable", "no variables", "(bar)"]);
@@ -120,9 +127,10 @@ pub fn render_fig13(outcomes: &[ArgOutcome]) -> String {
     }
     format!(
         "Figure 13. Proportion of method arguments guessed with a given rank\n\
-         (n = {} guessable arguments, {} excluding locals)\n\n{}",
+         (n = {} guessable arguments, {} excluding locals; {} truncated excluded)\n\n{}",
         normal.len(),
         no_vars.len(),
+        normal.truncated(),
         table.render()
     )
 }

@@ -76,7 +76,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<BaselineOutcome>
                         args,
                     };
                     let original = Expr::Call(site.target, site.args.clone());
-                    let engine = comp.rank_of(&query, cfg.limit, |c| c.expr == original);
+                    let engine = comp.rank_of(&query, cfg.limit, |c| c.expr == original).rank;
                     // Prospector: convert a local into the parameter type.
                     let prospector = Prospector::new(db).rank_of(ctx, param_tys[i], arg, cfg.limit);
                     // InSynth: synthesise a term of the parameter type from

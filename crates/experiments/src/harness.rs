@@ -3,9 +3,12 @@
 //! solutions).
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use pex_abstract::{AbsTypes, ConstraintCache, MethodSweep};
-use pex_core::{CompleteOptions, Completer, MethodIndex, RankConfig, ReachIndex};
+use pex_core::{
+    CancelToken, CompleteOptions, Completer, MethodIndex, QueryBudget, RankConfig, ReachIndex,
+};
 use pex_corpus::table1_projects;
 use pex_model::{Context, Database, MethodId};
 use rayon::prelude::*;
@@ -36,6 +39,15 @@ pub struct ExperimentConfig {
     /// sequential path, `Some(n)` pins an n-worker pool. Outcome order is
     /// identical in every mode — see [`map_sites`].
     pub threads: Option<usize>,
+    /// Per-query wall-clock deadline in milliseconds (`--deadline-ms`).
+    /// Queries that overrun report [`pex_core::QueryOutcome::Deadline`]
+    /// and their sites are counted as truncated, not as "not found".
+    pub deadline_ms: Option<u64>,
+    /// Cooperative cancellation shared by every query this config builds.
+    /// Cancelling it (e.g. from a `--time-limit-s` watchdog) makes
+    /// in-flight queries stop at their next budget poll and [`map_sites`]
+    /// skip the sites not yet started, so workers drain gracefully.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExperimentConfig {
@@ -48,6 +60,19 @@ impl Default for ExperimentConfig {
             max_sites: None,
             max_subset: 2,
             threads: None,
+            deadline_ms: None,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The per-query execution budget this configuration implies.
+    pub fn budget(&self) -> QueryBudget {
+        QueryBudget {
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            cancel: Some(self.cancel.clone()),
+            ..Default::default()
         }
     }
 }
@@ -181,12 +206,18 @@ pub fn for_each_site<S, F>(
 /// first-occurrence group order the sequential walk uses. The returned
 /// outcome order is therefore **identical for every thread count**,
 /// including the strictly sequential `threads == Some(1)` path.
+///
+/// When `cancel` is provided and trips, workers stop picking up sites at
+/// the next site boundary (in-flight queries also observe the same token
+/// through their [`QueryBudget`]) and the partial outcome vector is
+/// returned; the determinism contract then only covers the prefix that ran.
 pub fn map_sites<S, R, F>(
     db: &Database,
     abs_cache: Option<&ConstraintCache>,
     sites: &[S],
     key: fn(&S) -> (MethodId, usize),
     threads: Option<usize>,
+    cancel: Option<&CancelToken>,
     f: F,
 ) -> Vec<R>
 where
@@ -202,6 +233,10 @@ where
         let mut out = Vec::new();
         let mut sweep = abs_cache.map(|cache| MethodSweep::with_cache(db, cache, m));
         for &site in group {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                pex_obs::counter!("replay.sites.skipped", 1);
+                break;
+            }
             let (method, stmt) = key(site);
             let body = db.method(method).body().expect("sites come from bodies");
             let ctx = Context::at_statement(db, method, body, stmt);
@@ -237,6 +272,7 @@ pub fn completer<'a>(
     Completer::new(&project.db, ctx, &project.index, cfg.rank, abs)
         .with_options(CompleteOptions {
             expected,
+            budget: cfg.budget(),
             ..Default::default()
         })
         .with_reach(&project.reach)
@@ -299,6 +335,7 @@ mod tests {
                 &p.extracted.calls,
                 |c| (c.enclosing, c.stmt),
                 threads,
+                None,
                 |site, ctx, abs, out| {
                     assert!(abs.is_some());
                     assert!(ctx.enclosing_method.is_some());
@@ -321,5 +358,49 @@ mod tests {
         // ... and the order survives any worker count (even > core count).
         assert_eq!(sequential, collect(Some(4)));
         assert_eq!(sequential, collect(None));
+    }
+
+    #[test]
+    fn map_sites_drains_gracefully_when_cancelled() {
+        let ps = load_projects(0.002);
+        let p = &ps[0];
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let out = map_sites(
+            &p.db,
+            Some(&p.abs_cache),
+            &p.extracted.calls,
+            |c| (c.enclosing, c.stmt),
+            Some(1),
+            Some(&cancelled),
+            |site, _, _, out| out.push((site.enclosing, site.stmt)),
+        );
+        assert!(out.is_empty(), "pre-cancelled replay visits no sites");
+        // An armed-but-untripped token changes nothing.
+        let live = CancelToken::new();
+        let all = map_sites(
+            &p.db,
+            Some(&p.abs_cache),
+            &p.extracted.calls,
+            |c| (c.enclosing, c.stmt),
+            Some(1),
+            Some(&live),
+            |site, _, _, out| out.push((site.enclosing, site.stmt)),
+        );
+        assert_eq!(all.len(), p.extracted.calls.len());
+    }
+
+    #[test]
+    fn config_budget_carries_deadline_and_token() {
+        let cfg = ExperimentConfig {
+            deadline_ms: Some(250),
+            ..Default::default()
+        };
+        let budget = cfg.budget();
+        assert_eq!(budget.deadline, Some(Duration::from_millis(250)));
+        // The budget's token is the config's token: cancelling the config
+        // cancels every query built from it.
+        cfg.cancel.cancel();
+        assert!(budget.cancel.as_ref().is_some_and(|t| t.is_cancelled()));
     }
 }

@@ -62,6 +62,9 @@ pub struct AssignOutcome {
     pub case: AssignCase,
     /// Rank of the original assignment, if found within the limit.
     pub rank: Option<usize>,
+    /// Whether the query was cut short (step budget, deadline, or
+    /// cancellation) before deciding.
+    pub truncated: bool,
     /// Wall-clock nanoseconds for the query.
     pub nanos: u128,
 }
@@ -75,6 +78,9 @@ pub struct CmpOutcome {
     pub case: CmpCase,
     /// Rank of the original comparison, if found within the limit.
     pub rank: Option<usize>,
+    /// Whether the query was cut short (step budget, deadline, or
+    /// cancellation) before deciding.
+    pub truncated: bool,
     /// Wall-clock nanoseconds for the query.
     pub nanos: u128,
 }
@@ -101,6 +107,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
             &asites,
             |s| (s.enclosing, s.stmt),
             cfg.threads,
+            Some(&cfg.cancel),
             |site, ctx, abs, assigns| {
                 let db = &project.db;
                 let Expr::Assign(lhs, rhs) = &site.expr else {
@@ -128,13 +135,14 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                     let query = PartialExpr::assign(m_suffix(lb, 1), m_suffix(rb, 1));
                     let comp = completer(project, ctx, abs, cfg, None);
                     let t0 = Instant::now();
-                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    let res = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
                     let nanos = t0.elapsed().as_nanos();
                     pex_obs::histogram!("site.lookups.ns", nanos as u64);
                     assigns.push(AssignOutcome {
                         project: pi,
                         case,
-                        rank,
+                        rank: res.rank,
+                        truncated: res.is_degraded(),
                         nanos,
                     });
                 }
@@ -148,6 +156,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
             &csites,
             |s| (s.enclosing, s.stmt),
             cfg.threads,
+            Some(&cfg.cancel),
             |site, ctx, abs, cmps| {
                 let db = &project.db;
                 let Expr::Cmp(op, lhs, rhs) = &site.expr else {
@@ -181,13 +190,14 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> (Vec<AssignOutcome>,
                     let query = PartialExpr::cmp(*op, m_suffix(lb, 2), m_suffix(rb, 2));
                     let comp = completer(project, ctx, abs, cfg, None);
                     let t0 = Instant::now();
-                    let rank = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
+                    let res = comp.rank_of(&query, cfg.limit, |c| c.expr == site.expr);
                     let nanos = t0.elapsed().as_nanos();
                     pex_obs::histogram!("site.lookups.ns", nanos as u64);
                     cmps.push(CmpOutcome {
                         project: pi,
                         case,
-                        rank,
+                        rank: res.rank,
+                        truncated: res.is_degraded(),
                         nanos,
                     });
                 }
@@ -201,11 +211,13 @@ fn cdf_table<C: Copy + PartialEq>(cases: &[(C, &str)], get: impl Fn(C) -> RankSt
     let thresholds = [1usize, 5, 10, 20];
     let mut headers = vec!["case".to_string(), "n".to_string()];
     headers.extend(thresholds.iter().map(|k| format!("top {k}")));
+    headers.push("truncated".to_string());
     let mut table = TextTable::new(headers);
     for &(case, label) in cases {
         let stats = get(case);
         let mut row = vec![label.to_string(), stats.len().to_string()];
         row.extend(thresholds.iter().map(|&k| pct(stats.top(k))));
+        row.push(stats.truncated().to_string());
         table.row(row);
     }
     table
@@ -223,7 +235,7 @@ pub fn render_fig15(outcomes: &[AssignOutcome]) -> String {
             outcomes
                 .iter()
                 .filter(|o| o.case == case)
-                .map(|o| o.rank)
+                .map(|o| (o.rank, o.truncated))
                 .collect()
         },
     );
@@ -247,7 +259,7 @@ pub fn render_fig16(outcomes: &[CmpOutcome]) -> String {
             outcomes
                 .iter()
                 .filter(|o| o.case == case)
-                .map(|o| o.rank)
+                .map(|o| (o.rank, o.truncated))
                 .collect()
         },
     );

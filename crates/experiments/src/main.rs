@@ -3,6 +3,7 @@
 //! ```text
 //! pex-experiments <command> [--scale S] [--limit N] [--max-sites N]
 //!                           [--t2-max-sites N] [--no-abs] [--threads N]
+//!                           [--deadline-ms N] [--time-limit-s N]
 //!                           [--out DIR] [--metrics-out FILE] [--trace FILE]
 //!
 //! commands:
@@ -21,7 +22,6 @@
 //!   speed     query latency vs the paper's interactive thresholds
 //! ```
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use pex_experiments::{
@@ -29,6 +29,17 @@ use pex_experiments::{
     speed, ExperimentConfig,
 };
 use pex_obs::{JsonLinesSink, StderrPrettySink, TeeSink};
+
+/// Unwraps a filesystem result for a user-requested artefact; a failure
+/// (bad path, permissions, full disk) is environment error, not a bug, so
+/// it reports and exits instead of panicking.
+fn io_or_exit<T>(what: &str, path: &Path, res: std::io::Result<T>) -> T {
+    res.unwrap_or_else(|e| {
+        pex_obs::message!("cannot {what} {}: {e}", path.display());
+        pex_obs::flush_sink();
+        std::process::exit(2);
+    })
+}
 
 /// End-of-run observability surface: the human-readable summary (for
 /// `all`/`speed`), the `--metrics-out` document, and the sink flush (the
@@ -40,14 +51,18 @@ fn finish(command: &str, cfg: &ExperimentConfig, metrics_out: Option<&Path>) {
     }
     if let Some(path) = metrics_out {
         let config = format!(
-            "{{ \"command\": \"{}\", \"scale\": {}, \"limit\": {}, \"threads\": {} }}",
+            "{{ \"command\": \"{}\", \"scale\": {}, \"limit\": {}, \"threads\": {}, \"deadline_ms\": {} }}",
             command,
             cfg.scale,
             cfg.limit,
-            cfg.threads.map_or("null".to_owned(), |n| n.to_string())
+            cfg.threads.map_or("null".to_owned(), |n| n.to_string()),
+            cfg.deadline_ms.map_or("null".to_owned(), |n| n.to_string())
         );
-        std::fs::write(path, obs_report::metrics_json(&snap, &config))
-            .expect("write --metrics-out file");
+        io_or_exit(
+            "write --metrics-out file",
+            path,
+            std::fs::write(path, obs_report::metrics_json(&snap, &config)),
+        );
         pex_obs::message!("wrote {}", path.display());
     }
     pex_obs::flush_sink();
@@ -63,11 +78,21 @@ fn main() {
         return;
     }
     let command = argv[0].clone();
+    // A bad flag value is user error, not a bug: report it and exit 2
+    // instead of panicking.
+    fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str, wants: &str) -> T {
+        value.parse().unwrap_or_else(|_| {
+            pex_obs::message!("{flag} takes {wants}, got `{value}`");
+            pex_obs::flush_sink();
+            std::process::exit(2);
+        })
+    }
     let mut cfg = ExperimentConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut t2_max_sites: Option<usize> = Some(12);
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut time_limit_s: Option<u64> = None;
     let mut i = 1;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -79,23 +104,19 @@ fn main() {
             })
         };
         match flag {
-            "--scale" => cfg.scale = take_value().parse().expect("--scale takes a float"),
-            "--limit" => cfg.limit = take_value().parse().expect("--limit takes an integer"),
-            "--max-sites" => {
-                cfg.max_sites = Some(take_value().parse().expect("--max-sites takes an integer"))
-            }
+            "--scale" => cfg.scale = parse_or_exit(flag, &take_value(), "a float"),
+            "--limit" => cfg.limit = parse_or_exit(flag, &take_value(), "an integer"),
+            "--max-sites" => cfg.max_sites = Some(parse_or_exit(flag, &take_value(), "an integer")),
             "--t2-max-sites" => {
-                t2_max_sites = Some(
-                    take_value()
-                        .parse()
-                        .expect("--t2-max-sites takes an integer"),
-                )
+                t2_max_sites = Some(parse_or_exit(flag, &take_value(), "an integer"))
             }
             "--no-abs" => cfg.use_abs = false,
             "--three-args" => cfg.max_subset = 3,
-            "--threads" => {
-                cfg.threads = Some(take_value().parse().expect("--threads takes an integer"))
+            "--threads" => cfg.threads = Some(parse_or_exit(flag, &take_value(), "an integer")),
+            "--deadline-ms" => {
+                cfg.deadline_ms = Some(parse_or_exit(flag, &take_value(), "milliseconds"))
             }
+            "--time-limit-s" => time_limit_s = Some(parse_or_exit(flag, &take_value(), "seconds")),
             "--out" => out_dir = Some(PathBuf::from(take_value())),
             "--metrics-out" => metrics_out = Some(PathBuf::from(take_value())),
             "--trace" => trace_out = Some(PathBuf::from(take_value())),
@@ -107,21 +128,41 @@ fn main() {
         i += 1;
     }
     if let Some(path) = &trace_out {
-        let trace = JsonLinesSink::create(path).expect("create --trace file");
+        let trace = JsonLinesSink::create(path).unwrap_or_else(|e| {
+            pex_obs::message!("cannot create --trace file {}: {e}", path.display());
+            pex_obs::flush_sink();
+            std::process::exit(2);
+        });
         pex_obs::set_sink(Box::new(TeeSink(
             Box::new(StderrPrettySink),
             Box::new(trace),
         )));
+    }
+    // Harness-level watchdog: after the limit, cancel the shared token so
+    // in-flight queries stop at their next budget poll and the replay
+    // workers drain without taking new sites. The run then finishes
+    // normally, reporting whatever completed (truncated sites are counted
+    // as such in every table).
+    if let Some(secs) = time_limit_s {
+        let token = cfg.cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            pex_obs::message!("time limit of {secs}s reached; cancelling in-flight queries");
+            token.cancel();
+        });
     }
 
     let sections: std::cell::RefCell<Vec<(String, String)>> = std::cell::RefCell::new(Vec::new());
     let emit = |name: &str, content: String| {
         println!("{content}");
         if let Some(dir) = &out_dir {
-            std::fs::create_dir_all(dir).expect("create --out directory");
+            io_or_exit("create --out directory", dir, std::fs::create_dir_all(dir));
             let path = dir.join(format!("{name}.txt"));
-            let mut f = std::fs::File::create(&path).expect("create output file");
-            f.write_all(content.as_bytes()).expect("write output file");
+            io_or_exit(
+                "write output file",
+                &path,
+                std::fs::write(&path, content.as_bytes()),
+            );
             pex_obs::message!("wrote {}", path.display());
         }
         sections.borrow_mut().push((name.to_owned(), content));
@@ -135,11 +176,11 @@ fn main() {
         let dir = out_dir
             .clone()
             .unwrap_or_else(|| PathBuf::from("corpus-dump"));
-        std::fs::create_dir_all(&dir).expect("create dump directory");
+        io_or_exit("create dump directory", &dir, std::fs::create_dir_all(&dir));
         for p in &projects {
             let source = pex_experiments::harness::dump_project(p);
             let path = dir.join(format!("{}.mcs", p.name.replace([' ', '.'], "_")));
-            std::fs::write(&path, source).expect("write project source");
+            io_or_exit("write project source", &path, std::fs::write(&path, source));
             pex_obs::message!("wrote {}", path.display());
         }
         finish(&command, &cfg, metrics_out.as_deref());
@@ -319,7 +360,11 @@ fn main() {
                 report.push_str(&format!("\n---\n\n## {name}\n\n```text\n{content}\n```\n"));
             }
             let path = dir.join("REPORT.md");
-            std::fs::write(&path, report).expect("write combined report");
+            io_or_exit(
+                "write combined report",
+                &path,
+                std::fs::write(&path, report),
+            );
             pex_obs::message!("wrote {}", path.display());
         }
     }
@@ -349,6 +394,12 @@ FLAGS:
     --three-args       also measure 3-argument subsets (fig10 extra column)
     --threads N        replay worker threads (1 = sequential; default: all
                        cores, or RAYON_NUM_THREADS when set)
+    --deadline-ms N    per-query wall-clock deadline; overrunning queries
+                       stop with a Deadline outcome and their sites count
+                       as truncated (a separate column), not as not-found
+    --time-limit-s N   whole-run time limit: after N seconds the shared
+                       cancel token trips, in-flight queries stop at the
+                       next budget poll, and the run reports what finished
     --out DIR          also write each artefact to DIR/<name>.txt
     --metrics-out FILE write the observability registry as JSON: per-phase
                        latency histograms (p50/p90/p99/max), cache hit

@@ -35,6 +35,10 @@ pub struct CallOutcome {
     pub best_ret: Option<usize>,
     /// Alphabetical Intellisense rank of the intended method.
     pub alpha: Option<usize>,
+    /// Whether any subset query was cut short (step budget, deadline, or
+    /// cancellation). A truncated call with no rank is *undecided* — the
+    /// tables count it separately instead of as "not found".
+    pub truncated: bool,
     /// Wall-clock nanoseconds of the best-ranked query (0 = unmeasured:
     /// no subset ranked the intended method).
     pub nanos: u128,
@@ -85,6 +89,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
             &sites,
             |c| (c.enclosing, c.stmt),
             cfg.threads,
+            Some(&cfg.cancel),
             |site, ctx, abs, out| {
                 let comp = completer(project, ctx, abs, cfg, None);
                 let md = project.db.method(site.target);
@@ -97,6 +102,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                 let mut best_1arg: Option<usize> = None;
                 let mut best_3arg: Option<usize> = None;
                 let mut best_ret: Option<usize> = None;
+                let mut truncated = false;
                 let mut best_nanos: u128 = 0;
                 for subset in subsets(site.args.len(), cfg.max_subset) {
                     let query = PartialExpr::UnknownCall(
@@ -106,8 +112,10 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                             .collect(),
                     );
                     let t0 = Instant::now();
-                    let rank = comp.rank_of(&query, cfg.limit, pred);
+                    let res = comp.rank_of(&query, cfg.limit, pred);
                     let nanos = t0.elapsed().as_nanos();
+                    truncated |= res.is_degraded();
+                    let rank = res.rank;
                     if rank.is_some() && (best_3arg.is_none() || rank < best_3arg) {
                         best_3arg = rank;
                     }
@@ -121,7 +129,9 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                     {
                         best_1arg = rank;
                     }
-                    let rrank = comp_ret.rank_of(&query, cfg.limit, pred);
+                    let rres = comp_ret.rank_of(&query, cfg.limit, pred);
+                    truncated |= rres.is_degraded();
+                    let rrank = rres.rank;
                     if rrank.is_some() && (best_ret.is_none() || rrank < best_ret) {
                         best_ret = rrank;
                     }
@@ -141,6 +151,7 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
                     best_3arg: if cfg.max_subset >= 3 { best_3arg } else { None },
                     best_ret,
                     alpha: intellisense_rank(&project.db, ctx, site),
+                    truncated,
                     nanos: best_nanos,
                 });
             },
@@ -149,15 +160,22 @@ pub fn run(projects: &[Project], cfg: &ExperimentConfig) -> Vec<CallOutcome> {
     out
 }
 
-/// Table 1: per-project call counts and top-10 / top-10..20 counts.
+/// Table 1: per-project call counts and top-10 / top-10..20 counts, plus
+/// how many calls the engine could not decide within its budget.
 pub fn render_table1(projects: &[Project], outcomes: &[CallOutcome]) -> String {
-    let mut table = TextTable::new(vec!["Program", "# calls", "# top 10", "# top 10..20"]);
-    let (mut tc, mut t10, mut t20) = (0usize, 0usize, 0usize);
+    let mut table = TextTable::new(vec![
+        "Program",
+        "# calls",
+        "# top 10",
+        "# top 10..20",
+        "# truncated",
+    ]);
+    let (mut tc, mut t10, mut t20, mut ttr) = (0usize, 0usize, 0usize, 0usize);
     for (pi, project) in projects.iter().enumerate() {
         let ranks: RankStats = outcomes
             .iter()
             .filter(|o| o.project == pi)
-            .map(|o| o.best)
+            .map(|o| (o.best, o.truncated))
             .collect();
         let top10 = ranks.count_top(10);
         let top20 = ranks.count_top(20) - top10;
@@ -166,36 +184,41 @@ pub fn render_table1(projects: &[Project], outcomes: &[CallOutcome]) -> String {
             ranks.len().to_string(),
             top10.to_string(),
             top20.to_string(),
+            ranks.truncated().to_string(),
         ]);
         tc += ranks.len();
         t10 += top10;
         t20 += top20;
+        ttr += ranks.truncated();
     }
-    let all: RankStats = outcomes.iter().map(|o| o.best).collect();
+    let all: RankStats = outcomes.iter().map(|o| (o.best, o.truncated)).collect();
     table.row(vec![
         "Totals".to_string(),
         tc.to_string(),
         format!("{} ({})", t10, pct(all.top(10))),
         format!("{} ({})", t20, pct(all.top(20) - all.top(10))),
+        ttr.to_string(),
     ]);
     format!(
-        "Table 1. Summary of quality of best results for each call\n\n{}",
+        "Table 1. Summary of quality of best results for each call\n\
+         (truncated = the engine hit its step budget or deadline before deciding;\n\
+         proportions are over decided calls only)\n\n{}",
         table.render()
     )
 }
 
 /// Figure 9: CDF of the best rank, overall and split by call kind.
 pub fn render_fig9(outcomes: &[CallOutcome]) -> String {
-    let all: RankStats = outcomes.iter().map(|o| o.best).collect();
+    let all: RankStats = outcomes.iter().map(|o| (o.best, o.truncated)).collect();
     let inst: RankStats = outcomes
         .iter()
         .filter(|o| !o.is_static)
-        .map(|o| o.best)
+        .map(|o| (o.best, o.truncated))
         .collect();
     let stat: RankStats = outcomes
         .iter()
         .filter(|o| o.is_static)
-        .map(|o| o.best)
+        .map(|o| (o.best, o.truncated))
         .collect();
     let thresholds = [1usize, 2, 3, 5, 10, 15, 20, 30];
     let mut table = TextTable::new(vec!["rank <=", "all", "instance", "static", "all (bar)"]);
@@ -210,10 +233,11 @@ pub fn render_fig9(outcomes: &[CallOutcome]) -> String {
     }
     format!(
         "Figure 9. Proportion of calls of each type with the best rank at least the given value\n\
-         (n = {} calls: {} instance, {} static)\n\n{}",
+         (n = {} calls: {} instance, {} static; {} truncated calls excluded)\n\n{}",
         all.len(),
         inst.len(),
         stat.len(),
+        all.truncated(),
         table.render()
     )
 }
@@ -363,9 +387,61 @@ mod tests {
         let t1 = render_table1(&projects, &outcomes);
         assert!(t1.contains("Paint.NET"));
         assert!(t1.contains("Totals"));
+        assert!(t1.contains("# truncated"));
         assert!(render_fig9(&outcomes).contains("instance"));
         assert!(render_fig10(&outcomes).contains("call arity"));
         assert!(render_fig11(&outcomes).contains("rank difference"));
         assert!(render_fig12(&outcomes).contains("return type"));
+    }
+
+    /// The headline bug: a query cut short by its budget must surface as
+    /// truncated, end to end — engine outcome, per-site flag, and the
+    /// Table 1 truncated column — never as "not in the top n".
+    #[test]
+    fn deadline_zero_reports_sites_as_truncated_not_unfound() {
+        let projects = load_projects(0.002);
+        let cfg = ExperimentConfig {
+            limit: 50,
+            max_sites: Some(4),
+            deadline_ms: Some(0),
+            ..Default::default()
+        };
+        let outcomes = run(&projects, &cfg);
+        assert!(!outcomes.is_empty());
+        // A zero deadline trips on the first budget poll of every query.
+        for o in &outcomes {
+            assert!(o.truncated, "zero-deadline site must be truncated: {o:?}");
+            assert_eq!(o.best, None);
+        }
+        // The accounting keeps them out of the rank CDF denominator.
+        let stats: crate::stats::RankStats =
+            outcomes.iter().map(|o| (o.best, o.truncated)).collect();
+        assert_eq!(stats.decided(), 0);
+        assert_eq!(stats.truncated(), outcomes.len());
+        let t1 = render_table1(&projects, &outcomes);
+        let totals = t1
+            .lines()
+            .find(|l| l.starts_with("Totals"))
+            .expect("table has a totals row")
+            .to_string();
+        assert!(
+            totals.contains(&outcomes.len().to_string()),
+            "truncated column carries the count: {totals}"
+        );
+    }
+
+    /// Cancelling the config's token mid-run stops the replay gracefully:
+    /// no panic, and a pre-cancelled run yields no outcomes at all.
+    #[test]
+    fn cancelled_config_drains_without_outcomes() {
+        let projects = load_projects(0.002);
+        let cfg = ExperimentConfig {
+            limit: 50,
+            max_sites: Some(4),
+            ..Default::default()
+        };
+        cfg.cancel.cancel();
+        let outcomes = run(&projects, &cfg);
+        assert!(outcomes.is_empty(), "cancelled replay visits no sites");
     }
 }

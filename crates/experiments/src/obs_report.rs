@@ -55,6 +55,45 @@ fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
     snap.counters.get(name).copied().unwrap_or(0)
 }
 
+/// Query outcome tallies (`engine.query.outcome.*`): how every finished
+/// query's enumeration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeStats {
+    /// Streams drained to genuine exhaustion.
+    pub exhausted: u64,
+    /// Stopped by the caller (rank limit, `take(n)`, early drop).
+    pub limit: u64,
+    /// Step budget ran out.
+    pub step_budget: u64,
+    /// Wall-clock deadline passed.
+    pub deadline: u64,
+    /// Cancel token tripped.
+    pub cancelled: u64,
+}
+
+impl OutcomeStats {
+    /// Queries that ended without covering their full search space.
+    pub fn degraded(&self) -> u64 {
+        self.step_budget + self.deadline + self.cancelled
+    }
+
+    /// All finished queries.
+    pub fn total(&self) -> u64 {
+        self.exhausted + self.limit + self.degraded()
+    }
+}
+
+/// Reads the outcome tallies from a snapshot's raw counters.
+pub fn query_outcome_stats(snap: &MetricsSnapshot) -> OutcomeStats {
+    OutcomeStats {
+        exhausted: counter(snap, "engine.query.outcome.exhausted"),
+        limit: counter(snap, "engine.query.outcome.limit"),
+        step_budget: counter(snap, "engine.query.outcome.step_budget"),
+        deadline: counter(snap, "engine.query.outcome.deadline"),
+        cancelled: counter(snap, "engine.query.outcome.cancelled"),
+    }
+}
+
 /// The latency histograms worth surfacing per phase: tracing spans
 /// (`span.*`) and per-site query latencies (`site.*`).
 fn phase_histograms(snap: &MetricsSnapshot) -> Vec<(&String, &HistogramSnapshot)> {
@@ -83,6 +122,16 @@ pub fn metrics_json(snap: &MetricsSnapshot, config: &str) -> String {
         conv.rate(),
         conv.lookups,
         conv.misses
+    ));
+    let outcomes = query_outcome_stats(snap);
+    derived.push_str(&format!(
+        "    \"query_outcomes\": {{ \"exhausted\": {}, \"limit\": {}, \"step_budget\": {}, \"deadline\": {}, \"cancelled\": {}, \"degraded\": {} }},\n",
+        outcomes.exhausted,
+        outcomes.limit,
+        outcomes.step_budget,
+        outcomes.deadline,
+        outcomes.cancelled,
+        outcomes.degraded()
     ));
     let phases: Vec<String> = phase_histograms(snap)
         .into_iter()
@@ -159,6 +208,24 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             counter(snap, "engine.candidates.emitted")
         ));
     }
+    let outcomes = query_outcome_stats(snap);
+    if outcomes.total() > 0 {
+        out.push_str(&format!(
+            "  query outcomes: {} exhausted, {} limit, {} step-budget, {} deadline, {} cancelled\n",
+            outcomes.exhausted,
+            outcomes.limit,
+            outcomes.step_budget,
+            outcomes.deadline,
+            outcomes.cancelled
+        ));
+        if outcomes.degraded() > 0 {
+            out.push_str(&format!(
+                "  WARNING: {} of {} queries were cut short (degraded results)\n",
+                outcomes.degraded(),
+                outcomes.total()
+            ));
+        }
+    }
     let rank_terms: Vec<String> = snap
         .counters
         .iter()
@@ -191,6 +258,9 @@ mod tests {
         r.counter("engine.candidates.generated").add(70);
         r.counter("engine.candidates.emitted").add(42);
         r.counter("rank.term.depth.evals").add(9);
+        r.counter("engine.query.outcome.exhausted").add(4);
+        r.counter("engine.query.outcome.limit").add(2);
+        r.counter("engine.query.outcome.deadline").add(1);
         for v in [100u64, 200, 300] {
             r.histogram("span.query").record(v);
         }
@@ -215,12 +285,29 @@ mod tests {
     }
 
     #[test]
+    fn outcome_stats_derive_from_counters() {
+        let snap = fake_snapshot();
+        let o = query_outcome_stats(&snap);
+        assert_eq!(o.exhausted, 4);
+        assert_eq!(o.limit, 2);
+        assert_eq!(o.deadline, 1);
+        assert_eq!(o.step_budget, 0);
+        assert_eq!(o.degraded(), 1);
+        assert_eq!(o.total(), 7);
+        // Missing counters degrade to zero, not panic.
+        let empty = query_outcome_stats(&Registry::new().snapshot());
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
     fn metrics_json_has_schema_config_and_derived_sections() {
         let snap = fake_snapshot();
         let json = metrics_json(&snap, "{ \"scale\": 0.02 }");
         assert!(json.contains("\"schema\": \"pex-metrics/1\""));
         assert!(json.contains("\"scale\": 0.02"));
         assert!(json.contains("\"index_candidates_hit_rate\": 0.900000"));
+        assert!(json.contains("\"query_outcomes\""));
+        assert!(json.contains("\"deadline\": 1"));
         assert!(json.contains("\"convindex_distance_hit_rate\": 0.500000"));
         assert!(json.contains("\"span.query\""));
         assert!(json.contains("\"p99_ns\""));
@@ -243,6 +330,10 @@ mod tests {
         assert!(s.contains("conversion distance: 50.0%"));
         assert!(s.contains("7 queries"));
         assert!(s.contains("depth=9"));
+        assert!(s.contains(
+            "query outcomes: 4 exhausted, 2 limit, 0 step-budget, 1 deadline, 0 cancelled"
+        ));
+        assert!(s.contains("WARNING: 1 of 7 queries were cut short"));
         // An empty registry yields just the header, no panics.
         let empty = render_summary(&Registry::new().snapshot());
         assert!(empty.starts_with("observability summary"));

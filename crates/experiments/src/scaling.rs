@@ -68,7 +68,7 @@ pub fn run(scales: &[f64], cfg: &ExperimentConfig) -> Vec<ScalePoint> {
                 |c: &Completion| matches!(c.expr, Expr::Call(m, _) if m == target),
             );
             micros.push(t0.elapsed().as_micros());
-            ranks.push(rank.unwrap_or(cfg.limit));
+            ranks.push(rank.rank.unwrap_or(cfg.limit));
         }
         ranks.sort_unstable();
         out.push(ScalePoint {

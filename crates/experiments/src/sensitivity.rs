@@ -64,7 +64,10 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
         push(
             "Methods",
             "All",
-            method_outcomes.iter().map(|o| o.best).collect(),
+            method_outcomes
+                .iter()
+                .map(|o| (o.best, o.truncated))
+                .collect(),
         );
         push(
             "Methods",
@@ -72,7 +75,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
             method_outcomes
                 .iter()
                 .filter(|o| !o.is_static)
-                .map(|o| o.best)
+                .map(|o| (o.best, o.truncated))
                 .collect(),
         );
         push(
@@ -81,7 +84,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
             method_outcomes
                 .iter()
                 .filter(|o| o.is_static)
-                .map(|o| o.best)
+                .map(|o| (o.best, o.truncated))
                 .collect(),
         );
 
@@ -92,7 +95,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
         push(
             "Arguments",
             "Normal",
-            guessable.iter().map(|o| o.rank).collect(),
+            guessable.iter().map(|o| (o.rank, o.truncated)).collect(),
         );
         push(
             "Arguments",
@@ -100,7 +103,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
             guessable
                 .iter()
                 .filter(|o| !o.is_local)
-                .map(|o| o.rank)
+                .map(|o| (o.rank, o.truncated))
                 .collect(),
         );
 
@@ -115,7 +118,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
                 assign_outcomes
                     .iter()
                     .filter(|o| o.case == case)
-                    .map(|o| o.rank)
+                    .map(|o| (o.rank, o.truncated))
                     .collect(),
             );
         }
@@ -132,7 +135,7 @@ pub fn run(projects: &[Project], base: &ExperimentConfig) -> Vec<Table2Row> {
                 cmp_outcomes
                     .iter()
                     .filter(|o| o.case == case)
-                    .map(|o| o.rank)
+                    .map(|o| (o.rank, o.truncated))
                     .collect(),
             );
         }

@@ -2,9 +2,17 @@
 
 /// A collection of query outcomes: the 0-based rank of the correct answer,
 /// or `None` when it was not found within the search limit.
+///
+/// Queries the engine could not finish (step budget, deadline, or
+/// cancellation — see [`pex_core::QueryOutcome`]) are recorded as
+/// **truncated**, not as "not found": a truncated query says nothing about
+/// where the answer would have ranked, so folding it into the not-found
+/// bucket would deflate every CDF. Truncated queries are excluded from the
+/// `top(k)` denominator and reported separately.
 #[derive(Debug, Clone, Default)]
 pub struct RankStats {
     ranks: Vec<Option<usize>>,
+    truncated: usize,
 }
 
 impl RankStats {
@@ -13,19 +21,41 @@ impl RankStats {
         RankStats::default()
     }
 
-    /// Records one outcome.
+    /// Records one decided outcome (found at a rank, or exhaustively not
+    /// found).
     pub fn push(&mut self, rank: Option<usize>) {
         self.ranks.push(rank);
     }
 
-    /// Number of outcomes recorded.
+    /// Records one outcome with its truncation flag. A truncated outcome
+    /// never carries a rank (a found answer is a decided outcome even if
+    /// the query would have been cut short later).
+    pub fn push_outcome(&mut self, rank: Option<usize>, truncated: bool) {
+        if truncated && rank.is_none() {
+            self.truncated += 1;
+        } else {
+            self.ranks.push(rank);
+        }
+    }
+
+    /// Number of outcomes recorded, truncated ones included.
     pub fn len(&self) -> usize {
+        self.ranks.len() + self.truncated
+    }
+
+    /// Number of queries the engine could not finish.
+    pub fn truncated(&self) -> usize {
+        self.truncated
+    }
+
+    /// Number of decided outcomes — the `top(k)` denominator.
+    pub fn decided(&self) -> usize {
         self.ranks.len()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.ranks.is_empty()
+        self.len() == 0
     }
 
     /// Number of outcomes with rank strictly below `k` (i.e. in the top
@@ -37,7 +67,8 @@ impl RankStats {
             .count()
     }
 
-    /// Proportion with the correct answer in the top `k` (0 when empty).
+    /// Proportion of *decided* outcomes with the correct answer in the top
+    /// `k` (0 when empty).
     pub fn top(&self, k: usize) -> f64 {
         if self.ranks.is_empty() {
             0.0
@@ -51,7 +82,7 @@ impl RankStats {
         thresholds.iter().map(|&k| self.top(k)).collect()
     }
 
-    /// Iterates the raw outcomes.
+    /// Iterates the raw decided outcomes.
     pub fn iter(&self) -> impl Iterator<Item = Option<usize>> + '_ {
         self.ranks.iter().copied()
     }
@@ -61,7 +92,18 @@ impl FromIterator<Option<usize>> for RankStats {
     fn from_iter<I: IntoIterator<Item = Option<usize>>>(iter: I) -> Self {
         RankStats {
             ranks: iter.into_iter().collect(),
+            truncated: 0,
         }
+    }
+}
+
+impl FromIterator<(Option<usize>, bool)> for RankStats {
+    fn from_iter<I: IntoIterator<Item = (Option<usize>, bool)>>(iter: I) -> Self {
+        let mut stats = RankStats::new();
+        for (rank, truncated) in iter {
+            stats.push_outcome(rank, truncated);
+        }
+        stats
     }
 }
 
@@ -178,6 +220,30 @@ mod tests {
         assert_eq!(s.count_top(20), 3);
         assert!((s.top(10) - 0.4).abs() < 1e-9);
         assert_eq!(s.cdf(&[1, 10, 26]), vec![0.2, 0.4, 0.8]);
+    }
+
+    #[test]
+    fn truncated_outcomes_leave_the_denominator() {
+        let mut s = RankStats::new();
+        s.push_outcome(Some(0), false);
+        s.push_outcome(None, false); // exhausted: genuinely not found
+        s.push_outcome(None, true); // deadline/step budget: undecided
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.decided(), 2);
+        assert_eq!(s.truncated(), 1);
+        // top(k) is over decided outcomes only.
+        assert!((s.top(10) - 0.5).abs() < 1e-9);
+        // The pair-collector matches push_outcome.
+        let t: RankStats = [(Some(0), false), (None, false), (None, true)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.truncated(), 1);
+        assert!((t.top(10) - 0.5).abs() < 1e-9);
+        // A found rank counts as decided even if flagged.
+        let mut u = RankStats::new();
+        u.push_outcome(Some(3), true);
+        assert_eq!(u.decided(), 1);
+        assert_eq!(u.truncated(), 0);
     }
 
     #[test]

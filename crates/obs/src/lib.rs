@@ -62,7 +62,7 @@ pub use sink::{
     emit_message, flush_sink, set_sink, take_sink, Event, EventSink, JsonLinesSink,
     StderrPrettySink, TeeSink,
 };
-pub use span::{span, Span};
+pub use span::{marker, span, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -38,6 +38,17 @@ pub enum Event {
         /// Wall-clock duration in nanoseconds.
         duration_ns: u64,
     },
+    /// An instantaneous point event (e.g. a query budget trip). Markers
+    /// follow the span delivery rules: built and delivered only when a
+    /// sink wants spans, counted in `marker.<name>` regardless.
+    Marker {
+        /// Marker name (static, like span names).
+        name: &'static str,
+        /// Small dense per-process thread label.
+        thread: u64,
+        /// Time of the mark in nanoseconds since the process epoch.
+        at_ns: u64,
+    },
 }
 
 impl Event {
@@ -70,6 +81,18 @@ impl Event {
                     thread,
                     start_ns,
                     duration_ns
+                )
+            }
+            Event::Marker {
+                name,
+                thread,
+                at_ns,
+            } => {
+                format!(
+                    "{{\"type\":\"marker\",\"name\":\"{}\",\"thread\":{},\"at_ns\":{}}}",
+                    json_escape(name),
+                    thread,
+                    at_ns
                 )
             }
         }
@@ -178,6 +201,7 @@ impl EventSink for StderrPrettySink {
                 "",
                 indent = depth * 2
             ),
+            Event::Marker { name, .. } => eprintln!("[marker] {name}"),
         }
     }
 }
@@ -219,7 +243,7 @@ pub struct TeeSink(pub Box<dyn EventSink>, pub Box<dyn EventSink>);
 
 impl EventSink for TeeSink {
     fn emit(&self, event: &Event) {
-        let is_span = matches!(event, Event::SpanEnd { .. });
+        let is_span = matches!(event, Event::SpanEnd { .. } | Event::Marker { .. });
         for sink in [&self.0, &self.1] {
             if !is_span || sink.wants_spans() {
                 sink.emit(event);

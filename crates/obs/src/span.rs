@@ -65,6 +65,33 @@ pub fn span(name: &'static str) -> Option<Span> {
     })
 }
 
+/// Emits an instantaneous marker event — a point-in-time fact worth seeing
+/// in traces, like a query deadline trip. Every mark bumps the
+/// `marker.<name>` counter; the [`crate::sink::Event::Marker`] itself is
+/// built and delivered only when a sink that wants spans is installed
+/// (same delivery rule as span ends). No-op when the registry is disabled.
+///
+/// ```
+/// pex_obs::marker("doc.something_notable");
+/// # let snap = pex_obs::registry().snapshot();
+/// # assert_eq!(snap.counters["marker.doc.something_notable"], 1);
+/// ```
+pub fn marker(name: &'static str) {
+    if !crate::enabled() {
+        return;
+    }
+    // Markers are rare (budget trips, not per-candidate work), so the
+    // name-map lookup per mark is fine.
+    crate::registry().counter(&format!("marker.{name}")).add(1);
+    if sink_wants_spans() {
+        emit_span(Event::Marker {
+            name,
+            thread: thread_label(),
+            at_ns: epoch().elapsed().as_nanos() as u64,
+        });
+    }
+}
+
 /// An open span; dropping it closes the span and records its duration.
 #[derive(Debug)]
 pub struct Span {
@@ -165,6 +192,34 @@ mod tests {
         assert!(span("test.disabled").is_none());
         crate::set_enabled(true);
         STACK.with(|s| assert!(s.borrow().is_empty(), "no stack residue"));
+    }
+
+    #[test]
+    fn markers_count_and_reach_span_wanting_sinks_only() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let before = crate::registry()
+            .snapshot()
+            .counters
+            .get("marker.test.mark")
+            .copied()
+            .unwrap_or(0);
+        marker("test.mark"); // no sink: counter only
+        let events = Arc::new(Mutex::new(Vec::new()));
+        set_sink(Box::new(CaptureSink(events.clone())));
+        marker("test.mark");
+        take_sink();
+        crate::set_enabled(false);
+        marker("test.mark"); // disabled: no count, no event
+        crate::set_enabled(true);
+        let after = crate::registry().snapshot().counters["marker.test.mark"];
+        assert_eq!(after - before, 2);
+        let got = events.lock().unwrap();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Event::Marker { name, .. } => assert_eq!(*name, "test.mark"),
+            other => panic!("expected marker, got {other:?}"),
+        }
     }
 
     #[test]

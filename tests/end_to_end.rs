@@ -210,7 +210,12 @@ fn rank_of_positions_are_stable_and_0_based() {
     let list: Vec<Completion> = engine.completions(&query).take(20).collect();
     for (i, c) in list.iter().enumerate() {
         let expect = c.expr.clone();
-        let rank = engine.rank_of(&query, 20, |cand| cand.expr == expect);
-        assert_eq!(rank, Some(i));
+        let res = engine.rank_of(&query, 20, |cand| cand.expr == expect);
+        assert_eq!(res.rank, Some(i));
+        assert!(
+            !res.is_degraded(),
+            "a decided rank at this scale must not be cut short: {:?}",
+            res.outcome
+        );
     }
 }
