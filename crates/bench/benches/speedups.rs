@@ -278,6 +278,60 @@ fn bench_dedup(c: &mut Criterion) {
     });
 }
 
+/// Serving-path comparison: a long-lived prewarmed [`pex_serve::Snapshot`]
+/// answering the paper's Figure 2 query, vs a cold start that (like a
+/// one-shot CLI invocation) compiles the model and builds every index
+/// before answering the same query. The ratio is what `pex-serve` buys by
+/// keeping the snapshot resident.
+fn bench_snapshot_reuse(c: &mut Criterion) {
+    use pex_serve::proto::{self, QueryRequest, RequestDefaults};
+    use pex_serve::{Snapshot, SnapshotSource};
+
+    let request = QueryRequest {
+        id: None,
+        query: "?({img, size})".into(),
+        limit: Some(5),
+        deadline_ms: None,
+        max_steps: None,
+        locals: Vec::new(),
+    };
+    let defaults = RequestDefaults::default();
+    let cancel = pex_core::CancelToken::new();
+
+    let warm = Snapshot::load(&SnapshotSource::Paint).expect("builtin snapshot");
+    let warm_abs = warm.abs_for_site();
+    // Each variant must produce the same answer for the ratio to compare
+    // equal work.
+    let (warm_resp, ok) = proto::execute(&warm, &request, &defaults, &cancel, warm_abs.as_ref());
+    assert!(ok && warm_resp.contains("ResizeDocument"), "{warm_resp}");
+
+    c.bench_function("speedups/query_cold_index", |b| {
+        b.iter(|| {
+            let db = pex_corpus::builtin::paint_dot_net();
+            let (ctx, m) = pex_corpus::builtin::paint_query_site(&db);
+            let cold = Snapshot::from_database("paint".into(), db, ctx, Some(m));
+            let abs = cold.abs_for_site();
+            let (resp, ok) =
+                proto::execute(&cold, black_box(&request), &defaults, &cancel, abs.as_ref());
+            assert!(ok);
+            black_box(resp)
+        })
+    });
+    c.bench_function("speedups/query_snapshot_reuse", |b| {
+        b.iter(|| {
+            let (resp, ok) = proto::execute(
+                &warm,
+                black_box(&request),
+                &defaults,
+                &cancel,
+                warm_abs.as_ref(),
+            );
+            assert!(ok);
+            black_box(resp)
+        })
+    });
+}
+
 fn bench_replay(c: &mut Criterion) {
     let projects = load_projects(SCALE);
     let cfg = |threads: Option<usize>| ExperimentConfig {
@@ -386,6 +440,15 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
             "speedups/dedup_key_expr_hash"
         ))
     ));
+    // What pex-serve buys by keeping the snapshot resident: same query,
+    // cold model-compile + index build vs the prewarmed snapshot.
+    out.push_str(&format!(
+        "    \"snapshot_reuse_speedup\": {},\n",
+        fmt_opt(speedup(
+            "speedups/query_cold_index",
+            "speedups/query_snapshot_reuse"
+        ))
+    ));
     out.push_str(&format!(
         "    \"methods_replay_speedup\": {}\n",
         fmt_opt(speedup(
@@ -404,6 +467,7 @@ fn main() {
     pex_obs::registry().reset();
     bench_candidates(&mut c);
     bench_dedup(&mut c);
+    bench_snapshot_reuse(&mut c);
     bench_replay(&mut c);
     let results = c.results();
     if results.is_empty() {

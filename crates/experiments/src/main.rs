@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 use pex_experiments::{
     args as args_exp, baselines, figures, lookups, methods, obs_report, scaling, sensitivity,
-    speed, ExperimentConfig,
+    serve_bench, speed, ExperimentConfig,
 };
 use pex_obs::{JsonLinesSink, StderrPrettySink, TeeSink};
 
@@ -93,6 +93,8 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut time_limit_s: Option<u64> = None;
+    let mut serve_cfg = serve_bench::ServeBenchConfig::default();
+    let mut bench_out = PathBuf::from("BENCH_results.json");
     let mut i = 1;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -105,7 +107,10 @@ fn main() {
         };
         match flag {
             "--scale" => cfg.scale = parse_or_exit(flag, &take_value(), "a float"),
-            "--limit" => cfg.limit = parse_or_exit(flag, &take_value(), "an integer"),
+            "--limit" => {
+                cfg.limit = parse_or_exit(flag, &take_value(), "an integer");
+                serve_cfg.limit = cfg.limit;
+            }
             "--max-sites" => cfg.max_sites = Some(parse_or_exit(flag, &take_value(), "an integer")),
             "--t2-max-sites" => {
                 t2_max_sites = Some(parse_or_exit(flag, &take_value(), "an integer"))
@@ -120,6 +125,17 @@ fn main() {
             "--out" => out_dir = Some(PathBuf::from(take_value())),
             "--metrics-out" => metrics_out = Some(PathBuf::from(take_value())),
             "--trace" => trace_out = Some(PathBuf::from(take_value())),
+            "--clients" => serve_cfg.clients = parse_or_exit(flag, &take_value(), "an integer"),
+            "--qps" => serve_cfg.qps = parse_or_exit(flag, &take_value(), "a rate"),
+            "--duration-s" => {
+                serve_cfg.duration = std::time::Duration::from_secs_f64(parse_or_exit(
+                    flag,
+                    &take_value(),
+                    "seconds",
+                ))
+            }
+            "--queue-cap" => serve_cfg.queue_cap = parse_or_exit(flag, &take_value(), "an integer"),
+            "--bench-out" => bench_out = PathBuf::from(take_value()),
             other => {
                 pex_obs::message!("unknown flag {other}");
                 std::process::exit(2);
@@ -169,6 +185,33 @@ fn main() {
     };
 
     let wants = |what: &str| command == what || command == "all";
+
+    if command == "serve-bench" {
+        // Shared flags map onto the server: --threads sizes the worker
+        // pool, --limit and --deadline-ms become the request defaults.
+        if let Some(threads) = cfg.threads {
+            serve_cfg.workers = threads.max(1);
+        }
+        serve_cfg.deadline_ms = cfg.deadline_ms;
+        pex_obs::message!(
+            "serve-bench: {} clients for {:.1}s against {} workers...",
+            serve_cfg.clients,
+            serve_cfg.duration.as_secs_f64(),
+            serve_cfg.workers
+        );
+        let report = serve_bench::run(&serve_cfg);
+        emit("serve-bench", report.render().trim_end().to_owned());
+        match report.merge_into_bench_results(&bench_out) {
+            Ok(()) => pex_obs::message!("merged serve section into {}", bench_out.display()),
+            Err(e) => {
+                pex_obs::message!("{e}");
+                pex_obs::flush_sink();
+                std::process::exit(2);
+            }
+        }
+        finish(&command, &cfg, metrics_out.as_deref());
+        return;
+    }
 
     if command == "dump" {
         // Write each generated project back out as mini-C# source.
@@ -383,6 +426,8 @@ COMMANDS:
     all | examples | table1 | fig9 | fig10 | fig11 | fig12 |
     fig13 | fig14 | fig15 | fig16 | table2 | speed | baselines
     scaling            query latency vs corpus scale (not part of `all`)
+    serve-bench        load-test an in-process pex-serve worker pool and
+                       report throughput + latency percentiles
     dump               write the generated projects as mini-C# source
 
 FLAGS:
@@ -406,6 +451,14 @@ FLAGS:
                        rates, ranking-term evaluation counts
     --trace FILE       write tracing span events as JSON lines (one object
                        per completed span; stderr output is unchanged)
+
+serve-bench flags (plus --threads for workers, --limit, --deadline-ms):
+    --clients N        concurrent closed-loop clients (default 4)
+    --qps Q            total target request rate; 0 = unpaced (default)
+    --duration-s D     load-generation duration in seconds (default 3)
+    --queue-cap N      server admission queue capacity
+    --bench-out FILE   merge the serve section into this JSON file
+                       (default BENCH_results.json)
 
 `all` and `speed` print a human-readable observability summary (latency
 percentiles per phase, cache hit rates) to stderr when done.

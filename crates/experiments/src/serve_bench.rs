@@ -1,0 +1,373 @@
+//! `serve-bench` — an in-process load generator for the `pex-serve`
+//! worker pool.
+//!
+//! Spins up a real [`pex_serve::Server`] over a prewarmed snapshot, then
+//! drives it from `--clients` concurrent closed-loop clients, optionally
+//! paced to a total `--qps` target. Each client submits through the same
+//! [`pex_serve::ServerClient`] admission path the daemon's transports use,
+//! so shedding, queue-depth gauges, and per-request latency histograms are
+//! all exercised exactly as in production.
+//!
+//! The report gives throughput and nearest-rank latency percentiles
+//! (p50/p90/p99, via [`stats::percentile`]) and is also merged into
+//! `BENCH_results.json` as a `"serve"` section next to the criterion-style
+//! `speedups` benchmarks.
+
+use std::path::Path;
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use pex_serve::json::{self, Value};
+use pex_serve::proto::RequestDefaults;
+use pex_serve::{ServeConfig, Server, Snapshot, SnapshotSource};
+
+use crate::stats;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Total target request rate across all clients; 0 means unpaced
+    /// (each client sends as fast as responses come back).
+    pub qps: f64,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission queue capacity.
+    pub queue_cap: usize,
+    /// Completions requested per query.
+    pub limit: usize,
+    /// Per-request deadline forwarded to the engine's query budget.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServeBenchConfig {
+            clients: 4,
+            qps: 0.0,
+            duration: Duration::from_secs(3),
+            workers,
+            queue_cap: workers * 16,
+            limit: 5,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Requests submitted (== responses received; clients are closed-loop).
+    pub sent: usize,
+    /// `ok:true` responses with a non-degraded outcome.
+    pub ok: usize,
+    /// `ok:true` responses cut short by a deadline/step budget.
+    pub degraded: usize,
+    /// Requests refused by admission control.
+    pub shed: usize,
+    /// Any other error response.
+    pub errors: usize,
+    /// Wall-clock duration of the generation phase.
+    pub elapsed: Duration,
+    /// Completed-request throughput over `elapsed`, in requests/second.
+    pub throughput: f64,
+    /// Submit-to-response latencies, microseconds, unsorted.
+    pub latencies_us: Vec<u128>,
+    /// The config the run used (echoed into the JSON section).
+    pub config: ServeBenchConfig,
+}
+
+/// The fixed query mix, all valid against the mini Paint.NET snapshot:
+/// the paper's method-name query, a field lookup, and a bare hole.
+const QUERIES: [&str; 3] = ["?({img, size})", "img.?f", "?"];
+
+/// Runs the load generator against a fresh in-process server over the
+/// builtin Paint.NET snapshot.
+pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let snapshot = Snapshot::load(&SnapshotSource::Paint).expect("builtin snapshot loads");
+    let server = Server::start(
+        snapshot,
+        ServeConfig {
+            workers: cfg.workers,
+            queue_cap: cfg.queue_cap,
+            defaults: RequestDefaults {
+                limit: cfg.limit,
+                deadline_ms: cfg.deadline_ms,
+                ..RequestDefaults::default()
+            },
+        },
+    );
+
+    // Per-client pacing: a client sends its k-th request no earlier than
+    // `start + k * clients/qps`, spreading the aggregate target across
+    // the fleet. Unpaced clients just go back-to-back.
+    let per_client_interval = if cfg.qps > 0.0 {
+        Some(Duration::from_secs_f64(cfg.clients as f64 / cfg.qps))
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let client_threads: Vec<_> = (0..cfg.clients.max(1))
+        .map(|client_id| {
+            let client = server.client();
+            let duration = cfg.duration;
+            std::thread::spawn(move || {
+                let (tx, rx) = channel::<String>();
+                let mut tally = ClientTally::default();
+                let mut k = 0u32;
+                while start.elapsed() < duration {
+                    if let Some(interval) = per_client_interval {
+                        let scheduled = interval * k;
+                        let now = start.elapsed();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                    }
+                    let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                    let line = format!("{{\"id\":{k},\"query\":\"{}\"}}", json::escape(query));
+                    let sent_at = Instant::now();
+                    client.submit(line, &tx);
+                    // Closed loop: the next request waits for this answer.
+                    let Ok(resp) = rx.recv() else { break };
+                    tally.record(&resp, sent_at.elapsed());
+                    k += 1;
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut report = ServeBenchReport {
+        sent: 0,
+        ok: 0,
+        degraded: 0,
+        shed: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        throughput: 0.0,
+        latencies_us: Vec::new(),
+        config: cfg.clone(),
+    };
+    for t in client_threads {
+        let tally = t.join().expect("client thread");
+        report.sent += tally.sent;
+        report.ok += tally.ok;
+        report.degraded += tally.degraded;
+        report.shed += tally.shed;
+        report.errors += tally.errors;
+        report.latencies_us.extend(tally.latencies_us);
+    }
+    report.elapsed = start.elapsed();
+    report.throughput = report.sent as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    server.shutdown();
+    report
+}
+
+#[derive(Default)]
+struct ClientTally {
+    sent: usize,
+    ok: usize,
+    degraded: usize,
+    shed: usize,
+    errors: usize,
+    latencies_us: Vec<u128>,
+}
+
+impl ClientTally {
+    fn record(&mut self, resp: &str, latency: Duration) {
+        self.sent += 1;
+        self.latencies_us.push(latency.as_micros());
+        let Ok(doc) = json::parse(resp) else {
+            self.errors += 1;
+            return;
+        };
+        if doc.get("ok") == Some(&Value::Bool(true)) {
+            if doc.get("degraded") == Some(&Value::Bool(true)) {
+                self.degraded += 1;
+            } else {
+                self.ok += 1;
+            }
+        } else if doc.get("error").and_then(Value::as_str) == Some("shed") {
+            self.shed += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
+}
+
+impl ServeBenchReport {
+    /// Latency at percentile `p`, in microseconds.
+    pub fn percentile_us(&self, p: f64) -> u128 {
+        stats::percentile(&self.latencies_us, p)
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let mut out = String::from("serve-bench: paint snapshot, in-process worker pool\n");
+        out.push_str(&format!(
+            "config: {} clients, target {} qps, {:.1}s, {} workers, queue {}\n",
+            c.clients,
+            if c.qps > 0.0 {
+                format!("{:.0}", c.qps)
+            } else {
+                "unpaced".into()
+            },
+            c.duration.as_secs_f64(),
+            c.workers,
+            c.queue_cap,
+        ));
+        out.push_str(&format!(
+            "outcomes: sent {}  ok {}  degraded {}  shed {}  errors {}\n",
+            self.sent, self.ok, self.degraded, self.shed, self.errors
+        ));
+        out.push_str(&format!(
+            "throughput: {:.1} req/s over {:.2}s\n",
+            self.throughput,
+            self.elapsed.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "latency: p50 {}us  p90 {}us  p99 {}us  max {}us\n",
+            self.percentile_us(50.0),
+            self.percentile_us(90.0),
+            self.percentile_us(99.0),
+            self.latencies_us.iter().max().copied().unwrap_or(0),
+        ));
+        out
+    }
+
+    /// The `"serve"` section for `BENCH_results.json`.
+    pub fn to_json(&self) -> Value {
+        let c = &self.config;
+        Value::Obj(vec![
+            ("snapshot".into(), Value::Str("paint".into())),
+            ("clients".into(), Value::Num(c.clients as f64)),
+            ("target_qps".into(), Value::Num(c.qps)),
+            ("duration_s".into(), Value::Num(c.duration.as_secs_f64())),
+            ("workers".into(), Value::Num(c.workers as f64)),
+            ("queue_cap".into(), Value::Num(c.queue_cap as f64)),
+            ("sent".into(), Value::Num(self.sent as f64)),
+            ("ok".into(), Value::Num(self.ok as f64)),
+            ("degraded".into(), Value::Num(self.degraded as f64)),
+            ("shed".into(), Value::Num(self.shed as f64)),
+            ("errors".into(), Value::Num(self.errors as f64)),
+            (
+                "throughput_rps".into(),
+                Value::Num((self.throughput * 10.0).round() / 10.0),
+            ),
+            (
+                "latency_us".into(),
+                Value::Obj(vec![
+                    ("p50".into(), Value::Num(self.percentile_us(50.0) as f64)),
+                    ("p90".into(), Value::Num(self.percentile_us(90.0) as f64)),
+                    ("p99".into(), Value::Num(self.percentile_us(99.0) as f64)),
+                    (
+                        "max".into(),
+                        Value::Num(self.latencies_us.iter().max().copied().unwrap_or(0) as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Merges this run into `BENCH_results.json` under a `"serve"` key,
+    /// preserving any existing `speedups` sections; creates the file when
+    /// absent. Returns a human-readable error (bad path, unparseable
+    /// existing file) instead of panicking.
+    pub fn merge_into_bench_results(&self, path: &Path) -> Result<(), String> {
+        let mut doc = match std::fs::read_to_string(path) {
+            Ok(text) => json::parse(&text)
+                .map_err(|e| format!("existing {} is not valid JSON: {e}", path.display()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Value::Obj(vec![(
+                "schema".into(),
+                Value::Str("pex-bench-speedups/1".into()),
+            )]),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        if !matches!(doc, Value::Obj(_)) {
+            return Err(format!("existing {} is not a JSON object", path.display()));
+        }
+        doc.set("serve", self.to_json());
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeBenchConfig {
+        ServeBenchConfig {
+            clients: 2,
+            qps: 0.0,
+            duration: Duration::from_millis(200),
+            workers: 2,
+            queue_cap: 8,
+            limit: 3,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn generates_load_and_accounts_every_request() {
+        let report = run(&tiny());
+        assert!(report.sent > 0, "a 200ms run must complete something");
+        assert_eq!(
+            report.sent,
+            report.ok + report.degraded + report.shed + report.errors,
+            "every request classified exactly once"
+        );
+        assert_eq!(report.latencies_us.len(), report.sent);
+        assert!(report.errors == 0, "well-formed queries never error");
+        assert!(report.throughput > 0.0);
+        assert!(report.percentile_us(50.0) <= report.percentile_us(99.0));
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = run(&ServeBenchConfig {
+            duration: Duration::from_millis(100),
+            ..tiny()
+        });
+        let text = report.render();
+        assert!(text.contains("throughput:"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let doc = report.to_json();
+        assert!(doc.get("throughput_rps").is_some());
+        assert!(doc.get("latency_us").and_then(|l| l.get("p50")).is_some());
+    }
+
+    #[test]
+    fn merges_into_existing_bench_results() {
+        let report = run(&ServeBenchConfig {
+            clients: 1,
+            duration: Duration::from_millis(50),
+            ..tiny()
+        });
+        let dir = std::env::temp_dir().join(format!("pex-serve-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        std::fs::write(
+            &path,
+            "{\"schema\":\"pex-bench-speedups/1\",\"benchmarks\":[]}",
+        )
+        .unwrap();
+        report.merge_into_bench_results(&path).unwrap();
+        let merged = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(merged.get("benchmarks").is_some(), "existing keys survive");
+        assert!(merged.get("serve").and_then(|s| s.get("sent")).is_some());
+        // Merging again replaces, not duplicates.
+        report.merge_into_bench_results(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"serve\"").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -107,15 +107,29 @@ impl FromIterator<(Option<usize>, bool)> for RankStats {
     }
 }
 
-/// Value at percentile `p` (0..=100) of a sample, by nearest-rank.
+/// Value at percentile `p` of a sample, by the **nearest-rank** method:
+/// the smallest value such that at least `p`% of the sample is ≤ it, i.e.
+/// `sorted[ceil(p/100 · n) - 1]`.
+///
+/// Contract: `p` must be in `0.0..=100.0` (debug-asserted; release builds
+/// clamp). `p = 0` returns the minimum, `p = 100` the maximum, and an
+/// empty sample returns 0 — the caller-friendly convention for "no data"
+/// in latency reports.
 pub fn percentile(samples: &[u128], p: f64) -> u128 {
+    debug_assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile p must be in 0..=100, got {p}"
+    );
     if samples.is_empty() {
         return 0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
-    let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+    if p <= 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p.min(100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Proportion of samples at or below a threshold.
@@ -239,11 +253,33 @@ mod tests {
             .collect();
         assert_eq!(t.truncated(), 1);
         assert!((t.top(10) - 0.5).abs() < 1e-9);
-        // A found rank counts as decided even if flagged.
+        // A found rank counts as decided even if flagged: the answer's
+        // position is known regardless of where the search stopped.
         let mut u = RankStats::new();
         u.push_outcome(Some(3), true);
         assert_eq!(u.decided(), 1);
         assert_eq!(u.truncated(), 0);
+        assert_eq!(u.len(), 1);
+        assert!((u.top(10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn len_is_decided_plus_truncated() {
+        let s: RankStats = [
+            (Some(0), false),
+            (Some(5), true),
+            (None, false),
+            (None, true),
+            (None, true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.decided(), 3);
+        assert_eq!(s.truncated(), 2);
+        assert_eq!(s.len(), s.decided() + s.truncated());
+        // count_top(k) never sees the truncated bucket.
+        assert_eq!(s.count_top(10), 2);
+        assert!((s.top(10) - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -261,6 +297,33 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100);
         assert_eq!(percentile(&[], 50.0), 0);
         assert!((proportion_under(&xs, 10) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // p = 0 is the minimum by definition, not by underflow accident.
+        let xs: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 0.0), 1);
+        // A single sample answers every percentile.
+        assert_eq!(percentile(&[42], 0.0), 42);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[42], 100.0), 42);
+        // Empty input is 0 at every percentile.
+        assert_eq!(percentile(&[], 0.0), 0);
+        assert_eq!(percentile(&[], 100.0), 0);
+        // Nearest-rank on an even-sized sample: p50 of {10, 20} is the
+        // first element (ceil(0.5 * 2) = rank 1), not an interpolation.
+        assert_eq!(percentile(&[20, 10], 50.0), 10);
+        assert_eq!(percentile(&[20, 10], 50.1), 20);
+        // Unsorted input is handled; order does not matter.
+        assert_eq!(percentile(&[5, 1, 9, 3], 100.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile p must be in 0..=100")]
+    #[cfg(debug_assertions)]
+    fn percentile_rejects_out_of_range_p() {
+        percentile(&[1, 2, 3], 250.0);
     }
 
     #[test]

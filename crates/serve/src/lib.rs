@@ -1,0 +1,39 @@
+//! # pex-serve
+//!
+//! The deployment shape the paper sketches in its future work — an
+//! always-on assistant answering partial-expression queries at keystroke
+//! latency — as a long-lived daemon for the pex engine.
+//!
+//! A serve process loads one [`Snapshot`] (code model + prewarmed method,
+//! conversion, and reachability indexes), then answers completion queries
+//! over a JSON-lines protocol from a fixed worker pool:
+//!
+//! * [`snapshot`] — the shared immutable artefact and its prewarming;
+//! * [`proto`] — the request/response schema and query execution, mapping
+//!   per-request `deadline_ms` / `max_steps` / `limit` onto the engine's
+//!   [`pex_core::QueryBudget`];
+//! * [`server`] — the bounded admission queue, the worker pool, explicit
+//!   load shedding, and graceful drain-then-exit shutdown;
+//! * [`json`] — the dependency-free JSON reader/writer the protocol uses.
+//!
+//! The `pex-serve` binary fronts this with two transports: stdin/stdout
+//! framing (one request per line, one response per line) and an optional
+//! Unix-domain socket listener for concurrent clients.
+//!
+//! ```console
+//! $ echo '{"id":1,"query":"?({img, size})","limit":3}' | pex-serve paint
+//! {"id":1,"ok":true,"outcome":"limit","degraded":false,...}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use proto::{Request, RequestDefaults};
+pub use server::{ServeConfig, Server, ServerClient};
+pub use snapshot::{Snapshot, SnapshotSource};

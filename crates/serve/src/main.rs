@@ -1,0 +1,374 @@
+//! `pex-serve` — the long-lived completion daemon.
+//!
+//! Loads a code model once, prewarms every index, and serves the
+//! JSON-lines protocol from a fixed worker pool over two transports:
+//!
+//! * **stdin/stdout** (always on): one request per line on stdin, one
+//!   response per line on stdout. EOF on stdin begins a graceful
+//!   shutdown: admitted requests drain, then the process exits 0.
+//! * **Unix-domain socket** (`--socket PATH`): each connection speaks the
+//!   same line protocol; connections are independent clients sharing the
+//!   worker pool and admission queue.
+//!
+//! A `{"cmd":"shutdown"}` request from any transport triggers the same
+//! graceful drain. On shutdown, `--metrics-out FILE` writes the metric
+//! registry (counters, gauges, latency histograms) as JSON — the daemon
+//! equivalent of `pex-experiments --metrics-out`. (Catching SIGTERM
+//! directly would need a signal handler, which `std` cannot install
+//! without unsafe code; the workspace forbids it, so orchestrators should
+//! close stdin or send the shutdown command instead.)
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pex_serve::json::{self, Value};
+use pex_serve::proto::RequestDefaults;
+use pex_serve::{ServeConfig, Server, ServerClient, Snapshot, SnapshotSource};
+
+struct Options {
+    source: SnapshotSource,
+    locals: Vec<String>,
+    config: ServeConfig,
+    socket: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+fn main() {
+    let options = parse_args();
+    let snapshot = match Snapshot::load(&options.source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pex-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    // `--local` declarations become the default context for requests that
+    // carry none of their own.
+    let snapshot = if options.locals.is_empty() {
+        snapshot
+    } else {
+        match snapshot.context_for(&options.locals) {
+            Ok(ctx) => Arc::new(Snapshot {
+                default_ctx: ctx,
+                ..match Arc::try_unwrap(snapshot) {
+                    Ok(s) => s,
+                    Err(_) => unreachable!("snapshot has one owner at startup"),
+                }
+            }),
+            Err(e) => {
+                eprintln!("pex-serve: --local: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    eprintln!(
+        "pex-serve: {} — {} types, {} methods; {} workers, queue capacity {}",
+        snapshot.name,
+        snapshot.db.types().len(),
+        snapshot.db.method_count(),
+        options.config.workers,
+        options.config.queue_cap
+    );
+
+    let server = Server::start(Arc::clone(&snapshot), options.config);
+
+    // Socket listener (optional): accepts until shutdown is requested.
+    let listener_handle = options.socket.as_ref().map(|path| {
+        let _ = std::fs::remove_file(path);
+        let listener = match std::os::unix::net::UnixListener::bind(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("pex-serve: cannot bind {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        listener
+            .set_nonblocking(true)
+            .expect("socket nonblocking mode");
+        eprintln!("pex-serve: listening on {}", path.display());
+        spawn_socket_listener(listener, server.client())
+    });
+
+    // The stdin transport runs on the main thread.
+    stdin_transport(&server);
+
+    // Graceful shutdown: stop accepting, drain admitted work, join.
+    server.request_shutdown();
+    if let Some(accept_thread) = listener_handle {
+        // The accept loop polls the shutdown flag; connection readers poll
+        // via their read timeout.
+        let _ = accept_thread.join();
+    }
+    server.shutdown();
+    if let Some(path) = &options.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(path) = &options.metrics_out {
+        let doc = format!(
+            "{{\n  \"schema\": \"pex-serve-metrics/1\",\n  \"metrics\": {}\n}}\n",
+            pex_obs::registry().snapshot().to_json()
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("pex-serve: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("pex-serve: wrote {}", path.display());
+    }
+}
+
+/// Reads requests from stdin until EOF or a shutdown command. Responses
+/// are written (and flushed, for pipeline clients) by a dedicated writer
+/// thread so slow queries never block admission.
+fn stdin_transport(server: &Server) {
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for response in rx {
+            let mut out = stdout.lock();
+            if writeln!(out, "{response}")
+                .and_then(|_| out.flush())
+                .is_err()
+            {
+                // stdout closed (client went away): stop writing; the main
+                // loop notices on EOF or shutdown.
+                break;
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if handle_if_shutdown(&line, server, &tx) {
+            break;
+        }
+        server.submit(line, &tx);
+        if server.shutdown_requested() {
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Transport-level fast path for `{"cmd":"shutdown"}`: acknowledged
+/// immediately so the drain can begin without waiting for a worker. The
+/// substring pre-filter keeps the common path free of double parsing.
+fn handle_if_shutdown(line: &str, server: &Server, tx: &Sender<String>) -> bool {
+    if !line.contains("\"shutdown\"") {
+        return false;
+    }
+    let Ok(doc) = json::parse(line) else {
+        return false;
+    };
+    if doc.get("cmd").and_then(Value::as_str) != Some("shutdown") {
+        return false;
+    }
+    server.request_shutdown();
+    let id = doc.get("id").cloned();
+    let _ = tx.send(pex_serve::proto::shutdown_response(id.as_ref()));
+    true
+}
+
+/// Accepts socket connections until shutdown; each connection gets a
+/// reader (with a poll timeout so shutdown is observed) and a writer.
+fn spawn_socket_listener(
+    listener: std::os::unix::net::UnixListener,
+    server: ServerClient,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut connections = Vec::new();
+        loop {
+            if server.shutdown_requested() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    pex_obs::counter!("serve.connections", 1);
+                    let server = server.clone();
+                    connections.push(std::thread::spawn(move || {
+                        socket_connection(stream, &server);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => break,
+            }
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+    })
+}
+
+/// One socket client: reads request lines (polling for shutdown via a
+/// read timeout), writes responses as they complete.
+fn socket_connection(stream: std::os::unix::net::UnixStream, server: &ServerClient) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        for response in rx {
+            if writeln!(out, "{response}")
+                .and_then(|_| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    let mut acc = String::new();
+    loop {
+        if server.shutdown_requested() {
+            break;
+        }
+        match reader.read_line(&mut acc) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                if !acc.ends_with('\n') {
+                    continue; // timeout mid-line; keep accumulating
+                }
+                let line = std::mem::take(&mut acc);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if line.contains("\"shutdown\"") {
+                    if let Ok(doc) = json::parse(line) {
+                        if doc.get("cmd").and_then(Value::as_str) == Some("shutdown") {
+                            server.request_shutdown();
+                            let id = doc.get("id").cloned();
+                            let _ = tx.send(pex_serve::proto::shutdown_response(id.as_ref()));
+                            break;
+                        }
+                    }
+                }
+                server.submit(line.to_owned(), &tx);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll tick: re-check the shutdown flag
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("pex-serve: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => usage_exit(&format!("missing value for {flag}")),
+    }
+}
+
+fn parse_usize(flag: &str, v: &str) -> usize {
+    v.parse()
+        .unwrap_or_else(|_| usage_exit(&format!("{flag} takes an integer, got `{v}`")))
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Options {
+        source: SnapshotSource::Paint,
+        locals: Vec::new(),
+        config: ServeConfig::default(),
+        socket: None,
+        metrics_out: None,
+    };
+    let mut defaults = RequestDefaults::default();
+    let mut source_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let flag = flag.as_str();
+        match flag {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            "--local" => options.locals.push(take_value(&args, &mut i, flag)),
+            "--workers" => {
+                options.config.workers = parse_usize(flag, &take_value(&args, &mut i, flag)).max(1)
+            }
+            "--queue-cap" => {
+                options.config.queue_cap =
+                    parse_usize(flag, &take_value(&args, &mut i, flag)).max(1)
+            }
+            "--limit" => defaults.limit = parse_usize(flag, &take_value(&args, &mut i, flag)),
+            "--deadline-ms" => {
+                defaults.deadline_ms =
+                    Some(parse_usize(flag, &take_value(&args, &mut i, flag)) as u64)
+            }
+            "--max-steps" => {
+                defaults.max_steps = parse_usize(flag, &take_value(&args, &mut i, flag))
+            }
+            "--socket" => options.socket = Some(PathBuf::from(take_value(&args, &mut i, flag))),
+            "--metrics-out" => {
+                options.metrics_out = Some(PathBuf::from(take_value(&args, &mut i, flag)))
+            }
+            other if other.starts_with('-') => usage_exit(&format!("unknown flag {other}")),
+            other => {
+                if source_arg.is_some() {
+                    usage_exit(&format!("unexpected extra argument `{other}`"));
+                }
+                source_arg = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+    if let Some(arg) = source_arg {
+        options.source = SnapshotSource::from_arg(&arg);
+    }
+    options.config.defaults = defaults;
+    options
+}
+
+const HELP: &str = "\
+pex-serve — long-lived type-directed completion service
+
+USAGE: pex-serve [paint|geometry|familyshow|FILE.mcs] [flags]
+
+TRANSPORTS:
+    stdin/stdout       always on: one JSON request per line in, one JSON
+                       response per line out; EOF drains and exits 0
+    --socket PATH      also listen on a Unix-domain socket (same protocol,
+                       one connection per client)
+
+FLAGS:
+    --local name:Type  add a local to the default query context (repeatable)
+    --workers N        worker threads (default: available parallelism)
+    --queue-cap N      admission queue capacity; a full queue sheds with an
+                       explicit `shed` error response (default: workers*16)
+    --limit N          default completions per request (default 10)
+    --deadline-ms N    default per-request wall-clock deadline (default none)
+    --max-steps N      default per-request step budget (default 1000000)
+    --metrics-out FILE write the metric registry as JSON on shutdown
+
+PROTOCOL:
+    {\"id\":1,\"query\":\"?({img, size})\",\"limit\":5,\"deadline_ms\":40}
+    {\"id\":2,\"query\":\"p.?f\",\"locals\":[\"p:Geo.Point\"]}
+    {\"cmd\":\"ping\"}   {\"cmd\":\"shutdown\"}
+";

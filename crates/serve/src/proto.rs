@@ -1,0 +1,422 @@
+//! The JSON-lines request/response protocol and its execution semantics.
+//!
+//! One request per line, one response per line. Responses carry the
+//! request's `id` verbatim (any JSON value), so clients may pipeline
+//! requests and match answers out of order.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "query": "?({img, size})", "limit": 5, "deadline_ms": 40}
+//! {"id": 2, "query": "p.?f", "locals": ["p:Geo.Point"]}
+//! {"id": 3, "cmd": "ping"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! `limit`, `deadline_ms`, `max_steps`, and `locals` are optional;
+//! omitted fields fall back to the server's [`RequestDefaults`].
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":1,"ok":true,"outcome":"limit","degraded":false,"latency_us":812,
+//!  "completions":[{"expr":"ResizeDocument(img, size, 0, 0)","score":2}]}
+//! {"id":9,"ok":false,"error":"parse","message":"..."}
+//! ```
+//!
+//! Every failure mode has an explicit `error` kind: `bad_request`
+//! (malformed JSON or an unusable field), `parse` (the partial-expression
+//! query did not parse), `shed` (admission control refused the request),
+//! and `shutdown` (the server is draining). A request is **never** dropped
+//! without a response on a live connection.
+
+use std::time::{Duration, Instant};
+
+use pex_abstract::AbsTypes;
+use pex_core::{CancelToken, CompleteOptions, Completer, QueryBudget, RankConfig};
+
+use crate::json::{self, Value};
+use crate::snapshot::Snapshot;
+
+/// Server-side fallbacks for optional request fields.
+#[derive(Debug, Clone)]
+pub struct RequestDefaults {
+    /// Completions returned when the request has no `limit`.
+    pub limit: usize,
+    /// Wall-clock deadline applied when the request has no `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// Step budget applied when the request has no `max_steps`.
+    pub max_steps: usize,
+}
+
+impl Default for RequestDefaults {
+    fn default() -> Self {
+        RequestDefaults {
+            limit: 10,
+            deadline_ms: None,
+            max_steps: QueryBudget::default().max_steps,
+        }
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A completion query.
+    Query(QueryRequest),
+    /// Liveness probe; answered with `{"ok":true,"pong":true}`.
+    Ping {
+        /// Echoed request id.
+        id: Option<Value>,
+    },
+    /// Graceful-shutdown request: drain in-flight work, then exit.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<Value>,
+    },
+}
+
+/// The payload of a [`Request::Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Client-chosen id, echoed on the response.
+    pub id: Option<Value>,
+    /// Partial-expression surface syntax (the paper's Figure 5(b)).
+    pub query: String,
+    /// Result cap for this request.
+    pub limit: Option<usize>,
+    /// Per-request wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Per-request step budget.
+    pub max_steps: Option<usize>,
+    /// `name:Qualified.Type` local declarations replacing the snapshot's
+    /// default context.
+    pub locals: Vec<String>,
+}
+
+/// Parses one request line. `Err` carries `(echoed id, message)` for the
+/// `bad_request` response; the id is recovered when the line is valid JSON
+/// with an `id` field even if the rest of the request is unusable.
+pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
+    let doc = json::parse(line).map_err(|e| (None, format!("invalid JSON: {e}")))?;
+    let id = doc.get("id").cloned();
+    if !matches!(doc, Value::Obj(_)) {
+        return Err((id, "request must be a JSON object".to_owned()));
+    }
+    if let Some(cmd) = doc.get("cmd") {
+        return match cmd.as_str() {
+            Some("ping") => Ok(Request::Ping { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            _ => Err((id, format!("unknown cmd {cmd}"))),
+        };
+    }
+    let Some(query) = doc.get("query") else {
+        return Err((id, "missing `query` (or `cmd`) field".to_owned()));
+    };
+    let Some(query) = query.as_str() else {
+        return Err((id, "`query` must be a string".to_owned()));
+    };
+    let uint = |field: &str| -> Result<Option<u64>, (Option<Value>, String)> {
+        match doc.get(field) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                (
+                    id.clone(),
+                    format!("`{field}` must be a non-negative integer"),
+                )
+            }),
+        }
+    };
+    let limit = uint("limit")?.map(|n| n as usize);
+    let deadline_ms = uint("deadline_ms")?;
+    let max_steps = uint("max_steps")?.map(|n| n as usize);
+    let locals = match doc.get("locals") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(Value::Arr(items)) => {
+            let mut out = Vec::new();
+            for item in items {
+                match item.as_str() {
+                    Some(s) => out.push(s.to_owned()),
+                    None => {
+                        return Err((id, "`locals` entries must be strings".to_owned()));
+                    }
+                }
+            }
+            out
+        }
+        Some(_) => return Err((id, "`locals` must be an array of strings".to_owned())),
+    };
+    Ok(Request::Query(QueryRequest {
+        id,
+        query: query.to_owned(),
+        limit,
+        deadline_ms,
+        max_steps,
+        locals,
+    }))
+}
+
+fn id_field(id: Option<&Value>) -> String {
+    match id {
+        Some(v) => format!("\"id\":{v},"),
+        None => String::new(),
+    }
+}
+
+/// Renders an error response of the given kind.
+pub fn error_response(id: Option<&Value>, kind: &str, message: &str) -> String {
+    format!(
+        "{{{}\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        id_field(id),
+        json::escape(kind),
+        json::escape(message)
+    )
+}
+
+/// Renders the shed response for a line refused by admission control. The
+/// id is recovered best-effort so pipelining clients can match it.
+pub fn shed_response(line: &str) -> String {
+    let id = json::parse(line).ok().and_then(|d| d.get("id").cloned());
+    error_response(
+        id.as_ref(),
+        "shed",
+        "server overloaded: request queue is full",
+    )
+}
+
+/// Renders the ping response.
+pub fn pong_response(id: Option<&Value>) -> String {
+    format!("{{{}\"ok\":true,\"pong\":true}}", id_field(id))
+}
+
+/// Renders the shutdown acknowledgement.
+pub fn shutdown_response(id: Option<&Value>) -> String {
+    format!("{{{}\"ok\":true,\"shutdown\":true}}", id_field(id))
+}
+
+/// Executes a query against the shared snapshot and renders its response.
+///
+/// Returns the response line plus whether the request succeeded (for the
+/// `serve.requests.{ok,error}` counters). The query runs under a
+/// [`QueryBudget`] combining the request's own limits with the server's
+/// defaults and shutdown [`CancelToken`]; a deadline or budget trip is
+/// reported as `"degraded": true` with the exact [`outcome`] label — a
+/// cut-short enumeration is never passed off as a complete one.
+///
+/// `abs` is the worker's prewarmed abstract-type inference over the
+/// snapshot's default query site (see [`Snapshot::abs_for_site`]); it only
+/// applies when the request uses the default context — custom `locals`
+/// have no position in the analysed bodies.
+///
+/// [`outcome`]: pex_core::QueryOutcome
+pub fn execute(
+    snapshot: &Snapshot,
+    req: &QueryRequest,
+    defaults: &RequestDefaults,
+    cancel: &CancelToken,
+    abs: Option<&AbsTypes<'_>>,
+) -> (String, bool) {
+    let id = req.id.as_ref();
+    let ctx = match snapshot.context_for(&req.locals) {
+        Ok(ctx) => ctx,
+        Err(msg) => return (error_response(id, "bad_request", &msg), false),
+    };
+    let started = Instant::now();
+    let query = match pex_core::parse_partial(&snapshot.db, &ctx, &req.query) {
+        Ok(q) => q,
+        Err(e) => return (error_response(id, "parse", &e.to_string()), false),
+    };
+    let budget = QueryBudget {
+        max_steps: req.max_steps.unwrap_or(defaults.max_steps),
+        deadline: req
+            .deadline_ms
+            .or(defaults.deadline_ms)
+            .map(Duration::from_millis),
+        cancel: Some(cancel.clone()),
+    };
+    let abs = if req.locals.is_empty() { abs } else { None };
+    let completer = Completer::new(&snapshot.db, &ctx, &snapshot.index, RankConfig::all(), abs)
+        .with_options(CompleteOptions {
+            budget,
+            ..Default::default()
+        })
+        .with_reach(&snapshot.reach);
+    let limit = req.limit.unwrap_or(defaults.limit);
+    let (completions, outcome) = completer.complete_with_outcome(&query, limit);
+    let latency_us = started.elapsed().as_micros();
+    let rendered: Vec<String> = completions
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"expr\":\"{}\",\"score\":{}}}",
+                json::escape(&completer.render(c)),
+                c.score
+            )
+        })
+        .collect();
+    let response = format!(
+        "{{{}\"ok\":true,\"outcome\":\"{}\",\"degraded\":{},\"latency_us\":{},\"completions\":[{}]}}",
+        id_field(id),
+        outcome.label(),
+        outcome.is_degraded(),
+        latency_us,
+        rendered.join(",")
+    );
+    (response, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Snapshot, SnapshotSource};
+
+    fn defaults() -> RequestDefaults {
+        RequestDefaults::default()
+    }
+
+    #[test]
+    fn parses_query_requests_with_all_fields() {
+        let req = parse_request(
+            r#"{"id":"a1","query":"?","limit":3,"deadline_ms":250,"max_steps":5000,"locals":["p:Geo.Point"]}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = req else {
+            panic!("query expected")
+        };
+        assert_eq!(q.id, Some(Value::Str("a1".into())));
+        assert_eq!(q.query, "?");
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.deadline_ms, Some(250));
+        assert_eq!(q.max_steps, Some(5000));
+        assert_eq!(q.locals, vec!["p:Geo.Point".to_owned()]);
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping","id":5}"#).unwrap(),
+            Request::Ping {
+                id: Some(Value::Num(5.0))
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: None }
+        );
+    }
+
+    #[test]
+    fn bad_requests_keep_the_id_when_recoverable() {
+        let (id, msg) = parse_request(r#"{"id":9,"limit":3}"#).unwrap_err();
+        assert_eq!(id, Some(Value::Num(9.0)));
+        assert!(msg.contains("query"), "{msg}");
+        let (id, msg) = parse_request(r#"{"id":9,"query":"?","deadline_ms":"soon"}"#).unwrap_err();
+        assert_eq!(id, Some(Value::Num(9.0)));
+        assert!(msg.contains("deadline_ms"), "{msg}");
+        let (id, _) = parse_request("not json at all").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn error_responses_are_valid_json() {
+        let resp = error_response(
+            Some(&Value::Num(3.0)),
+            "parse",
+            "unexpected `\"` at byte 4\nline 2",
+        );
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("id").and_then(Value::as_u64), Some(3));
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(doc.get("error").and_then(Value::as_str), Some("parse"));
+    }
+
+    #[test]
+    fn shed_response_recovers_the_id() {
+        let resp = shed_response(r#"{"id":42,"query":"?"}"#);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("id").and_then(Value::as_u64), Some(42));
+        assert_eq!(doc.get("error").and_then(Value::as_str), Some("shed"));
+        // Unparseable lines still shed, without an id.
+        let doc = json::parse(&shed_response("garbage")).unwrap();
+        assert!(doc.get("id").is_none());
+    }
+
+    #[test]
+    fn executes_the_paper_query_end_to_end() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: Some(Value::Num(1.0)),
+            query: "?({img, size})".into(),
+            limit: Some(5),
+            deadline_ms: None,
+            max_steps: None,
+            locals: Vec::new(),
+        };
+        let abs = snap.abs_for_site();
+        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), abs.as_ref());
+        assert!(ok, "{resp}");
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("degraded"), Some(&Value::Bool(false)));
+        let Some(Value::Arr(completions)) = doc.get("completions") else {
+            panic!("completions expected: {resp}")
+        };
+        let first = completions[0].get("expr").and_then(Value::as_str).unwrap();
+        assert!(first.contains("ResizeDocument"), "{resp}");
+    }
+
+    #[test]
+    fn zero_deadline_reports_a_degraded_deadline_outcome() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: None,
+            query: "?".into(),
+            limit: None,
+            deadline_ms: Some(0),
+            max_steps: None,
+            locals: Vec::new(),
+        };
+        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert!(ok);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("outcome").and_then(Value::as_str),
+            Some("deadline"),
+            "{resp}"
+        );
+        assert_eq!(doc.get("degraded"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn query_parse_failures_are_error_responses() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: Some(Value::Num(2.0)),
+            query: "?(((".into(),
+            limit: None,
+            deadline_ms: None,
+            max_steps: None,
+            locals: Vec::new(),
+        };
+        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert!(!ok);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("error").and_then(Value::as_str), Some("parse"));
+    }
+
+    #[test]
+    fn request_locals_rebuild_the_context() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: None,
+            query: "?".into(),
+            limit: Some(3),
+            deadline_ms: None,
+            max_steps: None,
+            locals: vec!["bad spec".into()],
+        };
+        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert!(!ok);
+        assert!(resp.contains("bad_request"), "{resp}");
+    }
+}

@@ -1,0 +1,166 @@
+//! A bounded multi-producer/multi-consumer job queue with explicit
+//! admission control.
+//!
+//! The serve path must never drop a request silently: when the queue is
+//! full the *producer* is told so immediately ([`PushError::Full`]) and
+//! turns that into a `shed` error response. Consumers block on a condvar;
+//! closing the queue wakes them all, and a closed queue still drains —
+//! [`Bounded::pop`] keeps returning queued items until empty, which is what
+//! makes graceful shutdown ("finish what was admitted, admit nothing new")
+//! a one-line policy in the server.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back so the caller can
+    /// shed it explicitly.
+    Full(T),
+    /// The queue was closed (shutdown in progress); no new admissions.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared between transports (producers) and the worker
+/// pool (consumers).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits an item, or refuses with [`PushError::Full`] /
+    /// [`PushError::Closed`]. On success returns the queue depth *after*
+    /// the push, for the caller's depth gauge.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes the next item, blocking while the queue is open and empty.
+    /// Returns `None` only when the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Closes admission. Already-queued items remain poppable; blocked
+    /// consumers wake up. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queues_refuse_and_hand_the_item_back() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn closed_queues_drain_but_admit_nothing() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        // close is idempotent.
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_cross_threads_in_fifo_order() {
+        let q = Arc::new(Bounded::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..50 {
+            loop {
+                match q.try_push(i) {
+                    Ok(_) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,402 @@
+//! The worker pool: a fixed set of threads answering protocol requests
+//! from a shared [`Snapshot`] behind a bounded admission queue.
+//!
+//! Design invariants:
+//!
+//! * **One snapshot, many workers.** Workers share one `Arc<Snapshot>`;
+//!   nothing per-request touches mutable global state, so adding workers
+//!   scales reads without locks.
+//! * **Explicit load shedding.** [`Server::submit`] either admits a
+//!   request or immediately replies with a `shed`/`shutdown` error — a
+//!   request on a live connection is never silently dropped.
+//! * **Graceful shutdown.** [`Server::shutdown`] closes admission, lets
+//!   the workers drain everything already queued, and joins them. The
+//!   shared [`CancelToken`] is only tripped by [`Server::shutdown_now`],
+//!   which additionally stops in-flight enumerations at their next budget
+//!   poll (each then answers with a degraded `cancelled` outcome).
+//!
+//! Observability (all through `pex-obs`): `serve.requests.{ok,error,shed}`
+//! counters, `serve.queue.depth` / `serve.queue.depth.max` gauges,
+//! `serve.queue.wait.ns` and `serve.request.ns` latency histograms, and a
+//! `serve.request` tracing span per executed request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pex_core::CancelToken;
+
+use crate::proto::{self, Request, RequestDefaults};
+use crate::queue::{Bounded, PushError};
+use crate::snapshot::Snapshot;
+
+/// Server sizing and per-request defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue sheds (it never blocks the
+    /// transport and never drops silently).
+    pub queue_cap: usize,
+    /// Fallbacks for optional request fields.
+    pub defaults: RequestDefaults,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServeConfig {
+            workers,
+            queue_cap: workers * 16,
+            defaults: RequestDefaults::default(),
+        }
+    }
+}
+
+/// One admitted request: the raw line, where to send the response, and
+/// when it was admitted (for queue-wait accounting).
+struct Job {
+    line: String,
+    reply: Sender<String>,
+    admitted: Instant,
+}
+
+/// A running worker pool. Dropping without calling [`Server::shutdown`]
+/// aborts the drain (the queue closes and workers finish the items they
+/// already hold), so call `shutdown` for a clean exit.
+pub struct Server {
+    queue: Arc<Bounded<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cancel: CancelToken,
+    shutdown_flag: Arc<AtomicBool>,
+}
+
+/// A cheap, cloneable, thread-safe handle for submitting requests — what
+/// transports (socket connections, load-generator clients) hold while the
+/// [`Server`] itself stays with the thread that will join it.
+#[derive(Clone)]
+pub struct ServerClient {
+    queue: Arc<Bounded<Job>>,
+    shutdown_flag: Arc<AtomicBool>,
+}
+
+impl ServerClient {
+    /// Admits one request line, or replies immediately with an explicit
+    /// `shed` (queue full) or `shutdown` (draining) error. The response —
+    /// whichever kind — arrives on `reply`.
+    pub fn submit(&self, line: String, reply: &Sender<String>) {
+        let job = Job {
+            line,
+            reply: reply.clone(),
+            admitted: Instant::now(),
+        };
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                if pex_obs::enabled() {
+                    pex_obs::registry()
+                        .gauge("serve.queue.depth")
+                        .set(depth as u64);
+                }
+                pex_obs::gauge_max!("serve.queue.depth.max", depth as u64);
+            }
+            Err(PushError::Full(job)) => {
+                pex_obs::counter!("serve.requests.shed", 1);
+                let _ = job.reply.send(proto::shed_response(&job.line));
+            }
+            Err(PushError::Closed(job)) => {
+                pex_obs::counter!("serve.requests.error", 1);
+                let id = crate::json::parse(&job.line)
+                    .ok()
+                    .and_then(|d| d.get("id").cloned());
+                let _ = job.reply.send(proto::error_response(
+                    id.as_ref(),
+                    "shutdown",
+                    "server is shutting down",
+                ));
+            }
+        }
+    }
+
+    /// Whether shutdown has been requested (see [`Server::shutdown_requested`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Relaxed)
+    }
+
+    /// Marks the server as shutting down, so transports stop accepting.
+    pub fn request_shutdown(&self) {
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Server {
+    /// Spawns `config.workers` workers over the shared snapshot.
+    pub fn start(snapshot: Arc<Snapshot>, config: ServeConfig) -> Server {
+        let queue = Arc::new(Bounded::new(config.queue_cap));
+        let cancel = CancelToken::new();
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let snapshot = Arc::clone(&snapshot);
+                let defaults = config.defaults.clone();
+                let cancel = cancel.clone();
+                let shutdown_flag = Arc::clone(&shutdown_flag);
+                std::thread::Builder::new()
+                    .name(format!("pex-serve-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&queue, &snapshot, &defaults, &cancel, &shutdown_flag)
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            queue,
+            workers,
+            cancel,
+            shutdown_flag,
+        }
+    }
+
+    /// Admits one request line, or replies immediately with an explicit
+    /// `shed` (queue full) or `shutdown` (draining) error. The response —
+    /// whichever kind — arrives on `reply`.
+    pub fn submit(&self, line: String, reply: &Sender<String>) {
+        self.client().submit(line, reply)
+    }
+
+    /// A cheap cloneable handle over the transport surface (submit +
+    /// shutdown flag), for threads that must outlive borrows of `self`.
+    pub fn client(&self) -> ServerClient {
+        ServerClient {
+            queue: Arc::clone(&self.queue),
+            shutdown_flag: Arc::clone(&self.shutdown_flag),
+        }
+    }
+
+    /// The cancel token shared with every in-flight query.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether a client has requested shutdown (a `{"cmd":"shutdown"}`
+    /// handled by a worker) or [`Server::request_shutdown`] was called.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Relaxed)
+    }
+
+    /// Marks the server as shutting down, so transports stop accepting.
+    /// Admission stays open until [`Server::shutdown`] to let responses
+    /// already promised (e.g. the shutdown ack) flow.
+    pub fn request_shutdown(&self) {
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Graceful shutdown: close admission, drain everything already
+    /// queued, join the workers.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Hard shutdown: additionally cancels in-flight enumerations, which
+    /// then answer with a degraded `cancelled` outcome before the workers
+    /// drain and join.
+    pub fn shutdown_now(self) {
+        self.cancel.cancel();
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    queue: &Bounded<Job>,
+    snapshot: &Snapshot,
+    defaults: &RequestDefaults,
+    cancel: &CancelToken,
+    shutdown_flag: &AtomicBool,
+) {
+    // Per-worker warmed state: the abstract-type inference for the default
+    // query site borrows the database, so it lives here rather than in the
+    // snapshot. Built once, reused for every default-context request.
+    let abs = snapshot.abs_for_site();
+    while let Some(job) = queue.pop() {
+        let wait_ns = job.admitted.elapsed().as_nanos() as u64;
+        pex_obs::histogram!("serve.queue.wait.ns", wait_ns);
+        if pex_obs::enabled() {
+            pex_obs::registry()
+                .gauge("serve.queue.depth")
+                .set(queue.depth() as u64);
+        }
+        let span = pex_obs::span("serve.request");
+        let (response, ok) = match proto::parse_request(&job.line) {
+            Ok(Request::Query(q)) => proto::execute(snapshot, &q, defaults, cancel, abs.as_ref()),
+            Ok(Request::Ping { id }) => (proto::pong_response(id.as_ref()), true),
+            Ok(Request::Shutdown { id }) => {
+                shutdown_flag.store(true, Ordering::Relaxed);
+                (proto::shutdown_response(id.as_ref()), true)
+            }
+            Err((id, msg)) => (
+                proto::error_response(id.as_ref(), "bad_request", &msg),
+                false,
+            ),
+        };
+        drop(span);
+        pex_obs::histogram!("serve.request.ns", job.admitted.elapsed().as_nanos() as u64);
+        if ok {
+            pex_obs::counter!("serve.requests.ok", 1);
+        } else {
+            pex_obs::counter!("serve.requests.error", 1);
+        }
+        // A gone client (dropped receiver) is not an error; the response
+        // simply has nowhere to go.
+        let _ = job.reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use crate::snapshot::SnapshotSource;
+    use std::sync::mpsc::channel;
+
+    fn server(workers: usize, queue_cap: usize) -> Server {
+        let snapshot = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        Server::start(
+            snapshot,
+            ServeConfig {
+                workers,
+                queue_cap,
+                defaults: RequestDefaults::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn answers_concurrent_queries_from_a_shared_snapshot() {
+        let s = server(4, 64);
+        let (tx, rx) = channel();
+        const N: usize = 24;
+        for i in 0..N {
+            s.submit(
+                format!("{{\"id\":{i},\"query\":\"?({{img, size}})\",\"limit\":3}}"),
+                &tx,
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..N {
+            let resp = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+            let doc = json::parse(&resp).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{resp}");
+            seen.insert(doc.get("id").and_then(Value::as_u64).unwrap());
+            let Some(Value::Arr(completions)) = doc.get("completions") else {
+                panic!("completions expected: {resp}")
+            };
+            assert!(completions[0]
+                .get("expr")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("ResizeDocument"));
+        }
+        assert_eq!(seen.len(), N, "every request answered exactly once");
+        s.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_explicitly() {
+        // One worker and a tiny queue; flood it faster than one worker can
+        // drain. Every submission gets *some* response: ok or shed.
+        let s = server(1, 1);
+        let (tx, rx) = channel();
+        const N: usize = 40;
+        for i in 0..N {
+            s.submit(format!("{{\"id\":{i},\"query\":\"?\",\"limit\":50}}"), &tx);
+        }
+        let mut ok = 0;
+        let mut shed = 0;
+        for _ in 0..N {
+            let resp = rx.recv_timeout(std::time::Duration::from_secs(60)).unwrap();
+            let doc = json::parse(&resp).unwrap();
+            match doc.get("error").and_then(Value::as_str) {
+                Some("shed") => shed += 1,
+                None => ok += 1,
+                Some(other) => panic!("unexpected error kind {other}: {resp}"),
+            }
+        }
+        assert_eq!(ok + shed, N);
+        assert!(ok > 0, "the worker must make progress");
+        assert!(
+            shed > 0,
+            "a 1-deep queue under a 40-request burst must shed"
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let s = server(2, 64);
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            s.submit(format!("{{\"id\":{i},\"query\":\"img.?f\"}}"), &tx);
+        }
+        s.shutdown();
+        drop(tx);
+        let responses: Vec<String> = rx.iter().collect();
+        assert_eq!(
+            responses.len(),
+            10,
+            "graceful shutdown answers everything admitted"
+        );
+    }
+
+    #[test]
+    fn submissions_after_close_get_a_shutdown_error() {
+        let s = server(1, 8);
+        let (tx, rx) = channel();
+        s.queue.close();
+        s.submit("{\"id\":1,\"query\":\"?\"}".into(), &tx);
+        let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(resp.contains("\"error\":\"shutdown\""), "{resp}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn workers_ack_shutdown_commands_and_raise_the_flag() {
+        let s = server(1, 8);
+        let (tx, rx) = channel();
+        assert!(!s.shutdown_requested());
+        s.submit("{\"id\":7,\"cmd\":\"shutdown\"}".into(), &tx);
+        let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(resp.contains("\"shutdown\":true"), "{resp}");
+        assert!(s.shutdown_requested());
+        s.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request_not_a_crash() {
+        let s = server(2, 8);
+        let (tx, rx) = channel();
+        s.submit("this is not json".into(), &tx);
+        s.submit("{\"id\":3}".into(), &tx);
+        for _ in 0..2 {
+            let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            let doc = json::parse(&resp).unwrap();
+            assert_eq!(
+                doc.get("error").and_then(Value::as_str),
+                Some("bad_request"),
+                "{resp}"
+            );
+        }
+        // The pool survives and still answers real queries.
+        s.submit("{\"id\":4,\"cmd\":\"ping\"}".into(), &tx);
+        let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(resp.contains("\"pong\":true"), "{resp}");
+        s.shutdown();
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared, immutable artefact a serve process answers queries from.
+//!
+//! A [`Snapshot`] is loaded **once** at startup — code model, method index,
+//! reachability index, default query context — and then shared by every
+//! worker behind an `Arc`. Loading also *prewarms* the lazily built caches
+//! (the [`pex_types`] conversion index and the per-type candidate memo), so
+//! the first request a client sends pays the same latency as the
+//! thousandth: no cold-cache cliff inside the serving path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pex_abstract::AbsTypes;
+use pex_core::{MethodIndex, ReachIndex};
+use pex_corpus::builtin;
+use pex_model::{Context, Database, Local, MethodId};
+
+/// Where a snapshot's code model comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// The builtin mini Paint.NET corpus (the paper's running example).
+    Paint,
+    /// The builtin dynamic-geometry corpus (Figure 3).
+    Geometry,
+    /// The builtin Family.Show corpus.
+    FamilyShow,
+    /// A mini-C# source file.
+    File(PathBuf),
+}
+
+impl SnapshotSource {
+    /// Parses a CLI corpus argument (same surface as `pex-repl`).
+    pub fn from_arg(arg: &str) -> SnapshotSource {
+        match arg {
+            "paint" => SnapshotSource::Paint,
+            "geometry" => SnapshotSource::Geometry,
+            "familyshow" => SnapshotSource::FamilyShow,
+            path => SnapshotSource::File(PathBuf::from(path)),
+        }
+    }
+
+    /// Short display name for logs and metrics config.
+    pub fn name(&self) -> String {
+        match self {
+            SnapshotSource::Paint => "paint".into(),
+            SnapshotSource::Geometry => "geometry".into(),
+            SnapshotSource::FamilyShow => "familyshow".into(),
+            SnapshotSource::File(p) => p.display().to_string(),
+        }
+    }
+}
+
+/// The immutable state shared by all serve workers: one code model plus
+/// every index the engine consults, fully warmed.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The code model under completion.
+    pub db: Database,
+    /// The Figure 8 parameter-type → method index (built once).
+    pub index: MethodIndex,
+    /// Type-reachability index for chain pruning (built once).
+    pub reach: ReachIndex,
+    /// The context used when a request does not carry its own locals.
+    pub default_ctx: Context,
+    /// The enclosing method of the default context, if any.
+    pub enclosing: Option<MethodId>,
+    /// Human-readable source label.
+    pub name: String,
+}
+
+impl Snapshot {
+    /// Loads and prewarms a snapshot. Errors are human-readable strings
+    /// (unreadable file, mini-C# compile error).
+    pub fn load(source: &SnapshotSource) -> Result<Arc<Snapshot>, String> {
+        let (db, default_ctx, enclosing) = match source {
+            SnapshotSource::Paint => {
+                let db = builtin::paint_dot_net();
+                let (ctx, m) = builtin::paint_query_site(&db);
+                (db, ctx, Some(m))
+            }
+            SnapshotSource::Geometry => {
+                let db = builtin::dynamic_geometry();
+                let ctx = builtin::geometry_fig3_context(&db);
+                (db, ctx, None)
+            }
+            SnapshotSource::FamilyShow => {
+                let db = builtin::family_show();
+                (db, Context::empty(), None)
+            }
+            SnapshotSource::File(path) => {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let db = pex_model::minics::compile(&source)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                (db, Context::empty(), None)
+            }
+        };
+        Ok(Arc::new(Snapshot::from_database(
+            source.name(),
+            db,
+            default_ctx,
+            enclosing,
+        )))
+    }
+
+    /// Builds and prewarms a snapshot around an already-compiled database
+    /// (used by the in-process `serve-bench` load generator).
+    pub fn from_database(
+        name: String,
+        db: Database,
+        default_ctx: Context,
+        enclosing: Option<MethodId>,
+    ) -> Snapshot {
+        let _span = pex_obs::span("serve.snapshot.load");
+        let index = MethodIndex::build(&db);
+        let reach = ReachIndex::build(&db);
+        let snapshot = Snapshot {
+            db,
+            index,
+            reach,
+            default_ctx,
+            enclosing,
+            name,
+        };
+        snapshot.prewarm();
+        snapshot
+    }
+
+    /// Forces the lazily built caches so no request pays for a cold fill:
+    /// the conversion index (one Dijkstra over the conversion graph) and
+    /// the per-type candidate memo (one entry per type).
+    fn prewarm(&self) {
+        let _span = pex_obs::span("serve.snapshot.prewarm");
+        let _ = self.db.types().conversion_index();
+        for ty in self.db.types().iter() {
+            let _ = self.index.candidates_for_cached(&self.db, ty);
+        }
+        pex_obs::counter!("serve.snapshot.prewarmed", 1);
+    }
+
+    /// Builds the Lackwit-style abstract-type inference for the snapshot's
+    /// default query site, if it has one. The result borrows the
+    /// snapshot's database, so it cannot be stored inside the snapshot
+    /// itself; each worker builds it once at startup and reuses it for
+    /// every request that runs in the default context.
+    pub fn abs_for_site(&self) -> Option<AbsTypes<'_>> {
+        self.enclosing
+            .map(|m| AbsTypes::for_query(&self.db, m, usize::MAX))
+    }
+
+    /// The context for one request: the default context, or one rebuilt
+    /// from `name:Qualified.Type` local specs when the request carries any.
+    pub fn context_for(&self, locals: &[String]) -> Result<Context, String> {
+        if locals.is_empty() {
+            return Ok(self.default_ctx.clone());
+        }
+        let mut out = Vec::new();
+        for spec in locals {
+            let Some((name, ty_name)) = spec.split_once(':') else {
+                return Err(format!("local `{spec}` must be name:Qualified.Type"));
+            };
+            let Some(ty) = self.db.types().lookup_qualified(ty_name) else {
+                return Err(format!("unknown type `{ty_name}`"));
+            };
+            out.push(Local {
+                name: name.to_owned(),
+                ty,
+            });
+        }
+        Ok(Context::with_locals(None, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_prewarms_builtin_corpora() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        assert!(snap.db.method_count() > 0);
+        assert!(!snap.default_ctx.locals.is_empty());
+        assert_eq!(snap.name, "paint");
+    }
+
+    #[test]
+    fn source_args_parse_like_the_repl() {
+        assert_eq!(SnapshotSource::from_arg("paint"), SnapshotSource::Paint);
+        assert_eq!(
+            SnapshotSource::from_arg("geometry"),
+            SnapshotSource::Geometry
+        );
+        assert_eq!(
+            SnapshotSource::from_arg("x/y.mcs"),
+            SnapshotSource::File(PathBuf::from("x/y.mcs"))
+        );
+    }
+
+    #[test]
+    fn missing_files_error_instead_of_panicking() {
+        let err = Snapshot::load(&SnapshotSource::File(PathBuf::from(
+            "/nonexistent/code.mcs",
+        )))
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn request_locals_override_the_default_context() {
+        let snap = Snapshot::load(&SnapshotSource::Geometry).unwrap();
+        let ctx = snap.context_for(&[]).unwrap();
+        assert_eq!(ctx.locals.len(), snap.default_ctx.locals.len());
+        // A bad spec errors rather than silently loading nothing.
+        assert!(snap.context_for(&["noColon".into()]).is_err());
+        assert!(snap.context_for(&["p:No.Such.Type".into()]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `pex-serve` binary over its stdin/stdout
+//! transport: real process, real pipes, real JSON-lines framing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+fn spawn(args: &[&str]) -> (Child, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pex-serve");
+    let reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    (child, reader)
+}
+
+fn send(child: &mut Child, line: &str) {
+    let stdin = child.stdin.as_mut().expect("stdin piped");
+    writeln!(stdin, "{line}").expect("write request");
+    stdin.flush().expect("flush request");
+}
+
+fn recv(reader: &mut BufReader<ChildStdout>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(!line.is_empty(), "server closed stdout unexpectedly");
+    line.trim_end().to_owned()
+}
+
+fn wait_exit(mut child: Child) -> i32 {
+    // The process must exit promptly once stdin is closed; don't hang the
+    // test suite if it regresses.
+    for _ in 0..100 {
+        if let Some(status) = child.try_wait().expect("wait on child") {
+            return status.code().expect("exit code");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    child.kill().ok();
+    panic!("pex-serve did not exit within 10s of stdin EOF");
+}
+
+#[test]
+fn answers_a_well_formed_query_with_a_ranked_completion() {
+    let (mut child, mut reader) = spawn(&["paint", "--workers", "2"]);
+    send(&mut child, r#"{"id":1,"query":"?({img, size})","limit":3}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"id\":1"), "{resp}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(
+        resp.contains("ResizeDocument(img, size, 0, 0)"),
+        "the paper's #1 completion must appear: {resp}"
+    );
+    drop(child.stdin.take()); // EOF begins the graceful drain
+    assert_eq!(wait_exit(child), 0);
+}
+
+#[test]
+fn malformed_requests_get_an_error_response_not_a_crash() {
+    let (mut child, mut reader) = spawn(&["paint"]);
+    send(&mut child, "this is not json");
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"error\":\"bad_request\""), "{resp}");
+    // The process is still alive and serving.
+    send(&mut child, r#"{"id":2,"cmd":"ping"}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"pong\":true"), "{resp}");
+    drop(child.stdin.take());
+    assert_eq!(wait_exit(child), 0);
+}
+
+#[test]
+fn zero_deadline_is_reported_as_a_degraded_deadline_outcome() {
+    let (mut child, mut reader) = spawn(&["paint"]);
+    send(&mut child, r#"{"id":3,"query":"?","deadline_ms":0}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"outcome\":\"deadline\""), "{resp}");
+    assert!(resp.contains("\"degraded\":true"), "{resp}");
+    drop(child.stdin.take());
+    assert_eq!(wait_exit(child), 0);
+}
+
+#[test]
+fn shutdown_command_drains_and_exits_zero() {
+    let (mut child, mut reader) = spawn(&["paint"]);
+    send(&mut child, r#"{"id":1,"cmd":"shutdown"}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"shutdown\":true"), "{resp}");
+    assert_eq!(wait_exit(child), 0);
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("run pex-serve");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}

@@ -18,6 +18,47 @@ use std::io::{BufRead, Write};
 use pex::corpus::builtin;
 use pex::prelude::*;
 
+/// Writes one line to stdout, treating a closed pipe as a normal exit.
+/// `pex-repl | head -1` must end with status 0 once `head` hangs up, not
+/// with a broken-pipe panic; any other write failure is a real error (1).
+macro_rules! say {
+    ($($arg:tt)*) => {
+        emit(format_args!($($arg)*), true)
+    };
+}
+
+fn emit(args: std::fmt::Arguments<'_>, newline: bool) {
+    let mut out = std::io::stdout().lock();
+    let result = out
+        .write_fmt(args)
+        .and_then(|_| {
+            if newline {
+                out.write_all(b"\n")
+            } else {
+                Ok(())
+            }
+        })
+        .and_then(|_| out.flush());
+    if let Err(e) = result {
+        drop(out);
+        exit_for_write_error(&e);
+    }
+}
+
+fn exit_for_write_error(e: &std::io::Error) -> ! {
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        // The reader went away; everything written so far was delivered.
+        std::process::exit(0);
+    }
+    eprintln!("pex-repl: cannot write to stdout: {e}");
+    std::process::exit(1);
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("pex-repl: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
 struct Session {
     db: Database,
     ctx: Context,
@@ -37,15 +78,24 @@ fn main() {
         match args[i].as_str() {
             "--local" => {
                 i += 1;
-                if let Some(spec) = args.get(i) {
-                    locals_spec.push(spec.clone());
+                match args.get(i) {
+                    Some(spec) => locals_spec.push(spec.clone()),
+                    None => usage_error("--local expects a following name:Qualified.Type spec"),
                 }
             }
             "--help" | "-h" => {
-                println!("{HELP}");
+                say!("{HELP}");
                 return;
             }
-            other => source_arg = Some(other.to_owned()),
+            other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
+            other => {
+                if let Some(prev) = &source_arg {
+                    usage_error(&format!(
+                        "unexpected extra argument `{other}` (source is already `{prev}`)"
+                    ));
+                }
+                source_arg = Some(other.to_owned());
+            }
         }
         i += 1;
     }
@@ -65,7 +115,7 @@ fn main() {
         last: Vec::new(),
     };
 
-    println!(
+    say!(
         "pex repl — {} types, {} methods. Type a query, or :help.",
         session.db.types().len(),
         session.db.method_count()
@@ -74,8 +124,7 @@ fn main() {
 
     let stdin = std::io::stdin();
     loop {
-        print!("pex> ");
-        std::io::stdout().flush().expect("stdout is writable");
+        emit(format_args!("pex> "), false);
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break,
@@ -156,7 +205,7 @@ fn build_context(db: &Database, specs: &[String]) -> Context {
 
 fn print_locals(s: &Session) {
     if s.ctx.locals.is_empty() {
-        println!("(no locals in scope)");
+        say!("(no locals in scope)");
         return;
     }
     let names: Vec<String> = s
@@ -165,21 +214,21 @@ fn print_locals(s: &Session) {
         .iter()
         .map(|l| format!("{}: {}", l.name, s.db.types().qualified_name(l.ty)))
         .collect();
-    println!("locals: {}", names.join(", "));
+    say!("locals: {}", names.join(", "));
 }
 
 fn command(s: &mut Session, cmd: &str) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
-        Some("help") => println!("{HELP}"),
+        Some("help") => say!("{HELP}"),
         Some("locals") => print_locals(s),
         Some("n") => {
             if let Some(n) = parts.next().and_then(|v| v.parse().ok()) {
                 s.count = n;
-                println!("showing top {n}");
+                say!("showing top {n}");
             } else {
-                println!("usage: :n <count>");
+                say!("usage: :n <count>");
             }
         }
         Some("config") => {
@@ -188,7 +237,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                     ("+", rest) => (true, rest),
                     ("-", rest) => (false, rest),
                     _ => {
-                        println!("usage: :config [+-][nsdmta]...   (e.g. :config -d +t)");
+                        say!("usage: :config [+-][nsdmta]...   (e.g. :config -d +t)");
                         continue;
                     }
                 };
@@ -203,7 +252,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                 .filter(|t| s.config.enabled(**t))
                 .map(|t| t.code().to_string())
                 .collect();
-            println!("active terms: {}", active.join(" "));
+            say!("active terms: {}", active.join(" "));
         }
         Some("abs") => {
             // `:abs [pattern]` — the abstract-type solver's merged classes.
@@ -215,30 +264,30 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                 if !pattern.is_empty() && !class.iter().any(|slot| slot.contains(pattern)) {
                     continue;
                 }
-                println!("  [{}]", class.join(", "));
+                say!("  [{}]", class.join(", "));
                 shown += 1;
                 if shown >= 20 {
-                    println!("  ... (more classes; narrow with a pattern)");
+                    say!("  ... (more classes; narrow with a pattern)");
                     break;
                 }
             }
             if shown == 0 {
-                println!("(no multi-slot abstract classes match)");
+                say!("(no multi-slot abstract classes match)");
             }
         }
         Some("at") => {
             // `:at Ns.Type.Method [stmt]` — move the context into a method
             // body (locals live before `stmt`; default: end of body).
             let Some(name) = parts.next() else {
-                println!("usage: :at Namespace.Type.Method [stmt-index]");
+                say!("usage: :at Namespace.Type.Method [stmt-index]");
                 return true;
             };
             let Some(method) = s.db.find_method(name) else {
-                println!("unknown (or overloaded) method `{name}`");
+                say!("unknown (or overloaded) method `{name}`");
                 return true;
             };
             let Some(body) = s.db.method(method).body() else {
-                println!("`{name}` has no body to stand in");
+                say!("`{name}` has no body to stand in");
                 return true;
             };
             let stmt = parts
@@ -248,7 +297,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                 .min(body.stmts.len());
             s.ctx = Context::at_statement(&s.db, method, body, stmt);
             s.enclosing_method = Some(method);
-            println!("context: inside {name} before statement {stmt}");
+            say!("context: inside {name} before statement {stmt}");
             print_locals(s);
         }
         Some("types") => {
@@ -256,7 +305,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
             for ty in s.db.types().iter() {
                 let name = s.db.types().qualified_name(ty);
                 if name.contains(pattern) {
-                    println!("  {name}");
+                    say!("  {name}");
                 }
             }
         }
@@ -271,7 +320,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                         .iter()
                         .map(|p| s.db.types().qualified_name(p.ty))
                         .collect();
-                    println!(
+                    say!(
                         "  {}{name}({})",
                         if md.is_static() { "static " } else { "" },
                         params.join(", ")
@@ -279,7 +328,7 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                 }
             }
         }
-        _ => println!("unknown command; try :help"),
+        _ => say!("unknown command; try :help"),
     }
     true
 }
@@ -288,7 +337,7 @@ fn run_query(s: &mut Session, text: &str) {
     let query = match parse_partial(&s.db, &s.ctx, text) {
         Ok(q) => q,
         Err(e) => {
-            println!("parse error {e}");
+            say!("parse error {e}");
             return;
         }
     };
@@ -303,12 +352,12 @@ fn run_parsed(s: &mut Session, query: &PartialExpr) {
     let engine = Completer::new(&s.db, &s.ctx, &index, s.config, abs.as_ref());
     let results = engine.complete(query, s.count);
     if results.is_empty() {
-        println!("(no completions)");
+        say!("(no completions)");
         s.last.clear();
         return;
     }
     for (i, c) in results.iter().enumerate() {
-        println!("{:>3}. {}   (score {})", i + 1, engine.render(c), c.score);
+        say!("{:>3}. {}   (score {})", i + 1, engine.render(c), c.score);
     }
     s.last = results;
 }
@@ -317,15 +366,15 @@ fn run_parsed(s: &mut Session, query: &PartialExpr) {
 /// re-query (the paper's "convert the 0 to ?" follow-up).
 fn refine(s: &mut Session, arg: &str) {
     let Ok(n) = arg.parse::<usize>() else {
-        println!("usage: :refine <result number>");
+        say!("usage: :refine <result number>");
         return;
     };
     let Some(chosen) = s.last.get(n.wrapping_sub(1)).cloned() else {
-        println!("no result #{n} from the last query");
+        say!("no result #{n} from the last query");
         return;
     };
     let query = PartialExpr::reopen_holes(&chosen.expr);
-    println!("refining: {}", query.shape());
+    say!("refining: {}", query.shape());
     run_parsed(s, &query);
 }
 
@@ -333,7 +382,7 @@ fn explain_query(s: &Session, text: &str) {
     let query = match parse_partial(&s.db, &s.ctx, text) {
         Ok(q) => q,
         Err(e) => {
-            println!("parse error {e}");
+            say!("parse error {e}");
             return;
         }
     };
@@ -345,11 +394,11 @@ fn explain_query(s: &Session, text: &str) {
     let ranker = engine.ranker();
     let results = engine.complete(&query, s.count);
     if results.is_empty() {
-        println!("(no completions)");
+        say!("(no completions)");
         return;
     }
     let codes: Vec<String> = RankTerm::ALL.iter().map(|t| t.code().to_string()).collect();
-    println!("{:>5}  {}  completion", "score", codes.join("  "));
+    say!("{:>5}  {}  completion", "score", codes.join("  "));
     for c in &results {
         let Some(breakdown) = ranker.explain(&c.expr) else {
             continue;
@@ -359,7 +408,7 @@ fn explain_query(s: &Session, text: &str) {
             .iter()
             .map(|(_, v)| format!("{v:>2}"))
             .collect();
-        println!(
+        say!(
             "{:>5}  {}  {}",
             breakdown.total,
             cells.join(" "),

@@ -27,6 +27,9 @@
 //!   (every table and figure).
 //! * [`obs`] ([`pex_obs`]) — observability substrate: lock-free metrics,
 //!   tracing spans, and event sinks with a zero-cost kill switch.
+//! * [`serve`] ([`pex_serve`]) — the long-lived completion daemon: a shared
+//!   immutable snapshot, a bounded admission queue with explicit load
+//!   shedding, and a JSON-lines protocol over stdin or a Unix socket.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +67,7 @@ pub use pex_corpus as corpus;
 pub use pex_experiments as experiments;
 pub use pex_model as model;
 pub use pex_obs as obs;
+pub use pex_serve as serve;
 pub use pex_types as types;
 
 /// The most commonly used items, for `use pex::prelude::*`.
