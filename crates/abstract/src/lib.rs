@@ -28,6 +28,7 @@ pub use unionfind::UnionFind;
 
 use std::collections::HashMap;
 
+use pex_model::arena::{ArenaRead, ENode, ExprId};
 use pex_model::{Database, Expr, LocalId, MethodId, Stmt};
 
 /// Identifier of an abstract-type class (a union-find representative).
@@ -176,6 +177,30 @@ impl<'db> AbsTypes<'db> {
         }
         let root = self.db.root_method(m);
         Some(self.method_ret[root.index()])
+    }
+
+    /// Abstract class of an interned expression — the arena twin of
+    /// [`AbsTypes::expr_class`]. Only the top node matters (a lookup chain's
+    /// class is its trailing member's), so the walk never descends and needs
+    /// no materialization.
+    pub fn expr_class_interned(
+        &self,
+        enclosing: Option<MethodId>,
+        arena: &ArenaRead<'_>,
+        id: ExprId,
+    ) -> Option<AbsClass> {
+        let v = match arena.node(id) {
+            ENode::Local(l) => self.local_var(enclosing?, *l),
+            ENode::This => {
+                let m = enclosing?;
+                let root = self.db.root_method(m);
+                Some(self.method_this[root.index()])
+            }
+            ENode::StaticField(f) | ENode::FieldAccess(_, f) => Some(self.field_vars[f.index()]),
+            ENode::Call(m, _) => self.ret_var(*m),
+            _ => None,
+        }?;
+        Some(AbsClass(self.uf.find(v)))
     }
 
     fn expr_var(&self, enclosing: Option<MethodId>, e: &Expr) -> Option<u32> {

@@ -1,5 +1,7 @@
 //! Perf-trajectory benchmarks: the memoized type-relation cache vs the
-//! per-query BFS it replaced, and parallel vs sequential experiment replay.
+//! per-query BFS it replaced, the hash-consed (interned) enumeration
+//! pipeline vs the boxed reference pipeline, and parallel vs sequential
+//! experiment replay.
 //!
 //! Unlike the other benches this one post-processes its results into a
 //! machine-readable `BENCH_results.json` at the workspace root, so future
@@ -210,11 +212,17 @@ fn bench_obs_overhead(c: &mut Criterion, db: &Database, index: &MethodIndex, typ
     }
 }
 
-/// Dedup-key guard: `CompletionIter` and the call placer dedupe emitted
-/// expressions by hashing [`ExprKey`] directly; this measures that against
-/// the `format!("{:?}", expr)` string keys they used before, on real
-/// completions, and asserts the two schemes partition identically.
-fn bench_dedup(c: &mut Criterion) {
+/// Enumeration and dedup guards for the hash-consed arena.
+///
+/// `enumerate_boxed` vs `enumerate_interned` runs the same real-corpus
+/// query through the boxed reference pipeline (tree clones, [`ExprKey`]
+/// dedup) and the interned production pipeline (id copies, id-set dedup,
+/// materialization only at emission); the derived
+/// `enumerate_interned_speedup` is the tentpole's headline number.
+/// `dedup_exprkey` vs `dedup_arena_id` isolates just the dedup probe on
+/// the same batch of completions, after asserting the two schemes
+/// partition the batch identically.
+fn bench_enumeration(c: &mut Criterion) {
     let projects = load_projects(SCALE);
     let project = &projects[0];
     let site = project
@@ -234,42 +242,82 @@ fn bench_dedup(c: &mut Criterion) {
     let query = pex_core::PartialExpr::UnknownCall(vec![pex_core::PartialExpr::Known(
         site.args[0].clone(),
     )]);
-    let exprs: Vec<pex_model::Expr> = completer
+
+    // The two pipelines must agree row-for-row before their speeds are
+    // worth comparing (the equivalence proptest pins this broadly; this is
+    // the same check on the benched query).
+    const TAKE: usize = 300;
+    let boxed_rows: Vec<(String, u32)> = completer
+        .completions_boxed(&query)
+        .take(TAKE)
+        .map(|comp| (format!("{:?}", comp.expr), comp.score))
+        .collect();
+    let interned_rows: Vec<(String, u32)> = completer
         .completions(&query)
+        .take(TAKE)
+        .map(|comp| (format!("{:?}", comp.expr), comp.score))
+        .collect();
+    assert_eq!(
+        boxed_rows, interned_rows,
+        "pipelines diverged on the benched query"
+    );
+    assert!(
+        boxed_rows.len() >= 10,
+        "need a real batch, got {}",
+        boxed_rows.len()
+    );
+
+    c.bench_function("speedups/enumerate_boxed", |b| {
+        b.iter(|| {
+            let n = completer
+                .completions_boxed(black_box(&query))
+                .take(TAKE)
+                .count();
+            black_box(n)
+        })
+    });
+    c.bench_function("speedups/enumerate_interned", |b| {
+        b.iter(|| {
+            let n = completer.completions(black_box(&query)).take(TAKE).count();
+            black_box(n)
+        })
+    });
+
+    // Dedup probe in isolation, on the batch the query produced.
+    let exprs: Vec<pex_model::Expr> = completer
+        .completions_boxed(&query)
         .take(500)
         .map(|comp| comp.expr)
         .collect();
-    assert!(exprs.len() >= 10, "need a real batch, got {}", exprs.len());
-
-    // Both schemes must agree on what is a duplicate.
-    let by_string: std::collections::HashSet<String> =
-        exprs.iter().map(|e| format!("{e:?}")).collect();
+    let arena = pex_model::ExprArena::new();
+    let ids: Vec<pex_model::ExprId> = exprs.iter().map(|e| arena.intern_expr(e)).collect();
     let by_key: std::collections::HashSet<ExprKey> =
         exprs.iter().map(|e| ExprKey(e.clone())).collect();
+    let by_id: std::collections::HashSet<pex_model::ExprId> = ids.iter().copied().collect();
     assert_eq!(
-        by_string.len(),
         by_key.len(),
-        "ExprKey dedup must partition completions exactly like debug-string dedup"
+        by_id.len(),
+        "arena-id dedup must partition completions exactly like ExprKey dedup"
     );
 
-    c.bench_function("speedups/dedup_key_format_debug", |b| {
+    c.bench_function("speedups/dedup_exprkey", |b| {
         b.iter(|| {
             let mut seen = std::collections::HashSet::new();
             let mut kept = 0usize;
             for e in &exprs {
-                if seen.insert(format!("{:?}", black_box(e))) {
+                if seen.insert(ExprKey(black_box(e).clone())) {
                     kept += 1;
                 }
             }
             black_box(kept)
         })
     });
-    c.bench_function("speedups/dedup_key_expr_hash", |b| {
+    c.bench_function("speedups/dedup_arena_id", |b| {
         b.iter(|| {
             let mut seen = std::collections::HashSet::new();
             let mut kept = 0usize;
-            for e in &exprs {
-                if seen.insert(ExprKey(black_box(e).clone())) {
+            for &id in &ids {
+                if seen.insert(black_box(id)) {
                     kept += 1;
                 }
             }
@@ -332,20 +380,30 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
     });
 }
 
+/// The thread count the parallel replay leg actually runs with: capped at
+/// 4 so the recorded speedup reflects a modest, reproducible worker pool
+/// rather than whatever the bench machine happens to have.
+fn replay_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
 fn bench_replay(c: &mut Criterion) {
     let projects = load_projects(SCALE);
-    let cfg = |threads: Option<usize>| ExperimentConfig {
+    let cfg = |threads: usize| ExperimentConfig {
         limit: 40,
         max_sites: Some(6),
-        threads,
+        threads: Some(threads),
         ..Default::default()
     };
     c.bench_function("speedups/methods_replay_sequential", |b| {
-        let cfg = cfg(Some(1));
+        let cfg = cfg(1);
         b.iter(|| black_box(methods::run(&projects, &cfg)))
     });
     c.bench_function("speedups/methods_replay_parallel", |b| {
-        let cfg = cfg(None);
+        let cfg = cfg(replay_threads());
         b.iter(|| black_box(methods::run(&projects, &cfg)))
     });
 }
@@ -367,7 +425,7 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
     out.push_str("  \"schema\": \"pex-bench-speedups/1\",\n");
     out.push_str(&format!(
         "  \"config\": {{ \"scale\": {SCALE}, \"replay_threads\": {} }},\n",
-        rayon::current_num_threads()
+        replay_threads()
     ));
     out.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -396,13 +454,25 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
     };
     let idx = obs_report::index_candidates_stats(snap);
     let conv = obs_report::convindex_distance_stats(snap);
+    // The negative-lookup bitset makes "no conversion" a memoized answer,
+    // so the distance cache must now serve essentially every lookup.
+    if conv.lookups > 0 {
+        assert!(
+            conv.rate() > 0.99,
+            "convindex distance hit rate regressed to {:.6} ({} lookups, {} misses)",
+            conv.rate(),
+            conv.lookups,
+            conv.misses
+        );
+    }
     out.push_str(&format!(
-        "  \"cache\": {{\n    \"index_candidates_lookups\": {},\n    \"index_candidates_fills\": {},\n    \"index_candidates_hit_rate\": {:.6},\n    \"convindex_distance_lookups\": {},\n    \"convindex_distance_misses\": {},\n    \"convindex_distance_hit_rate\": {:.6}\n  }},\n",
+        "  \"cache\": {{\n    \"index_candidates_lookups\": {},\n    \"index_candidates_fills\": {},\n    \"index_candidates_hit_rate\": {:.6},\n    \"convindex_distance_lookups\": {},\n    \"convindex_distance_misses\": {},\n    \"convindex_distance_negative\": {},\n    \"convindex_distance_hit_rate\": {:.6}\n  }},\n",
         idx.lookups,
         idx.misses,
         idx.rate(),
         conv.lookups,
         conv.misses,
+        obs_report::convindex_negative_lookups(snap),
         conv.rate()
     ));
     out.push_str("  \"derived\": {\n");
@@ -431,13 +501,18 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
             "speedups/candidates_consume_raw"
         ))
     ));
-    // Guard for the dedup-key change: hashing ExprKey must not be slower
-    // than building debug strings (ratio > 1.0 means ExprKey wins).
+    // Guards for the hash-consed arena: id-set dedup must beat tree-key
+    // dedup, and the interned pipeline must beat the boxed reference on the
+    // same query (ratios > 1.0 mean the arena wins).
     out.push_str(&format!(
-        "    \"dedup_key_speedup\": {},\n",
+        "    \"arena_dedup_speedup\": {},\n",
+        fmt_opt(speedup("speedups/dedup_exprkey", "speedups/dedup_arena_id"))
+    ));
+    out.push_str(&format!(
+        "    \"enumerate_interned_speedup\": {},\n",
         fmt_opt(speedup(
-            "speedups/dedup_key_format_debug",
-            "speedups/dedup_key_expr_hash"
+            "speedups/enumerate_boxed",
+            "speedups/enumerate_interned"
         ))
     ));
     // What pex-serve buys by keeping the snapshot resident: same query,
@@ -466,7 +541,7 @@ fn main() {
     // this run's traffic (fixture priming plus the benches themselves).
     pex_obs::registry().reset();
     bench_candidates(&mut c);
-    bench_dedup(&mut c);
+    bench_enumeration(&mut c);
     bench_snapshot_reuse(&mut c);
     bench_replay(&mut c);
     let results = c.results();

@@ -1,14 +1,21 @@
 //! Expansion of method-call queries: given one concrete choice of argument
 //! completions (a combo), produce every type-correct, scored call.
+//!
+//! Each expander exists in two forms that must stay row-for-row identical:
+//! the boxed reference form over [`Expr`] trees (deduplicated by
+//! [`ExprKey`]) and the interned hot form over arena ids (deduplicated by
+//! [`ExprId`] — sound because id equality coincides with `ExprKey`
+//! equality). The equivalence proptest in `tests/interned_equiv.rs` pins
+//! the two together.
 
 use std::collections::HashSet;
 
-use pex_model::{Expr, ExprKey, MethodId, ValueTy};
+use pex_model::{ENode, Expr, ExprArena, ExprId, ExprKey, MethodId, ValueTy};
 
 use crate::rank::Ranker;
 
 use super::index::MethodIndex;
-use super::stream::{Completion, ScoredStream};
+use super::stream::{Completion, IComp, ScoredStream};
 
 /// Expands a `?({...})` combo: finds candidate methods via the index, places
 /// the arguments injectively into argument positions (receiver included),
@@ -24,24 +31,10 @@ pub(crate) fn expand_unknown_call(
     items: &[Completion],
 ) -> Vec<Completion> {
     let db = ranker.db;
-    // Pick the argument whose index entry is smallest (paper Section 4.2).
-    let mut best: Option<(usize, usize)> = None; // (arg position, count)
-    for (i, item) in items.iter().enumerate() {
-        if let ValueTy::Known(t) = item.ty {
-            let count = index.candidate_count_cached(db, t);
-            if best.map(|(_, c)| count < c).unwrap_or(true) {
-                best = Some((i, count));
-            }
-        }
-    }
-    let candidates: &[MethodId] = match best {
-        Some((i, _)) => match items[i].ty {
-            ValueTy::Known(t) => index.candidates_for_cached(db, t),
-            ValueTy::Wildcard => unreachable!("best is only set for known types"),
-        },
+    let candidates = match pick_candidates(ranker, index, items.iter().map(|c| c.ty)) {
+        Some(c) => c,
         None => index.all_with_args(),
     };
-
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for &m in candidates.iter() {
@@ -65,6 +58,26 @@ pub(crate) fn expand_unknown_call(
         );
     }
     out
+}
+
+/// Picks the candidate list of the argument whose index entry is smallest
+/// (paper Section 4.2); `None` when no argument has a known type.
+fn pick_candidates<'i>(
+    ranker: &Ranker<'_>,
+    index: &'i MethodIndex,
+    types: impl Iterator<Item = ValueTy>,
+) -> Option<&'i [MethodId]> {
+    let db = ranker.db;
+    let mut best: Option<(pex_types::TypeId, usize)> = None;
+    for ty in types {
+        if let ValueTy::Known(t) = ty {
+            let count = index.candidate_count_cached(db, t);
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((t, count));
+            }
+        }
+    }
+    best.map(|(t, _)| index.candidates_for_cached(db, t))
 }
 
 /// Recursive injective placement of `items[i..]` into free positions.
@@ -115,6 +128,95 @@ fn place(
     }
 }
 
+/// Interned twin of [`expand_unknown_call`]: same candidate choice, same
+/// injective placement order, but every built call is one `intern` and the
+/// dedup set holds `u32` ids instead of whole trees.
+pub(crate) fn expand_unknown_call_interned(
+    ranker: &Ranker<'_>,
+    index: &MethodIndex,
+    arena: &ExprArena,
+    items: &[IComp],
+) -> Vec<IComp> {
+    let db = ranker.db;
+    let candidates = match pick_candidates(ranker, index, items.iter().map(|c| c.ty)) {
+        Some(c) => c,
+        None => index.all_with_args(),
+    };
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for &m in candidates.iter() {
+        let md = db.method(m);
+        if !db.accessible(md.visibility(), md.declaring(), ranker.ctx.enclosing_type) {
+            continue;
+        }
+        let param_tys = md.full_param_types();
+        if param_tys.len() < items.len() {
+            continue;
+        }
+        place_interned(
+            ranker,
+            arena,
+            m,
+            &param_tys,
+            items,
+            &mut vec![None; param_tys.len()],
+            0,
+            &mut seen,
+            &mut out,
+        );
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn place_interned(
+    ranker: &Ranker<'_>,
+    arena: &ExprArena,
+    m: MethodId,
+    param_tys: &[pex_types::TypeId],
+    items: &[IComp],
+    slots: &mut Vec<Option<usize>>,
+    i: usize,
+    seen: &mut HashSet<ExprId>,
+    out: &mut Vec<IComp>,
+) {
+    let db = ranker.db;
+    if i == items.len() {
+        let hole = arena.hole0();
+        let args: Vec<ExprId> = slots
+            .iter()
+            .map(|s| match s {
+                Some(k) => items[*k].expr,
+                None => hole,
+            })
+            .collect();
+        let expr = arena.call(m, &args);
+        if !seen.insert(expr) {
+            return;
+        }
+        if let Some(score) = ranker.score_interned(arena, expr) {
+            let ty = ValueTy::Known(db.method(m).return_type());
+            out.push(IComp { expr, score, ty });
+        }
+        return;
+    }
+    for j in 0..param_tys.len() {
+        if slots[j].is_some() {
+            continue;
+        }
+        let fits = match items[i].ty {
+            ValueTy::Wildcard => true,
+            ValueTy::Known(t) => db.types().type_distance(t, param_tys[j]).is_some(),
+        };
+        if !fits {
+            continue;
+        }
+        slots[j] = Some(i);
+        place_interned(ranker, arena, m, param_tys, items, slots, i + 1, seen, out);
+        slots[j] = None;
+    }
+}
+
 /// Expands a known-method combo positionally over the candidate overloads.
 pub(crate) fn expand_known_call(
     ranker: &Ranker<'_>,
@@ -135,6 +237,36 @@ pub(crate) fn expand_known_call(
         let expr = Expr::Call(m, args);
         if let Some(score) = ranker.score(&expr) {
             out.push(Completion {
+                expr,
+                score,
+                ty: ValueTy::Known(md.return_type()),
+            });
+        }
+    }
+    out
+}
+
+/// Interned twin of [`expand_known_call`].
+pub(crate) fn expand_known_call_interned(
+    ranker: &Ranker<'_>,
+    arena: &ExprArena,
+    candidates: &[MethodId],
+    items: &[IComp],
+) -> Vec<IComp> {
+    let db = ranker.db;
+    let mut out = Vec::new();
+    for &m in candidates {
+        let md = db.method(m);
+        if md.full_arity() != items.len() {
+            continue;
+        }
+        if !db.accessible(md.visibility(), md.declaring(), ranker.ctx.enclosing_type) {
+            continue;
+        }
+        let args: Vec<ExprId> = items.iter().map(|c| c.expr).collect();
+        let expr = arena.call(m, &args);
+        if let Some(score) = ranker.score_interned(arena, expr) {
+            out.push(IComp {
                 expr,
                 score,
                 ty: ValueTy::Known(md.return_type()),
@@ -165,6 +297,32 @@ pub(crate) fn expand_assign(ranker: &Ranker<'_>, items: &[Completion]) -> Vec<Co
     }
 }
 
+/// Interned twin of [`expand_assign`].
+pub(crate) fn expand_assign_interned(
+    ranker: &Ranker<'_>,
+    arena: &ExprArena,
+    items: &[IComp],
+) -> Vec<IComp> {
+    debug_assert_eq!(items.len(), 2);
+    let lhs = &items[0];
+    let lhs_ok = matches!(
+        arena.read().node(lhs.expr),
+        ENode::Local(_) | ENode::StaticField(_) | ENode::FieldAccess(..)
+    );
+    if !lhs_ok {
+        return Vec::new();
+    }
+    let expr = arena.assign(items[0].expr, items[1].expr);
+    match ranker.score_interned(arena, expr) {
+        Some(score) => vec![IComp {
+            expr,
+            score,
+            ty: lhs.ty,
+        }],
+        None => Vec::new(),
+    }
+}
+
 /// Expands a comparison combo (`[lhs, rhs]`).
 pub(crate) fn expand_cmp(
     ranker: &Ranker<'_>,
@@ -183,20 +341,39 @@ pub(crate) fn expand_cmp(
     }
 }
 
+/// Interned twin of [`expand_cmp`].
+pub(crate) fn expand_cmp_interned(
+    ranker: &Ranker<'_>,
+    arena: &ExprArena,
+    op: pex_model::CmpOp,
+    items: &[IComp],
+) -> Vec<IComp> {
+    debug_assert_eq!(items.len(), 2);
+    let expr = arena.cmp(op, items[0].expr, items[1].expr);
+    match ranker.score_interned(arena, expr) {
+        Some(score) => vec![IComp {
+            expr,
+            score,
+            ty: ValueTy::Known(ranker.db.types().bool_ty()),
+        }],
+        None => Vec::new(),
+    }
+}
+
 /// A stream filtered by a type predicate (bounds pass through unchanged —
 /// filtering can only remove items, so lower bounds stay valid).
-pub(crate) struct Filtered<'a> {
-    pub(crate) inner: Box<dyn ScoredStream + 'a>,
+pub(crate) struct Filtered<'a, E> {
+    pub(crate) inner: Box<dyn ScoredStream<E> + 'a>,
     pub(crate) db: &'a pex_model::Database,
     pub(crate) filter: super::chains::TypeFilter,
 }
 
-impl<'a> ScoredStream for Filtered<'a> {
+impl<'a, E> ScoredStream<E> for Filtered<'a, E> {
     fn bound(&mut self) -> Option<u32> {
         self.inner.bound()
     }
 
-    fn next_item(&mut self) -> Option<Completion> {
+    fn next_item(&mut self) -> Option<super::stream::Scored<E>> {
         loop {
             let c = self.inner.next_item()?;
             if self.filter.passes(self.db, c.ty) {

@@ -8,19 +8,26 @@
 //! uniformly. The search is a Dijkstra over (expression, type) states: the
 //! heap pops states in score order, emitting those that pass the optional
 //! type filter and expanding their successors.
+//!
+//! The stream is generic over how chain expressions are *built*
+//! (`ChainGrow`): the boxed reference path clones `Expr` trees, the hot
+//! path interns arena ids. Successor member lists come from the shared
+//! `SuccessorMemo`, so repeated states of one type — within a query or
+//! across serve requests — walk the member tables once.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use pex_model::{Context, Database, Expr, ValueTy};
+use pex_model::{Context, Database, Expr, ExprArena, ExprId, FieldId, MethodId, ValueTy};
 use pex_types::TypeId;
 
 use super::budget::Budget;
+use super::memo::{ChainMember, SuccessorMemo};
 use super::reach::ReachPruner;
-use super::stream::{Completion, ScoredStream};
+use super::stream::{Scored, ScoredStream};
 
 /// What links a chain may use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChainLink {
     /// Instance field/property lookups only (`.?f` kinds).
     Fields,
@@ -91,35 +98,72 @@ impl TypeFilter {
     }
 }
 
-struct HeapState {
+/// How chain links become expressions: the one seam between the boxed and
+/// interned enumeration paths.
+pub(crate) trait ChainGrow<E> {
+    /// `base.f`
+    fn field(&self, base: &E, f: FieldId) -> E;
+    /// `recv.m()`
+    fn call0(&self, m: MethodId, recv: &E) -> E;
+}
+
+/// Builds boxed [`Expr`] trees (the reference path; clones the base).
+pub(crate) struct BoxedGrow;
+
+impl ChainGrow<Expr> for BoxedGrow {
+    fn field(&self, base: &Expr, f: FieldId) -> Expr {
+        Expr::field(base.clone(), f)
+    }
+
+    fn call0(&self, m: MethodId, recv: &Expr) -> Expr {
+        Expr::Call(m, vec![recv.clone()])
+    }
+}
+
+/// Interns arena nodes (the hot path; extending a chain copies a `u32`).
+pub(crate) struct ArenaGrow<'x> {
+    pub(crate) arena: &'x ExprArena,
+}
+
+impl<'x> ChainGrow<ExprId> for ArenaGrow<'x> {
+    fn field(&self, base: &ExprId, f: FieldId) -> ExprId {
+        self.arena.field(*base, f)
+    }
+
+    fn call0(&self, m: MethodId, recv: &ExprId) -> ExprId {
+        self.arena.call(m, &[*recv])
+    }
+}
+
+struct HeapState<E> {
     score: u32,
     seq: u64,
     links: usize,
-    completion: Completion,
+    completion: Scored<E>,
 }
 
-impl PartialEq for HeapState {
+impl<E> PartialEq for HeapState<E> {
     fn eq(&self, other: &Self) -> bool {
         (self.score, self.seq) == (other.score, other.seq)
     }
 }
-impl Eq for HeapState {}
-impl Ord for HeapState {
+impl<E> Eq for HeapState<E> {}
+impl<E> Ord for HeapState<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.score, self.seq).cmp(&(other.score, other.seq))
     }
 }
-impl PartialOrd for HeapState {
+impl<E> PartialOrd for HeapState<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 /// The chain-closure stream. See module docs.
-pub(crate) struct ChainStream<'a> {
+pub(crate) struct ChainStream<'a, E, G: ChainGrow<E>> {
     db: &'a Database,
     ctx: &'a Context,
-    roots: Box<dyn ScoredStream + 'a>,
+    roots: Box<dyn ScoredStream<E> + 'a>,
     links: ChainLink,
     /// Maximum number of links appended to a root (`Some(1)` for non-star
     /// suffixes, `None` — bounded by `depth_cap` — for star suffixes).
@@ -128,7 +172,7 @@ pub(crate) struct ChainStream<'a> {
     depth_cap: usize,
     link_cost: u32,
     filter: TypeFilter,
-    heap: BinaryHeap<Reverse<HeapState>>,
+    heap: BinaryHeap<Reverse<HeapState<E>>>,
     seq: u64,
     /// Optional reachability pruning (paper Section 4.2's proposed index):
     /// successors whose type cannot reach an admissible type within the
@@ -138,20 +182,24 @@ pub(crate) struct ChainStream<'a> {
     /// long filtered skip-run cannot outlive the query's budget between
     /// emitted items.
     budget: Budget,
+    grow: G,
+    memo: &'a SuccessorMemo,
 }
 
-impl<'a> ChainStream<'a> {
+impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
     #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring the paper's knobs
     pub(crate) fn new(
         db: &'a Database,
         ctx: &'a Context,
-        roots: Box<dyn ScoredStream + 'a>,
+        roots: Box<dyn ScoredStream<E> + 'a>,
         links: ChainLink,
         max_links: Option<usize>,
         depth_cap: usize,
         link_cost: u32,
         filter: TypeFilter,
         budget: Budget,
+        grow: G,
+        memo: &'a SuccessorMemo,
     ) -> Self {
         ChainStream {
             db,
@@ -166,6 +214,8 @@ impl<'a> ChainStream<'a> {
             seq: 0,
             pruner: None,
             budget,
+            grow,
+            memo,
         }
     }
 
@@ -187,7 +237,7 @@ impl<'a> ChainStream<'a> {
         }
     }
 
-    fn push(&mut self, links: usize, completion: Completion) {
+    fn push(&mut self, links: usize, completion: Scored<E>) {
         self.seq += 1;
         self.heap.push(Reverse(HeapState {
             score: completion.score,
@@ -226,7 +276,7 @@ impl<'a> ChainStream<'a> {
     }
 
     /// Expands one state's successors into the heap.
-    fn expand(&mut self, links: usize, completion: &Completion) {
+    fn expand(&mut self, links: usize, completion: &Scored<E>) {
         if links >= self.limit() {
             return;
         }
@@ -234,36 +284,26 @@ impl<'a> ChainStream<'a> {
             return;
         };
         let from = self.ctx.enclosing_type;
-        for f in self.db.instance_fields(ty, from) {
-            let fd = self.db.field(f);
-            if !self.viable(fd.ty(), links + 1) {
+        let steps = self.memo.successors(self.db, ty, self.links, from);
+        for step in steps.iter() {
+            if !self.viable(step.ty, links + 1) {
                 continue;
             }
-            let c = Completion {
-                expr: Expr::field(completion.expr.clone(), f),
+            let expr = match step.member {
+                ChainMember::Field(f) => self.grow.field(&completion.expr, f),
+                ChainMember::Call0(m) => self.grow.call0(m, &completion.expr),
+            };
+            let c = Scored {
+                expr,
                 score: completion.score + self.link_cost,
-                ty: ValueTy::Known(fd.ty()),
+                ty: ValueTy::Known(step.ty),
             };
             self.push(links + 1, c);
-        }
-        if self.links == ChainLink::FieldsAndMethods {
-            for m in self.db.zero_arg_instance_methods(ty, from) {
-                let md = self.db.method(m);
-                if !self.viable(md.return_type(), links + 1) {
-                    continue;
-                }
-                let c = Completion {
-                    expr: Expr::Call(m, vec![completion.expr.clone()]),
-                    score: completion.score + self.link_cost,
-                    ty: ValueTy::Known(md.return_type()),
-                };
-                self.push(links + 1, c);
-            }
         }
     }
 }
 
-impl<'a> ScoredStream for ChainStream<'a> {
+impl<'a, E, G: ChainGrow<E>> ScoredStream<E> for ChainStream<'a, E, G> {
     fn bound(&mut self) -> Option<u32> {
         let heap_bound = self.heap.peek().map(|Reverse(s)| s.score);
         let root_bound = self.roots.bound();
@@ -275,7 +315,7 @@ impl<'a> ScoredStream for ChainStream<'a> {
         }
     }
 
-    fn next_item(&mut self) -> Option<Completion> {
+    fn next_item(&mut self) -> Option<Scored<E>> {
         loop {
             if !self.budget.charge() {
                 return None;
@@ -293,7 +333,7 @@ impl<'a> ScoredStream for ChainStream<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::stream::VecStream;
+    use crate::engine::stream::{Completion, VecStream};
     use pex_model::minics::compile;
     use pex_model::Local;
 
@@ -335,7 +375,7 @@ mod tests {
     fn renders(
         db: &Database,
         ctx: &Context,
-        stream: &mut dyn ScoredStream,
+        stream: &mut dyn ScoredStream<Expr>,
         n: usize,
     ) -> Vec<String> {
         let mut out = Vec::new();
@@ -356,6 +396,7 @@ mod tests {
     #[test]
     fn star_closure_explores_depth_in_score_order() {
         let (db, ctx) = setup();
+        let memo = SuccessorMemo::default();
         let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
         let mut s = ChainStream::new(
             &db,
@@ -367,6 +408,8 @@ mod tests {
             2,
             TypeFilter::any(),
             Budget::unlimited(),
+            BoxedGrow,
+            &memo,
         );
         let names = renders(&db, &ctx, &mut s, 10);
         assert_eq!(names[0], "ln");
@@ -382,6 +425,7 @@ mod tests {
     #[test]
     fn single_link_limit_and_field_only() {
         let (db, ctx) = setup();
+        let memo = SuccessorMemo::default();
         let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
         let mut s = ChainStream::new(
             &db,
@@ -393,6 +437,8 @@ mod tests {
             2,
             TypeFilter::any(),
             Budget::unlimited(),
+            BoxedGrow,
+            &memo,
         );
         let names = renders(&db, &ctx, &mut s, 20);
         assert_eq!(names.len(), 3, "ln, ln.P1, ln.P2 only: {names:?}");
@@ -405,6 +451,7 @@ mod tests {
     #[test]
     fn type_filter_restricts_emissions_not_search() {
         let (db, ctx) = setup();
+        let memo = SuccessorMemo::default();
         let int = db.types().int_ty();
         let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
         let mut s = ChainStream::new(
@@ -417,6 +464,8 @@ mod tests {
             2,
             TypeFilter::one_of(vec![int]),
             Budget::unlimited(),
+            BoxedGrow,
+            &memo,
         );
         let names = renders(&db, &ctx, &mut s, 20);
         // Only int-typed chains: the X/Y of P1 and P2.
@@ -454,6 +503,7 @@ mod tests {
     #[test]
     fn depth_cap_bounds_star_chains() {
         let (db, ctx) = setup();
+        let memo = SuccessorMemo::default();
         // Point has no reference-typed fields, so chains die out anyway;
         // use cap 1 to check the cap itself.
         let roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
@@ -467,11 +517,64 @@ mod tests {
             2,
             TypeFilter::any(),
             Budget::unlimited(),
+            BoxedGrow,
+            &memo,
         );
         let names = renders(&db, &ctx, &mut s, 50);
         assert!(
             names.iter().all(|n| n.matches('.').count() <= 1),
             "{names:?}"
         );
+    }
+
+    #[test]
+    fn arena_grow_matches_boxed_chains() {
+        let (db, ctx) = setup();
+        let memo = SuccessorMemo::default();
+        let arena = ExprArena::new();
+        let boxed_roots = Box::new(VecStream::new(vec![root(&db, &ctx)]));
+        let mut boxed = ChainStream::new(
+            &db,
+            &ctx,
+            boxed_roots,
+            ChainLink::FieldsAndMethods,
+            None,
+            4,
+            2,
+            TypeFilter::any(),
+            Budget::unlimited(),
+            BoxedGrow,
+            &memo,
+        );
+        let root_id = arena.local(pex_model::LocalId(0));
+        let interned_roots = Box::new(VecStream::new(vec![Scored {
+            expr: root_id,
+            score: 0,
+            ty: root(&db, &ctx).ty,
+        }]));
+        let mut interned = ChainStream::new(
+            &db,
+            &ctx,
+            interned_roots,
+            ChainLink::FieldsAndMethods,
+            None,
+            4,
+            2,
+            TypeFilter::any(),
+            Budget::unlimited(),
+            ArenaGrow { arena: &arena },
+            &memo,
+        );
+        for _ in 0..40 {
+            match (boxed.next_item(), interned.next_item()) {
+                (Some(b), Some(i)) => {
+                    assert_eq!(b.score, i.score);
+                    assert_eq!(b.ty, i.ty);
+                    assert_eq!(b.expr, arena.materialize(i.expr));
+                }
+                (None, None) => break,
+                (b, i) => panic!("streams diverged: {b:?} vs {i:?}"),
+            }
+        }
     }
 }

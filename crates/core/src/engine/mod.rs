@@ -9,6 +9,7 @@ pub mod budget;
 pub(crate) mod calls;
 pub mod chains;
 pub(crate) mod index;
+pub(crate) mod memo;
 pub mod reach;
 pub(crate) mod stream;
 
@@ -18,7 +19,9 @@ pub use reach::ReachIndex;
 pub use stream::Completion;
 
 use pex_abstract::AbsTypes;
-use pex_model::{CallStyle, Context, Database, Expr, ExprKey, GlobalRef, ValueTy};
+use pex_model::{
+    CallStyle, Context, Database, Expr, ExprArena, ExprId, ExprKey, GlobalRef, ValueTy,
+};
 use pex_types::TypeId;
 
 use crate::partial::PartialExpr;
@@ -26,8 +29,31 @@ use crate::rank::{RankConfig, Ranker};
 
 use budget::Budget;
 use calls::Filtered;
-use chains::{ChainLink, ChainStream, TypeFilter};
-use stream::{ExpandStream, MergeStream, ProductStream, ScoredStream, VecStream};
+use chains::{ArenaGrow, BoxedGrow, ChainLink, ChainStream, TypeFilter};
+use memo::SuccessorMemo;
+use stream::{ExpandStream, IComp, MergeStream, ProductStream, ScoredStream, VecStream};
+
+/// Shared, thread-safe engine caches: the hash-consing expression arena and
+/// the chain-successor memo.
+///
+/// Every [`Completer`] owns a private cache, so single queries work with no
+/// setup. A long-lived cache — e.g. one living in a serve snapshot — can be
+/// shared across queries (and across threads) with
+/// [`Completer::with_cache`], so concurrent requests reuse interned chains
+/// and memoized member walks instead of re-building them per query.
+#[derive(Debug, Default)]
+pub struct EngineCache {
+    /// The hash-consed expression arena interned completions live in.
+    pub arena: ExprArena,
+    pub(crate) chains: SuccessorMemo,
+}
+
+impl EngineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        EngineCache::default()
+    }
+}
 
 /// Engine options.
 #[derive(Debug, Clone)]
@@ -68,6 +94,8 @@ pub struct Completer<'a> {
     abs: Option<&'a AbsTypes<'a>>,
     options: CompleteOptions,
     reach: Option<&'a ReachIndex>,
+    owned_cache: EngineCache,
+    shared_cache: Option<&'a EngineCache>,
 }
 
 impl<'a> Completer<'a> {
@@ -87,6 +115,8 @@ impl<'a> Completer<'a> {
             abs,
             options: CompleteOptions::default(),
             reach: None,
+            owned_cache: EngineCache::default(),
+            shared_cache: None,
         }
     }
 
@@ -103,6 +133,19 @@ impl<'a> Completer<'a> {
     pub fn with_reach(mut self, reach: &'a ReachIndex) -> Self {
         self.reach = Some(reach);
         self
+    }
+
+    /// Shares a long-lived [`EngineCache`] with this completer in place of
+    /// its private one. Sound for any sequence of queries against the same
+    /// database: cached successor lists depend only on the code model, and
+    /// interned ids are stable for the cache's lifetime.
+    pub fn with_cache(mut self, cache: &'a EngineCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    fn cache(&self) -> &EngineCache {
+        self.shared_cache.unwrap_or(&self.owned_cache)
     }
 
     /// The ranker this engine scores with.
@@ -124,6 +167,10 @@ impl<'a> Completer<'a> {
     /// deduplicated. The iterator's [`CompletionIter::outcome`] reports why
     /// enumeration stopped once it has; budget trips never yield a silent
     /// `None`.
+    ///
+    /// Enumeration runs over interned arena ids — clones are `u32` copies,
+    /// dedup is an id-set probe — and each emitted survivor is materialized
+    /// back into an [`Expr`] tree only at this boundary.
     pub fn completions(&self, pe: &PartialExpr) -> CompletionIter<'_> {
         pex_obs::counter!("engine.queries", 1);
         let filter = match self.options.expected {
@@ -131,10 +178,39 @@ impl<'a> Completer<'a> {
             None => TypeFilter::any(),
         };
         let budget = Budget::start(&self.options.budget);
+        let cache = self.cache();
         CompletionIter {
-            stream: self.stream_for(pe, filter, &budget),
+            pipe: Pipe::Interned {
+                stream: self.stream_for_interned(pe, filter, &budget, cache),
+                arena: &cache.arena,
+                seen: std::collections::HashSet::new(),
+            },
             budget,
-            seen: std::collections::HashSet::new(),
+            finished: None,
+            span: pex_obs::span("query"),
+            generated: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Like [`Completer::completions`], but running the boxed reference
+    /// pipeline: `Expr` trees cloned through every combinator, deduplicated
+    /// by [`ExprKey`]. Kept as the executable specification the interned
+    /// path is pinned against (see `tests/interned_equiv.rs`) and as the
+    /// baseline leg of the `speedups` bench.
+    pub fn completions_boxed(&self, pe: &PartialExpr) -> CompletionIter<'_> {
+        pex_obs::counter!("engine.queries", 1);
+        let filter = match self.options.expected {
+            Some(t) => TypeFilter::one_of(vec![t]),
+            None => TypeFilter::any(),
+        };
+        let budget = Budget::start(&self.options.budget);
+        CompletionIter {
+            pipe: Pipe::Boxed {
+                stream: self.stream_for(pe, filter, &budget),
+                seen: std::collections::HashSet::new(),
+            },
+            budget,
             finished: None,
             span: pex_obs::span("query"),
             generated: 0,
@@ -218,7 +294,7 @@ impl<'a> Completer<'a> {
     }
 
     /// Root completions for a `?` hole: live locals, `this`, and globals.
-    fn hole_roots(&self) -> VecStream {
+    fn hole_roots(&self) -> VecStream<Expr> {
         let ranker = self.ranker();
         let mut roots = Vec::new();
         for (i, local) in self.ctx.locals.iter().enumerate() {
@@ -252,6 +328,42 @@ impl<'a> Completer<'a> {
         VecStream::new(roots)
     }
 
+    /// Interned twin of [`Completer::hole_roots`]: same roots, same order,
+    /// same scores, but each root is an arena id.
+    fn hole_roots_interned(&self, arena: &ExprArena) -> VecStream<ExprId> {
+        let ranker = self.ranker();
+        let mut roots = Vec::new();
+        for (i, local) in self.ctx.locals.iter().enumerate() {
+            roots.push(IComp {
+                expr: arena.local(pex_model::LocalId(i as u32)),
+                score: 0,
+                ty: ValueTy::Known(local.ty),
+            });
+        }
+        if let Some(this_ty) = self.ctx.this_type() {
+            roots.push(IComp {
+                expr: arena.this(),
+                score: 0,
+                ty: ValueTy::Known(this_ty),
+            });
+        }
+        for g in self.db.globals() {
+            let (expr, ty) = match g {
+                GlobalRef::Field(f) => {
+                    (arena.static_field(f), ValueTy::Known(self.db.field(f).ty()))
+                }
+                GlobalRef::Method(m) => (
+                    arena.call(m, &[]),
+                    ValueTy::Known(self.db.method(m).return_type()),
+                ),
+            };
+            if let Some(score) = ranker.score_interned(arena, expr) {
+                roots.push(IComp { expr, score, ty });
+            }
+        }
+        VecStream::new(roots)
+    }
+
     /// Compiles a partial expression into a scored stream whose emissions
     /// satisfy `filter`. Every combinator with an internal search loop
     /// (chain Dijkstra, product frontier) shares `budget`, so a resource
@@ -261,8 +373,9 @@ impl<'a> Completer<'a> {
         pe: &PartialExpr,
         filter: TypeFilter,
         budget: &Budget,
-    ) -> Box<dyn ScoredStream + 's> {
+    ) -> Box<dyn ScoredStream<Expr> + 's> {
         let ranker = self.ranker();
+        let memo = &self.cache().chains;
         match pe {
             PartialExpr::Known(e) => {
                 let mut items = Vec::new();
@@ -297,6 +410,8 @@ impl<'a> Completer<'a> {
                         self.link_cost(),
                         filter,
                         budget.clone(),
+                        BoxedGrow,
+                        memo,
                     )
                     .with_pruner(pruner),
                 )
@@ -321,18 +436,20 @@ impl<'a> Completer<'a> {
                         self.link_cost(),
                         filter,
                         budget.clone(),
+                        BoxedGrow,
+                        memo,
                     )
                     .with_pruner(pruner),
                 )
             }
             PartialExpr::UnknownCall(args) => {
-                let arg_streams: Vec<Box<dyn ScoredStream + 's>> = args
+                let arg_streams: Vec<Box<dyn ScoredStream<Expr> + 's>> = args
                     .iter()
                     .map(|a| self.stream_for(a, TypeFilter::any(), budget))
                     .collect();
                 let product = ProductStream::new(arg_streams, budget.clone());
                 let index = self.index;
-                let expand = move |combo: &stream::Combo| {
+                let expand = move |combo: &stream::Combo<Expr>| {
                     calls::expand_unknown_call(&ranker, index, &combo.items)
                 };
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
@@ -346,7 +463,7 @@ impl<'a> Completer<'a> {
                 if viable.is_empty() {
                     return Box::new(VecStream::empty());
                 }
-                let arg_streams: Vec<Box<dyn ScoredStream + 's>> = args
+                let arg_streams: Vec<Box<dyn ScoredStream<Expr> + 's>> = args
                     .iter()
                     .enumerate()
                     .map(|(i, a)| {
@@ -361,23 +478,23 @@ impl<'a> Completer<'a> {
                     .collect();
                 let product = ProductStream::new(arg_streams, budget.clone());
                 let cands = viable;
-                let expand = move |combo: &stream::Combo| {
+                let expand = move |combo: &stream::Combo<Expr>| {
                     calls::expand_known_call(&ranker, &cands, &combo.items)
                 };
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
             }
             PartialExpr::Assign(l, r) => {
-                let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
+                let streams: Vec<Box<dyn ScoredStream<Expr> + 's>> = vec![
                     self.stream_for(l, TypeFilter::any(), budget),
                     self.stream_for(r, TypeFilter::any(), budget),
                 ];
                 let product = ProductStream::new(streams, budget.clone());
                 let expand =
-                    move |combo: &stream::Combo| calls::expand_assign(&ranker, &combo.items);
+                    move |combo: &stream::Combo<Expr>| calls::expand_assign(&ranker, &combo.items);
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
             }
             PartialExpr::Alt(alts) => {
-                let streams: Vec<Box<dyn ScoredStream + 's>> = alts
+                let streams: Vec<Box<dyn ScoredStream<Expr> + 's>> = alts
                     .iter()
                     .map(|a| self.stream_for(a, filter.clone(), budget))
                     .collect();
@@ -386,24 +503,183 @@ impl<'a> Completer<'a> {
             PartialExpr::Cmp(op, l, r) => {
                 // Paper Section 4.2: operands of a relational operator can
                 // only have ordered types; narrow both streams up front.
-                let streams: Vec<Box<dyn ScoredStream + 's>> = vec![
+                let streams: Vec<Box<dyn ScoredStream<Expr> + 's>> = vec![
                     self.stream_for(l, TypeFilter::Ordered, budget),
                     self.stream_for(r, TypeFilter::Ordered, budget),
                 ];
                 let product = ProductStream::new(streams, budget.clone());
                 let op = *op;
                 let expand =
-                    move |combo: &stream::Combo| calls::expand_cmp(&ranker, op, &combo.items);
+                    move |combo: &stream::Combo<Expr>| calls::expand_cmp(&ranker, op, &combo.items);
                 self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
             }
         }
     }
 
-    fn filtered<'s>(
+    /// Interned twin of [`Completer::stream_for`]: arm-for-arm identical
+    /// compilation, but every stream carries [`ExprId`]s and every built
+    /// node is one `intern`. The equivalence proptest guards the pair.
+    fn stream_for_interned<'s>(
         &'s self,
-        inner: Box<dyn ScoredStream + 's>,
+        pe: &PartialExpr,
         filter: TypeFilter,
-    ) -> Box<dyn ScoredStream + 's> {
+        budget: &Budget,
+        cache: &'s EngineCache,
+    ) -> Box<dyn ScoredStream<ExprId> + 's> {
+        let ranker = self.ranker();
+        let arena = &cache.arena;
+        let memo = &cache.chains;
+        match pe {
+            PartialExpr::Known(e) => {
+                let mut items = Vec::new();
+                let id = arena.intern_expr(e);
+                if let (Some(score), Ok(ty)) = (
+                    ranker.score_interned(arena, id),
+                    self.db.expr_ty(e, self.ctx),
+                ) {
+                    if filter.passes(self.db, ty) {
+                        items.push(IComp {
+                            expr: id,
+                            score,
+                            ty,
+                        });
+                    }
+                }
+                Box::new(VecStream::new(items))
+            }
+            PartialExpr::Hole0 => Box::new(VecStream::new(vec![IComp {
+                expr: arena.hole0(),
+                score: 0,
+                ty: ValueTy::Wildcard,
+            }])),
+            PartialExpr::Hole => {
+                let pruner = self
+                    .reach
+                    .and_then(|r| r.pruner(self.db, ChainLink::FieldsAndMethods, &filter));
+                Box::new(
+                    ChainStream::new(
+                        self.db,
+                        self.ctx,
+                        Box::new(self.hole_roots_interned(arena)),
+                        ChainLink::FieldsAndMethods,
+                        None,
+                        self.options.depth_cap,
+                        self.link_cost(),
+                        filter,
+                        budget.clone(),
+                        ArenaGrow { arena },
+                        memo,
+                    )
+                    .with_pruner(pruner),
+                )
+            }
+            PartialExpr::Suffix(base, kind) => {
+                let roots = self.stream_for_interned(base, TypeFilter::any(), budget, cache);
+                let links = if kind.allows_methods() {
+                    ChainLink::FieldsAndMethods
+                } else {
+                    ChainLink::Fields
+                };
+                let max_links = if kind.is_star() { None } else { Some(1) };
+                let pruner = self.reach.and_then(|r| r.pruner(self.db, links, &filter));
+                Box::new(
+                    ChainStream::new(
+                        self.db,
+                        self.ctx,
+                        roots,
+                        links,
+                        max_links,
+                        self.options.depth_cap,
+                        self.link_cost(),
+                        filter,
+                        budget.clone(),
+                        ArenaGrow { arena },
+                        memo,
+                    )
+                    .with_pruner(pruner),
+                )
+            }
+            PartialExpr::UnknownCall(args) => {
+                let arg_streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = args
+                    .iter()
+                    .map(|a| self.stream_for_interned(a, TypeFilter::any(), budget, cache))
+                    .collect();
+                let product = ProductStream::new(arg_streams, budget.clone());
+                let index = self.index;
+                let expand = move |combo: &stream::Combo<ExprId>| {
+                    calls::expand_unknown_call_interned(&ranker, index, arena, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::KnownCall { candidates, args } => {
+                let viable: Vec<pex_model::MethodId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|m| self.db.method(*m).full_arity() == args.len())
+                    .collect();
+                if viable.is_empty() {
+                    return Box::new(VecStream::empty());
+                }
+                let arg_streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        // Narrow each argument stream to types accepted at
+                        // this position by some viable overload.
+                        let wanted: Vec<TypeId> = viable
+                            .iter()
+                            .map(|m| self.db.method(*m).full_param_types()[i])
+                            .collect();
+                        self.stream_for_interned(a, TypeFilter::one_of(wanted), budget, cache)
+                    })
+                    .collect();
+                let product = ProductStream::new(arg_streams, budget.clone());
+                let cands = viable;
+                let expand = move |combo: &stream::Combo<ExprId>| {
+                    calls::expand_known_call_interned(&ranker, arena, &cands, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::Assign(l, r) => {
+                let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = vec![
+                    self.stream_for_interned(l, TypeFilter::any(), budget, cache),
+                    self.stream_for_interned(r, TypeFilter::any(), budget, cache),
+                ];
+                let product = ProductStream::new(streams, budget.clone());
+                let expand = move |combo: &stream::Combo<ExprId>| {
+                    calls::expand_assign_interned(&ranker, arena, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+            PartialExpr::Alt(alts) => {
+                let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = alts
+                    .iter()
+                    .map(|a| self.stream_for_interned(a, filter.clone(), budget, cache))
+                    .collect();
+                Box::new(MergeStream::new(streams))
+            }
+            PartialExpr::Cmp(op, l, r) => {
+                // Paper Section 4.2: operands of a relational operator can
+                // only have ordered types; narrow both streams up front.
+                let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = vec![
+                    self.stream_for_interned(l, TypeFilter::Ordered, budget, cache),
+                    self.stream_for_interned(r, TypeFilter::Ordered, budget, cache),
+                ];
+                let product = ProductStream::new(streams, budget.clone());
+                let op = *op;
+                let expand = move |combo: &stream::Combo<ExprId>| {
+                    calls::expand_cmp_interned(&ranker, arena, op, &combo.items)
+                };
+                self.filtered(Box::new(ExpandStream::new(product, expand)), filter)
+            }
+        }
+    }
+
+    fn filtered<'s, E: 's>(
+        &'s self,
+        inner: Box<dyn ScoredStream<E> + 's>,
+        filter: TypeFilter,
+    ) -> Box<dyn ScoredStream<E> + 's> {
         if filter.is_any() {
             return inner;
         }
@@ -424,9 +700,8 @@ impl<'a> Completer<'a> {
 /// the unbudgeted enumeration — an item produced in the same pull that
 /// tripped the budget is discarded rather than emitted out of order.
 pub struct CompletionIter<'s> {
-    stream: Box<dyn ScoredStream + 's>,
+    pipe: Pipe<'s>,
     budget: Budget,
-    seen: std::collections::HashSet<ExprKey>,
     /// Set exactly once, when iteration stops; also bumps the
     /// `engine.query.outcome.*` counter for the classification.
     finished: Option<QueryOutcome>,
@@ -438,6 +713,36 @@ pub struct CompletionIter<'s> {
     generated: u64,
     /// Candidates that survived dedup and were yielded to the caller.
     emitted: u64,
+}
+
+/// Which pipeline an iterator runs: interned ids (the default hot path,
+/// deduplicated by id, materialized at emission) or boxed trees (the
+/// reference path, deduplicated by [`ExprKey`]). Id dedup partitions
+/// candidates exactly like `ExprKey` dedup — id equality coincides with
+/// structural `ExprKey` equality within one arena — so both pipelines emit
+/// the same rows.
+enum Pipe<'s> {
+    Boxed {
+        stream: Box<dyn ScoredStream<Expr> + 's>,
+        seen: std::collections::HashSet<ExprKey>,
+    },
+    Interned {
+        stream: Box<dyn ScoredStream<ExprId> + 's>,
+        arena: &'s ExprArena,
+        seen: std::collections::HashSet<ExprId>,
+    },
+}
+
+/// Result of pulling one candidate from a pipeline.
+enum Pulled {
+    /// The stream drained.
+    Done,
+    /// The budget tripped inside the pull; the item was discarded.
+    Dropped,
+    /// A duplicate of an already-emitted expression.
+    Dup,
+    /// A novel completion, ready to yield.
+    Emit(Completion),
 }
 
 impl CompletionIter<'_> {
@@ -480,20 +785,47 @@ impl<'s> Iterator for CompletionIter<'s> {
             if !self.budget.charge() {
                 break;
             }
-            let Some(c) = self.stream.next_item() else {
-                break;
+            let budget = &self.budget;
+            let pulled = match &mut self.pipe {
+                Pipe::Boxed { stream, seen } => match stream.next_item() {
+                    None => Pulled::Done,
+                    // A budget trip inside the pull means the item may have
+                    // been released by a half-settled reorder buffer, so
+                    // emitting it could violate score order. Drop it:
+                    // emitted items stay a prefix of the unbudgeted
+                    // enumeration.
+                    Some(_) if budget.tripped().is_some() => Pulled::Dropped,
+                    Some(c) if seen.insert(ExprKey(c.expr.clone())) => Pulled::Emit(c),
+                    Some(_) => Pulled::Dup,
+                },
+                Pipe::Interned {
+                    stream,
+                    arena,
+                    seen,
+                } => match stream.next_item() {
+                    None => Pulled::Done,
+                    Some(_) if budget.tripped().is_some() => Pulled::Dropped,
+                    // Materialization happens only here, after id dedup —
+                    // dropped duplicates and never-pulled candidates never
+                    // build a tree.
+                    Some(c) if seen.insert(c.expr) => Pulled::Emit(Completion {
+                        expr: arena.materialize(c.expr),
+                        score: c.score,
+                        ty: c.ty,
+                    }),
+                    Some(_) => Pulled::Dup,
+                },
             };
-            if self.budget.tripped().is_some() {
-                // The budget tripped inside this pull; the item may have
-                // been released by a half-settled reorder buffer, so
-                // emitting it could violate score order. Drop it: emitted
-                // items stay a prefix of the unbudgeted enumeration.
-                break;
-            }
-            self.generated += 1;
-            if self.seen.insert(ExprKey(c.expr.clone())) {
-                self.emitted += 1;
-                return Some(c);
+            match pulled {
+                Pulled::Done | Pulled::Dropped => break,
+                Pulled::Dup => {
+                    self.generated += 1;
+                }
+                Pulled::Emit(c) => {
+                    self.generated += 1;
+                    self.emitted += 1;
+                    return Some(c);
+                }
             }
         }
         let outcome = self.budget.tripped().unwrap_or(QueryOutcome::Exhausted);

@@ -15,42 +15,56 @@
 //!
 //! Every stream exposes a **lower bound** on its next item's score; bounds
 //! are what make the composition safe.
+//!
+//! All combinators are generic over the expression payload `E`: the boxed
+//! reference path runs them over [`Expr`] trees ([`Completion`]), the hot
+//! path over interned [`pex_model::ExprId`]s ([`IComp`]), where cloning an
+//! item is a `u32` copy instead of a tree clone.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use pex_model::{Expr, ValueTy};
+use pex_model::{Expr, ExprId, ValueTy};
 
 use super::budget::Budget;
 
-/// A completion: a complete expression (possibly containing `0` holes), its
-/// ranking score, and its static type.
+/// A scored completion over an arbitrary expression payload: the expression
+/// (possibly containing `0` holes), its ranking score, and its static type.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Completion {
+pub struct Scored<E> {
     /// The completed expression.
-    pub expr: Expr,
+    pub expr: E,
     /// The ranking score (lower is better).
     pub score: u32,
     /// Static type of the expression.
     pub ty: ValueTy,
 }
 
+/// A completion over a materialised [`Expr`] tree — the public, boxed form.
+pub type Completion = Scored<Expr>;
+
+/// A completion over an interned arena id — the hot enumeration form.
+pub(crate) type IComp = Scored<ExprId>;
+
 /// A lazily evaluated stream of completions in non-decreasing score order.
-pub(crate) trait ScoredStream {
+pub(crate) trait ScoredStream<E> {
     /// A lower bound on the score of the next item; `None` when exhausted.
     fn bound(&mut self) -> Option<u32>;
     /// The next completion.
-    fn next_item(&mut self) -> Option<Completion>;
+    fn next_item(&mut self) -> Option<Scored<E>>;
 }
 
 /// A finite stream over a pre-computed set (sorted at construction).
-pub(crate) struct VecStream {
-    // Stored in descending score order so `pop` yields the cheapest.
-    items: Vec<Completion>,
+pub(crate) struct VecStream<E> {
+    // Stored in descending score order so `pop` yields the cheapest. The
+    // sort is stable, so among equal scores the *last-constructed* item
+    // emits first; both the boxed and interned paths rely on constructing
+    // candidates in the same order to stay row-for-row identical.
+    items: Vec<Scored<E>>,
 }
 
-impl VecStream {
-    pub(crate) fn new(mut items: Vec<Completion>) -> Self {
+impl<E> VecStream<E> {
+    pub(crate) fn new(mut items: Vec<Scored<E>>) -> Self {
         items.sort_by_key(|c| std::cmp::Reverse(c.score));
         VecStream { items }
     }
@@ -60,34 +74,34 @@ impl VecStream {
     }
 }
 
-impl ScoredStream for VecStream {
+impl<E> ScoredStream<E> for VecStream<E> {
     fn bound(&mut self) -> Option<u32> {
         self.items.last().map(|c| c.score)
     }
 
-    fn next_item(&mut self) -> Option<Completion> {
+    fn next_item(&mut self) -> Option<Scored<E>> {
         self.items.pop()
     }
 }
 
 /// K-way merge of streams by bound. Used for [`super::super::PartialExpr::Alt`]
 /// queries, whose completions are the union of their alternatives'.
-pub(crate) struct MergeStream<'a> {
-    streams: Vec<Box<dyn ScoredStream + 'a>>,
+pub(crate) struct MergeStream<'a, E> {
+    streams: Vec<Box<dyn ScoredStream<E> + 'a>>,
 }
 
-impl<'a> MergeStream<'a> {
-    pub(crate) fn new(streams: Vec<Box<dyn ScoredStream + 'a>>) -> Self {
+impl<'a, E> MergeStream<'a, E> {
+    pub(crate) fn new(streams: Vec<Box<dyn ScoredStream<E> + 'a>>) -> Self {
         MergeStream { streams }
     }
 }
 
-impl<'a> ScoredStream for MergeStream<'a> {
+impl<'a, E> ScoredStream<E> for MergeStream<'a, E> {
     fn bound(&mut self) -> Option<u32> {
         self.streams.iter_mut().filter_map(|s| s.bound()).min()
     }
 
-    fn next_item(&mut self) -> Option<Completion> {
+    fn next_item(&mut self) -> Option<Scored<E>> {
         let mut best: Option<(usize, u32)> = None;
         for (i, s) in self.streams.iter_mut().enumerate() {
             if let Some(b) = s.bound() {
@@ -103,14 +117,14 @@ impl<'a> ScoredStream for MergeStream<'a> {
 
 /// A stream materialised on demand, with random access to already-pulled
 /// items (the cache the product search indexes into).
-struct CachedStream<'a> {
-    inner: Box<dyn ScoredStream + 'a>,
-    cache: Vec<Completion>,
+struct CachedStream<'a, E> {
+    inner: Box<dyn ScoredStream<E> + 'a>,
+    cache: Vec<Scored<E>>,
     exhausted: bool,
 }
 
-impl<'a> CachedStream<'a> {
-    fn new(inner: Box<dyn ScoredStream + 'a>) -> Self {
+impl<'a, E> CachedStream<'a, E> {
+    fn new(inner: Box<dyn ScoredStream<E> + 'a>) -> Self {
         CachedStream {
             inner,
             cache: Vec::new(),
@@ -120,7 +134,7 @@ impl<'a> CachedStream<'a> {
 
     /// Ensures item `i` is materialised; returns it if the stream is long
     /// enough.
-    fn get(&mut self, i: usize) -> Option<&Completion> {
+    fn get(&mut self, i: usize) -> Option<&Scored<E>> {
         while self.cache.len() <= i && !self.exhausted {
             match self.inner.next_item() {
                 Some(c) => self.cache.push(c),
@@ -133,17 +147,17 @@ impl<'a> CachedStream<'a> {
 
 /// One element of the product: a choice of completion per subexpression.
 #[derive(Debug, Clone)]
-pub(crate) struct Combo {
+pub(crate) struct Combo<E> {
     /// Sum of the chosen completions' scores.
     pub score: u32,
     /// The chosen completion for each subexpression, in order.
-    pub items: Vec<Completion>,
+    pub items: Vec<Scored<E>>,
 }
 
 /// Enumerates choices of one completion per subexpression in score-sum
 /// order, i.e. the sorted product of sorted streams (frontier search).
-pub(crate) struct ProductStream<'a> {
-    args: Vec<CachedStream<'a>>,
+pub(crate) struct ProductStream<'a, E> {
+    args: Vec<CachedStream<'a, E>>,
     heap: BinaryHeap<Reverse<(u32, Vec<u32>)>>,
     seen: HashSet<Vec<u32>>,
     started: bool,
@@ -152,8 +166,8 @@ pub(crate) struct ProductStream<'a> {
     budget: Budget,
 }
 
-impl<'a> ProductStream<'a> {
-    pub(crate) fn new(args: Vec<Box<dyn ScoredStream + 'a>>, budget: Budget) -> Self {
+impl<'a, E: Clone> ProductStream<'a, E> {
+    pub(crate) fn new(args: Vec<Box<dyn ScoredStream<E> + 'a>>, budget: Budget) -> Self {
         ProductStream {
             args: args.into_iter().map(CachedStream::new).collect(),
             heap: BinaryHeap::new(),
@@ -195,7 +209,7 @@ impl<'a> ProductStream<'a> {
     }
 
     /// The next cheapest combo.
-    pub(crate) fn next_combo(&mut self) -> Option<Combo> {
+    pub(crate) fn next_combo(&mut self) -> Option<Combo<E>> {
         if !self.budget.charge() {
             return None;
         }
@@ -207,7 +221,7 @@ impl<'a> ProductStream<'a> {
             succ[i] += 1;
             self.push_state(succ);
         }
-        let items: Vec<Completion> = idx
+        let items: Vec<Scored<E>> = idx
             .iter()
             .enumerate()
             .map(|(i, &j)| self.args[i].cache[j as usize].clone())
@@ -219,42 +233,49 @@ impl<'a> ProductStream<'a> {
 /// The reorder buffer: expands combos into candidate completions whose
 /// scores are **at least** the combo's score (extras are non-negative), and
 /// releases a completion only when no unexpanded combo could beat it.
-pub(crate) struct ExpandStream<'a, F>
+pub(crate) struct ExpandStream<'a, E, F>
 where
-    F: FnMut(&Combo) -> Vec<Completion>,
+    F: FnMut(&Combo<E>) -> Vec<Scored<E>>,
 {
-    source: ProductStream<'a>,
+    source: ProductStream<'a, E>,
     expand: F,
-    buffer: BinaryHeap<Reverse<BufItem>>,
+    buffer: BinaryHeap<Reverse<BufItem<E>>>,
     counter: u64,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct BufItem {
+#[derive(Debug, Clone)]
+struct BufItem<E> {
     score: u32,
     seq: u64,
-    completion: Completion,
+    completion: Scored<E>,
 }
 
-impl Eq for BufItem {}
+impl<E> PartialEq for BufItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.score, self.seq) == (other.score, other.seq)
+    }
+}
 
-impl Ord for BufItem {
+impl<E> Eq for BufItem<E> {}
+
+impl<E> Ord for BufItem<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.score, self.seq).cmp(&(other.score, other.seq))
     }
 }
 
-impl PartialOrd for BufItem {
+impl<E> PartialOrd for BufItem<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<'a, F> ExpandStream<'a, F>
+impl<'a, E, F> ExpandStream<'a, E, F>
 where
-    F: FnMut(&Combo) -> Vec<Completion>,
+    E: Clone,
+    F: FnMut(&Combo<E>) -> Vec<Scored<E>>,
 {
-    pub(crate) fn new(source: ProductStream<'a>, expand: F) -> Self {
+    pub(crate) fn new(source: ProductStream<'a, E>, expand: F) -> Self {
         ExpandStream {
             source,
             expand,
@@ -294,9 +315,10 @@ where
     }
 }
 
-impl<'a, F> ScoredStream for ExpandStream<'a, F>
+impl<'a, E, F> ScoredStream<E> for ExpandStream<'a, E, F>
 where
-    F: FnMut(&Combo) -> Vec<Completion>,
+    E: Clone,
+    F: FnMut(&Combo<E>) -> Vec<Scored<E>>,
 {
     fn bound(&mut self) -> Option<u32> {
         let buffered = self.buffer.peek().map(|Reverse(b)| b.score);
@@ -309,7 +331,7 @@ where
         }
     }
 
-    fn next_item(&mut self) -> Option<Completion> {
+    fn next_item(&mut self) -> Option<Scored<E>> {
         loop {
             self.settle();
             match self.buffer.pop() {
@@ -337,7 +359,7 @@ mod tests {
         }
     }
 
-    fn drain(mut s: impl ScoredStream) -> Vec<u32> {
+    fn drain(mut s: impl ScoredStream<Expr>) -> Vec<u32> {
         let mut out = Vec::new();
         while let Some(item) = s.next_item() {
             out.push(item.score);
@@ -361,8 +383,8 @@ mod tests {
 
     #[test]
     fn product_enumerates_in_sum_order() {
-        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(2)]));
-        let b: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(5)]));
+        let a: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::new(vec![c(0), c(2)]));
+        let b: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::new(vec![c(0), c(5)]));
         let mut p = ProductStream::new(vec![a, b], Budget::unlimited());
         let mut sums = Vec::new();
         while let Some(combo) = p.next_combo() {
@@ -377,8 +399,8 @@ mod tests {
 
     #[test]
     fn product_of_empty_stream_is_empty() {
-        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0)]));
-        let b: Box<dyn ScoredStream> = Box::new(VecStream::empty());
+        let a: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::new(vec![c(0)]));
+        let b: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::empty());
         let mut p = ProductStream::new(vec![a, b], Budget::unlimited());
         assert!(p.next_combo().is_none());
         assert_eq!(p.bound(), None);
@@ -386,7 +408,7 @@ mod tests {
 
     #[test]
     fn product_of_zero_args_yields_one_empty_combo() {
-        let mut p = ProductStream::new(vec![], Budget::unlimited());
+        let mut p: ProductStream<'_, Expr> = ProductStream::new(vec![], Budget::unlimited());
         let combo = p.next_combo().unwrap();
         assert_eq!(combo.score, 0);
         assert!(combo.items.is_empty());
@@ -397,7 +419,7 @@ mod tests {
     fn expand_reorders_buffered_items() {
         // Combos score 0 and 1; expansion adds +0 or +10. The item at
         // score 1 (from combo 1) must come out before score 10 (combo 0).
-        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1)]));
+        let a: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::new(vec![c(0), c(1)]));
         let p = ProductStream::new(vec![a], Budget::unlimited());
         let s = ExpandStream::new(p, |combo| {
             vec![
@@ -418,7 +440,7 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn boxed(scores: Vec<u32>) -> Box<dyn ScoredStream + 'static> {
+        fn boxed(scores: Vec<u32>) -> Box<dyn ScoredStream<Expr> + 'static> {
             Box::new(VecStream::new(scores.into_iter().map(c).collect()))
         }
 
@@ -434,7 +456,7 @@ mod tests {
                     1..4,
                 )
             ) {
-                let streams: Vec<Box<dyn ScoredStream>> =
+                let streams: Vec<Box<dyn ScoredStream<Expr>>> =
                     lists.iter().cloned().map(boxed).collect();
                 let mut product = ProductStream::new(streams, Budget::unlimited());
                 let mut got = Vec::new();
@@ -488,7 +510,7 @@ mod tests {
                     v
                 };
                 let product = ProductStream::new(vec![boxed(scores)], Budget::unlimited());
-                let mut stream = ExpandStream::new(product, move |combo: &Combo| {
+                let mut stream = ExpandStream::new(product, move |combo: &Combo<Expr>| {
                     extras_for(combo.score)
                         .into_iter()
                         .map(|e| Completion {
@@ -510,7 +532,7 @@ mod tests {
 
     #[test]
     fn expand_skips_empty_expansions() {
-        let a: Box<dyn ScoredStream> = Box::new(VecStream::new(vec![c(0), c(1), c(2)]));
+        let a: Box<dyn ScoredStream<Expr>> = Box::new(VecStream::new(vec![c(0), c(1), c(2)]));
         let p = ProductStream::new(vec![a], Budget::unlimited());
         let s = ExpandStream::new(p, |combo| {
             if combo.score == 1 {

@@ -57,8 +57,8 @@ pub mod rank;
 pub use engine::{
     budget::{CancelToken, QueryBudget, QueryOutcome, RankResult},
     chains::ChainLink,
-    CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter, MethodIndex,
-    ReachIndex,
+    CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter, EngineCache,
+    MethodIndex, ReachIndex,
 };
 pub use partial::{derives, parse_partial, ParseError, PartialExpr, SuffixKind};
 pub use rank::{RankConfig, RankTerm, Ranker, ScoreBreakdown};

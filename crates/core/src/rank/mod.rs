@@ -24,7 +24,7 @@
 //! terms apply to calls with declared parameters.
 
 use pex_abstract::AbsTypes;
-use pex_model::{Context, Database, Expr, MethodId, ValueTy};
+use pex_model::{ArenaRead, Context, Database, ENode, Expr, ExprArena, ExprId, MethodId, ValueTy};
 use pex_types::TypeId;
 
 /// The individually toggleable ranking terms (paper Table 2's columns).
@@ -506,6 +506,234 @@ impl<'a> Ranker<'a> {
         }
         debug_assert_eq!(self.score(e), Some(total), "terms must be additive");
         Some(ScoreBreakdown { terms, total })
+    }
+
+    // ---- interned twins -------------------------------------------------
+    //
+    // These mirror the boxed scoring arms exactly — same arithmetic, same
+    // early `None`s, same obs counter bumps — so the interned enumeration
+    // path produces identical scores without materializing trees. The
+    // row-for-row equivalence proptest pins the pair together.
+
+    /// Scores an interned expression; same contract and same result as
+    /// [`Ranker::score`] on the materialized tree.
+    pub fn score_interned(&self, arena: &ExprArena, id: ExprId) -> Option<u32> {
+        let r = arena.read();
+        self.score_node(&r, id)
+    }
+
+    fn score_node(&self, r: &ArenaRead<'_>, id: ExprId) -> Option<u32> {
+        pex_obs::counter!("rank.score.evals", 1);
+        match r.node(id) {
+            ENode::Local(l) => {
+                if l.index() < self.ctx.locals.len() {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            ENode::This => self.ctx.this_type().map(|_| 0),
+            ENode::IntLit(_)
+            | ENode::DoubleBits(_)
+            | ENode::BoolLit(_)
+            | ENode::StrLit(_)
+            | ENode::Null
+            | ENode::Hole0
+            | ENode::Opaque { .. } => Some(0),
+            ENode::StaticField(_) => Some(self.link_cost()),
+            ENode::FieldAccess(base, f) => {
+                let (base, f) = (*base, *f);
+                let base_score = self.score_node(r, base)?;
+                let base_ty = self.node_type(r, base)?;
+                match base_ty {
+                    ValueTy::Known(t)
+                        if self
+                            .db
+                            .types()
+                            .implicitly_convertible(t, self.db.field(f).declaring()) => {}
+                    ValueTy::Wildcard => {}
+                    _ => return None,
+                }
+                Some(base_score + self.link_cost())
+            }
+            ENode::Call(m, args) => self.score_call_node(r, *m, args),
+            ENode::Assign(l, rhs) => {
+                let (l, rhs) = (*l, *rhs);
+                let ls = self.score_node(r, l)?;
+                let rs = self.score_node(r, rhs)?;
+                let lt = self.node_type(r, l)?;
+                let rt = self.node_type(r, rhs)?;
+                let td = match (rt, lt) {
+                    (ValueTy::Known(from), ValueTy::Known(to)) => {
+                        self.db.types().type_distance(from, to)?
+                    }
+                    _ => 0,
+                };
+                let td_term = if self.config.type_distance {
+                    pex_obs::counter!("rank.term.type_distance.evals", 1);
+                    td
+                } else {
+                    0
+                };
+                let abs_term = self.pair_abs_term_node(r, l, rhs);
+                Some(ls + rs + td_term + abs_term)
+            }
+            ENode::Cmp(_, l, rhs) => {
+                let (l, rhs) = (*l, *rhs);
+                let ls = self.score_node(r, l)?;
+                let rs = self.score_node(r, rhs)?;
+                let lt = self.node_type(r, l)?;
+                let rt = self.node_type(r, rhs)?;
+                let td = match (lt, rt) {
+                    (ValueTy::Known(a), ValueTy::Known(b)) => {
+                        self.db.types().comparable_pair(a, b)?.distance
+                    }
+                    _ => 0,
+                };
+                let td_term = if self.config.type_distance {
+                    pex_obs::counter!("rank.term.type_distance.evals", 1);
+                    td
+                } else {
+                    0
+                };
+                let abs_term = self.pair_abs_term_node(r, l, rhs);
+                let name_term = if self.config.matching_name {
+                    pex_obs::counter!("rank.term.matching_name.evals", 1);
+                    if self.same_trailing_name_node(r, l, rhs) {
+                        0
+                    } else {
+                        3
+                    }
+                } else {
+                    0
+                };
+                Some(ls + rs + td_term + abs_term + name_term)
+            }
+        }
+    }
+
+    fn score_call_node(&self, r: &ArenaRead<'_>, m: MethodId, args: &[ExprId]) -> Option<u32> {
+        let md = self.db.method(m);
+        if args.len() != md.full_arity() {
+            return None;
+        }
+        // Zero-argument calls are lookups: depth cost only.
+        if md.params().is_empty() {
+            let base = match args.first() {
+                Some(&recv) => {
+                    let s = self.score_node(r, recv)?;
+                    match self.node_type(r, recv)? {
+                        ValueTy::Known(t)
+                            if self.db.types().implicitly_convertible(t, md.declaring()) => {}
+                        ValueTy::Wildcard => {}
+                        _ => return None,
+                    }
+                    s
+                }
+                None => 0,
+            };
+            return Some(base + self.link_cost());
+        }
+        let param_tys = md.full_param_types();
+        let mut total = 0u32;
+        for (i, (&arg, want)) in args.iter().zip(&param_tys).enumerate() {
+            total += self.score_node(r, arg)?;
+            match self.node_type(r, arg)? {
+                ValueTy::Known(t) => {
+                    let d = self.db.types().type_distance(t, *want)?;
+                    if self.config.type_distance {
+                        pex_obs::counter!("rank.term.type_distance.evals", 1);
+                        total += d;
+                    }
+                }
+                ValueTy::Wildcard => {}
+            }
+            if self.config.abstract_types {
+                pex_obs::counter!("rank.term.abstract_types.evals", 1);
+                if !self.arg_abs_matches_node(r, m, i, arg) {
+                    total += 1;
+                }
+            }
+        }
+        if self.config.in_scope_static {
+            pex_obs::counter!("rank.term.in_scope_static.evals", 1);
+            if !(md.is_static() && self.static_in_scope(m)) {
+                total += 1;
+            }
+        }
+        if self.config.namespace {
+            pex_obs::counter!("rank.term.namespace.evals", 1);
+            total += self.namespace_term_node(r, m, args);
+        }
+        Some(total)
+    }
+
+    fn namespace_term_node(&self, r: &ArenaRead<'_>, m: MethodId, args: &[ExprId]) -> u32 {
+        let mut arg_ns = Vec::new();
+        for &arg in args {
+            if let Ok(ValueTy::Known(t)) = self.db.expr_ty_interned(r, arg, self.ctx) {
+                let def = self.db.types().get(t);
+                if !def.is_primitive() && t != self.db.types().object() {
+                    arg_ns.push(def.namespace());
+                }
+            }
+        }
+        let sim = if arg_ns.len() <= 1 {
+            0
+        } else {
+            let decl_ns = self
+                .db
+                .types()
+                .get(self.db.method(m).declaring())
+                .namespace();
+            arg_ns.push(decl_ns);
+            self.db.types().namespaces().common_prefix_len(arg_ns)
+        };
+        3 - (sim.min(3) as u32)
+    }
+
+    fn arg_abs_matches_node(&self, r: &ArenaRead<'_>, m: MethodId, i: usize, arg: ExprId) -> bool {
+        let Some(abs) = self.abs else { return false };
+        let a = abs.expr_class_interned(self.ctx.enclosing_method, r, arg);
+        let p = abs.param_class(m, i);
+        AbsTypes::matches(a, p)
+    }
+
+    fn pair_abs_term_node(&self, r: &ArenaRead<'_>, l: ExprId, rhs: ExprId) -> u32 {
+        if !self.config.abstract_types {
+            return 0;
+        }
+        pex_obs::counter!("rank.term.abstract_types.evals", 1);
+        let matched = self.abs.is_some_and(|abs| {
+            AbsTypes::matches(
+                abs.expr_class_interned(self.ctx.enclosing_method, r, l),
+                abs.expr_class_interned(self.ctx.enclosing_method, r, rhs),
+            )
+        });
+        u32::from(!matched)
+    }
+
+    fn same_trailing_name_node(&self, r: &ArenaRead<'_>, l: ExprId, rhs: ExprId) -> bool {
+        match (
+            self.trailing_name_node(r, l),
+            self.trailing_name_node(r, rhs),
+        ) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn trailing_name_node<'s>(&'s self, r: &'s ArenaRead<'_>, id: ExprId) -> Option<&'s str> {
+        match r.node(id) {
+            ENode::StaticField(f) | ENode::FieldAccess(_, f) => Some(self.db.field(*f).name()),
+            ENode::Call(m, _) => Some(self.db.method(*m).name()),
+            ENode::Local(l) => self.ctx.locals.get(l.index()).map(|loc| loc.name.as_str()),
+            _ => None,
+        }
+    }
+
+    fn node_type(&self, r: &ArenaRead<'_>, id: ExprId) -> Option<ValueTy> {
+        self.db.expr_ty_interned(r, id, self.ctx).ok()
     }
 }
 

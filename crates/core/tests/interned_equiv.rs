@@ -1,0 +1,195 @@
+//! The interned enumeration pipeline is an optimisation, not a semantics
+//! change: for every query it must produce exactly the rows the boxed
+//! reference pipeline produces — same expressions, same scores, same
+//! types, same order, same [`QueryOutcome`] — under any budget and from
+//! any number of threads sharing one [`EngineCache`]. These properties pin
+//! that equivalence over randomly generated corpora.
+
+use proptest::prelude::*;
+
+use pex_abstract::AbsTypes;
+use pex_core::{
+    CompleteOptions, Completer, CompletionIter, EngineCache, MethodIndex, PartialExpr, QueryBudget,
+    QueryOutcome, RankConfig, ReachIndex, SuffixKind,
+};
+use pex_corpus::{generate, ClientProfile, LibraryProfile};
+use pex_model::{CmpOp, Context, Database, Expr, MethodId, ValueTy};
+
+fn small_db(seed: u64) -> Database {
+    let lib = LibraryProfile {
+        types: 25,
+        namespaces: 4,
+        ..Default::default()
+    };
+    let client = ClientProfile {
+        classes: 2,
+        ..Default::default()
+    };
+    generate(&lib, &client, seed)
+}
+
+/// First call statement site in the corpus, with its context.
+fn first_site(db: &Database) -> Option<(MethodId, usize, MethodId, Vec<Expr>)> {
+    for m in db.methods() {
+        if let Some(body) = db.method(m).body() {
+            for (si, stmt) in body.stmts.iter().enumerate() {
+                if let Some(Expr::Call(target, args)) = stmt.expr() {
+                    if !args.is_empty() {
+                        return Some((m, si, *target, args.clone()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A spread of query shapes covering every expander: holes, both suffix
+/// families, unknown and known calls, assignment, comparison, and the
+/// parser's ambiguity union.
+fn query_mix(target: MethodId, args: &[Expr]) -> Vec<PartialExpr> {
+    let known0 = PartialExpr::Known(args[0].clone());
+    let mut hole_args: Vec<PartialExpr> =
+        args.iter().map(|a| PartialExpr::Known(a.clone())).collect();
+    hole_args[0] = PartialExpr::Hole;
+    vec![
+        PartialExpr::Hole,
+        PartialExpr::suffix(known0.clone(), SuffixKind::Field),
+        PartialExpr::suffix(known0.clone(), SuffixKind::FieldStar),
+        PartialExpr::suffix(known0.clone(), SuffixKind::MethodStar),
+        PartialExpr::UnknownCall(vec![known0.clone()]),
+        PartialExpr::KnownCall {
+            candidates: vec![target],
+            args: hole_args,
+        },
+        PartialExpr::Assign(Box::new(PartialExpr::Hole), Box::new(known0.clone())),
+        PartialExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(known0.clone()),
+            Box::new(PartialExpr::Hole),
+        ),
+        PartialExpr::Alt(vec![
+            PartialExpr::UnknownCall(vec![known0.clone()]),
+            PartialExpr::suffix(known0, SuffixKind::Method),
+        ]),
+    ]
+}
+
+/// Drains up to `take` rows plus the final outcome into a comparable form.
+/// Expressions are compared by debug rendering, which is total (doubles
+/// compare by bit pattern in `ExprKey`, and debug text distinguishes them).
+fn rows(mut iter: CompletionIter<'_>, take: usize) -> (Vec<(String, u32, ValueTy)>, QueryOutcome) {
+    let mut out = Vec::new();
+    while out.len() < take {
+        match iter.next() {
+            Some(c) => out.push((format!("{:?}", c.expr), c.score, c.ty)),
+            None => break,
+        }
+    }
+    let outcome = iter.outcome().unwrap_or(QueryOutcome::Limit);
+    (out, outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Row-for-row parity on every query shape, unbudgeted.
+    #[test]
+    fn interned_matches_boxed_row_for_row(seed in 0u64..400) {
+        let db = small_db(seed);
+        let Some((enclosing, stmt, target, args)) = first_site(&db) else { return Ok(()) };
+        let body = db.method(enclosing).body().expect("site came from a body");
+        let ctx = Context::at_statement(&db, enclosing, body, stmt);
+        let abs = AbsTypes::for_query(&db, enclosing, stmt);
+        let index = MethodIndex::build(&db);
+        let reach = ReachIndex::build(&db);
+        let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), Some(&abs))
+            .with_reach(&reach);
+
+        for query in query_mix(target, &args) {
+            let (boxed, boxed_out) = rows(engine.completions_boxed(&query), 60);
+            let (interned, interned_out) = rows(engine.completions(&query), 60);
+            prop_assert_eq!(&interned, &boxed, "rows diverged on query {}", query.shape());
+            prop_assert_eq!(interned_out, boxed_out, "outcome diverged on query {}", query.shape());
+        }
+    }
+
+    /// Parity holds under step budgets too: both pipelines charge the same
+    /// work sequence, so they are cut off at exactly the same row with the
+    /// same degraded outcome.
+    #[test]
+    fn interned_matches_boxed_under_budgets(seed in 0u64..200, max_steps in 1usize..400) {
+        let db = small_db(seed);
+        let Some((enclosing, stmt, target, args)) = first_site(&db) else { return Ok(()) };
+        let body = db.method(enclosing).body().expect("site came from a body");
+        let ctx = Context::at_statement(&db, enclosing, body, stmt);
+        let index = MethodIndex::build(&db);
+        let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), None)
+            .with_options(CompleteOptions {
+                budget: QueryBudget {
+                    max_steps,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+
+        for query in query_mix(target, &args) {
+            let (boxed, boxed_out) = rows(engine.completions_boxed(&query), 60);
+            let (interned, interned_out) = rows(engine.completions(&query), 60);
+            prop_assert_eq!(&interned, &boxed,
+                "rows diverged on query {} with max_steps {}", query.shape(), max_steps);
+            prop_assert_eq!(interned_out, boxed_out,
+                "outcome diverged on query {} with max_steps {}", query.shape(), max_steps);
+        }
+    }
+
+    /// Many threads sharing one [`EngineCache`] (the serve snapshot shape):
+    /// concurrent interning must not change anyone's rows, and re-running a
+    /// query against the warmed cache must reproduce the cold run.
+    #[test]
+    fn shared_cache_is_transparent_across_threads(seed in 0u64..100, threads in 1usize..5) {
+        let db = small_db(seed);
+        let Some((enclosing, stmt, target, args)) = first_site(&db) else { return Ok(()) };
+        let body = db.method(enclosing).body().expect("site came from a body");
+        let ctx = Context::at_statement(&db, enclosing, body, stmt);
+        let index = MethodIndex::build(&db);
+        let cache = EngineCache::new();
+        let queries = query_mix(target, &args);
+
+        // Boxed reference rows, computed once up front.
+        let reference = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| rows(reference.completions_boxed(q), 40))
+            .collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let (cache, queries, expected, db, ctx, index) =
+                    (&cache, &queries, &expected, &db, &ctx, &index);
+                handles.push(scope.spawn(move || {
+                    let engine = Completer::new(db, ctx, index, RankConfig::all(), None)
+                        .with_cache(cache);
+                    // Stagger the starting query so threads intern
+                    // different expressions concurrently.
+                    for i in 0..queries.len() {
+                        let k = (i + t) % queries.len();
+                        let got = rows(engine.completions(&queries[k]), 40);
+                        assert_eq!(got, expected[k], "thread {t} diverged on query {k}");
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("equivalence thread panicked");
+            }
+        });
+
+        // The cache is now fully warm; a fresh run must still agree.
+        let warmed = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_cache(&cache);
+        for (q, exp) in queries.iter().zip(&expected) {
+            let got = rows(warmed.completions(q), 40);
+            prop_assert_eq!(&got, exp, "warmed-cache run diverged on query {}", q.shape());
+        }
+    }
+}

@@ -42,13 +42,22 @@ pub fn index_candidates_stats(snap: &MetricsSnapshot) -> CacheStats {
     }
 }
 
-/// `ConversionIndex::distance` statistics: a miss is a query for which no
-/// conversion exists (the index itself always answers in O(log n)).
+/// `ConversionIndex::distance` statistics. Since the negative-answer
+/// bitset, "no conversion" is itself a memoized answer (tallied under
+/// `convindex.distance.negative`, see [`convindex_negative_lookups`]); a
+/// miss survives only as the defensive fallthrough when the bitset and the
+/// distance table disagree, so the hit rate should sit at ~1.0.
 pub fn convindex_distance_stats(snap: &MetricsSnapshot) -> CacheStats {
     CacheStats {
         lookups: counter(snap, "convindex.distance.lookups"),
         misses: counter(snap, "convindex.distance.misses"),
     }
+}
+
+/// Distance lookups answered by the memoized negative bitset ("no
+/// conversion exists", one bit probe).
+pub fn convindex_negative_lookups(snap: &MetricsSnapshot) -> u64 {
+    counter(snap, "convindex.distance.negative")
 }
 
 fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
@@ -118,10 +127,11 @@ pub fn metrics_json(snap: &MetricsSnapshot, config: &str) -> String {
         idx.misses
     ));
     derived.push_str(&format!(
-        "    \"convindex_distance_hit_rate\": {:.6},\n    \"convindex_distance_lookups\": {},\n    \"convindex_distance_misses\": {},\n",
+        "    \"convindex_distance_hit_rate\": {:.6},\n    \"convindex_distance_lookups\": {},\n    \"convindex_distance_misses\": {},\n    \"convindex_distance_negative\": {},\n",
         conv.rate(),
         conv.lookups,
-        conv.misses
+        conv.misses,
+        convindex_negative_lookups(snap)
     ));
     let outcomes = query_outcome_stats(snap);
     derived.push_str(&format!(
@@ -193,9 +203,10 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
     }
     if conv.lookups > 0 {
         out.push_str(&format!(
-            "  conversion distance: {:.1}% defined ({} lookups, {} undefined)\n",
+            "  conversion distance: {:.1}% memoized ({} lookups, {} negative, {} unclassified)\n",
             conv.rate() * 100.0,
             conv.lookups,
+            convindex_negative_lookups(snap),
             conv.misses
         ));
     }
@@ -253,7 +264,7 @@ mod tests {
         r.counter("index.candidates.lookups").add(100);
         r.counter("index.candidates.fills").add(10);
         r.counter("convindex.distance.lookups").add(50);
-        r.counter("convindex.distance.misses").add(25);
+        r.counter("convindex.distance.negative").add(25);
         r.counter("engine.queries").add(7);
         r.counter("engine.candidates.generated").add(70);
         r.counter("engine.candidates.emitted").add(42);
@@ -277,7 +288,11 @@ mod tests {
         assert_eq!(idx.misses, 10);
         assert!((idx.rate() - 0.9).abs() < 1e-9);
         let conv = convindex_distance_stats(&snap);
-        assert!((conv.rate() - 0.5).abs() < 1e-9);
+        assert!(
+            (conv.rate() - 1.0).abs() < 1e-9,
+            "memoized negatives are hits"
+        );
+        assert_eq!(convindex_negative_lookups(&snap), 25);
         assert_eq!(hit_rate(0, 0), 0.0);
         // Missing counters degrade to zero, not panic.
         let empty = Registry::new().snapshot();
@@ -308,7 +323,8 @@ mod tests {
         assert!(json.contains("\"index_candidates_hit_rate\": 0.900000"));
         assert!(json.contains("\"query_outcomes\""));
         assert!(json.contains("\"deadline\": 1"));
-        assert!(json.contains("\"convindex_distance_hit_rate\": 0.500000"));
+        assert!(json.contains("\"convindex_distance_hit_rate\": 1.000000"));
+        assert!(json.contains("\"convindex_distance_negative\": 25"));
         assert!(json.contains("\"span.query\""));
         assert!(json.contains("\"p99_ns\""));
         assert!(json.contains("\"rank.term.depth.evals\": 9"));
@@ -327,7 +343,9 @@ mod tests {
         assert!(s.contains("span.query"));
         assert!(s.contains("site.methods.ns"));
         assert!(s.contains("candidates_for memo: 90.0% hit"));
-        assert!(s.contains("conversion distance: 50.0%"));
+        assert!(s.contains(
+            "conversion distance: 100.0% memoized (50 lookups, 25 negative, 0 unclassified)"
+        ));
         assert!(s.contains("7 queries"));
         assert!(s.contains("depth=9"));
         assert!(s.contains(

@@ -1,0 +1,412 @@
+//! Hash-consed expression arena: intern-once storage for enumerated
+//! expressions.
+//!
+//! The completion engine builds and compares millions of candidate
+//! expressions per query. As `Box`/`String` trees ([`Expr`]) every chain
+//! extension deep-clones its base and every dedup hashes a whole subtree.
+//! [`ExprArena`] stores each structurally distinct node exactly once and
+//! names it by a dense [`ExprId`]; children are ids, strings are interned
+//! [`Sym`]s, and doubles are stored by bit pattern. Consequences:
+//!
+//! * structural equality and hashing of whole expressions are `u32`
+//!   compares ([`ExprId`] is `Copy + Eq + Hash`);
+//! * building a node the arena has seen before allocates nothing and
+//!   returns the existing id (counted as `arena.hits`; first sights count
+//!   as `arena.interned`);
+//! * two ids are equal **iff** the materialized expressions are equal under
+//!   [`ExprKey`](crate::ExprKey) total equality (doubles by bits), so an id
+//!   set deduplicates exactly like an `ExprKey` set.
+//!
+//! The arena is `Sync` (interior `RwLock`): one arena can be shared by
+//! concurrent queries — `pex-serve` keeps one in its snapshot so requests
+//! reuse each other's interned chains. Reads take the lock once per
+//! [`ExprArena::read`] guard; do **not** call an interning method while
+//! holding a guard on the same thread (a read-then-write upgrade on
+//! `std::sync::RwLock` may deadlock).
+
+use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard};
+
+use pex_types::TypeId;
+
+use crate::{CmpOp, Expr, FieldId, LocalId, MethodId};
+
+/// Dense handle of an interned expression node. Equality is structural
+/// equality of the whole subtree (within one arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+impl ExprId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle of an interned string (literal or opaque label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// One hash-consed expression node: the [`Expr`] grammar with [`ExprId`]
+/// children, [`Sym`] strings, and doubles by bit pattern (which makes the
+/// node `Eq + Hash` — the total equality [`crate::ExprKey`] supplies for
+/// trees).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ENode {
+    /// A local variable or parameter.
+    Local(LocalId),
+    /// The enclosing receiver.
+    This,
+    /// A static field or property lookup.
+    StaticField(FieldId),
+    /// An instance field lookup on an interned base.
+    FieldAccess(ExprId, FieldId),
+    /// A method call (receiver-first, like [`Expr::Call`]).
+    Call(MethodId, Box<[ExprId]>),
+    /// Assignment `lhs := rhs`.
+    Assign(ExprId, ExprId),
+    /// Relational comparison.
+    Cmp(CmpOp, ExprId, ExprId),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal, stored by bit pattern (`f64::to_bits`).
+    DoubleBits(u64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// String literal (interned).
+    StrLit(Sym),
+    /// `null`.
+    Null,
+    /// The paper's `0` marker.
+    Hole0,
+    /// An opaque expression with a known type and interned label.
+    Opaque {
+        /// Static type of the opaque expression.
+        ty: TypeId,
+        /// Interned rendering label.
+        label: Sym,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    nodes: Vec<ENode>,
+    ids: HashMap<ENode, u32>,
+    syms: Vec<Box<str>>,
+    sym_ids: HashMap<Box<str>, u32>,
+}
+
+/// The hash-consed interner. See the module docs.
+#[derive(Debug, Default)]
+pub struct ExprArena {
+    inner: RwLock<Inner>,
+}
+
+/// A read guard over an [`ExprArena`], giving borrow access to nodes and
+/// symbols without per-access locking. Hold it for the duration of a walk
+/// (scoring, typing); drop it before interning anything.
+pub struct ArenaRead<'a>(RwLockReadGuard<'a, Inner>);
+
+impl ArenaRead<'_> {
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    pub fn node(&self, id: ExprId) -> &ENode {
+        &self.0.nodes[id.index()]
+    }
+
+    /// The string behind a symbol.
+    pub fn sym(&self, s: Sym) -> &str {
+        &self.0.syms[s.0 as usize]
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.0.nodes.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.nodes.is_empty()
+    }
+}
+
+impl ExprArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ExprArena::default()
+    }
+
+    /// Takes a read guard for walk-heavy consumers (scoring, typing,
+    /// materialization helpers). Do not intern while holding it.
+    pub fn read(&self) -> ArenaRead<'_> {
+        ArenaRead(self.inner.read().expect("arena lock poisoned"))
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// Interns one node, returning the existing id when the node was seen
+    /// before (`arena.hits`) and a fresh one otherwise (`arena.interned`).
+    pub fn intern(&self, node: ENode) -> ExprId {
+        {
+            let r = self.inner.read().expect("arena lock poisoned");
+            if let Some(&i) = r.ids.get(&node) {
+                pex_obs::counter!("arena.hits", 1);
+                return ExprId(i);
+            }
+        }
+        let mut w = self.inner.write().expect("arena lock poisoned");
+        if let Some(&i) = w.ids.get(&node) {
+            // Another thread interned it between our read and write locks.
+            pex_obs::counter!("arena.hits", 1);
+            return ExprId(i);
+        }
+        let i = w.nodes.len() as u32;
+        w.nodes.push(node.clone());
+        w.ids.insert(node, i);
+        pex_obs::counter!("arena.interned", 1);
+        ExprId(i)
+    }
+
+    /// Interns a string, deduplicated.
+    pub fn sym(&self, s: &str) -> Sym {
+        {
+            let r = self.inner.read().expect("arena lock poisoned");
+            if let Some(&i) = r.sym_ids.get(s) {
+                return Sym(i);
+            }
+        }
+        let mut w = self.inner.write().expect("arena lock poisoned");
+        if let Some(&i) = w.sym_ids.get(s) {
+            return Sym(i);
+        }
+        let i = w.syms.len() as u32;
+        let boxed: Box<str> = s.into();
+        w.syms.push(boxed.clone());
+        w.sym_ids.insert(boxed, i);
+        Sym(i)
+    }
+
+    /// Interns `Expr::Local`.
+    pub fn local(&self, l: LocalId) -> ExprId {
+        self.intern(ENode::Local(l))
+    }
+
+    /// Interns `Expr::This`.
+    pub fn this(&self) -> ExprId {
+        self.intern(ENode::This)
+    }
+
+    /// Interns `Expr::StaticField`.
+    pub fn static_field(&self, f: FieldId) -> ExprId {
+        self.intern(ENode::StaticField(f))
+    }
+
+    /// Interns a field access on an interned base.
+    pub fn field(&self, base: ExprId, f: FieldId) -> ExprId {
+        self.intern(ENode::FieldAccess(base, f))
+    }
+
+    /// Interns a call with interned arguments (receiver-first).
+    pub fn call(&self, m: MethodId, args: &[ExprId]) -> ExprId {
+        self.intern(ENode::Call(m, args.into()))
+    }
+
+    /// Interns an assignment.
+    pub fn assign(&self, lhs: ExprId, rhs: ExprId) -> ExprId {
+        self.intern(ENode::Assign(lhs, rhs))
+    }
+
+    /// Interns a comparison.
+    pub fn cmp(&self, op: CmpOp, lhs: ExprId, rhs: ExprId) -> ExprId {
+        self.intern(ENode::Cmp(op, lhs, rhs))
+    }
+
+    /// Interns the `0` hole marker.
+    pub fn hole0(&self) -> ExprId {
+        self.intern(ENode::Hole0)
+    }
+
+    /// Interns a whole [`Expr`] tree bottom-up.
+    pub fn intern_expr(&self, e: &Expr) -> ExprId {
+        match e {
+            Expr::Local(l) => self.local(*l),
+            Expr::This => self.this(),
+            Expr::StaticField(f) => self.static_field(*f),
+            Expr::FieldAccess(base, f) => {
+                let b = self.intern_expr(base);
+                self.field(b, *f)
+            }
+            Expr::Call(m, args) => {
+                let ids: Vec<ExprId> = args.iter().map(|a| self.intern_expr(a)).collect();
+                self.call(*m, &ids)
+            }
+            Expr::Assign(l, r) => {
+                let (l, r) = (self.intern_expr(l), self.intern_expr(r));
+                self.assign(l, r)
+            }
+            Expr::Cmp(op, l, r) => {
+                let (l, r) = (self.intern_expr(l), self.intern_expr(r));
+                self.cmp(*op, l, r)
+            }
+            Expr::IntLit(v) => self.intern(ENode::IntLit(*v)),
+            Expr::DoubleLit(v) => self.intern(ENode::DoubleBits(v.to_bits())),
+            Expr::BoolLit(v) => self.intern(ENode::BoolLit(*v)),
+            Expr::StrLit(s) => {
+                let s = self.sym(s);
+                self.intern(ENode::StrLit(s))
+            }
+            Expr::Null => self.intern(ENode::Null),
+            Expr::Hole0 => self.hole0(),
+            Expr::Opaque { ty, label } => {
+                let label = self.sym(label);
+                self.intern(ENode::Opaque { ty: *ty, label })
+            }
+        }
+    }
+
+    /// Rebuilds the boxed [`Expr`] tree behind an id — the materialization
+    /// step at the query boundary. O(size of the expression), paid only for
+    /// survivors the caller actually receives.
+    pub fn materialize(&self, id: ExprId) -> Expr {
+        fn mat(inner: &Inner, id: ExprId) -> Expr {
+            match &inner.nodes[id.index()] {
+                ENode::Local(l) => Expr::Local(*l),
+                ENode::This => Expr::This,
+                ENode::StaticField(f) => Expr::StaticField(*f),
+                ENode::FieldAccess(b, f) => Expr::FieldAccess(Box::new(mat(inner, *b)), *f),
+                ENode::Call(m, args) => {
+                    Expr::Call(*m, args.iter().map(|&a| mat(inner, a)).collect())
+                }
+                ENode::Assign(l, r) => {
+                    Expr::Assign(Box::new(mat(inner, *l)), Box::new(mat(inner, *r)))
+                }
+                ENode::Cmp(op, l, r) => {
+                    Expr::Cmp(*op, Box::new(mat(inner, *l)), Box::new(mat(inner, *r)))
+                }
+                ENode::IntLit(v) => Expr::IntLit(*v),
+                ENode::DoubleBits(b) => Expr::DoubleLit(f64::from_bits(*b)),
+                ENode::BoolLit(v) => Expr::BoolLit(*v),
+                ENode::StrLit(s) => Expr::StrLit(inner.syms[s.0 as usize].to_string()),
+                ENode::Null => Expr::Null,
+                ENode::Hole0 => Expr::Hole0,
+                ENode::Opaque { ty, label } => Expr::Opaque {
+                    ty: *ty,
+                    label: inner.syms[label.0 as usize].to_string(),
+                },
+            }
+        }
+        let inner = self.inner.read().expect("arena lock poisoned");
+        mat(&inner, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExprKey;
+
+    #[test]
+    fn interning_deduplicates_structurally() {
+        let arena = ExprArena::new();
+        let a = arena.local(LocalId(0));
+        let b = arena.local(LocalId(0));
+        assert_eq!(a, b);
+        assert_ne!(a, arena.local(LocalId(1)));
+        let f = arena.field(a, FieldId(3));
+        let g = arena.field(b, FieldId(3));
+        assert_eq!(f, g);
+        assert_eq!(arena.len(), 3);
+        // Calls dedup by method and argument ids.
+        let c1 = arena.call(MethodId(7), &[a, f]);
+        let c2 = arena.call(MethodId(7), &[b, g]);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, arena.call(MethodId(7), &[f, a]));
+    }
+
+    #[test]
+    fn round_trip_matches_expr_key_equality() {
+        let arena = ExprArena::new();
+        let exprs = vec![
+            Expr::Local(LocalId(0)),
+            Expr::This,
+            Expr::field(Expr::This, FieldId(0)),
+            Expr::Call(MethodId(1), vec![Expr::This, Expr::DoubleLit(1.5)]),
+            Expr::assign(Expr::Local(LocalId(0)), Expr::IntLit(3)),
+            Expr::cmp(CmpOp::Lt, Expr::IntLit(1), Expr::IntLit(2)),
+            Expr::StrLit("hello".into()),
+            Expr::Null,
+            Expr::Hole0,
+            Expr::DoubleLit(f64::NAN),
+            Expr::Opaque {
+                ty: TypeId::from_index(0),
+                label: "x[i]".into(),
+            },
+        ];
+        for e in &exprs {
+            let id = arena.intern_expr(e);
+            let back = arena.materialize(id);
+            assert_eq!(
+                ExprKey(back),
+                ExprKey(e.clone()),
+                "materialize must invert intern_expr for {e:?}"
+            );
+            // Re-interning the materialized tree returns the same id.
+            assert_eq!(arena.intern_expr(&arena.materialize(id)), id);
+        }
+    }
+
+    #[test]
+    fn ids_dedup_exactly_like_expr_keys() {
+        let arena = ExprArena::new();
+        // NaN equals itself bitwise; 0.0 and -0.0 differ bitwise.
+        let nan1 = arena.intern_expr(&Expr::DoubleLit(f64::NAN));
+        let nan2 = arena.intern_expr(&Expr::DoubleLit(f64::NAN));
+        assert_eq!(nan1, nan2);
+        let pos = arena.intern_expr(&Expr::DoubleLit(0.0));
+        let neg = arena.intern_expr(&Expr::DoubleLit(-0.0));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn symbols_intern_once() {
+        let arena = ExprArena::new();
+        let a = arena.intern_expr(&Expr::StrLit("s".into()));
+        let b = arena.intern_expr(&Expr::StrLit("s".into()));
+        assert_eq!(a, b);
+        let read = arena.read();
+        let ENode::StrLit(s) = read.node(a) else {
+            panic!("string literal expected");
+        };
+        assert_eq!(read.sym(*s), "s");
+    }
+
+    #[test]
+    fn arena_is_shareable_across_threads() {
+        let arena = ExprArena::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let l = arena.local(LocalId(i % 5));
+                        let f = arena.field(l, FieldId(t));
+                        assert_eq!(f, arena.field(l, FieldId(t)));
+                    }
+                });
+            }
+        });
+        // 5 locals + 4 fields each over 5 bases = at most 25 field nodes.
+        assert!(arena.len() <= 30, "no duplicate nodes under contention");
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod context;
 mod database;
 mod expr;
@@ -29,6 +30,7 @@ mod member;
 pub mod minics;
 mod pretty;
 
+pub use arena::{ArenaRead, ENode, ExprArena, ExprId, Sym};
 pub use context::{Context, Local};
 pub use database::{Database, GlobalRef, ModelError, ModelResult};
 pub use expr::{Body, CmpOp, Expr, ExprKey, ExprKindName, LastMember, Stmt, ValueTy};

@@ -240,7 +240,8 @@ pub fn execute(
             budget,
             ..Default::default()
         })
-        .with_reach(&snapshot.reach);
+        .with_reach(&snapshot.reach)
+        .with_cache(&snapshot.cache);
     let limit = req.limit.unwrap_or(defaults.limit);
     let (completions, outcome) = completer.complete_with_outcome(&query, limit);
     let latency_us = started.elapsed().as_micros();

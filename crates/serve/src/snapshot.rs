@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use pex_abstract::AbsTypes;
-use pex_core::{MethodIndex, ReachIndex};
+use pex_core::{EngineCache, MethodIndex, ReachIndex};
 use pex_corpus::builtin;
 use pex_model::{Context, Database, Local, MethodId};
 
@@ -64,6 +64,11 @@ pub struct Snapshot {
     pub default_ctx: Context,
     /// The enclosing method of the default context, if any.
     pub enclosing: Option<MethodId>,
+    /// Shared engine cache: the hash-consed expression arena and the chain
+    /// successor memo. Every request completes through this cache, so
+    /// expressions and member walks interned by one request are free for
+    /// the next — including concurrent requests on other workers.
+    pub cache: EngineCache,
     /// Human-readable source label.
     pub name: String,
 }
@@ -120,6 +125,7 @@ impl Snapshot {
             reach,
             default_ctx,
             enclosing,
+            cache: EngineCache::new(),
             name,
         };
         snapshot.prewarm();

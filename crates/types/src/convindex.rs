@@ -35,6 +35,12 @@ pub struct ConversionIndex {
     /// lookup. Ancestor lists are bounded by hierarchy depth plus interface
     /// count, so the search touches a handful of entries.
     by_id: Vec<Vec<(TypeId, u32)>>,
+    /// Per type: one bit per table type, set when a conversion to that type
+    /// exists — the memoized *negative* answer. Most hot-path distance
+    /// queries ask about unconvertible pairs (every argument type against
+    /// every parameter type), so "no conversion" must be as cheap as "yes":
+    /// one bit probe, no binary search.
+    convertible: Vec<Vec<u64>>,
 }
 
 impl ConversionIndex {
@@ -50,7 +56,7 @@ impl ConversionIndex {
             .into_iter()
             .map(|list| list.expect("every type visited"))
             .collect();
-        let by_id = targets
+        let by_id: Vec<Vec<(TypeId, u32)>> = targets
             .iter()
             .map(|list| {
                 let mut v = list.clone();
@@ -58,7 +64,22 @@ impl ConversionIndex {
                 v
             })
             .collect();
-        ConversionIndex { targets, by_id }
+        let words = n.div_ceil(64);
+        let convertible = by_id
+            .iter()
+            .map(|list| {
+                let mut bits = vec![0u64; words];
+                for &(t, _) in list {
+                    bits[t.index() / 64] |= 1u64 << (t.index() % 64);
+                }
+                bits
+            })
+            .collect();
+        ConversionIndex {
+            targets,
+            by_id,
+            convertible,
+        }
     }
 
     /// Computes `memo[t]` bottom-up with an explicit stack (hierarchies can
@@ -106,18 +127,32 @@ impl ConversionIndex {
     }
 
     /// The cached `td(from, to)`.
+    ///
+    /// Negative answers are memoized in the `convertible` bitset, so a pair
+    /// with no conversion costs one bit probe — counted under
+    /// `convindex.distance.negative`, not as a cache miss.
     pub fn distance(&self, from: TypeId, to: TypeId) -> Option<u32> {
         pex_obs::counter!("convindex.distance.lookups", 1);
-        let list = &self.by_id[from.index()];
-        let found = list
-            .binary_search_by_key(&to, |&(t, _)| t)
-            .ok()
-            .map(|i| list[i].1);
-        match found {
-            Some(d) => pex_obs::histogram!("convindex.distance", d),
-            None => pex_obs::counter!("convindex.distance.misses", 1),
+        let bits = &self.convertible[from.index()];
+        let (word, bit) = (to.index() / 64, to.index() % 64);
+        if bits.get(word).is_none_or(|w| w & (1u64 << bit) == 0) {
+            pex_obs::counter!("convindex.distance.negative", 1);
+            return None;
         }
-        found
+        let list = &self.by_id[from.index()];
+        match list.binary_search_by_key(&to, |&(t, _)| t) {
+            Ok(i) => {
+                let d = list[i].1;
+                pex_obs::histogram!("convindex.distance", d);
+                Some(d)
+            }
+            // Unreachable when the bitset and `by_id` agree; kept as a
+            // counted fallthrough rather than a panic.
+            Err(_) => {
+                pex_obs::counter!("convindex.distance.misses", 1);
+                None
+            }
+        }
     }
 
     /// The cached conversion-target list of `from`, sorted by
@@ -172,6 +207,25 @@ mod tests {
                     index.distance(from, to),
                     t.type_distance_bfs(from, to),
                     "distance mismatch for {from:?} -> {to:?}"
+                );
+            }
+        }
+    }
+
+    /// The negative-answer bitset must partition pairs exactly like the
+    /// target lists: `distance` is `Some` iff `to` appears in
+    /// `targets(from)`.
+    #[test]
+    fn negative_memo_agrees_with_target_lists() {
+        let t = diamond();
+        let index = t.conversion_index();
+        for from in t.iter() {
+            for to in t.iter() {
+                let in_targets = index.targets(from).iter().any(|&(u, _)| u == to);
+                assert_eq!(
+                    index.distance(from, to).is_some(),
+                    in_targets,
+                    "bitset and target list disagree for {from:?} -> {to:?}"
                 );
             }
         }
