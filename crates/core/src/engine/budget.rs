@@ -158,6 +158,8 @@ pub(crate) const POLL_STRIDE: u32 = 64;
 /// is the [`CancelToken`] it polls.
 #[derive(Debug)]
 pub(crate) struct BudgetState {
+    /// `max_steps` at arm time, so consumed work is reportable.
+    initial_steps: usize,
     steps_left: Cell<usize>,
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
@@ -175,6 +177,7 @@ impl Budget {
     /// Arms a budget for a query starting now.
     pub(crate) fn start(spec: &QueryBudget) -> Budget {
         Budget(Rc::new(BudgetState {
+            initial_steps: spec.max_steps,
             steps_left: Cell::new(spec.max_steps),
             deadline: spec.deadline.map(|d| Instant::now() + d),
             cancel: spec.cancel.clone(),
@@ -196,6 +199,12 @@ impl Budget {
     /// The outcome that stopped this query, once a limit has tripped.
     pub(crate) fn tripped(&self) -> Option<QueryOutcome> {
         self.0.tripped.get()
+    }
+
+    /// Units of enumeration work charged so far — every heap pop, product
+    /// combo, and candidate pull across the query's whole stream tree.
+    pub(crate) fn steps_used(&self) -> u64 {
+        (self.0.initial_steps - self.0.steps_left.get()) as u64
     }
 
     /// Charges one unit of enumeration work. Returns `false` — sticky —

@@ -16,15 +16,61 @@
 //! across serve requests — walk the member tables once.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use pex_model::{Context, Database, Expr, ExprArena, ExprId, FieldId, MethodId, ValueTy};
 use pex_types::TypeId;
 
 use super::budget::Budget;
 use super::memo::{ChainMember, SuccessorMemo};
-use super::reach::ReachPruner;
+use super::reach::{ReachPruner, DIST_UNREACHABLE};
 use super::stream::{Scored, ScoredStream};
+use crate::rank::ScoreBound;
+
+/// Hard ceiling on how many links any chain search may append to a root,
+/// regardless of the per-query `max_depth`. This is the capacity of the
+/// fixed-width [`TieKey`] path, so it bounds tie-break state to a few
+/// machine words per frontier entry; queries requesting a deeper search are
+/// rejected up front (see `CompleteOptions::with_max_depth`).
+pub const MAX_DEPTH_LIMIT: usize = 8;
+
+/// Canonical tie-break key for equal-score chain states.
+///
+/// The key is the state's derivation path: the emission index of its root
+/// (assigned in root-stream pull order) followed by the successor-list
+/// index of each appended link. Components are stored as `value + 1` with
+/// trailing zero padding, so comparing the fixed-width arrays
+/// lexicographically orders an ancestor strictly before every descendant.
+///
+/// Unlike a heap-insertion sequence number, this key is independent of the
+/// order in which a search happens to visit states — the exhaustive
+/// Dijkstra and the best-first A* compute identical keys for identical
+/// states, which is what makes their equal-score emission orders agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct TieKey {
+    /// `[root_seq + 1, link_idx_0 + 1, ...]`, zero-padded.
+    path: [u32; MAX_DEPTH_LIMIT + 1],
+    /// Number of used components (root + links); always trails `path`, so
+    /// deriving `Ord` with `path` first stays lexicographic.
+    len: u8,
+}
+
+impl TieKey {
+    /// Key for the `seq`-th root pulled from the root stream.
+    pub(crate) fn root(seq: u32) -> Self {
+        let mut path = [0u32; MAX_DEPTH_LIMIT + 1];
+        path[0] = seq.saturating_add(1);
+        TieKey { path, len: 1 }
+    }
+
+    /// Key for the child reached via successor-list entry `index`.
+    pub(crate) fn child(&self, index: u32) -> Self {
+        let mut next = *self;
+        next.path[next.len as usize] = index.saturating_add(1);
+        next.len += 1;
+        next
+    }
+}
 
 /// What links a chain may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,22 +181,59 @@ impl<'x> ChainGrow<ExprId> for ArenaGrow<'x> {
     }
 }
 
+/// Best-first (A*) search knobs for one [`ChainStream`].
+///
+/// The exhaustive stream is a plain Dijkstra keyed by accrued score. With
+/// a `BestFirst` attached the heap is instead keyed by the admissible
+/// [`ScoreBound`] (accrued score plus `link_cost × min_to_admissible`),
+/// pushes whose bound strictly exceeds the current top-k threshold are
+/// dropped, and — when `dominance_k` is set — a generated state with at
+/// least `k` strictly better same-(type, remaining-links) predecessors is
+/// dropped too. All three are sound for a consumer that stops after `k`
+/// deduplicated emissions: pruned states could only have produced rows
+/// strictly after the `k`-th distinct one (see DESIGN.md Section 11).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BestFirst {
+    /// Enables threshold pruning: the stream tracks the `k` smallest
+    /// scores among pushed states that pass the emission filter; once `k`
+    /// are known, their maximum is a running upper bound τ on the final
+    /// `k`-th distinct row score, and a push (or pop) whose admissible
+    /// bound strictly exceeds τ is dropped. Only sound when every
+    /// generated state is a distinct expression; `None` disables.
+    pub(crate) threshold_k: Option<usize>,
+    /// Enables per-(result-type, remaining-links) dominance pruning for a
+    /// consumer stopping after this many distinct rows. Only sound when
+    /// every generated state is a distinct expression (chain-rooted
+    /// queries); `None` disables.
+    pub(crate) dominance_k: Option<usize>,
+}
+
 struct HeapState<E> {
-    score: u32,
-    seq: u64,
+    /// Admissible lower bound on any completion extending this state; its
+    /// accrued part is exactly `completion.score`. In exhaustive mode the
+    /// pending heuristic is always zero, so the key degenerates to the
+    /// plain Dijkstra score key.
+    bound: ScoreBound,
+    tie: TieKey,
     links: usize,
     completion: Scored<E>,
 }
 
+impl<E> HeapState<E> {
+    fn key(&self) -> u32 {
+        self.bound.get()
+    }
+}
+
 impl<E> PartialEq for HeapState<E> {
     fn eq(&self, other: &Self) -> bool {
-        (self.score, self.seq) == (other.score, other.seq)
+        (self.key(), self.tie) == (other.key(), other.tie)
     }
 }
 impl<E> Eq for HeapState<E> {}
 impl<E> Ord for HeapState<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.score, self.seq).cmp(&(other.score, other.seq))
+        (self.key(), self.tie).cmp(&(other.key(), other.tie))
     }
 }
 impl<E> PartialOrd for HeapState<E> {
@@ -166,24 +249,45 @@ pub(crate) struct ChainStream<'a, E, G: ChainGrow<E>> {
     roots: Box<dyn ScoredStream<E> + 'a>,
     links: ChainLink,
     /// Maximum number of links appended to a root (`Some(1)` for non-star
-    /// suffixes, `None` — bounded by `depth_cap` — for star suffixes).
+    /// suffixes, `None` — bounded by `max_depth` — for star suffixes).
     max_links: Option<usize>,
-    /// Engine-wide safety bound on star-suffix chain length.
-    depth_cap: usize,
+    /// Per-query bound on star-suffix chain length (clamped to
+    /// [`MAX_DEPTH_LIMIT`] so [`TieKey`] paths never overflow).
+    max_depth: usize,
     link_cost: u32,
     filter: TypeFilter,
     heap: BinaryHeap<Reverse<HeapState<E>>>,
-    seq: u64,
+    /// Roots pulled from the root stream so far; the next root's tie key is
+    /// `TieKey::root(roots_pulled)`.
+    roots_pulled: u32,
     /// Optional reachability pruning (paper Section 4.2's proposed index):
     /// successors whose type cannot reach an admissible type within the
-    /// remaining link budget are not enqueued.
-    pruner: Option<ReachPruner<'a>>,
+    /// remaining link budget are not enqueued. The table is shared across
+    /// queries through the engine cache's reach memo.
+    pruner: Option<std::sync::Arc<ReachPruner>>,
     /// The query's shared resource meter: one charge per heap pop, so a
     /// long filtered skip-run cannot outlive the query's budget between
     /// emitted items.
     budget: Budget,
     grow: G,
     memo: &'a SuccessorMemo,
+    /// Best-first knobs; `None` runs the exhaustive Dijkstra unchanged.
+    bf: Option<BestFirst>,
+    /// Dominance table: the `k` smallest accrued scores generated so far,
+    /// indexed flat by `type × (limit+1) + remaining-links` (probed per
+    /// push; hashing showed up in profiles).
+    dom: Vec<Vec<u32>>,
+    /// Max-heap of the `threshold_k` smallest scores among emittable
+    /// pushed states; its top (once full) is the running τ threshold.
+    adm_topk: BinaryHeap<u32>,
+    /// Per-stream memo of the emission filter's verdict per known type
+    /// (used only when there is no pruner bitmap to consult).
+    emit_memo: HashMap<TypeId, bool>,
+    /// Best-first observability, counted locally and flushed once on drop.
+    n_expanded: u64,
+    n_pruned_bound: u64,
+    n_pruned_dominated: u64,
+    frontier_max: u64,
 }
 
 impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
@@ -194,7 +298,7 @@ impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
         roots: Box<dyn ScoredStream<E> + 'a>,
         links: ChainLink,
         max_links: Option<usize>,
-        depth_cap: usize,
+        max_depth: usize,
         link_cost: u32,
         filter: TypeFilter,
         budget: Budget,
@@ -207,63 +311,188 @@ impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
             roots,
             links,
             max_links,
-            depth_cap,
+            max_depth,
             link_cost,
             filter,
             heap: BinaryHeap::new(),
-            seq: 0,
+            roots_pulled: 0,
             pruner: None,
             budget,
             grow,
             memo,
+            bf: None,
+            dom: Vec::new(),
+            adm_topk: BinaryHeap::new(),
+            emit_memo: HashMap::new(),
+            n_expanded: 0,
+            n_pruned_bound: 0,
+            n_pruned_dominated: 0,
+            frontier_max: 0,
         }
     }
 
     /// Enables reachability pruning for this stream.
-    pub(crate) fn with_pruner(mut self, pruner: Option<ReachPruner<'a>>) -> Self {
+    pub(crate) fn with_pruner(mut self, pruner: Option<std::sync::Arc<ReachPruner>>) -> Self {
         self.pruner = pruner;
         self
     }
 
+    /// Switches the stream into best-first (A*) mode. The emitted row
+    /// sequence is unchanged up to the consumer's stop point; only the
+    /// amount of search work spent reaching it shrinks.
+    pub(crate) fn with_bestfirst(mut self, bf: Option<BestFirst>) -> Self {
+        self.bf = bf;
+        self
+    }
+
+    /// The admissible heuristic for a state of this type: a proven minimum
+    /// additional cost before any emission can pass the filter. Zero when
+    /// not in best-first mode, when there is no pruner (unfiltered
+    /// queries), or for admissible/wildcard types. (Unreachable types
+    /// never reach here — [`ChainStream::viable`] drops them before any
+    /// push.)
+    fn heuristic(&self, ty: ValueTy) -> u32 {
+        if self.bf.is_none() {
+            return 0;
+        }
+        let Some(pruner) = &self.pruner else {
+            return 0;
+        };
+        let ValueTy::Known(t) = ty else { return 0 };
+        match pruner.min_links(t) {
+            DIST_UNREACHABLE => 0,
+            d => d * self.link_cost,
+        }
+    }
+
+    /// Whether at least `k` strictly better states with the same
+    /// (type, remaining-links) key were already generated; records this
+    /// state's score otherwise. Each recorded state is a distinct
+    /// expression, and a dominated state's every completion is outscored
+    /// by the same-suffix completions of its `k` dominators.
+    fn dominated(&mut self, ty: ValueTy, links: usize, score: u32) -> bool {
+        let Some(k) = self.bf.as_ref().and_then(|b| b.dominance_k) else {
+            return false;
+        };
+        let ValueTy::Known(t) = ty else { return false };
+        let remaining = self.limit().saturating_sub(links);
+        let idx = t.index() * (self.limit() + 1) + remaining;
+        if idx >= self.dom.len() {
+            self.dom.resize_with(idx + 1, Vec::new);
+        }
+        let best = &mut self.dom[idx];
+        let better = best.partition_point(|&v| v < score);
+        if better >= k {
+            return true;
+        }
+        best.insert(better, score);
+        best.truncate(k);
+        false
+    }
+
     /// Whether a state of this type with `links` already used is worth
-    /// keeping (it can still emit an admissible completion).
+    /// keeping (it can still emit an admissible completion): the pruning
+    /// table's minimum admissible distance against the remaining link
+    /// budget, an O(1) probe per enqueue.
     fn viable(&self, ty: pex_types::TypeId, links: usize) -> bool {
         match &self.pruner {
             Some(pruner) => {
                 let remaining = self.limit().saturating_sub(links) as u32;
-                pruner.viable(ty, remaining)
+                pruner.min_links(ty) <= remaining
             }
             None => true,
         }
     }
 
-    fn push(&mut self, links: usize, completion: Scored<E>) {
-        self.seq += 1;
+    /// The running top-k threshold: an upper bound on the final score of
+    /// the `k`-th distinct emitted row, or `u32::MAX` while fewer than `k`
+    /// emittable states have been seen.
+    fn tau(&self) -> u32 {
+        match self.bf.and_then(|b| b.threshold_k) {
+            Some(k) if self.adm_topk.len() == k => *self.adm_topk.peek().expect("k > 0"),
+            _ => u32::MAX,
+        }
+    }
+
+    /// Whether a state of this type would be emitted by this stream's
+    /// filter (the exact `filter.passes` verdict, memoized).
+    fn emittable(&mut self, ty: ValueTy) -> bool {
+        let ValueTy::Known(t) = ty else { return true };
+        if let Some(pruner) = &self.pruner {
+            return pruner.is_admissible(t);
+        }
+        if self.filter.is_any() {
+            return true;
+        }
+        match self.emit_memo.get(&t) {
+            Some(&v) => v,
+            None => {
+                let v = self.filter.admits(self.db, t);
+                self.emit_memo.insert(t, v);
+                v
+            }
+        }
+    }
+
+    fn push(&mut self, links: usize, tie: TieKey, bound: ScoreBound, completion: Scored<E>) {
+        debug_assert_eq!(bound.accrued(), completion.score);
+        let bound = bound.with_pending(self.heuristic(completion.ty));
+        if let Some(bf) = self.bf {
+            if bound.get() > self.tau() {
+                self.n_pruned_bound += 1;
+                return;
+            }
+            if self.dominated(completion.ty, links, completion.score) {
+                self.n_pruned_dominated += 1;
+                return;
+            }
+            // A kept emittable state is a guaranteed distinct future row;
+            // fold its exact score into the running top-k threshold.
+            if let Some(k) = bf.threshold_k {
+                if self.emittable(completion.ty) {
+                    if self.adm_topk.len() < k {
+                        self.adm_topk.push(completion.score);
+                    } else if let Some(mut top) = self.adm_topk.peek_mut() {
+                        if completion.score < *top {
+                            *top = completion.score;
+                        }
+                    }
+                }
+            }
+        }
         self.heap.push(Reverse(HeapState {
-            score: completion.score,
-            seq: self.seq,
+            bound,
+            tie,
             links,
             completion,
         }));
+        self.frontier_max = self.frontier_max.max(self.heap.len() as u64);
     }
 
     /// Moves roots into the heap while a pending root could be at least as
-    /// cheap as the current heap top.
+    /// cheap as the current heap top. The root stream's bound is a bound
+    /// on accrued score, which is itself a lower bound on the keyed
+    /// [`ScoreBound`], so stopping when the top key is smaller is sound in
+    /// both exhaustive and best-first modes (if anything it absorbs a few
+    /// roots early — and unpulled roots always tie-sort after every state
+    /// already in the heap).
     fn absorb_roots(&mut self) {
         loop {
             let Some(rb) = self.roots.bound() else { return };
-            let top = self.heap.peek().map(|Reverse(s)| s.score);
+            let top = self.heap.peek().map(|Reverse(s)| s.key());
             if top.is_some_and(|t| t < rb) {
                 return;
             }
             match self.roots.next_item() {
                 Some(c) => {
+                    let tie = TieKey::root(self.roots_pulled);
+                    self.roots_pulled += 1;
                     let keep = match c.ty {
                         ValueTy::Known(t) => self.viable(t, 0),
                         ValueTy::Wildcard => true,
                     };
                     if keep {
-                        self.push(0, c);
+                        self.push(0, tie, ScoreBound::root(c.score), c);
                     }
                 }
                 None => return,
@@ -272,20 +501,25 @@ impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
     }
 
     fn limit(&self) -> usize {
-        self.max_links.unwrap_or(self.depth_cap)
+        self.max_links
+            .unwrap_or(self.max_depth)
+            .min(MAX_DEPTH_LIMIT)
     }
 
     /// Expands one state's successors into the heap.
-    fn expand(&mut self, links: usize, completion: &Scored<E>) {
+    fn expand(&mut self, links: usize, tie: TieKey, bound: ScoreBound, completion: &Scored<E>) {
         if links >= self.limit() {
             return;
         }
         let ValueTy::Known(ty) = completion.ty else {
             return;
         };
+        if self.bf.is_some() {
+            self.n_expanded += 1;
+        }
         let from = self.ctx.enclosing_type;
         let steps = self.memo.successors(self.db, ty, self.links, from);
-        for step in steps.iter() {
+        for (i, step) in steps.iter().enumerate() {
             if !self.viable(step.ty, links + 1) {
                 continue;
             }
@@ -298,14 +532,19 @@ impl<'a, E, G: ChainGrow<E>> ChainStream<'a, E, G> {
                 score: completion.score + self.link_cost,
                 ty: ValueTy::Known(step.ty),
             };
-            self.push(links + 1, c);
+            self.push(
+                links + 1,
+                tie.child(i as u32),
+                bound.extend(self.link_cost),
+                c,
+            );
         }
     }
 }
 
 impl<'a, E, G: ChainGrow<E>> ScoredStream<E> for ChainStream<'a, E, G> {
     fn bound(&mut self) -> Option<u32> {
-        let heap_bound = self.heap.peek().map(|Reverse(s)| s.score);
+        let heap_bound = self.heap.peek().map(|Reverse(s)| s.key());
         let root_bound = self.roots.bound();
         match (heap_bound, root_bound) {
             (Some(h), Some(r)) => Some(h.min(r)),
@@ -322,11 +561,30 @@ impl<'a, E, G: ChainGrow<E>> ScoredStream<E> for ChainStream<'a, E, G> {
             }
             self.absorb_roots();
             let Reverse(state) = self.heap.pop()?;
-            self.expand(state.links, &state.completion);
+            // The threshold may have tightened after this state was
+            // pushed; a stale over-bound state can neither be a top-k row
+            // nor lead to one, so drop it unexpanded.
+            if self.bf.is_some() && state.key() > self.tau() {
+                self.n_pruned_bound += 1;
+                continue;
+            }
+            self.expand(state.links, state.tie, state.bound, &state.completion);
             if self.filter.passes(self.db, state.completion.ty) {
                 return Some(state.completion);
             }
         }
+    }
+}
+
+impl<'a, E, G: ChainGrow<E>> Drop for ChainStream<'a, E, G> {
+    fn drop(&mut self) {
+        if self.bf.is_none() {
+            return;
+        }
+        pex_obs::counter!("engine.bestfirst.expanded", self.n_expanded);
+        pex_obs::counter!("engine.bestfirst.pruned_bound", self.n_pruned_bound);
+        pex_obs::counter!("engine.bestfirst.pruned_dominated", self.n_pruned_dominated);
+        pex_obs::gauge_max!("engine.bestfirst.frontier.max", self.frontier_max);
     }
 }
 
@@ -525,6 +783,28 @@ mod tests {
             names.iter().all(|n| n.matches('.').count() <= 1),
             "{names:?}"
         );
+    }
+
+    #[test]
+    fn tie_keys_order_ancestors_before_descendants() {
+        let r0 = TieKey::root(0);
+        let r1 = TieKey::root(1);
+        assert!(r0 < r1);
+        // An ancestor sorts strictly before every descendant ...
+        let c0 = r0.child(0);
+        let c05 = c0.child(5);
+        assert!(r0 < c0 && c0 < c05);
+        // ... but a descendant of an earlier root sorts before a later root.
+        assert!(c05 < r1);
+        // Sibling order follows successor-list index.
+        assert!(r0.child(0) < r0.child(1));
+        // Keys survive the full depth limit without overflow.
+        let mut deep = TieKey::root(u32::MAX);
+        for _ in 0..MAX_DEPTH_LIMIT {
+            let child = deep.child(u32::MAX);
+            assert!(deep < child);
+            deep = child;
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod reach;
 pub(crate) mod stream;
 
 pub use budget::{CancelToken, QueryBudget, QueryOutcome, RankResult};
+pub use chains::MAX_DEPTH_LIMIT;
 pub use index::{CandidateScratch, MethodIndex};
 pub use reach::ReachIndex;
 pub use stream::Completion;
@@ -29,9 +30,11 @@ use crate::rank::{RankConfig, Ranker};
 
 use budget::Budget;
 use calls::Filtered;
-use chains::{ArenaGrow, BoxedGrow, ChainLink, ChainStream, TypeFilter};
+use chains::{ArenaGrow, BestFirst, BoxedGrow, ChainLink, ChainStream, TypeFilter};
 use memo::SuccessorMemo;
-use stream::{ExpandStream, IComp, MergeStream, ProductStream, ScoredStream, VecStream};
+use stream::{
+    ExpandStream, IComp, MergeStream, ProductStream, ScoredStream, SliceStream, VecStream,
+};
 
 /// Shared, thread-safe engine caches: the hash-consing expression arena and
 /// the chain-successor memo.
@@ -46,6 +49,9 @@ pub struct EngineCache {
     /// The hash-consed expression arena interned completions live in.
     pub arena: ExprArena,
     pub(crate) chains: SuccessorMemo,
+    /// Reachability pruning tables per `(link kind, filter)`, shared by
+    /// every query against the same expected type.
+    pub(crate) reach: reach::ReachMemo,
 }
 
 impl EngineCache {
@@ -61,10 +67,13 @@ pub struct CompleteOptions {
     /// If set, only completions whose type implicitly converts to this type
     /// are produced (the known-return-type mode of the paper's Figure 12).
     pub expected: Option<TypeId>,
-    /// Maximum number of links a `.?*` chain may grow past its root. The
-    /// paper's generator is unbounded; this cap makes every stream finite
-    /// while being far beyond any ranked-within-reach completion.
-    pub depth_cap: usize,
+    /// Maximum number of links a `.?*` chain may grow past its root — a
+    /// per-query knob (surfaced through pex-serve requests and the REPL's
+    /// `--max-depth`). The paper's generator is unbounded; this cap makes
+    /// every stream finite. Values above [`MAX_DEPTH_LIMIT`] are rejected
+    /// by [`CompleteOptions::with_max_depth`]; a value written directly
+    /// into the field is clamped to the limit rather than panicking.
+    pub max_depth: usize,
     /// Per-query resource limits: step budget, wall-clock deadline, and
     /// cooperative cancellation. Exceeding any of them stops enumeration
     /// with an explicit, non-[`QueryOutcome::Exhausted`] outcome.
@@ -75,11 +84,50 @@ impl Default for CompleteOptions {
     fn default() -> Self {
         CompleteOptions {
             expected: None,
-            depth_cap: 6,
+            max_depth: 6,
             budget: QueryBudget::default(),
         }
     }
 }
+
+impl CompleteOptions {
+    /// Sets the per-query chain depth, validating it against the engine's
+    /// hard [`MAX_DEPTH_LIMIT`] (the tie-break path capacity). Rejecting
+    /// the request up front keeps "deeper than the engine supports" an
+    /// explicit error at the API boundary instead of a silent clamp or a
+    /// panic deep in the search.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Result<Self, InvalidMaxDepth> {
+        if max_depth > MAX_DEPTH_LIMIT {
+            return Err(InvalidMaxDepth {
+                requested: max_depth,
+                limit: MAX_DEPTH_LIMIT,
+            });
+        }
+        self.max_depth = max_depth;
+        Ok(self)
+    }
+}
+
+/// A requested `max_depth` exceeds the engine's [`MAX_DEPTH_LIMIT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidMaxDepth {
+    /// The depth the caller asked for.
+    pub requested: usize,
+    /// The engine's hard ceiling.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for InvalidMaxDepth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max_depth {} exceeds the engine limit of {}",
+            self.requested, self.limit
+        )
+    }
+}
+
+impl std::error::Error for InvalidMaxDepth {}
 
 /// The completion engine for one query context.
 ///
@@ -96,6 +144,15 @@ pub struct Completer<'a> {
     reach: Option<&'a ReachIndex>,
     owned_cache: EngineCache,
     shared_cache: Option<&'a EngineCache>,
+    /// Hole-query roots, scored and sorted once per completer. Root scores
+    /// depend only on construction-time state (`db`/`ctx`/`abs`/`config` —
+    /// never on [`CompleteOptions`]), and scoring walks every visible
+    /// global through the ranker, which dominates the fixed cost of short
+    /// queries; repeat queries replay the memo instead.
+    hole_roots_memo: std::cell::OnceCell<Vec<Completion>>,
+    /// Interned twin of [`Completer::hole_roots_memo`]; valid for this
+    /// completer's (fixed) arena.
+    hole_roots_interned_memo: std::cell::OnceCell<Vec<IComp>>,
 }
 
 impl<'a> Completer<'a> {
@@ -117,6 +174,8 @@ impl<'a> Completer<'a> {
             reach: None,
             owned_cache: EngineCache::default(),
             shared_cache: None,
+            hole_roots_memo: std::cell::OnceCell::new(),
+            hole_roots_interned_memo: std::cell::OnceCell::new(),
         }
     }
 
@@ -141,6 +200,9 @@ impl<'a> Completer<'a> {
     /// interned ids are stable for the cache's lifetime.
     pub fn with_cache(mut self, cache: &'a EngineCache) -> Self {
         self.shared_cache = Some(cache);
+        // Interned root ids belong to the previous cache's arena; drop any
+        // memoized set so they are re-interned into the shared arena.
+        self.hole_roots_interned_memo = std::cell::OnceCell::new();
         self
     }
 
@@ -181,7 +243,7 @@ impl<'a> Completer<'a> {
         let cache = self.cache();
         CompletionIter {
             pipe: Pipe::Interned {
-                stream: self.stream_for_interned(pe, filter, &budget, cache),
+                stream: self.stream_for_interned(pe, filter, &budget, cache, None),
                 arena: &cache.arena,
                 seen: std::collections::HashSet::new(),
             },
@@ -218,6 +280,78 @@ impl<'a> Completer<'a> {
         }
     }
 
+    /// Best-first twin of [`Completer::completions`] for a caller that
+    /// will consume at most `k` distinct rows — the shape of every top-k
+    /// API (`complete`, `rank_of`, serve requests).
+    ///
+    /// The first `k` rows, their order, and the outcome classification are
+    /// identical to [`Completer::completions`] (pinned by
+    /// `tests/bestfirst_equiv.rs`); what changes is the work spent finding
+    /// them. On chain-rooted queries the underlying frontier is keyed by
+    /// an admissible [`crate::rank::ScoreBound`] instead of the accrued
+    /// score, a running top-k threshold (the `k` cheapest emittable states
+    /// seen so far) prunes over-bound pushes and pops, and count-`k`
+    /// dominance drops states that
+    /// provably rank past `k`. After `k` rows the iterator reports
+    /// [`QueryOutcome::Limit`] and yields nothing further — that stop is
+    /// precisely what makes the pruning sound.
+    pub fn completions_bestfirst(&self, pe: &PartialExpr, k: usize) -> BestFirstIter<'_> {
+        pex_obs::counter!("engine.queries", 1);
+        let filter = match self.options.expected {
+            Some(t) => TypeFilter::one_of(vec![t]),
+            None => TypeFilter::any(),
+        };
+        let budget = Budget::start(&self.options.budget);
+        let cache = self.cache();
+        let bf = Self::bestfirst_config(pe, k);
+        BestFirstIter {
+            inner: CompletionIter {
+                pipe: Pipe::Interned {
+                    stream: self.stream_for_interned(pe, filter, &budget, cache, bf),
+                    arena: &cache.arena,
+                    seen: std::collections::HashSet::new(),
+                },
+                budget,
+                finished: None,
+                span: pex_obs::span("query"),
+                generated: 0,
+                emitted: 0,
+            },
+            remaining: k,
+        }
+    }
+
+    /// Largest top-k target the dominance table engages for; beyond this
+    /// the per-key score lists stop paying for themselves (and a
+    /// `usize::MAX` "all rows" request must not allocate at all).
+    const DOMINANCE_MAX_K: usize = 64;
+
+    /// Largest top-k target the running threshold engages for — a bound on
+    /// the tracked score heap's size, far above any interactive `k` (and a
+    /// `usize::MAX` "all rows" request must not allocate at all).
+    const THRESHOLD_MAX_K: usize = 4096;
+
+    /// Best-first knobs for a top-`k` query over `pe`, or `None` when the
+    /// query shape gets nothing from pruning. Only chain-rooted queries
+    /// (`?` holes and `.?` suffixes) qualify: their top-level stream emits
+    /// final rows whose scores are fully accrued, so an admissible bound
+    /// is available. Threshold and dominance pruning additionally require
+    /// every generated chain state to be a distinct expression
+    /// ([`distinct_rows`]) — that is what lets "k cheaper states exist"
+    /// imply "this state's rows rank past k".
+    fn bestfirst_config(pe: &PartialExpr, k: usize) -> Option<BestFirst> {
+        if k == 0 || !matches!(pe, PartialExpr::Hole | PartialExpr::Suffix(..)) {
+            return None;
+        }
+        let distinct = distinct_rows(pe);
+        let threshold_k = (distinct && k <= Self::THRESHOLD_MAX_K).then_some(k);
+        let dominance_k = (distinct && k <= Self::DOMINANCE_MAX_K).then_some(k);
+        Some(BestFirst {
+            threshold_k,
+            dominance_k,
+        })
+    }
+
     /// The top `n` completions of `pe`. Prefer
     /// [`Completer::complete_with_outcome`] where a truncated enumeration
     /// must be distinguishable from a complete one.
@@ -229,18 +363,20 @@ impl<'a> Completer<'a> {
     /// [`QueryOutcome::Limit`] when `n` results were produced with the
     /// stream still live, [`QueryOutcome::Exhausted`] when the search space
     /// drained first, and a degraded outcome when a budget tripped first.
+    ///
+    /// Because the result-count target is known, this runs the best-first
+    /// pipeline ([`Completer::completions_bestfirst`]): same rows, same
+    /// order, same outcome classification, but with bound/dominance
+    /// pruning cutting the search work on deep chain queries.
     pub fn complete_with_outcome(
         &self,
         pe: &PartialExpr,
         n: usize,
     ) -> (Vec<Completion>, QueryOutcome) {
-        let mut iter = self.completions(pe);
+        let mut iter = self.completions_bestfirst(pe, n);
         let mut items = Vec::new();
-        while items.len() < n {
-            match iter.next() {
-                Some(c) => items.push(c),
-                None => break,
-            }
+        for c in iter.by_ref() {
+            items.push(c);
         }
         let outcome = iter.outcome().unwrap_or(QueryOutcome::Limit);
         (items, outcome)
@@ -257,30 +393,18 @@ impl<'a> Completer<'a> {
         limit: usize,
         mut pred: impl FnMut(&Completion) -> bool,
     ) -> RankResult {
-        let mut iter = self.completions(pe);
-        let mut emitted = 0;
-        while emitted < limit {
-            match iter.next() {
-                Some(c) => {
-                    if pred(&c) {
-                        return RankResult {
-                            rank: Some(emitted),
-                            outcome: QueryOutcome::Limit,
-                        };
-                    }
-                    emitted += 1;
-                }
-                None => {
-                    return RankResult {
-                        rank: None,
-                        outcome: iter.outcome().unwrap_or(QueryOutcome::Exhausted),
-                    }
-                }
+        let mut iter = self.completions_bestfirst(pe, limit);
+        for (emitted, c) in iter.by_ref().enumerate() {
+            if pred(&c) {
+                return RankResult {
+                    rank: Some(emitted),
+                    outcome: QueryOutcome::Limit,
+                };
             }
         }
         RankResult {
             rank: None,
-            outcome: QueryOutcome::Limit,
+            outcome: iter.outcome().unwrap_or(QueryOutcome::Limit),
         }
     }
 
@@ -293,75 +417,98 @@ impl<'a> Completer<'a> {
         self.ranker().link_cost()
     }
 
+    /// The shared reachability pruning table for this query's filter:
+    /// `None` when reach pruning is disabled or the filter admits
+    /// everything; otherwise an `Arc` served by the cache's reach memo
+    /// (built on the first query against this `(kind, filter)`).
+    fn pruner_for(
+        &self,
+        kind: ChainLink,
+        filter: &TypeFilter,
+    ) -> Option<std::sync::Arc<reach::ReachPruner>> {
+        let reach = self.reach?;
+        self.cache().reach.pruner(reach, self.db, kind, filter)
+    }
+
     /// Root completions for a `?` hole: live locals, `this`, and globals.
-    fn hole_roots(&self) -> VecStream<Expr> {
-        let ranker = self.ranker();
-        let mut roots = Vec::new();
-        for (i, local) in self.ctx.locals.iter().enumerate() {
-            roots.push(Completion {
-                expr: Expr::Local(pex_model::LocalId(i as u32)),
-                score: 0,
-                ty: ValueTy::Known(local.ty),
-            });
-        }
-        if let Some(this_ty) = self.ctx.this_type() {
-            roots.push(Completion {
-                expr: Expr::This,
-                score: 0,
-                ty: ValueTy::Known(this_ty),
-            });
-        }
-        for g in self.db.globals() {
-            let (expr, ty) = match g {
-                GlobalRef::Field(f) => {
-                    (Expr::StaticField(f), ValueTy::Known(self.db.field(f).ty()))
-                }
-                GlobalRef::Method(m) => (
-                    Expr::Call(m, Vec::new()),
-                    ValueTy::Known(self.db.method(m).return_type()),
-                ),
-            };
-            if let Some(score) = ranker.score(&expr) {
-                roots.push(Completion { expr, score, ty });
+    fn hole_roots(&self) -> SliceStream<'_, Expr> {
+        let roots = self.hole_roots_memo.get_or_init(|| {
+            let ranker = self.ranker();
+            let mut roots = Vec::new();
+            for (i, local) in self.ctx.locals.iter().enumerate() {
+                roots.push(Completion {
+                    expr: Expr::Local(pex_model::LocalId(i as u32)),
+                    score: 0,
+                    ty: ValueTy::Known(local.ty),
+                });
             }
-        }
-        VecStream::new(roots)
+            if let Some(this_ty) = self.ctx.this_type() {
+                roots.push(Completion {
+                    expr: Expr::This,
+                    score: 0,
+                    ty: ValueTy::Known(this_ty),
+                });
+            }
+            for g in self.db.globals() {
+                let (expr, ty) = match g {
+                    GlobalRef::Field(f) => {
+                        (Expr::StaticField(f), ValueTy::Known(self.db.field(f).ty()))
+                    }
+                    GlobalRef::Method(m) => (
+                        Expr::Call(m, Vec::new()),
+                        ValueTy::Known(self.db.method(m).return_type()),
+                    ),
+                };
+                if let Some(score) = ranker.score(&expr) {
+                    roots.push(Completion { expr, score, ty });
+                }
+            }
+            // Stored pre-sorted in the stream's (descending) emission
+            // order, so replays are a borrowing cursor — no sort, no clone.
+            roots.sort_by_key(|c| std::cmp::Reverse(c.score));
+            roots
+        });
+        SliceStream::new(roots)
     }
 
     /// Interned twin of [`Completer::hole_roots`]: same roots, same order,
     /// same scores, but each root is an arena id.
-    fn hole_roots_interned(&self, arena: &ExprArena) -> VecStream<ExprId> {
-        let ranker = self.ranker();
-        let mut roots = Vec::new();
-        for (i, local) in self.ctx.locals.iter().enumerate() {
-            roots.push(IComp {
-                expr: arena.local(pex_model::LocalId(i as u32)),
-                score: 0,
-                ty: ValueTy::Known(local.ty),
-            });
-        }
-        if let Some(this_ty) = self.ctx.this_type() {
-            roots.push(IComp {
-                expr: arena.this(),
-                score: 0,
-                ty: ValueTy::Known(this_ty),
-            });
-        }
-        for g in self.db.globals() {
-            let (expr, ty) = match g {
-                GlobalRef::Field(f) => {
-                    (arena.static_field(f), ValueTy::Known(self.db.field(f).ty()))
-                }
-                GlobalRef::Method(m) => (
-                    arena.call(m, &[]),
-                    ValueTy::Known(self.db.method(m).return_type()),
-                ),
-            };
-            if let Some(score) = ranker.score_interned(arena, expr) {
-                roots.push(IComp { expr, score, ty });
+    fn hole_roots_interned(&self, arena: &ExprArena) -> SliceStream<'_, ExprId> {
+        let roots = self.hole_roots_interned_memo.get_or_init(|| {
+            let ranker = self.ranker();
+            let mut roots = Vec::new();
+            for (i, local) in self.ctx.locals.iter().enumerate() {
+                roots.push(IComp {
+                    expr: arena.local(pex_model::LocalId(i as u32)),
+                    score: 0,
+                    ty: ValueTy::Known(local.ty),
+                });
             }
-        }
-        VecStream::new(roots)
+            if let Some(this_ty) = self.ctx.this_type() {
+                roots.push(IComp {
+                    expr: arena.this(),
+                    score: 0,
+                    ty: ValueTy::Known(this_ty),
+                });
+            }
+            for g in self.db.globals() {
+                let (expr, ty) = match g {
+                    GlobalRef::Field(f) => {
+                        (arena.static_field(f), ValueTy::Known(self.db.field(f).ty()))
+                    }
+                    GlobalRef::Method(m) => (
+                        arena.call(m, &[]),
+                        ValueTy::Known(self.db.method(m).return_type()),
+                    ),
+                };
+                if let Some(score) = ranker.score_interned(arena, expr) {
+                    roots.push(IComp { expr, score, ty });
+                }
+            }
+            roots.sort_by_key(|c| std::cmp::Reverse(c.score));
+            roots
+        });
+        SliceStream::new(roots)
     }
 
     /// Compiles a partial expression into a scored stream whose emissions
@@ -396,9 +543,7 @@ impl<'a> Completer<'a> {
                 ty: ValueTy::Wildcard,
             }])),
             PartialExpr::Hole => {
-                let pruner = self
-                    .reach
-                    .and_then(|r| r.pruner(self.db, ChainLink::FieldsAndMethods, &filter));
+                let pruner = self.pruner_for(ChainLink::FieldsAndMethods, &filter);
                 Box::new(
                     ChainStream::new(
                         self.db,
@@ -406,7 +551,7 @@ impl<'a> Completer<'a> {
                         Box::new(self.hole_roots()),
                         ChainLink::FieldsAndMethods,
                         None,
-                        self.options.depth_cap,
+                        self.options.max_depth,
                         self.link_cost(),
                         filter,
                         budget.clone(),
@@ -424,7 +569,7 @@ impl<'a> Completer<'a> {
                     ChainLink::Fields
                 };
                 let max_links = if kind.is_star() { None } else { Some(1) };
-                let pruner = self.reach.and_then(|r| r.pruner(self.db, links, &filter));
+                let pruner = self.pruner_for(links, &filter);
                 Box::new(
                     ChainStream::new(
                         self.db,
@@ -432,7 +577,7 @@ impl<'a> Completer<'a> {
                         roots,
                         links,
                         max_links,
-                        self.options.depth_cap,
+                        self.options.max_depth,
                         self.link_cost(),
                         filter,
                         budget.clone(),
@@ -519,12 +664,21 @@ impl<'a> Completer<'a> {
     /// Interned twin of [`Completer::stream_for`]: arm-for-arm identical
     /// compilation, but every stream carries [`ExprId`]s and every built
     /// node is one `intern`. The equivalence proptest guards the pair.
+    ///
+    /// `bf` applies best-first pruning to the *top-level* chain stream only
+    /// (`Hole`/`Suffix` arms): those are the streams whose emissions are
+    /// the query's final rows, which is what makes threshold and dominance
+    /// pruning sound. Nested streams (suffix bases, call arguments, `Alt`
+    /// arms) always run exhaustively — their emissions feed combinators
+    /// that add expression-dependent score terms or compare stream bounds,
+    /// where dropping or re-keying items could change the merged order.
     fn stream_for_interned<'s>(
         &'s self,
         pe: &PartialExpr,
         filter: TypeFilter,
         budget: &Budget,
         cache: &'s EngineCache,
+        bf: Option<BestFirst>,
     ) -> Box<dyn ScoredStream<ExprId> + 's> {
         let ranker = self.ranker();
         let arena = &cache.arena;
@@ -553,9 +707,7 @@ impl<'a> Completer<'a> {
                 ty: ValueTy::Wildcard,
             }])),
             PartialExpr::Hole => {
-                let pruner = self
-                    .reach
-                    .and_then(|r| r.pruner(self.db, ChainLink::FieldsAndMethods, &filter));
+                let pruner = self.pruner_for(ChainLink::FieldsAndMethods, &filter);
                 Box::new(
                     ChainStream::new(
                         self.db,
@@ -563,25 +715,26 @@ impl<'a> Completer<'a> {
                         Box::new(self.hole_roots_interned(arena)),
                         ChainLink::FieldsAndMethods,
                         None,
-                        self.options.depth_cap,
+                        self.options.max_depth,
                         self.link_cost(),
                         filter,
                         budget.clone(),
                         ArenaGrow { arena },
                         memo,
                     )
-                    .with_pruner(pruner),
+                    .with_pruner(pruner)
+                    .with_bestfirst(bf),
                 )
             }
             PartialExpr::Suffix(base, kind) => {
-                let roots = self.stream_for_interned(base, TypeFilter::any(), budget, cache);
+                let roots = self.stream_for_interned(base, TypeFilter::any(), budget, cache, None);
                 let links = if kind.allows_methods() {
                     ChainLink::FieldsAndMethods
                 } else {
                     ChainLink::Fields
                 };
                 let max_links = if kind.is_star() { None } else { Some(1) };
-                let pruner = self.reach.and_then(|r| r.pruner(self.db, links, &filter));
+                let pruner = self.pruner_for(links, &filter);
                 Box::new(
                     ChainStream::new(
                         self.db,
@@ -589,20 +742,21 @@ impl<'a> Completer<'a> {
                         roots,
                         links,
                         max_links,
-                        self.options.depth_cap,
+                        self.options.max_depth,
                         self.link_cost(),
                         filter,
                         budget.clone(),
                         ArenaGrow { arena },
                         memo,
                     )
-                    .with_pruner(pruner),
+                    .with_pruner(pruner)
+                    .with_bestfirst(bf),
                 )
             }
             PartialExpr::UnknownCall(args) => {
                 let arg_streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = args
                     .iter()
-                    .map(|a| self.stream_for_interned(a, TypeFilter::any(), budget, cache))
+                    .map(|a| self.stream_for_interned(a, TypeFilter::any(), budget, cache, None))
                     .collect();
                 let product = ProductStream::new(arg_streams, budget.clone());
                 let index = self.index;
@@ -630,7 +784,7 @@ impl<'a> Completer<'a> {
                             .iter()
                             .map(|m| self.db.method(*m).full_param_types()[i])
                             .collect();
-                        self.stream_for_interned(a, TypeFilter::one_of(wanted), budget, cache)
+                        self.stream_for_interned(a, TypeFilter::one_of(wanted), budget, cache, None)
                     })
                     .collect();
                 let product = ProductStream::new(arg_streams, budget.clone());
@@ -642,8 +796,8 @@ impl<'a> Completer<'a> {
             }
             PartialExpr::Assign(l, r) => {
                 let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = vec![
-                    self.stream_for_interned(l, TypeFilter::any(), budget, cache),
-                    self.stream_for_interned(r, TypeFilter::any(), budget, cache),
+                    self.stream_for_interned(l, TypeFilter::any(), budget, cache, None),
+                    self.stream_for_interned(r, TypeFilter::any(), budget, cache, None),
                 ];
                 let product = ProductStream::new(streams, budget.clone());
                 let expand = move |combo: &stream::Combo<ExprId>| {
@@ -654,7 +808,7 @@ impl<'a> Completer<'a> {
             PartialExpr::Alt(alts) => {
                 let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = alts
                     .iter()
-                    .map(|a| self.stream_for_interned(a, filter.clone(), budget, cache))
+                    .map(|a| self.stream_for_interned(a, filter.clone(), budget, cache, None))
                     .collect();
                 Box::new(MergeStream::new(streams))
             }
@@ -662,8 +816,8 @@ impl<'a> Completer<'a> {
                 // Paper Section 4.2: operands of a relational operator can
                 // only have ordered types; narrow both streams up front.
                 let streams: Vec<Box<dyn ScoredStream<ExprId> + 's>> = vec![
-                    self.stream_for_interned(l, TypeFilter::Ordered, budget, cache),
-                    self.stream_for_interned(r, TypeFilter::Ordered, budget, cache),
+                    self.stream_for_interned(l, TypeFilter::Ordered, budget, cache, None),
+                    self.stream_for_interned(r, TypeFilter::Ordered, budget, cache, None),
                 ];
                 let product = ProductStream::new(streams, budget.clone());
                 let op = *op;
@@ -688,6 +842,28 @@ impl<'a> Completer<'a> {
             db: self.db,
             filter,
         })
+    }
+}
+
+/// Whether every candidate the compiled stream for `pe` generates is a
+/// distinct expression (dedup never fires). Chain streams over *simple*
+/// roots build distinct chains — each state is its root expression plus a
+/// unique member sequence — but product expansions and `Alt` merges can
+/// surface the same expression twice, and a suffix whose base stream
+/// itself emits chains (e.g. `Suffix(Hole, ..)`) re-derives the same
+/// expression through every (base, appended-links) split of the chain.
+/// The running top-k threshold and count-k dominance both count generated
+/// states as distinct rows-in-waiting, so they are only enabled when this
+/// holds.
+fn distinct_rows(pe: &PartialExpr) -> bool {
+    match pe {
+        PartialExpr::Hole | PartialExpr::Hole0 | PartialExpr::Known(_) => true,
+        // Only single-expression bases keep suffix chains collision-free;
+        // `Hole` (and nested suffix) bases emit chains themselves.
+        PartialExpr::Suffix(base, _) => {
+            matches!(**base, PartialExpr::Known(_) | PartialExpr::Hole0)
+        }
+        _ => false,
     }
 }
 
@@ -841,8 +1017,49 @@ impl Drop for CompletionIter<'_> {
         self.finish(QueryOutcome::Limit);
         pex_obs::counter!("engine.candidates.generated", self.generated);
         pex_obs::counter!("engine.candidates.emitted", self.emitted);
+        // Total enumeration work (heap pops, product combos, pulls) the
+        // query charged against its budget — the honest cost metric the
+        // per-candidate counters above cannot see.
+        pex_obs::counter!("engine.query.steps", self.budget.steps_used());
         // `self.span` drops after this body, closing the query span last.
         let _ = &self.span;
+    }
+}
+
+/// Iterator over the best-first pipeline
+/// ([`Completer::completions_bestfirst`]): row-for-row identical to
+/// [`CompletionIter`] — expressions, scores, tie order, outcome — up to
+/// its `k`-row stop point, after which it reports [`QueryOutcome::Limit`]
+/// and yields nothing further. The hard stop is not a convenience: a
+/// pruned state could only have produced rows strictly after the `k`-th
+/// distinct one, so refusing to enumerate past `k` is what keeps the
+/// pruning invisible.
+pub struct BestFirstIter<'s> {
+    inner: CompletionIter<'s>,
+    /// Distinct rows still to emit before the iterator stops with
+    /// [`QueryOutcome::Limit`].
+    remaining: usize,
+}
+
+impl BestFirstIter<'_> {
+    /// Why iteration stopped, or `None` while rows remain; see
+    /// [`CompletionIter::outcome`].
+    pub fn outcome(&self) -> Option<QueryOutcome> {
+        self.inner.outcome()
+    }
+}
+
+impl Iterator for BestFirstIter<'_> {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        if self.remaining == 0 {
+            self.inner.finish(QueryOutcome::Limit);
+            return None;
+        }
+        let c = self.inner.next()?;
+        self.remaining -= 1;
+        Some(c)
     }
 }
 
@@ -1136,12 +1353,12 @@ mod tests {
     }
 
     #[test]
-    fn depth_cap_bounds_hole_exploration() {
+    fn max_depth_bounds_hole_exploration() {
         let (db, ctx) = setup();
         let index = MethodIndex::build(&db);
         let shallow = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
             CompleteOptions {
-                depth_cap: 1,
+                max_depth: 1,
                 ..Default::default()
             },
         );
@@ -1304,5 +1521,92 @@ mod tests {
             .collect();
         assert!(top.contains(&"img".to_string()));
         assert!(top.contains(&"size".to_string()));
+    }
+
+    /// Row-for-row agreement of the exhaustive and best-first paths at the
+    /// shallow depths where pruning has the least room to hide: depth 0
+    /// (roots only) and depth 1.
+    #[test]
+    fn depth_0_and_1_rows_agree_between_exhaustive_and_bestfirst() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let reach = ReachIndex::build(&db);
+        let doc = db.types().lookup_qualified("PaintDotNet.Document").unwrap();
+        for depth in [0usize, 1] {
+            for expected in [None, Some(doc)] {
+                for query in ["?", "img.?*f", "size.?f"] {
+                    let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None)
+                        .with_options(CompleteOptions {
+                            expected,
+                            max_depth: depth,
+                            ..Default::default()
+                        })
+                        .with_reach(&reach);
+                    let q = parse_partial(&db, &ctx, query).unwrap();
+                    let exhaustive: Vec<Completion> = completer.completions(&q).take(10).collect();
+                    let (bestfirst, _) = completer.complete_with_outcome(&q, 10);
+                    assert_eq!(
+                        exhaustive, bestfirst,
+                        "depth {depth} expected {expected:?} query {query}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_beyond_limit_errors_cleanly() {
+        let too_deep = MAX_DEPTH_LIMIT + 1;
+        let err = CompleteOptions::default()
+            .with_max_depth(too_deep)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InvalidMaxDepth {
+                requested: too_deep,
+                limit: MAX_DEPTH_LIMIT,
+            }
+        );
+        assert!(err.to_string().contains("exceeds the engine limit"));
+        // Every depth up to the limit is accepted.
+        for d in 0..=MAX_DEPTH_LIMIT {
+            assert_eq!(
+                CompleteOptions::default()
+                    .with_max_depth(d)
+                    .unwrap()
+                    .max_depth,
+                d
+            );
+        }
+        // A raw out-of-range field write is clamped inside the search, not
+        // a panic: the query still runs and at most `MAX_DEPTH_LIMIT`
+        // links are appended.
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
+            CompleteOptions {
+                max_depth: 1000,
+                ..Default::default()
+            },
+        );
+        let q = parse_partial(&db, &ctx, "img.?*f").unwrap();
+        let (rows, outcome) = completer.complete_with_outcome(&q, 5);
+        assert!(!rows.is_empty());
+        assert!(!outcome.is_degraded() || outcome == QueryOutcome::StepBudget);
+    }
+
+    /// The best-first iterator refuses to enumerate past its `k` target —
+    /// the contract that makes threshold/dominance pruning sound — and
+    /// classifies the stop as a `Limit`.
+    #[test]
+    fn bestfirst_stops_hard_at_k_and_reports_limit() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = parse_partial(&db, &ctx, "?").unwrap();
+        let mut iter = completer.completions_bestfirst(&q, 3);
+        assert_eq!(iter.by_ref().count(), 3);
+        assert_eq!(iter.next(), None, "the stop is sticky");
+        assert_eq!(iter.outcome(), Some(QueryOutcome::Limit));
     }
 }

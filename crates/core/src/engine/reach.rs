@@ -110,14 +110,17 @@ impl ReachIndex {
         }
     }
 
-    /// Prepares a pruner for one filtered chain query: `admissible` is the
-    /// set of types whose values pass the filter.
+    /// Builds the pruning table for one `(filter, link kind)` pair:
+    /// `admissible` is the set of types whose values pass the filter, and
+    /// `dist` the per-type minimum lookups to any of them. The table
+    /// depends only on the database — never on the query's root
+    /// expressions or scores — so [`ReachMemo`] shares it across queries.
     pub(crate) fn pruner(
         &self,
         db: &Database,
         kind: ChainLink,
         filter: &TypeFilter,
-    ) -> Option<ReachPruner<'_>> {
+    ) -> Option<ReachPruner> {
         if filter.is_any() {
             return None; // nothing to prune against
         }
@@ -127,29 +130,116 @@ impl ReachIndex {
                 admissible[ty.index()] = true;
             }
         }
-        Some(ReachPruner {
-            index: self,
-            kind,
-            admissible,
-        })
+        let dist = (0..db.types().len())
+            .map(|i| {
+                self.reachable(kind, TypeId::from_index(i))
+                    .iter()
+                    .filter(|(t, _)| admissible[t.index()])
+                    .map(|(_, d)| *d)
+                    .min()
+                    .unwrap_or(DIST_UNREACHABLE)
+            })
+            .collect();
+        Some(ReachPruner { admissible, dist })
     }
 }
 
-/// A per-query pruning oracle (see [`ReachIndex::pruner`]).
-pub(crate) struct ReachPruner<'a> {
-    index: &'a ReachIndex,
-    kind: ChainLink,
+/// [`ReachPruner::min_links`]'s sentinel: no admissible type is reachable
+/// from this one at all. Larger than any real remaining-link budget, so a
+/// plain `≤ remaining` comparison also rejects unreachable types.
+pub(crate) const DIST_UNREACHABLE: u32 = u32::MAX;
+
+/// A pruning oracle for one `(filter, link kind)` pair (see
+/// [`ReachIndex::pruner`]): every probe is an O(1) table lookup.
+#[derive(Debug)]
+pub(crate) struct ReachPruner {
     admissible: Vec<bool>,
+    dist: Vec<u32>,
 }
 
-impl<'a> ReachPruner<'a> {
-    /// Whether a chain state of type `ty` with `remaining` link budget can
-    /// still produce an admissible completion.
-    pub(crate) fn viable(&self, ty: TypeId, remaining: u32) -> bool {
-        self.index
-            .reachable(self.kind, ty)
-            .iter()
-            .any(|(t, d)| *d <= remaining && self.admissible[t.index()])
+impl ReachPruner {
+    /// Whether values of `ty` pass the query's filter directly (zero
+    /// further lookups) — the precomputed `filter.admits` verdict.
+    pub(crate) fn is_admissible(&self, ty: TypeId) -> bool {
+        self.admissible[ty.index()]
+    }
+
+    /// Minimum number of links from `ty` to *any* admissible type, or
+    /// [`DIST_UNREACHABLE`]. Because the index stores shortest distances,
+    /// every admissible completion growing from a `ty` state appends at
+    /// least this many links — which makes `link_cost × min_links` an
+    /// admissible A* heuristic for the best-first search, and
+    /// `min_links ≤ remaining links` the viability test for enqueueing a
+    /// chain state.
+    pub(crate) fn min_links(&self, ty: TypeId) -> u32 {
+        self.dist[ty.index()]
+    }
+
+    /// [`ReachPruner::min_links`] as an option (`None` = unreachable).
+    #[cfg(test)]
+    pub(crate) fn min_to_admissible(&self, ty: TypeId) -> Option<u32> {
+        match self.min_links(ty) {
+            DIST_UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+}
+
+/// Canonical identity of a [`TypeFilter`] for memo keys. `Any` filters
+/// never build a pruner, so only the narrowing variants appear.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FilterKey {
+    OneOf(Vec<TypeId>),
+    Ordered,
+}
+
+impl FilterKey {
+    fn of(filter: &TypeFilter) -> Option<Self> {
+        match filter {
+            TypeFilter::Any => None,
+            TypeFilter::OneOf(tys) => {
+                let mut tys = tys.clone();
+                tys.sort_unstable();
+                tys.dedup();
+                Some(FilterKey::OneOf(tys))
+            }
+            TypeFilter::Ordered => Some(FilterKey::Ordered),
+        }
+    }
+}
+
+/// Cross-query memo of pruning tables per `(link kind, filter)` — the
+/// reach-index sibling of [`super::memo::SuccessorMemo`], living in
+/// [`super::EngineCache`]. Query streams over the same expected type (the
+/// common case for a serve snapshot answering a hot completion site)
+/// share one table instead of re-deriving `filter.admits` for every type
+/// and re-scanning reachable sets per query.
+#[derive(Debug, Default)]
+pub(crate) struct ReachMemo {
+    entries: std::sync::RwLock<
+        std::collections::HashMap<(ChainLink, FilterKey), std::sync::Arc<ReachPruner>>,
+    >,
+}
+
+impl ReachMemo {
+    /// The shared pruning table for this `(kind, filter)` — built on first
+    /// request, an `Arc` clone thereafter. `None` for unfiltered queries.
+    pub(crate) fn pruner(
+        &self,
+        index: &ReachIndex,
+        db: &Database,
+        kind: ChainLink,
+        filter: &TypeFilter,
+    ) -> Option<std::sync::Arc<ReachPruner>> {
+        let key = (kind, FilterKey::of(filter)?);
+        if let Some(hit) = self.entries.read().expect("reach memo lock").get(&key) {
+            pex_obs::counter!("engine.reach.memo.hits", 1);
+            return Some(std::sync::Arc::clone(hit));
+        }
+        let table = std::sync::Arc::new(index.pruner(db, kind, filter)?);
+        pex_obs::counter!("engine.reach.memo.fills", 1);
+        let mut entries = self.entries.write().expect("reach memo lock");
+        Some(std::sync::Arc::clone(entries.entry(key).or_insert(table)))
     }
 }
 
@@ -227,11 +317,32 @@ mod tests {
         let pruner = reach
             .pruner(&db, ChainLink::Fields, &filter)
             .expect("filter is narrow");
-        assert!(pruner.viable(canvas, 3), "int reachable in exactly 3");
-        assert!(!pruner.viable(canvas, 2), "not within 2");
+        // The stream's viability test is `min_to_admissible ≤ remaining`:
+        // a canvas state survives a 3-link budget but not a 2-link one.
+        let d = pruner.min_to_admissible(canvas).expect("int is reachable");
+        assert!(d <= 3, "int reachable in exactly 3");
+        assert!(d > 2, "not within 2");
         // An unfiltered query has no pruner (nothing to prune against).
         assert!(reach
             .pruner(&db, ChainLink::Fields, &TypeFilter::any())
             .is_none());
+    }
+
+    #[test]
+    fn min_to_admissible_is_the_shortest_admissible_distance() {
+        let db = db();
+        let reach = ReachIndex::build(&db);
+        let canvas = db.types().lookup_qualified("N.Canvas").unwrap();
+        let line = db.types().lookup_qualified("N.Line").unwrap();
+        let island = db.types().lookup_qualified("N.Island").unwrap();
+        let int = db.types().int_ty();
+        let filter = TypeFilter::one_of(vec![int]);
+        let pruner = reach
+            .pruner(&db, ChainLink::Fields, &filter)
+            .expect("filter is narrow");
+        assert_eq!(pruner.min_to_admissible(canvas), Some(3));
+        assert_eq!(pruner.min_to_admissible(line), Some(2));
+        assert_eq!(pruner.min_to_admissible(int), Some(0));
+        assert_eq!(pruner.min_to_admissible(island), None);
     }
 }

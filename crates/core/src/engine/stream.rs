@@ -84,6 +84,37 @@ impl<E> ScoredStream<E> for VecStream<E> {
     }
 }
 
+/// A cursor over a borrowed pre-sorted slice (descending score order, the
+/// same layout as [`VecStream`]): replays a memoized completion set
+/// without cloning it up front. Items are cloned lazily as consumed, so a
+/// top-k consumer that stops after a few roots never touches the rest.
+pub(crate) struct SliceStream<'a, E> {
+    items: &'a [Scored<E>],
+    /// Next emission index + 1, counting down (the cheapest item is last).
+    pos: usize,
+}
+
+impl<'a, E> SliceStream<'a, E> {
+    pub(crate) fn new(items: &'a [Scored<E>]) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0].score >= w[1].score));
+        SliceStream {
+            items,
+            pos: items.len(),
+        }
+    }
+}
+
+impl<'a, E: Clone> ScoredStream<E> for SliceStream<'a, E> {
+    fn bound(&mut self) -> Option<u32> {
+        self.pos.checked_sub(1).map(|i| self.items[i].score)
+    }
+
+    fn next_item(&mut self) -> Option<Scored<E>> {
+        self.pos = self.pos.checked_sub(1)?;
+        Some(self.items[self.pos].clone())
+    }
+}
+
 /// K-way merge of streams by bound. Used for [`super::super::PartialExpr::Alt`]
 /// queries, whose completions are the union of their alternatives'.
 pub(crate) struct MergeStream<'a, E> {

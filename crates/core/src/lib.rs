@@ -56,9 +56,9 @@ pub mod rank;
 
 pub use engine::{
     budget::{CancelToken, QueryBudget, QueryOutcome, RankResult},
-    chains::ChainLink,
-    CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter, EngineCache,
-    MethodIndex, ReachIndex,
+    chains::{ChainLink, MAX_DEPTH_LIMIT},
+    BestFirstIter, CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter,
+    EngineCache, InvalidMaxDepth, MethodIndex, ReachIndex,
 };
 pub use partial::{derives, parse_partial, ParseError, PartialExpr, SuffixKind};
-pub use rank::{RankConfig, RankTerm, Ranker, ScoreBreakdown};
+pub use rank::{RankConfig, RankTerm, Ranker, ScoreBound, ScoreBreakdown};

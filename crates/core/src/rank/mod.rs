@@ -23,6 +23,10 @@
 //! only — because the paper treats them as property sugar; the call-specific
 //! terms apply to calls with declared parameters.
 
+mod bound;
+
+pub use bound::ScoreBound;
+
 use pex_abstract::AbsTypes;
 use pex_model::{ArenaRead, Context, Database, ENode, Expr, ExprArena, ExprId, MethodId, ValueTy};
 use pex_types::TypeId;

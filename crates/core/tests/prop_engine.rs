@@ -156,7 +156,7 @@ proptest! {
         let index = MethodIndex::build(&db);
         let engine = Completer::new(&db, &ctx, &index, RankConfig::all(), None).with_options(
             pex_core::CompleteOptions {
-                depth_cap: 2,
+                max_depth: 2,
                 ..Default::default()
             },
         );

@@ -13,8 +13,10 @@
 //! {"cmd": "shutdown"}
 //! ```
 //!
-//! `limit`, `deadline_ms`, `max_steps`, and `locals` are optional;
-//! omitted fields fall back to the server's [`RequestDefaults`].
+//! `limit`, `deadline_ms`, `max_steps`, `max_depth`, and `locals` are
+//! optional; omitted fields fall back to the server's
+//! [`RequestDefaults`]. `max_depth` caps lookup-chain length per query
+//! (up to the engine limit) and is rejected as `bad_request` beyond it.
 //!
 //! ## Responses
 //!
@@ -89,6 +91,9 @@ pub struct QueryRequest {
     pub deadline_ms: Option<u64>,
     /// Per-request step budget.
     pub max_steps: Option<usize>,
+    /// Per-request chain-depth cap (validated against
+    /// [`pex_core::MAX_DEPTH_LIMIT`] at execution time).
+    pub max_depth: Option<usize>,
     /// `name:Qualified.Type` local declarations replacing the snapshot's
     /// default context.
     pub locals: Vec<String>,
@@ -130,6 +135,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
     let limit = uint("limit")?.map(|n| n as usize);
     let deadline_ms = uint("deadline_ms")?;
     let max_steps = uint("max_steps")?.map(|n| n as usize);
+    let max_depth = uint("max_depth")?.map(|n| n as usize);
     let locals = match doc.get("locals") {
         None | Some(Value::Null) => Vec::new(),
         Some(Value::Arr(items)) => {
@@ -152,6 +158,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
         limit,
         deadline_ms,
         max_steps,
+        max_depth,
         locals,
     }))
 }
@@ -234,12 +241,19 @@ pub fn execute(
             .map(Duration::from_millis),
         cancel: Some(cancel.clone()),
     };
+    let mut options = CompleteOptions {
+        budget,
+        ..Default::default()
+    };
+    if let Some(depth) = req.max_depth {
+        options = match options.with_max_depth(depth) {
+            Ok(o) => o,
+            Err(e) => return (error_response(id, "bad_request", &e.to_string()), false),
+        };
+    }
     let abs = if req.locals.is_empty() { abs } else { None };
     let completer = Completer::new(&snapshot.db, &ctx, &snapshot.index, RankConfig::all(), abs)
-        .with_options(CompleteOptions {
-            budget,
-            ..Default::default()
-        })
+        .with_options(options)
         .with_reach(&snapshot.reach)
         .with_cache(&snapshot.cache);
     let limit = req.limit.unwrap_or(defaults.limit);
@@ -278,7 +292,7 @@ mod tests {
     #[test]
     fn parses_query_requests_with_all_fields() {
         let req = parse_request(
-            r#"{"id":"a1","query":"?","limit":3,"deadline_ms":250,"max_steps":5000,"locals":["p:Geo.Point"]}"#,
+            r#"{"id":"a1","query":"?","limit":3,"deadline_ms":250,"max_steps":5000,"max_depth":3,"locals":["p:Geo.Point"]}"#,
         )
         .unwrap();
         let Request::Query(q) = req else {
@@ -289,6 +303,7 @@ mod tests {
         assert_eq!(q.limit, Some(3));
         assert_eq!(q.deadline_ms, Some(250));
         assert_eq!(q.max_steps, Some(5000));
+        assert_eq!(q.max_depth, Some(3));
         assert_eq!(q.locals, vec!["p:Geo.Point".to_owned()]);
     }
 
@@ -351,6 +366,7 @@ mod tests {
             limit: Some(5),
             deadline_ms: None,
             max_steps: None,
+            max_depth: None,
             locals: Vec::new(),
         };
         let abs = snap.abs_for_site();
@@ -375,6 +391,7 @@ mod tests {
             limit: None,
             deadline_ms: Some(0),
             max_steps: None,
+            max_depth: None,
             locals: Vec::new(),
         };
         let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
@@ -397,12 +414,47 @@ mod tests {
             limit: None,
             deadline_ms: None,
             max_steps: None,
+            max_depth: None,
             locals: Vec::new(),
         };
         let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
         assert!(!ok);
         let doc = json::parse(&resp).unwrap();
         assert_eq!(doc.get("error").and_then(Value::as_str), Some("parse"));
+    }
+
+    #[test]
+    fn max_depth_beyond_the_engine_limit_is_a_bad_request() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: Some(Value::Num(7.0)),
+            query: "?".into(),
+            limit: None,
+            deadline_ms: None,
+            max_steps: None,
+            max_depth: Some(99),
+            locals: Vec::new(),
+        };
+        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert!(!ok);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(Value::as_str),
+            Some("bad_request"),
+            "{resp}"
+        );
+        assert!(resp.contains("engine limit"), "{resp}");
+
+        // An in-range depth executes normally.
+        let shallow = QueryRequest {
+            max_depth: Some(1),
+            id: None,
+            ..req
+        };
+        let (resp, ok) = execute(&snap, &shallow, &defaults(), &CancelToken::new(), None);
+        assert!(ok, "{resp}");
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
     }
 
     #[test]
@@ -414,6 +466,7 @@ mod tests {
             limit: Some(3),
             deadline_ms: None,
             max_steps: None,
+            max_depth: None,
             locals: vec!["bad spec".into()],
         };
         let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);

@@ -69,6 +69,14 @@ impl Bencher {
             let scale = (floor.as_nanos() as u64 / dt.as_nanos().max(1) as u64).clamp(2, 16);
             iters = iters.saturating_mul(scale);
         }
+        // One untimed warm-up batch between calibration and sampling. The
+        // calibration loop's early tiny batches run against cold caches and
+        // an unwarmed frequency governor; without this, the first timed
+        // sample can land an order of magnitude above the median and skews
+        // `max_ns` for fast routines.
+        for _ in 0..iters {
+            std_black_box(f());
+        }
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let t0 = Instant::now();

@@ -65,6 +65,9 @@ struct Session {
     enclosing_method: Option<pex::model::MethodId>,
     config: RankConfig,
     count: usize,
+    /// Per-query chain-depth cap (`--max-depth` / `:depth`); deeper costs
+    /// more latency, the engine's best-first pruning keeps it usable.
+    max_depth: usize,
     /// Results of the most recent query (for `:refine N`).
     last: Vec<Completion>,
 }
@@ -73,6 +76,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut source_arg: Option<String> = None;
     let mut locals_spec: Vec<String> = Vec::new();
+    let mut max_depth = CompleteOptions::default().max_depth;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +86,16 @@ fn main() {
                     Some(spec) => locals_spec.push(spec.clone()),
                     None => usage_error("--local expects a following name:Qualified.Type spec"),
                 }
+            }
+            "--max-depth" => {
+                i += 1;
+                max_depth = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n <= MAX_DEPTH_LIMIT => n,
+                    Some(n) => usage_error(&format!(
+                        "--max-depth {n} exceeds the engine limit of {MAX_DEPTH_LIMIT}"
+                    )),
+                    None => usage_error("--max-depth expects a following non-negative integer"),
+                };
             }
             "--help" | "-h" => {
                 say!("{HELP}");
@@ -112,6 +126,7 @@ fn main() {
         enclosing_method: enclosing,
         config: RankConfig::all(),
         count: 10,
+        max_depth,
         last: Vec::new(),
     };
 
@@ -231,6 +246,14 @@ fn command(s: &mut Session, cmd: &str) -> bool {
                 say!("usage: :n <count>");
             }
         }
+        Some("depth") => match parts.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n <= MAX_DEPTH_LIMIT => {
+                s.max_depth = n;
+                say!("chain depth capped at {n} (deeper queries cost more latency)");
+            }
+            Some(n) => say!("depth {n} exceeds the engine limit of {MAX_DEPTH_LIMIT}"),
+            None => say!("usage: :depth <0..={MAX_DEPTH_LIMIT}>"),
+        },
         Some("config") => {
             for flag in parts {
                 let (on, code) = match flag.split_at(1) {
@@ -349,7 +372,12 @@ fn run_parsed(s: &mut Session, query: &PartialExpr) {
     let abs = s
         .enclosing_method
         .map(|m| AbsTypes::for_query(&s.db, m, usize::MAX));
-    let engine = Completer::new(&s.db, &s.ctx, &index, s.config, abs.as_ref());
+    let engine = Completer::new(&s.db, &s.ctx, &index, s.config, abs.as_ref()).with_options(
+        CompleteOptions {
+            max_depth: s.max_depth,
+            ..Default::default()
+        },
+    );
     let results = engine.complete(query, s.count);
     if results.is_empty() {
         say!("(no completions)");
@@ -390,7 +418,12 @@ fn explain_query(s: &Session, text: &str) {
     let abs = s
         .enclosing_method
         .map(|m| AbsTypes::for_query(&s.db, m, usize::MAX));
-    let engine = Completer::new(&s.db, &s.ctx, &index, s.config, abs.as_ref());
+    let engine = Completer::new(&s.db, &s.ctx, &index, s.config, abs.as_ref()).with_options(
+        CompleteOptions {
+            max_depth: s.max_depth,
+            ..Default::default()
+        },
+    );
     let ranker = engine.ranker();
     let results = engine.complete(&query, s.count);
     if results.is_empty() {
@@ -421,6 +454,7 @@ const HELP: &str = "\
 pex-repl — type-directed completion of partial expressions
 
 USAGE: pex-repl [paint|geometry|familyshow|FILE.mcs] [--local name:Type]...
+                [--max-depth N]   chain-depth cap; deeper = slower queries
 
 Queries:   ?({a, b})   M(a, ?)   a.?f   a.?*m   a.?f := b.?f   a.?*m >= b.?*m
 Commands:  :help  :locals  :types [pat]  :methods [pat]
@@ -429,5 +463,6 @@ Commands:  :help  :locals  :types [pat]  :methods [pat]
            :explain <query>      show per-term score breakdown (n s d m t a)
            :refine <n>           reopen the 0-holes of result n as ? holes
            :n <count>            number of results to show
+           :depth <n>            chain-depth cap for queries (latency knob)
            :config [+-][nsdmta]  toggle ranking terms (e.g. :config -d)
            :quit";

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use pex_abstract::AbsTypes;
     pub use pex_core::{
         derives, parse_partial, CompleteOptions, Completer, Completion, MethodIndex, PartialExpr,
-        RankConfig, RankTerm, Ranker, ReachIndex, ScoreBreakdown, SuffixKind,
+        RankConfig, RankTerm, Ranker, ReachIndex, ScoreBreakdown, SuffixKind, MAX_DEPTH_LIMIT,
     };
     pub use pex_model::{
         Body, CallStyle, CmpOp, Context, Database, Expr, Local, Stmt, ValueTy, Visibility,
