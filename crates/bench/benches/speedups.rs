@@ -464,6 +464,9 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
         max_steps: None,
         max_depth: None,
         locals: Vec::new(),
+        trace_id: None,
+        trace: false,
+        explain: false,
     };
     let defaults = RequestDefaults::default();
     let cancel = pex_core::CancelToken::new();
@@ -472,8 +475,12 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
     let warm_abs = warm.abs_for_site();
     // Each variant must produce the same answer for the ratio to compare
     // equal work.
-    let (warm_resp, ok) = proto::execute(&warm, &request, &defaults, &cancel, warm_abs.as_ref());
-    assert!(ok && warm_resp.contains("ResizeDocument"), "{warm_resp}");
+    let (warm_resp, disposition) =
+        proto::execute(&warm, &request, &defaults, &cancel, warm_abs.as_ref());
+    assert!(
+        disposition == pex_serve::Disposition::Ok && warm_resp.contains("ResizeDocument"),
+        "{warm_resp}"
+    );
 
     c.bench_function("speedups/query_cold_index", |b| {
         b.iter(|| {
@@ -481,22 +488,22 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
             let (ctx, m) = pex_corpus::builtin::paint_query_site(&db);
             let cold = Snapshot::from_database("paint".into(), db, ctx, Some(m));
             let abs = cold.abs_for_site();
-            let (resp, ok) =
+            let (resp, disposition) =
                 proto::execute(&cold, black_box(&request), &defaults, &cancel, abs.as_ref());
-            assert!(ok);
+            assert!(disposition == pex_serve::Disposition::Ok);
             black_box(resp)
         })
     });
     c.bench_function("speedups/query_snapshot_reuse", |b| {
         b.iter(|| {
-            let (resp, ok) = proto::execute(
+            let (resp, disposition) = proto::execute(
                 &warm,
                 black_box(&request),
                 &defaults,
                 &cancel,
                 warm_abs.as_ref(),
             );
-            assert!(ok);
+            assert!(disposition == pex_serve::Disposition::Ok);
             black_box(resp)
         })
     });

@@ -29,7 +29,7 @@ use crate::rank::ScoreBound;
 
 /// Hard ceiling on how many links any chain search may append to a root,
 /// regardless of the per-query `max_depth`. This is the capacity of the
-/// fixed-width [`TieKey`] path, so it bounds tie-break state to a few
+/// fixed-width `TieKey` path, so it bounds tie-break state to a few
 /// machine words per frontier entry; queries requesting a deeper search are
 /// rejected up front (see `CompleteOptions::with_max_depth`).
 pub const MAX_DEPTH_LIMIT: usize = 8;
@@ -585,6 +585,13 @@ impl<'a, E, G: ChainGrow<E>> Drop for ChainStream<'a, E, G> {
         pex_obs::counter!("engine.bestfirst.pruned_bound", self.n_pruned_bound);
         pex_obs::counter!("engine.bestfirst.pruned_dominated", self.n_pruned_dominated);
         pex_obs::gauge_max!("engine.bestfirst.frontier.max", self.frontier_max);
+        // Scope-local twins of the global flush: when a request scope is
+        // active (the serve daemon's `"trace": true`), these become the
+        // per-query search stats in the traced response.
+        pex_obs::scope::count("engine.bestfirst.expanded", self.n_expanded);
+        pex_obs::scope::count("engine.bestfirst.pruned_bound", self.n_pruned_bound);
+        pex_obs::scope::count("engine.bestfirst.pruned_dominated", self.n_pruned_dominated);
+        pex_obs::scope::count_max("engine.bestfirst.frontier.max", self.frontier_max);
     }
 }
 

@@ -413,6 +413,20 @@ impl<'a> Completer<'a> {
         pex_model::render_expr(self.db, self.ctx, &c.expr, CallStyle::Flat)
     }
 
+    /// Per-term score breakdown for a completion this engine produced.
+    ///
+    /// Re-interning the materialized expression is a hash-cons hit (the
+    /// enumeration already interned every node), so the explain walk runs
+    /// over arena ids without a second boxed traversal. Returns `None` only
+    /// for expressions this engine's ranker cannot score — never for a
+    /// completion it just emitted.
+    pub fn explain(&self, c: &Completion) -> Option<crate::rank::ScoreBreakdown> {
+        let id = self.cache().arena.intern_expr(&c.expr);
+        let breakdown = self.ranker().explain_interned(&self.cache().arena, id)?;
+        debug_assert_eq!(breakdown.total, c.score, "explain must reproduce the score");
+        Some(breakdown)
+    }
+
     fn link_cost(&self) -> u32 {
         self.ranker().link_cost()
     }
@@ -1375,6 +1389,22 @@ mod tests {
         // derives from the query.
         for c in shallow.completions(&q).take(50) {
             assert!(crate::derives(&db, &ctx, &q, &c.expr));
+        }
+    }
+
+    #[test]
+    fn explain_reproduces_every_emitted_score() {
+        let (db, ctx) = setup();
+        let index = MethodIndex::build(&db);
+        let completer = Completer::new(&db, &ctx, &index, RankConfig::all(), None);
+        let q = crate::parse_partial(&db, &ctx, "?({img, size})").unwrap();
+        let (rows, _) = completer.complete_with_outcome(&q, 25);
+        assert!(!rows.is_empty());
+        for c in &rows {
+            let breakdown = completer.explain(c).expect("emitted completions explain");
+            assert_eq!(breakdown.total, c.score, "{}", completer.render(c));
+            let sum: u32 = breakdown.terms.iter().map(|&(_, v)| v).sum();
+            assert_eq!(sum, c.score, "terms sum exactly to the score");
         }
     }
 

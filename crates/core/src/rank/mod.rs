@@ -59,6 +59,19 @@ impl RankTerm {
         RankTerm::AbstractTypes,
     ];
 
+    /// Position of the term in [`RankTerm::ALL`] (the accumulator index
+    /// used by the single-pass explain walk).
+    pub fn index(self) -> usize {
+        match self {
+            RankTerm::Namespace => 0,
+            RankTerm::InScopeStatic => 1,
+            RankTerm::Depth => 2,
+            RankTerm::MatchingName => 3,
+            RankTerm::TypeDistance => 4,
+            RankTerm::AbstractTypes => 5,
+        }
+    }
+
     /// The paper's one-letter code for the term.
     pub fn code(self) -> char {
         match self {
@@ -199,6 +212,18 @@ pub struct ScoreBreakdown {
 }
 
 impl ScoreBreakdown {
+    /// Builds a breakdown from per-term contributions in [`RankTerm::ALL`]
+    /// order; `total` is their sum.
+    fn from_contributions(acc: [u32; 6]) -> ScoreBreakdown {
+        let mut terms = [(RankTerm::Namespace, 0u32); 6];
+        let mut total = 0u32;
+        for ((slot, term), value) in terms.iter_mut().zip(RankTerm::ALL).zip(acc) {
+            *slot = (term, value);
+            total += value;
+        }
+        ScoreBreakdown { terms, total }
+    }
+
     /// Contribution of one term.
     ///
     /// # Panics
@@ -708,6 +733,12 @@ impl<'a> Ranker<'a> {
             return 0;
         }
         pex_obs::counter!("rank.term.abstract_types.evals", 1);
+        self.pair_abs_mismatch_node(r, l, rhs)
+    }
+
+    /// The ungated abstract-type pair penalty (0 or 1), shared by the
+    /// scoring and explain walks.
+    fn pair_abs_mismatch_node(&self, r: &ArenaRead<'_>, l: ExprId, rhs: ExprId) -> u32 {
         let matched = self.abs.is_some_and(|abs| {
             AbsTypes::matches(
                 abs.expr_class_interned(self.ctx.enclosing_method, r, l),
@@ -738,6 +769,177 @@ impl<'a> Ranker<'a> {
 
     fn node_type(&self, r: &ArenaRead<'_>, id: ExprId) -> Option<ValueTy> {
         self.db.expr_ty_interned(r, id, self.ctx).ok()
+    }
+
+    // ---- single-pass explain -------------------------------------------
+    //
+    // `explain_interned` decomposes a score into per-term contributions in
+    // ONE scoring-shaped walk over the interned nodes: the arms below
+    // mirror `score_node`/`score_call_node` exactly — same arithmetic,
+    // same early `None`s, same config gating — but write each term's share
+    // into a per-term accumulator instead of one running total. Because
+    // the ranking function is a sum of independent terms, the accumulator
+    // entries always sum to the score (debug-asserted here; the serve
+    // layer additionally asserts integer equality per response). Unlike
+    // the boxed [`Ranker::explain`], no per-term solo re-scores are run,
+    // and no `rank.term.*.evals` counters are bumped — explain is a
+    // post-search decomposition, not a scoring eval.
+
+    /// Decomposes an interned expression's score into per-term
+    /// contributions in a single walk (no per-term re-scoring). Terms
+    /// disabled in this ranker's configuration report 0 and are excluded
+    /// from `total`, so `total` equals [`Ranker::score_interned`] exactly.
+    /// Returns `None` if the expression is ill-typed.
+    pub fn explain_interned(&self, arena: &ExprArena, id: ExprId) -> Option<ScoreBreakdown> {
+        let r = arena.read();
+        let mut acc = [0u32; 6];
+        self.explain_node(&r, id, &mut acc)?;
+        let breakdown = ScoreBreakdown::from_contributions(acc);
+        debug_assert_eq!(
+            self.score_node(&r, id),
+            Some(breakdown.total),
+            "explain walk must reproduce the score"
+        );
+        Some(breakdown)
+    }
+
+    fn explain_link(&self, acc: &mut [u32; 6]) {
+        if self.config.depth {
+            acc[RankTerm::Depth.index()] += 2;
+        }
+    }
+
+    fn explain_node(&self, r: &ArenaRead<'_>, id: ExprId, acc: &mut [u32; 6]) -> Option<()> {
+        match r.node(id) {
+            ENode::Local(l) => {
+                if l.index() < self.ctx.locals.len() {
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            ENode::This => self.ctx.this_type().map(|_| ()),
+            ENode::IntLit(_)
+            | ENode::DoubleBits(_)
+            | ENode::BoolLit(_)
+            | ENode::StrLit(_)
+            | ENode::Null
+            | ENode::Hole0
+            | ENode::Opaque { .. } => Some(()),
+            ENode::StaticField(_) => {
+                self.explain_link(acc);
+                Some(())
+            }
+            ENode::FieldAccess(base, f) => {
+                let (base, f) = (*base, *f);
+                self.explain_node(r, base, acc)?;
+                match self.node_type(r, base)? {
+                    ValueTy::Known(t)
+                        if self
+                            .db
+                            .types()
+                            .implicitly_convertible(t, self.db.field(f).declaring()) => {}
+                    ValueTy::Wildcard => {}
+                    _ => return None,
+                }
+                self.explain_link(acc);
+                Some(())
+            }
+            ENode::Call(m, args) => self.explain_call_node(r, *m, args, acc),
+            ENode::Assign(l, rhs) => {
+                let (l, rhs) = (*l, *rhs);
+                self.explain_node(r, l, acc)?;
+                self.explain_node(r, rhs, acc)?;
+                let lt = self.node_type(r, l)?;
+                let rt = self.node_type(r, rhs)?;
+                let td = match (rt, lt) {
+                    (ValueTy::Known(from), ValueTy::Known(to)) => {
+                        self.db.types().type_distance(from, to)?
+                    }
+                    _ => 0,
+                };
+                if self.config.type_distance {
+                    acc[RankTerm::TypeDistance.index()] += td;
+                }
+                if self.config.abstract_types {
+                    acc[RankTerm::AbstractTypes.index()] += self.pair_abs_mismatch_node(r, l, rhs);
+                }
+                Some(())
+            }
+            ENode::Cmp(_, l, rhs) => {
+                let (l, rhs) = (*l, *rhs);
+                self.explain_node(r, l, acc)?;
+                self.explain_node(r, rhs, acc)?;
+                let lt = self.node_type(r, l)?;
+                let rt = self.node_type(r, rhs)?;
+                let td = match (lt, rt) {
+                    (ValueTy::Known(a), ValueTy::Known(b)) => {
+                        self.db.types().comparable_pair(a, b)?.distance
+                    }
+                    _ => 0,
+                };
+                if self.config.type_distance {
+                    acc[RankTerm::TypeDistance.index()] += td;
+                }
+                if self.config.abstract_types {
+                    acc[RankTerm::AbstractTypes.index()] += self.pair_abs_mismatch_node(r, l, rhs);
+                }
+                if self.config.matching_name && !self.same_trailing_name_node(r, l, rhs) {
+                    acc[RankTerm::MatchingName.index()] += 3;
+                }
+                Some(())
+            }
+        }
+    }
+
+    fn explain_call_node(
+        &self,
+        r: &ArenaRead<'_>,
+        m: MethodId,
+        args: &[ExprId],
+        acc: &mut [u32; 6],
+    ) -> Option<()> {
+        let md = self.db.method(m);
+        if args.len() != md.full_arity() {
+            return None;
+        }
+        // Zero-argument calls are lookups: depth cost only.
+        if md.params().is_empty() {
+            if let Some(&recv) = args.first() {
+                self.explain_node(r, recv, acc)?;
+                match self.node_type(r, recv)? {
+                    ValueTy::Known(t)
+                        if self.db.types().implicitly_convertible(t, md.declaring()) => {}
+                    ValueTy::Wildcard => {}
+                    _ => return None,
+                }
+            }
+            self.explain_link(acc);
+            return Some(());
+        }
+        let param_tys = md.full_param_types();
+        for (i, (&arg, want)) in args.iter().zip(&param_tys).enumerate() {
+            self.explain_node(r, arg, acc)?;
+            match self.node_type(r, arg)? {
+                ValueTy::Known(t) => {
+                    let d = self.db.types().type_distance(t, *want)?;
+                    if self.config.type_distance {
+                        acc[RankTerm::TypeDistance.index()] += d;
+                    }
+                }
+                ValueTy::Wildcard => {}
+            }
+            if self.config.abstract_types && !self.arg_abs_matches_node(r, m, i, arg) {
+                acc[RankTerm::AbstractTypes.index()] += 1;
+            }
+        }
+        if self.config.in_scope_static && !(md.is_static() && self.static_in_scope(m)) {
+            acc[RankTerm::InScopeStatic.index()] += 1;
+        }
+        if self.config.namespace {
+            acc[RankTerm::Namespace.index()] += self.namespace_term_node(r, m, args);
+        }
+        Some(())
     }
 }
 
@@ -892,6 +1094,57 @@ mod tests {
         );
         // No abs solution provided: every position mismatches -> +2.
         assert_eq!(r_a.score(&call), Some(2));
+    }
+
+    #[test]
+    fn explain_interned_matches_boxed_explain_and_sums_to_the_score() {
+        let (db, ctx) = setup();
+        let arena = pex_model::ExprArena::default();
+        let exprs = [
+            "p",
+            "ln.P1.X",
+            "ln.Mid().Y",
+            "Geo.Line.Distance(p, ln.P1)",
+            "Geo.Other.Far(p, p)",
+            "App.Deep.Nested.Client.Use(p)",
+            "p.X >= ln.P1.X",
+            "p.X >= ln.P1.Y",
+        ];
+        let configs = [
+            RankConfig::all(),
+            RankConfig::none(),
+            RankConfig::only(&[RankTerm::Depth, RankTerm::Namespace]),
+            RankConfig::without(&[RankTerm::TypeDistance]),
+        ];
+        for config in configs {
+            let ranker = Ranker::new(&db, &ctx, None, config);
+            for src in exprs {
+                let expr = e(&db, &ctx, src);
+                let id = arena.intern_expr(&expr);
+                let interned = ranker.explain_interned(&arena, id).unwrap();
+                let boxed = ranker.explain(&expr).unwrap();
+                assert_eq!(interned, boxed, "{src} under {config:?}");
+                assert_eq!(
+                    Some(interned.total),
+                    ranker.score_interned(&arena, id),
+                    "{src}: terms must sum to the score"
+                );
+                let sum: u32 = interned.terms.iter().map(|&(_, v)| v).sum();
+                assert_eq!(sum, interned.total, "{src}: total is the term sum");
+                for (term, v) in interned.terms {
+                    assert!(
+                        config.enabled(term) || v == 0,
+                        "{src}: disabled term {term:?} must report 0"
+                    );
+                }
+            }
+        }
+        // Ill-typed expressions explain to None, like score.
+        let ranker = Ranker::new(&db, &ctx, None, RankConfig::all());
+        let p = e(&db, &ctx, "p");
+        let bad = Expr::cmp(CmpOp::Ge, p.clone(), p);
+        let id = arena.intern_expr(&bad);
+        assert_eq!(ranker.explain_interned(&arena, id), None);
     }
 
     #[test]

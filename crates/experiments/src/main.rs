@@ -135,6 +135,7 @@ fn main() {
                 ))
             }
             "--queue-cap" => serve_cfg.queue_cap = parse_or_exit(flag, &take_value(), "an integer"),
+            "--live-stats" => serve_cfg.live_stats = true,
             "--bench-out" => bench_out = PathBuf::from(take_value()),
             other => {
                 pex_obs::message!("unknown flag {other}");
@@ -457,6 +458,9 @@ serve-bench flags (plus --threads for workers, --limit, --deadline-ms):
     --qps Q            total target request rate; 0 = unpaced (default)
     --duration-s D     load-generation duration in seconds (default 3)
     --queue-cap N      server admission queue capacity
+    --live-stats       scrape {\"cmd\":\"stats\"} mid-load and cross-check the
+                       daemon's rolling-window percentiles against the
+                       clients' own stopwatches (asserts p50/p90 agree)
     --bench-out FILE   merge the serve section into this JSON file
                        (default BENCH_results.json)
 

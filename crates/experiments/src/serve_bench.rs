@@ -41,6 +41,9 @@ pub struct ServeBenchConfig {
     pub limit: usize,
     /// Per-request deadline forwarded to the engine's query budget.
     pub deadline_ms: Option<u64>,
+    /// Scrape `{"cmd":"stats"}` mid-load and cross-check the daemon's
+    /// rolling-window percentiles against the client-side measurements.
+    pub live_stats: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -56,6 +59,7 @@ impl Default for ServeBenchConfig {
             queue_cap: workers * 16,
             limit: 5,
             deadline_ms: None,
+            live_stats: false,
         }
     }
 }
@@ -79,8 +83,30 @@ pub struct ServeBenchReport {
     pub throughput: f64,
     /// Submit-to-response latencies, microseconds, unsorted.
     pub latencies_us: Vec<u128>,
+    /// The mid-load `stats` scrape, when `live_stats` was requested and
+    /// the scrape landed before the load phase ended.
+    pub live: Option<LiveStatsProbe>,
     /// The config the run used (echoed into the JSON section).
     pub config: ServeBenchConfig,
+}
+
+/// What a mid-load `{"cmd":"stats"}` scrape saw: the daemon's own view of
+/// the load the clients are generating, read through the same admission
+/// path as any other request.
+#[derive(Debug, Clone)]
+pub struct LiveStatsProbe {
+    /// When the scrape ran, seconds after load start.
+    pub at_s: f64,
+    /// Queue depth the daemon reported at scrape time.
+    pub queue_depth: u64,
+    /// Sample count in the daemon's 10s request-latency window.
+    pub window_count: u64,
+    /// Daemon-side interpolated window percentiles, microseconds.
+    pub p50_us: u64,
+    /// See [`LiveStatsProbe::p50_us`].
+    pub p90_us: u64,
+    /// See [`LiveStatsProbe::p50_us`].
+    pub p99_us: u64,
 }
 
 /// The fixed query mix, all valid against the mini Paint.NET snapshot:
@@ -101,6 +127,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
                 deadline_ms: cfg.deadline_ms,
                 ..RequestDefaults::default()
             },
+            ..ServeConfig::default()
         },
     );
 
@@ -114,6 +141,33 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
     };
 
     let start = Instant::now();
+
+    // The live-stats probe is one more client of the same admission path:
+    // half-way through the load phase it asks the daemon for its rolling
+    // windows, while the closed-loop clients keep hammering it.
+    let probe_thread = cfg.live_stats.then(|| {
+        let client = server.client();
+        let at = cfg.duration / 2;
+        std::thread::spawn(move || -> Option<LiveStatsProbe> {
+            std::thread::sleep(at);
+            let (tx, rx) = channel::<String>();
+            client.submit(r#"{"id":"live-stats","cmd":"stats"}"#.to_owned(), &tx);
+            let resp = rx.recv().ok()?;
+            let doc = json::parse(&resp).ok()?;
+            let stats = doc.get("stats")?;
+            let w = stats.get("windows")?.get("10s")?;
+            let field = |key: &str| w.get(key).and_then(Value::as_u64);
+            Some(LiveStatsProbe {
+                at_s: at.as_secs_f64(),
+                queue_depth: stats.get("queue_depth").and_then(Value::as_u64)?,
+                window_count: field("count")?,
+                p50_us: field("p50_us")?,
+                p90_us: field("p90_us")?,
+                p99_us: field("p99_us")?,
+            })
+        })
+    });
+
     let client_threads: Vec<_> = (0..cfg.clients.max(1))
         .map(|client_id| {
             let client = server.client();
@@ -153,6 +207,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         elapsed: Duration::ZERO,
         throughput: 0.0,
         latencies_us: Vec::new(),
+        live: None,
         config: cfg.clone(),
     };
     for t in client_threads {
@@ -166,7 +221,31 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
     }
     report.elapsed = start.elapsed();
     report.throughput = report.sent as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    report.live = probe_thread.and_then(|t| t.join().expect("stats probe thread"));
     server.shutdown();
+
+    // Cross-check: the daemon's window percentiles and the clients' own
+    // stopwatches measure the same latencies through different pipelines
+    // (log2 buckets + interpolation server-side vs exact timestamps
+    // client-side, first-half samples vs the whole run). Bucket geometry
+    // bounds the disagreement by 2x; anything beyond that means the
+    // windows are recording the wrong thing.
+    // p99 is reported but not asserted: the tail is a handful of samples
+    // (often engine warmup) that can land entirely in the scraped half or
+    // entirely outside it, so its ratio is not schedule-stable.
+    if let Some(live) = &report.live {
+        for (p, daemon_us) in [(50.0, live.p50_us), (90.0, live.p90_us)] {
+            let client_us = report.percentile_us(p) as f64;
+            let daemon_us = daemon_us as f64;
+            if live.window_count > 0 && client_us > 0.0 && daemon_us > 0.0 {
+                let ratio = (daemon_us / client_us).max(client_us / daemon_us);
+                assert!(
+                    ratio <= 2.0,
+                    "p{p} disagrees: daemon window {daemon_us}us vs client {client_us}us"
+                );
+            }
+        }
+    }
     report
 }
 
@@ -240,12 +319,48 @@ impl ServeBenchReport {
             self.percentile_us(99.0),
             self.latencies_us.iter().max().copied().unwrap_or(0),
         ));
+        if let Some(live) = &self.live {
+            out.push_str(&format!(
+                "live-stats (scraped at {:.1}s): queue_depth {}, 10s window count {}\n",
+                live.at_s, live.queue_depth, live.window_count
+            ));
+            for (p, daemon_us) in [
+                (50.0, live.p50_us),
+                (90.0, live.p90_us),
+                (99.0, live.p99_us),
+            ] {
+                let client_us = self.percentile_us(p);
+                let ratio = if client_us > 0 && daemon_us > 0 {
+                    (daemon_us as f64 / client_us as f64).max(client_us as f64 / daemon_us as f64)
+                } else {
+                    1.0
+                };
+                out.push_str(&format!(
+                    "  p{p:.0}: daemon window {daemon_us}us vs client {client_us}us (x{ratio:.2})\n"
+                ));
+            }
+        }
         out
     }
 
     /// The `"serve"` section for `BENCH_results.json`.
     pub fn to_json(&self) -> Value {
         let c = &self.config;
+        let live = self.live.as_ref().map(|live| {
+            Value::Obj(vec![
+                ("scraped_at_s".into(), Value::Num(live.at_s)),
+                ("queue_depth".into(), Value::Num(live.queue_depth as f64)),
+                ("window_count".into(), Value::Num(live.window_count as f64)),
+                (
+                    "window_latency_us".into(),
+                    Value::Obj(vec![
+                        ("p50".into(), Value::Num(live.p50_us as f64)),
+                        ("p90".into(), Value::Num(live.p90_us as f64)),
+                        ("p99".into(), Value::Num(live.p99_us as f64)),
+                    ]),
+                ),
+            ])
+        });
         Value::Obj(vec![
             ("snapshot".into(), Value::Str("paint".into())),
             ("clients".into(), Value::Num(c.clients as f64)),
@@ -274,6 +389,7 @@ impl ServeBenchReport {
                     ),
                 ]),
             ),
+            ("live_stats".into(), live.unwrap_or(Value::Null)),
         ])
     }
 
@@ -313,6 +429,7 @@ mod tests {
             queue_cap: 8,
             limit: 3,
             deadline_ms: None,
+            live_stats: false,
         }
     }
 
@@ -329,6 +446,33 @@ mod tests {
         assert!(report.errors == 0, "well-formed queries never error");
         assert!(report.throughput > 0.0);
         assert!(report.percentile_us(50.0) <= report.percentile_us(99.0));
+    }
+
+    #[test]
+    fn live_stats_probe_agrees_with_client_measurements() {
+        // run() itself asserts the p50/p90 cross-check whenever the probe
+        // lands, so passing here means daemon windows and client
+        // stopwatches agree within the bucket-geometry bound.
+        let report = run(&ServeBenchConfig {
+            duration: Duration::from_millis(600),
+            live_stats: true,
+            ..tiny()
+        });
+        let live = report.live.as_ref().expect("mid-load scrape landed");
+        assert!(live.window_count > 0, "requests visible in the 10s window");
+        assert!(live.p50_us <= live.p99_us);
+        let text = report.render();
+        assert!(text.contains("live-stats (scraped at"), "{text}");
+        let doc = report.to_json();
+        let probe = doc.get("live_stats").expect("live_stats section");
+        assert!(probe.get("window_count").is_some(), "{doc}");
+        assert!(
+            probe
+                .get("window_latency_us")
+                .and_then(|l| l.get("p50"))
+                .is_some(),
+            "{doc}"
+        );
     }
 
     #[test]

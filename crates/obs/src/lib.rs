@@ -23,6 +23,12 @@
 //! * [`sink`] — the event sink: a stderr pretty-printer (the default, used
 //!   for diagnostics formerly `eprintln!`ed) and a JSON-lines serialiser
 //!   for machine-readable traces, composable with [`TeeSink`].
+//! * [`scope`] — request-scoped telemetry: a thread-local context carrying
+//!   a trace id that captures the span tree and per-request counter deltas
+//!   for one logical request (the serve daemon's `"trace": true` mode).
+//! * [`windows`] — rolling per-second histogram windows with lazy
+//!   rotate-on-record, for live last-1s/10s/60s percentiles and rates
+//!   (the serve daemon's `stats`/`health` commands).
 //!
 //! ## The kill switch
 //!
@@ -52,17 +58,21 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod scope;
 pub mod sink;
 pub mod span;
+pub mod windows;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
 };
+pub use scope::{ScopeGuard, ScopeReport, SpanRecord};
 pub use sink::{
     emit_message, flush_sink, set_sink, take_sink, Event, EventSink, JsonLinesSink,
     StderrPrettySink, TeeSink,
 };
 pub use span::{marker, span, Span};
+pub use windows::{WindowedHistogram, WINDOW_SLOTS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

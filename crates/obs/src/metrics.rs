@@ -176,6 +176,23 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Records one sample directly into the snapshot — the single-writer
+    /// twin of [`Histogram::record`], used where a snapshot is the live
+    /// store (e.g. one ring slot of a
+    /// [`WindowedHistogram`](crate::WindowedHistogram), which is already
+    /// serialised by its slot lock).
+    pub fn record(&mut self, v: u64) {
+        let i = Histogram::bucket_index(v);
+        match self.buckets.binary_search_by_key(&i, |&(bi, _)| bi) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (i, 1)),
+        }
+        self.count += 1;
+        // Wrapping, matching the live histogram's relaxed `fetch_add`.
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
     /// Merges another snapshot into this one (bucket-wise addition; the
     /// same operation worker-local histograms would need, expressed on
     /// snapshots so the live atomics stay single-writer-free).
@@ -209,6 +226,40 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// The `q`-th percentile with linear interpolation inside the log₂
+    /// bucket where the rank falls: the estimate moves from the bucket's
+    /// lower bound toward its upper bound (clamped to the exact `max`) by
+    /// the rank's fraction through the bucket. Still bucket-limited (a
+    /// bucket spans a 2× range), but substantially closer to the true
+    /// percentile than the plain upper-bound read of
+    /// [`HistogramSnapshot::percentile`] — this is what the serve layer's
+    /// rolling-window stats report, where operators compare against
+    /// client-measured latencies.
+    pub fn percentile_interp(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut below = 0u64;
+        for &(i, c) in &self.buckets {
+            if below + c >= rank {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    Histogram::bucket_upper(i - 1) + 1
+                };
+                let upper = Histogram::bucket_upper(i).min(self.max);
+                if upper <= lower {
+                    return upper;
+                }
+                let frac = (rank - below) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+            below += c;
+        }
+        self.max
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -227,6 +278,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
     gauges: Mutex<BTreeMap<String, &'static Gauge>>,
     histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+    windowed: Mutex<BTreeMap<String, &'static crate::WindowedHistogram>>,
 }
 
 impl Registry {
@@ -264,6 +316,22 @@ impl Registry {
             return h;
         }
         let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// The named rolling-window histogram, created on first use. Windowed
+    /// histograms live beside the lifetime metrics but are **not** part of
+    /// [`Registry::snapshot`]: a window is a live, clock-relative view, so
+    /// readers (the serve `stats` command) query it directly via
+    /// [`WindowedHistogram::window`](crate::WindowedHistogram::window).
+    pub fn windowed(&self, name: &str) -> &'static crate::WindowedHistogram {
+        let mut map = self.windowed.lock().expect("registry poisoned");
+        if let Some(w) = map.get(name) {
+            return w;
+        }
+        let leaked: &'static crate::WindowedHistogram =
+            Box::leak(Box::new(crate::WindowedHistogram::new()));
         map.insert(name.to_owned(), leaked);
         leaked
     }
@@ -534,6 +602,47 @@ mod tests {
         assert!(json.contains("\"p50\": 3"));
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(r.snapshot().to_json(), json, "stable across reads");
+    }
+
+    #[test]
+    fn snapshot_record_matches_live_histogram() {
+        let live = Histogram::new();
+        let mut snap = HistogramSnapshot::default();
+        for v in [0u64, 1, 3, 900, 900, 1000, u64::MAX] {
+            live.record(v);
+            snap.record(v);
+        }
+        assert_eq!(snap, live.snapshot());
+    }
+
+    #[test]
+    fn interpolated_percentile_stays_within_the_bucket_and_near_the_data() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(400); // bucket [256, 511]
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile_interp(50.0);
+        assert!((256..=400).contains(&p50), "p50 interp {p50}");
+        assert!(
+            p50 <= s.percentile(50.0),
+            "interp never above the upper-bound read"
+        );
+        // Empty and single-sample degenerate cases.
+        assert_eq!(HistogramSnapshot::default().percentile_interp(99.0), 0);
+        let one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.snapshot().percentile_interp(50.0), 7);
+    }
+
+    #[test]
+    fn registry_serves_windowed_histograms_by_name() {
+        let r = Registry::new();
+        let w = r.windowed("win");
+        w.record(42);
+        assert_eq!(r.windowed("win").window(10).count, 1, "same handle by name");
+        // Windowed metrics stay out of the lifetime snapshot.
+        assert!(r.snapshot().histograms.is_empty());
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Request-scoped telemetry: a thread-local context that attaches spans
+//! and counter deltas to one logical request.
+//!
+//! The lifetime metrics in [`crate::metrics`] aggregate across every
+//! request the process ever served; a live daemon also needs to answer
+//! "what did *this* request do?". [`begin`] opens a scope on the current
+//! thread; while it is active, every [`crate::span()`] that closes on the
+//! thread is captured into a span tree, and instrumented code can attach
+//! named counts with [`count`]/[`count_max`] (the engine's best-first
+//! search reports its per-query expanded/pruned totals this way, right
+//! next to the global counter flush). [`ScopeGuard::finish`] returns the
+//! collected [`ScopeReport`].
+//!
+//! Scopes are strictly thread-local and non-reentrant: a request executes
+//! on one worker thread, so thread-locality makes the captured deltas
+//! exact without any synchronisation, and a nested [`begin`] returns
+//! `None` rather than splicing two requests' telemetry together. The
+//! probes (`record_span`, [`count`]) cost one thread-local borrow plus
+//! an `Option` check when no scope is active.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One closed span captured by a scope: name, wall-clock timing, and the
+/// spans that closed nested inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's name (as passed to [`crate::span()`]).
+    pub name: &'static str,
+    /// Start offset from the process epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub duration_ns: u64,
+    /// Child spans, in close order.
+    pub children: Vec<SpanRecord>,
+}
+
+/// What one finished scope observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeReport {
+    /// The request's trace id (client-supplied or generated).
+    pub trace_id: String,
+    /// Top-level captured spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Named counts attached via [`count`] / [`count_max`].
+    pub counts: BTreeMap<&'static str, u64>,
+}
+
+struct ScopeData {
+    trace_id: String,
+    /// Span-stack depth when the scope began; captured spans index their
+    /// pending-children level relative to this.
+    base_depth: usize,
+    /// `pending[d]` holds closed spans at relative depth `d` awaiting
+    /// their parent's close. Spans close LIFO (guards are `!Send` and
+    /// drop in reverse open order), so when a span at depth `d` closes,
+    /// everything in `pending[d + 1]` is its children.
+    pending: Vec<Vec<SpanRecord>>,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ScopeData>> = const { RefCell::new(None) };
+}
+
+/// Monotonic process-wide sequence for generated trace ids.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh trace id for a request that did not supply one. Unique within
+/// the process (`t-<pid>-<seq>`); the pid makes ids from daemon restarts
+/// distinguishable in downstream logs without needing a randomness source.
+pub fn next_trace_id() -> String {
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("t-{}-{}", std::process::id(), seq)
+}
+
+/// Opens a request scope on the current thread. Returns `None` when the
+/// registry is disabled or a scope is already active on this thread (the
+/// caller simply gets no per-request capture — lifetime metrics are
+/// unaffected either way).
+pub fn begin(trace_id: String) -> Option<ScopeGuard> {
+    if !crate::enabled() {
+        return None;
+    }
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.is_some() {
+            return None;
+        }
+        *a = Some(ScopeData {
+            trace_id,
+            base_depth: crate::span::stack_depth(),
+            pending: Vec::new(),
+            counts: BTreeMap::new(),
+        });
+        Some(ScopeGuard {
+            _not_send: PhantomData,
+        })
+    })
+}
+
+/// Whether a scope is active on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Captures one closed span into the active scope, if any. Called by
+/// [`crate::span::Span`]'s drop; `depth` is the span's absolute stack
+/// depth at open time.
+pub(crate) fn record_span(name: &'static str, depth: usize, start_ns: u64, duration_ns: u64) {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(data) = a.as_mut() else { return };
+        if depth < data.base_depth {
+            // A span enclosing the whole scope (e.g. the transport's
+            // serve.request span) closes after `finish`; one opened before
+            // `begin` but closing inside the scope is not the request's
+            // own work either way.
+            return;
+        }
+        let rel = depth - data.base_depth;
+        if data.pending.len() <= rel + 1 {
+            data.pending.resize_with(rel + 2, Vec::new);
+        }
+        let children = std::mem::take(&mut data.pending[rel + 1]);
+        data.pending[rel].push(SpanRecord {
+            name,
+            start_ns,
+            duration_ns,
+            children,
+        });
+    });
+}
+
+/// Adds `n` to a named count on the active scope, if any. Instrumented
+/// code calls this next to its global `counter!` flush so per-request
+/// deltas are exact (the request runs on one thread).
+pub fn count(name: &'static str, n: u64) {
+    ACTIVE.with(|a| {
+        if let Some(data) = a.borrow_mut().as_mut() {
+            *data.counts.entry(name).or_insert(0) += n;
+        }
+    });
+}
+
+/// Raises a named count to at least `v` on the active scope, if any (the
+/// scope-local twin of `gauge_max!`, for high-water marks like the
+/// best-first frontier size).
+pub fn count_max(name: &'static str, v: u64) {
+    ACTIVE.with(|a| {
+        if let Some(data) = a.borrow_mut().as_mut() {
+            let slot = data.counts.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    });
+}
+
+/// An active scope; [`ScopeGuard::finish`] closes it and returns the
+/// capture. Dropping the guard without finishing discards the capture.
+/// `!Send`: the scope is bound to the thread whose spans it captures.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ScopeGuard {
+    /// Closes the scope and returns everything it captured. Spans still
+    /// open at finish time are not included (they have not closed, so
+    /// their durations are unknown); their already-closed children are
+    /// promoted to top level rather than dropped.
+    pub fn finish(self) -> ScopeReport {
+        ACTIVE.with(|a| {
+            let data = a
+                .borrow_mut()
+                .take()
+                .expect("scope guard outlived its scope");
+            let mut spans = Vec::new();
+            for level in data.pending {
+                spans.extend(level);
+            }
+            ScopeReport {
+                trace_id: data.trace_id,
+                spans,
+                counts: data.counts,
+            }
+        })
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            a.borrow_mut().take();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::test_lock;
+
+    #[test]
+    fn captures_a_span_tree_in_close_order() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let scope = begin("t-test-1".into()).unwrap();
+        {
+            let _outer = crate::span("scope.outer");
+            {
+                let _inner = crate::span("scope.inner");
+                let _leaf = crate::span("scope.leaf");
+            }
+            let _second = crate::span("scope.inner2");
+        }
+        let report = scope.finish();
+        assert_eq!(report.trace_id, "t-test-1");
+        assert_eq!(report.spans.len(), 1, "{:?}", report.spans);
+        let outer = &report.spans[0];
+        assert_eq!(outer.name, "scope.outer");
+        assert_eq!(
+            outer.children.iter().map(|c| c.name).collect::<Vec<_>>(),
+            vec!["scope.inner", "scope.inner2"]
+        );
+        assert_eq!(outer.children[0].children[0].name, "scope.leaf");
+        assert!(outer.duration_ns >= outer.children[0].duration_ns);
+    }
+
+    #[test]
+    fn counts_accumulate_and_max() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        count("scope.orphan", 5); // no scope: dropped silently
+        let scope = begin(next_trace_id()).unwrap();
+        count("scope.adds", 2);
+        count("scope.adds", 3);
+        count_max("scope.peak", 7);
+        count_max("scope.peak", 4);
+        let report = scope.finish();
+        assert_eq!(report.counts["scope.adds"], 5);
+        assert_eq!(report.counts["scope.peak"], 7);
+        assert!(!report.counts.contains_key("scope.orphan"));
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn scopes_do_not_nest_and_disabled_registry_yields_none() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let outer = begin("a".into()).unwrap();
+        assert!(begin("b".into()).is_none(), "non-reentrant");
+        drop(outer);
+        assert!(!is_active(), "drop without finish clears the scope");
+        crate::set_enabled(false);
+        assert!(begin("c".into()).is_none());
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn spans_enclosing_the_scope_are_excluded() {
+        let _guard = test_lock().lock().unwrap();
+        crate::set_enabled(true);
+        let enclosing = crate::span("scope.enclosing");
+        let scope = begin("t".into()).unwrap();
+        {
+            let _inside = crate::span("scope.inside");
+        }
+        let report = scope.finish();
+        drop(enclosing);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "scope.inside");
+    }
+
+    #[test]
+    fn trace_ids_are_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("t-"), "{a}");
+    }
+}

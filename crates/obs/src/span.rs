@@ -29,6 +29,12 @@ thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Number of spans currently open on this thread — the depth a request
+/// scope anchors itself at (see [`crate::scope::begin`]).
+pub(crate) fn stack_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
 /// Opens a named span, or returns `None` when the registry is disabled (a
 /// binding of `None` drops immediately and records nothing).
 ///
@@ -129,20 +135,24 @@ impl Drop for Span {
             let popped = stack.borrow_mut().pop();
             debug_assert_eq!(popped, Some(self.name), "span guards must drop LIFO");
         });
-        if sink_wants_spans() {
+        let wants_sink = sink_wants_spans();
+        if wants_sink || crate::scope::is_active() {
             let start_ns = self
                 .start
                 .checked_duration_since(epoch())
                 .map(|d| d.as_nanos() as u64)
                 .unwrap_or(0);
-            emit_span(Event::SpanEnd {
-                name: self.name,
-                parent: self.parent,
-                depth: self.depth,
-                thread: thread_label(),
-                start_ns,
-                duration_ns,
-            });
+            crate::scope::record_span(self.name, self.depth, start_ns, duration_ns);
+            if wants_sink {
+                emit_span(Event::SpanEnd {
+                    name: self.name,
+                    parent: self.parent,
+                    depth: self.depth,
+                    thread: thread_label(),
+                    start_ns,
+                    duration_ns,
+                });
+            }
         }
     }
 }

@@ -1,0 +1,194 @@
+//! Rolling-window histograms: the live-ops counterpart to the lifetime
+//! [`Histogram`](crate::Histogram).
+//!
+//! A [`WindowedHistogram`] is a ring of per-second [`HistogramSnapshot`]
+//! slots. Each recorded sample lands in the slot for the current second;
+//! a slot whose tag is stale (its second has rotated out of the ring) is
+//! reset lazily by the next recorder — there is no timer thread. Reading a
+//! window merges the in-range slots with the existing mergeable-snapshot
+//! machinery, so last-1s/10s/60s percentiles and rates come from exactly
+//! the same log₂-bucket arithmetic as the lifetime histograms.
+//!
+//! Concurrency: each slot is guarded by its own mutex, making
+//! rotate-and-record atomic. The critical section is a bucket increment,
+//! and contention is limited to recorders hitting the same wall-clock
+//! second, so the cost is negligible next to the request latencies being
+//! recorded (and the whole path is skipped when the registry is disabled —
+//! callers gate on [`crate::enabled`] like every other probe).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::metrics::HistogramSnapshot;
+
+/// Ring capacity in seconds. Windows up to this span can be read; the
+/// largest window the serve layer asks for is 60 s, so 64 slots leave
+/// headroom without meaningfully growing the footprint.
+pub const WINDOW_SLOTS: usize = 64;
+
+/// One ring slot: the second it currently holds samples for, plus the
+/// distribution of those samples.
+#[derive(Debug, Default)]
+struct WindowSlot {
+    second: u64,
+    hist: HistogramSnapshot,
+}
+
+/// A ring of per-second histogram snapshots with lazy rotate-on-record.
+///
+/// ```
+/// let w = pex_obs::WindowedHistogram::new();
+/// w.record(400);
+/// w.record(800);
+/// let last10 = w.window(10);
+/// assert_eq!(last10.count, 2);
+/// assert!(last10.percentile(99.0) >= 400);
+/// ```
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slots: Vec<Mutex<WindowSlot>>,
+    epoch: Instant,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram::new()
+    }
+}
+
+impl WindowedHistogram {
+    /// A fresh, empty ring of [`WINDOW_SLOTS`] per-second slots.
+    pub fn new() -> Self {
+        WindowedHistogram {
+            slots: (0..WINDOW_SLOTS)
+                .map(|_| Mutex::new(WindowSlot::default()))
+                .collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since this histogram was created — the clock that
+    /// tags ring slots. Exposed so callers can pair [`record_at`] with
+    /// [`window_at`] deterministically in tests.
+    ///
+    /// [`record_at`]: WindowedHistogram::record_at
+    /// [`window_at`]: WindowedHistogram::window_at
+    pub fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one sample into the current second's slot.
+    pub fn record(&self, v: u64) {
+        self.record_at(v, self.now_sec());
+    }
+
+    /// Records one sample into the slot for second `sec` (the
+    /// deterministic-injection twin of [`WindowedHistogram::record`], used
+    /// by the concurrency property tests). A slot holding an older second
+    /// is reset first — the lazy rotation. Recording into a second older
+    /// than the slot's current tag is dropped: that second has already
+    /// rotated out of the ring.
+    pub fn record_at(&self, v: u64, sec: u64) {
+        let slot = &self.slots[(sec as usize) % self.slots.len()];
+        let mut s = slot.lock().expect("window slot poisoned");
+        if s.second != sec {
+            if sec < s.second {
+                return; // late sample for a second the ring already recycled
+            }
+            s.second = sec;
+            s.hist = HistogramSnapshot::default();
+        }
+        s.hist.record(v);
+    }
+
+    /// The merged distribution of the last `seconds` whole seconds,
+    /// including the current (partial) one. `seconds` is clamped to the
+    /// ring capacity.
+    pub fn window(&self, seconds: u64) -> HistogramSnapshot {
+        self.window_at(seconds, self.now_sec())
+    }
+
+    /// [`WindowedHistogram::window`] against an explicit "now" (test twin
+    /// of [`record_at`](WindowedHistogram::record_at)). Merges every slot
+    /// whose second lies in `[now_sec - seconds + 1, now_sec]`.
+    pub fn window_at(&self, seconds: u64, now_sec: u64) -> HistogramSnapshot {
+        let seconds = seconds.clamp(1, self.slots.len() as u64);
+        let lo = now_sec.saturating_sub(seconds - 1);
+        let mut out = HistogramSnapshot::default();
+        for slot in &self.slots {
+            let s = slot.lock().expect("window slot poisoned");
+            if s.hist.count > 0 && s.second >= lo && s.second <= now_sec {
+                out.merge(&s.hist);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_merge_only_in_range_seconds() {
+        let w = WindowedHistogram::new();
+        w.record_at(100, 0);
+        w.record_at(200, 5);
+        w.record_at(300, 9);
+        // At now=9: a 1s window sees only second 9.
+        assert_eq!(w.window_at(1, 9).count, 1);
+        assert_eq!(w.window_at(1, 9).max, 300);
+        // A 10s window spans seconds 0..=9: everything.
+        assert_eq!(w.window_at(10, 9).count, 3);
+        assert_eq!(w.window_at(10, 9).sum, 600);
+        // A 5s window spans 5..=9: drops the sample at second 0.
+        assert_eq!(w.window_at(5, 9).count, 2);
+    }
+
+    #[test]
+    fn stale_slots_rotate_lazily_on_record() {
+        let w = WindowedHistogram::new();
+        w.record_at(7, 3);
+        // The same ring slot, WINDOW_SLOTS seconds later: the old sample
+        // must be discarded, not merged into the new second.
+        let later = 3 + WINDOW_SLOTS as u64;
+        w.record_at(9, later);
+        let win = w.window_at(1, later);
+        assert_eq!(win.count, 1);
+        assert_eq!(win.max, 9);
+        // And the old second is gone entirely (its slot was recycled).
+        assert_eq!(w.window_at(WINDOW_SLOTS as u64, later).count, 1);
+    }
+
+    #[test]
+    fn late_samples_for_recycled_seconds_are_dropped() {
+        let w = WindowedHistogram::new();
+        let now = 2 * WINDOW_SLOTS as u64;
+        w.record_at(5, now);
+        w.record_at(6, now % WINDOW_SLOTS as u64); // maps to the same slot, older second
+        let win = w.window_at(1, now);
+        assert_eq!(win.count, 1, "late sample must not corrupt the live slot");
+        assert_eq!(win.max, 5);
+    }
+
+    #[test]
+    fn wall_clock_recording_lands_in_the_current_window() {
+        let w = WindowedHistogram::new();
+        w.record(1234);
+        w.record(1234);
+        let win = w.window(10);
+        assert_eq!(win.count, 2);
+        assert_eq!(win.sum, 2468);
+        assert_eq!(w.window(1).count, 2, "freshly created: still second 0");
+    }
+
+    #[test]
+    fn window_span_is_clamped_to_ring_capacity() {
+        let w = WindowedHistogram::new();
+        w.record_at(1, 0);
+        w.record_at(2, WINDOW_SLOTS as u64 - 1);
+        let all = w.window_at(10_000, WINDOW_SLOTS as u64 - 1);
+        assert_eq!(all.count, 2, "clamped to the full ring, not zero");
+        assert_eq!(w.window_at(0, 5).count, w.window_at(1, 5).count);
+    }
+}

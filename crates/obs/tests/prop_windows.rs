@@ -1,0 +1,163 @@
+//! Property tests for the live-introspection primitives under
+//! concurrency: rolling-window histograms and request scopes.
+//!
+//! The windowed-histogram contract is the merge law the serve daemon's
+//! `stats` command depends on: samples recorded from many threads must
+//! produce exactly the window a single-threaded recording of the same
+//! samples would, and lazy rotation must never lose an in-range sample.
+//! The scope contract is span-stack integrity: concurrent request scopes
+//! on different threads (distinct trace ids) capture exactly their own
+//! thread's spans and counts, never each other's.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pex_obs::{ScopeReport, WindowedHistogram, WINDOW_SLOTS};
+
+proptest! {
+    // Thread spawning per case keeps this modest; the space is small.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging per-thread recordings == recording everything on one
+    /// thread: for any partition of (value, second) samples across
+    /// threads, every window read at any probe instant agrees with the
+    /// single-threaded reference.
+    #[test]
+    fn concurrent_recording_matches_single_threaded(
+        samples in proptest::collection::vec(
+            (0u64..100_000, 0u64..(2 * WINDOW_SLOTS as u64)),
+            1..120,
+        ),
+        threads in 2usize..6,
+        window in 1u64..70,
+    ) {
+        // Seconds must be recorded in non-decreasing order for the result
+        // to be schedule-independent: a late sample for a recycled second
+        // is dropped by design, and "recycled" depends on arrival order.
+        // Sorting makes each thread's sequence (and the reference)
+        // monotone, so drops cannot differ between the two sides.
+        let mut samples = samples;
+        samples.sort_by_key(|&(_, sec)| sec);
+        let now = samples.last().map(|&(_, sec)| sec).unwrap_or(0);
+
+        let reference = WindowedHistogram::new();
+        for &(v, sec) in &samples {
+            reference.record_at(v, sec);
+        }
+
+        let concurrent = Arc::new(WindowedHistogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let w = Arc::clone(&concurrent);
+                let mine: Vec<(u64, u64)> = samples
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                std::thread::spawn(move || {
+                    for (v, sec) in mine {
+                        w.record_at(v, sec);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+
+        // Whole-ring window: nothing in range may be lost.
+        let full = WINDOW_SLOTS as u64;
+        prop_assert_eq!(
+            concurrent.window_at(full, now),
+            reference.window_at(full, now),
+            "full-ring window diverged"
+        );
+        // And an arbitrary narrower window agrees too.
+        prop_assert_eq!(
+            concurrent.window_at(window, now),
+            reference.window_at(window, now),
+            "{}s window diverged", window
+        );
+    }
+
+    /// Rotation never loses an in-range sample: record a monotone stream
+    /// of seconds spanning several ring wraps; at the end, the full-ring
+    /// window holds exactly the samples whose second is still in range.
+    #[test]
+    fn rotation_drops_exactly_the_out_of_range_samples(
+        deltas in proptest::collection::vec(0u64..10, 1..200),
+    ) {
+        let w = WindowedHistogram::new();
+        let mut sec = 0u64;
+        let mut recorded = Vec::new();
+        for (i, d) in deltas.iter().enumerate() {
+            sec += d;
+            w.record_at(i as u64, sec);
+            recorded.push((i as u64, sec));
+        }
+        let lo = sec.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let expect: Vec<u64> = recorded
+            .iter()
+            .filter(|&&(_, s)| s >= lo)
+            .map(|&(v, _)| v)
+            .collect();
+        let win = w.window_at(WINDOW_SLOTS as u64, sec);
+        prop_assert_eq!(win.count, expect.len() as u64, "sample count");
+        prop_assert_eq!(win.sum, expect.iter().sum::<u64>(), "sample sum");
+        prop_assert_eq!(
+            win.max,
+            expect.iter().max().copied().unwrap_or(0),
+            "sample max"
+        );
+    }
+
+    /// Concurrent scopes with interleaved trace ids stay thread-local:
+    /// each thread's report carries its own trace id, exactly its own
+    /// spans (a tree of the thread's chosen depth), and its own counts.
+    #[test]
+    fn scopes_on_concurrent_threads_never_mix(
+        depths in proptest::collection::vec(1usize..6, 2..6),
+    ) {
+        pex_obs::set_enabled(true);
+        let handles: Vec<_> = depths
+            .iter()
+            .enumerate()
+            .map(|(t, &depth)| {
+                std::thread::spawn(move || -> ScopeReport {
+                    let trace_id = format!("t-prop-{t}");
+                    let scope = pex_obs::scope::begin(trace_id).expect("scope begins");
+                    // `names` must be 'static; depth is < 6 by construction.
+                    let names = ["prop.d0", "prop.d1", "prop.d2", "prop.d3", "prop.d4"];
+                    fn nest(names: &[&'static str], remaining: usize) {
+                        if remaining == 0 {
+                            return;
+                        }
+                        let _span = pex_obs::span(names[remaining - 1]);
+                        nest(names, remaining - 1);
+                    }
+                    nest(&names, depth);
+                    pex_obs::scope::count("prop.work", depth as u64);
+                    scope.finish()
+                })
+            })
+            .collect();
+        for (t, (h, &depth)) in handles.into_iter().zip(&depths).enumerate() {
+            let report = h.join().expect("scope thread");
+            prop_assert_eq!(report.trace_id, format!("t-prop-{t}"), "trace id mixed");
+            prop_assert_eq!(report.counts["prop.work"], depth as u64, "counts mixed");
+            // Exactly one top-level span, nested `depth` deep, in this
+            // thread's own close order.
+            prop_assert_eq!(report.spans.len(), 1, "span forest mixed");
+            let mut node = &report.spans[0];
+            let mut seen = 1;
+            while let Some(child) = node.children.first() {
+                prop_assert_eq!(node.children.len(), 1);
+                node = child;
+                seen += 1;
+            }
+            prop_assert_eq!(seen, depth, "span tree depth");
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   [`pex_core::QueryBudget`];
 //! * [`server`] — the bounded admission queue, the worker pool, explicit
 //!   load shedding, and graceful drain-then-exit shutdown;
+//! * [`obs_json`] — live introspection: the `stats`/`health` command
+//!   bodies (rolling-window percentiles, shed rate, SLO burn) and the
+//!   `--metrics-out` document, built from the `pex-obs` registry;
 //! * [`json`] — the dependency-free JSON reader/writer the protocol uses.
 //!
 //! The `pex-serve` binary fronts this with two transports: stdin/stdout
@@ -29,11 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod obs_json;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod snapshot;
 
-pub use proto::{Request, RequestDefaults};
+pub use proto::{Disposition, Request, RequestDefaults};
 pub use server::{ServeConfig, Server, ServerClient};
 pub use snapshot::{Snapshot, SnapshotSource};

@@ -11,12 +11,15 @@
 //!   worker pool and admission queue.
 //!
 //! A `{"cmd":"shutdown"}` request from any transport triggers the same
-//! graceful drain. On shutdown, `--metrics-out FILE` writes the metric
-//! registry (counters, gauges, latency histograms) as JSON — the daemon
-//! equivalent of `pex-experiments --metrics-out`. (Catching SIGTERM
-//! directly would need a signal handler, which `std` cannot install
-//! without unsafe code; the workspace forbids it, so orchestrators should
-//! close stdin or send the shutdown command instead.)
+//! graceful drain. `--metrics-out FILE` writes the metric registry
+//! (counters, gauges, latency histograms) as JSON on shutdown — the daemon
+//! equivalent of `pex-experiments --metrics-out` — and, with
+//! `--metrics-interval-s N`, every N seconds while serving (each write is
+//! atomic: a temp file renamed into place, so scrapers never read a torn
+//! document). (Catching SIGTERM directly would need a signal handler,
+//! which `std` cannot install without unsafe code; the workspace forbids
+//! it, so orchestrators should close stdin or send the shutdown command
+//! instead.)
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
@@ -34,6 +37,17 @@ struct Options {
     config: ServeConfig,
     socket: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    metrics_interval_s: Option<u64>,
+}
+
+/// Writes the metrics document atomically: temp file in the same
+/// directory, then rename, so a concurrent scraper reads either the old
+/// complete document or the new one — never a torn write.
+fn write_metrics(path: &std::path::Path) -> std::io::Result<()> {
+    let doc = pex_serve::obs_json::metrics_document();
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn main() {
@@ -75,6 +89,29 @@ fn main() {
 
     let server = Server::start(Arc::clone(&snapshot), options.config);
 
+    // Periodic metrics flush: a plain timer thread woken early at shutdown
+    // by dropping the channel's sender. No flush happens unless both
+    // `--metrics-out` and `--metrics-interval-s` are given.
+    let metrics_flusher = options.metrics_interval_s.map(|interval_s| {
+        let path = options
+            .metrics_out
+            .clone()
+            .expect("parse_args requires --metrics-out with --metrics-interval-s");
+        let (stop_tx, stop_rx) = channel::<()>();
+        let handle = std::thread::spawn(move || {
+            // Timeout means "interval elapsed, flush"; Ok or Disconnected
+            // both mean shutdown.
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+                stop_rx.recv_timeout(Duration::from_secs(interval_s.max(1)))
+            {
+                if let Err(e) = write_metrics(&path) {
+                    eprintln!("pex-serve: cannot write {}: {e}", path.display());
+                }
+            }
+        });
+        (stop_tx, handle)
+    });
+
     // Socket listener (optional): accepts until shutdown is requested.
     let listener_handle = options.socket.as_ref().map(|path| {
         let _ = std::fs::remove_file(path);
@@ -103,15 +140,15 @@ fn main() {
         let _ = accept_thread.join();
     }
     server.shutdown();
+    if let Some((stop_tx, handle)) = metrics_flusher {
+        drop(stop_tx);
+        let _ = handle.join();
+    }
     if let Some(path) = &options.socket {
         let _ = std::fs::remove_file(path);
     }
     if let Some(path) = &options.metrics_out {
-        let doc = format!(
-            "{{\n  \"schema\": \"pex-serve-metrics/1\",\n  \"metrics\": {}\n}}\n",
-            pex_obs::registry().snapshot().to_json()
-        );
-        if let Err(e) = std::fs::write(path, doc) {
+        if let Err(e) = write_metrics(path) {
             eprintln!("pex-serve: cannot write {}: {e}", path.display());
             std::process::exit(2);
         }
@@ -297,6 +334,7 @@ fn parse_args() -> Options {
         config: ServeConfig::default(),
         socket: None,
         metrics_out: None,
+        metrics_interval_s: None,
     };
     let mut defaults = RequestDefaults::default();
     let mut source_arg: Option<String> = None;
@@ -329,6 +367,14 @@ fn parse_args() -> Options {
             "--metrics-out" => {
                 options.metrics_out = Some(PathBuf::from(take_value(&args, &mut i, flag)))
             }
+            "--metrics-interval-s" => {
+                options.metrics_interval_s =
+                    Some(parse_usize(flag, &take_value(&args, &mut i, flag)).max(1) as u64)
+            }
+            "--slo-p99-us" => {
+                options.config.slo_p99_us =
+                    Some(parse_usize(flag, &take_value(&args, &mut i, flag)) as u64)
+            }
             other if other.starts_with('-') => usage_exit(&format!("unknown flag {other}")),
             other => {
                 if source_arg.is_some() {
@@ -341,6 +387,9 @@ fn parse_args() -> Options {
     }
     if let Some(arg) = source_arg {
         options.source = SnapshotSource::from_arg(&arg);
+    }
+    if options.metrics_interval_s.is_some() && options.metrics_out.is_none() {
+        usage_exit("--metrics-interval-s requires --metrics-out");
     }
     options.config.defaults = defaults;
     options
@@ -366,9 +415,20 @@ FLAGS:
     --deadline-ms N    default per-request wall-clock deadline (default none)
     --max-steps N      default per-request step budget (default 1000000)
     --metrics-out FILE write the metric registry as JSON on shutdown
+    --metrics-interval-s N
+                       also rewrite --metrics-out atomically every N seconds
+    --slo-p99-us N     health reports `burning` when the rolling-window p99
+                       latency exceeds N microseconds
 
 PROTOCOL:
     {\"id\":1,\"query\":\"?({img, size})\",\"limit\":5,\"deadline_ms\":40}
     {\"id\":2,\"query\":\"p.?f\",\"locals\":[\"p:Geo.Point\"]}
-    {\"cmd\":\"ping\"}   {\"cmd\":\"shutdown\"}
+    {\"id\":3,\"query\":\"?\",\"trace\":true,\"explain\":true}
+    {\"cmd\":\"ping\"}   {\"cmd\":\"stats\"}   {\"cmd\":\"health\"}   {\"cmd\":\"shutdown\"}
+
+INTROSPECTION:
+    query responses echo a `trace_id`; `trace`/`explain` attach the span
+    tree + per-query search stats and per-term score breakdowns. `stats`
+    returns the live registry plus last-1s/10s/60s latency windows;
+    `health` returns queue depth, windowed shed rate, and the SLO flag.
 ";

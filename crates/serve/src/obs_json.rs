@@ -1,0 +1,293 @@
+//! Bridges the `pex-obs` registry into protocol JSON.
+//!
+//! Everything the daemon reports about itself — the `stats` and `health`
+//! commands, and the `--metrics-out` document — is built here as a
+//! [`Value`] tree and serialised by the same emitter as every protocol
+//! response, so metric names and labels are escaped correctly no matter
+//! what characters they contain (the old `--metrics-out` path spliced
+//! pre-rendered JSON into a `format!`).
+//!
+//! Rolling windows: the worker pool records per-request latencies into
+//! [`pex_obs::WindowedHistogram`]s under the names below, and
+//! [`stats_response`] reads the last-1s/10s/60s merges with interpolated
+//! percentiles — a live view the lifetime histograms cannot give.
+
+use pex_obs::{HistogramSnapshot, MetricsSnapshot};
+
+use crate::json::Value;
+
+/// Windowed per-request latency in microseconds (admission to response),
+/// recorded by the worker pool for every answered query.
+pub const REQUEST_WINDOW: &str = "serve.request.window.us";
+
+/// Windowed admissions: one sample per submitted request line.
+pub const RECEIVED_WINDOW: &str = "serve.requests.received.window";
+
+/// Windowed sheds: one sample per request refused by admission control.
+pub const SHED_WINDOW: &str = "serve.requests.shed.window";
+
+/// The window (seconds) health checks evaluate shed rate and SLO burn over.
+pub const HEALTH_WINDOW_S: u64 = 10;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+/// A lifetime [`MetricsSnapshot`] as a `{"counters","gauges","histograms"}`
+/// object. Histograms carry exact count/sum/max, bucket-bound p50/p90/p99,
+/// and their non-empty buckets as `[upper bound, count]` pairs — the same
+/// shape [`MetricsSnapshot::to_json`] renders, built as a [`Value`] so it
+/// can embed in protocol responses.
+pub fn metrics_value(snap: &MetricsSnapshot) -> Value {
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), num(*v)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), num(*v)))
+        .collect();
+    let histograms = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|&(i, c)| Value::Arr(vec![num(pex_obs::Histogram::bucket_upper(i)), num(c)]))
+                .collect();
+            let body = obj(vec![
+                ("count", num(h.count)),
+                ("sum", num(h.sum)),
+                ("max", num(h.max)),
+                ("p50", num(h.percentile(50.0))),
+                ("p90", num(h.percentile(90.0))),
+                ("p99", num(h.percentile(99.0))),
+                ("buckets", Value::Arr(buckets)),
+            ]);
+            (k.clone(), body)
+        })
+        .collect();
+    Value::Obj(vec![
+        ("counters".to_owned(), Value::Obj(counters)),
+        ("gauges".to_owned(), Value::Obj(gauges)),
+        ("histograms".to_owned(), Value::Obj(histograms)),
+    ])
+}
+
+/// One rolling window of the request-latency histogram: sample count, the
+/// implied request rate, and interpolated percentiles in microseconds.
+pub fn window_value(w: &HistogramSnapshot, seconds: u64) -> Value {
+    obj(vec![
+        ("seconds", num(seconds)),
+        ("count", num(w.count)),
+        (
+            "rate_rps",
+            Value::Num(w.count as f64 / seconds.max(1) as f64),
+        ),
+        ("p50_us", num(w.percentile_interp(50.0))),
+        ("p90_us", num(w.percentile_interp(90.0))),
+        ("p99_us", num(w.percentile_interp(99.0))),
+        ("max_us", num(w.max)),
+    ])
+}
+
+/// The `{"cmd":"stats"}` response: the full lifetime registry snapshot
+/// plus last-1s/10s/60s request-latency windows.
+pub fn stats_response(id: Option<&Value>, queue_depth: usize) -> String {
+    let latency = pex_obs::registry().windowed(REQUEST_WINDOW);
+    let windows = obj(vec![
+        ("1s", window_value(&latency.window(1), 1)),
+        ("10s", window_value(&latency.window(10), 10)),
+        ("60s", window_value(&latency.window(60), 60)),
+    ]);
+    let stats = obj(vec![
+        ("queue_depth", num(queue_depth as u64)),
+        ("windows", windows),
+        ("metrics", metrics_value(&pex_obs::registry().snapshot())),
+    ]);
+    respond(id, "stats", stats)
+}
+
+/// The `{"cmd":"health"}` response: queue depth, the windowed shed rate,
+/// the request-accounting identity, and the SLO-burn flag.
+///
+/// Accounting: `received` counts every submitted line; `ok`, `degraded`,
+/// `shed`, and `errors` count resolutions. `pending` is the difference —
+/// requests admitted but not yet answered, **including this health check
+/// itself**, so on an otherwise idle server `pending` is exactly 1 and
+/// `received == ok + degraded + shed + errors + pending` holds.
+pub fn health_response(id: Option<&Value>, queue_depth: usize, slo_p99_us: Option<u64>) -> String {
+    let registry = pex_obs::registry();
+    let counter = |name: &str| registry.counter(name).get();
+    // Resolution counters first, `received` last: a request increments
+    // `received` before it can resolve, so this read order keeps
+    // `pending` non-negative even while other workers are mid-request.
+    let ok = counter("serve.requests.ok");
+    let degraded = counter("serve.requests.degraded");
+    let shed = counter("serve.requests.shed");
+    let errors = counter("serve.requests.error");
+    let received = counter("serve.requests.received");
+    let pending = received.saturating_sub(ok + degraded + shed + errors);
+
+    let received_w = registry.windowed(RECEIVED_WINDOW).window(HEALTH_WINDOW_S);
+    let shed_w = registry.windowed(SHED_WINDOW).window(HEALTH_WINDOW_S);
+    let shed_rate = if received_w.count == 0 {
+        0.0
+    } else {
+        shed_w.count as f64 / received_w.count as f64
+    };
+
+    let p99_us = registry
+        .windowed(REQUEST_WINDOW)
+        .window(HEALTH_WINDOW_S)
+        .percentile_interp(99.0);
+    let burning = slo_p99_us.is_some_and(|slo| p99_us > slo);
+
+    let health = obj(vec![
+        ("queue_depth", num(queue_depth as u64)),
+        ("window_s", num(HEALTH_WINDOW_S)),
+        (
+            "requests",
+            obj(vec![
+                ("received", num(received)),
+                ("ok", num(ok)),
+                ("degraded", num(degraded)),
+                ("shed", num(shed)),
+                ("errors", num(errors)),
+                ("pending", num(pending)),
+            ]),
+        ),
+        ("shed_rate", Value::Num(shed_rate)),
+        (
+            "slo",
+            obj(vec![
+                ("p99_us", num(p99_us)),
+                ("threshold_us", slo_p99_us.map_or(Value::Null, num)),
+                ("burning", Value::Bool(burning)),
+            ]),
+        ),
+    ]);
+    respond(id, "health", health)
+}
+
+/// The `--metrics-out` document (`pex-serve-metrics/1`), emitted through
+/// the protocol serialiser.
+pub fn metrics_document() -> String {
+    let doc = Value::Obj(vec![
+        (
+            "schema".to_owned(),
+            Value::Str("pex-serve-metrics/1".to_owned()),
+        ),
+        (
+            "metrics".to_owned(),
+            metrics_value(&pex_obs::registry().snapshot()),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+fn respond(id: Option<&Value>, key: &str, body: Value) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), id.clone()));
+    }
+    fields.push(("ok".to_owned(), Value::Bool(true)));
+    fields.push((key.to_owned(), body));
+    Value::Obj(fields).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn metrics_value_round_trips_through_the_parser() {
+        let registry = pex_obs::registry();
+        registry.counter("obsjson.hits").add(3);
+        registry.histogram("obsjson.lat").record(100);
+        let v = metrics_value(&registry.snapshot());
+        let parsed = json::parse(&v.to_string()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("obsjson.hits"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("obsjson.lat"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(hist.get("max").and_then(Value::as_u64), Some(100));
+    }
+
+    #[test]
+    fn stats_response_reports_recorded_windows() {
+        pex_obs::set_enabled(true);
+        pex_obs::registry().windowed(REQUEST_WINDOW).record(500);
+        let resp = stats_response(Some(&Value::Num(9.0)), 2);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("id").and_then(Value::as_u64), Some(9));
+        let stats = doc.get("stats").unwrap();
+        assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(2));
+        let w60 = stats.get("windows").and_then(|w| w.get("60s")).unwrap();
+        assert!(w60.get("count").and_then(Value::as_u64).unwrap() >= 1);
+        let p50 = w60.get("p50_us").and_then(Value::as_u64).unwrap();
+        assert!((256..=511).contains(&p50), "bucket-bounded p50: {p50}");
+    }
+
+    #[test]
+    fn health_response_carries_the_accounting_identity_and_slo_flag() {
+        pex_obs::set_enabled(true);
+        let resp = health_response(None, 0, Some(1));
+        let doc = json::parse(&resp).unwrap();
+        let health = doc.get("health").unwrap();
+        let r = health.get("requests").unwrap();
+        let total = ["ok", "degraded", "shed", "errors", "pending"]
+            .iter()
+            .map(|k| r.get(k).and_then(Value::as_u64).unwrap())
+            .sum::<u64>();
+        assert_eq!(r.get("received").and_then(Value::as_u64), Some(total));
+        let slo = health.get("slo").unwrap();
+        assert_eq!(slo.get("threshold_us").and_then(Value::as_u64), Some(1));
+        // A 1µs SLO burns as soon as any window sample exceeds it; with no
+        // samples it must not burn.
+        let p99 = slo.get("p99_us").and_then(Value::as_u64).unwrap();
+        assert_eq!(slo.get("burning"), Some(&Value::Bool(p99 > 1)), "{resp}");
+        // No threshold: never burning.
+        let resp = health_response(None, 0, None);
+        let doc = json::parse(&resp).unwrap();
+        let slo = doc.get("health").and_then(|h| h.get("slo")).unwrap();
+        assert_eq!(slo.get("threshold_us"), Some(&Value::Null));
+        assert_eq!(slo.get("burning"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn metrics_document_is_parseable_with_escaped_names() {
+        pex_obs::registry().counter("obsjson.weird\"name").add(1);
+        let doc = metrics_document();
+        let parsed = json::parse(doc.trim()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("pex-serve-metrics/1")
+        );
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("obsjson.weird\"name"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+}

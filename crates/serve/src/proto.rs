@@ -9,7 +9,10 @@
 //! ```json
 //! {"id": 1, "query": "?({img, size})", "limit": 5, "deadline_ms": 40}
 //! {"id": 2, "query": "p.?f", "locals": ["p:Geo.Point"]}
-//! {"id": 3, "cmd": "ping"}
+//! {"id": 3, "query": "?", "trace": true, "explain": true, "trace_id": "t-ide-77"}
+//! {"id": 4, "cmd": "ping"}
+//! {"id": 5, "cmd": "stats"}
+//! {"id": 6, "cmd": "health"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -17,6 +20,15 @@
 //! optional; omitted fields fall back to the server's
 //! [`RequestDefaults`]. `max_depth` caps lookup-chain length per query
 //! (up to the engine limit) and is rejected as `bad_request` beyond it.
+//!
+//! Introspection fields: every query response echoes a `trace_id`
+//! (client-supplied, or generated when absent). `"trace": true`
+//! additionally returns the request's span tree and per-query best-first
+//! search stats inline; `"explain": true` attaches the per-term score
+//! breakdown (the six Figure 7 ranking terms, summing exactly to the
+//! score) to each completion. The `stats` and `health` commands are
+//! answered by the worker pool from the live registry (see
+//! [`crate::obs_json`]).
 //!
 //! ## Responses
 //!
@@ -71,11 +83,34 @@ pub enum Request {
         /// Echoed request id.
         id: Option<Value>,
     },
+    /// Live registry snapshot plus rolling-window percentiles.
+    Stats {
+        /// Echoed request id.
+        id: Option<Value>,
+    },
+    /// Queue depth, windowed shed rate, and the SLO-burn flag.
+    Health {
+        /// Echoed request id.
+        id: Option<Value>,
+    },
     /// Graceful-shutdown request: drain in-flight work, then exit.
     Shutdown {
         /// Echoed request id.
         id: Option<Value>,
     },
+}
+
+/// How a handled request resolved — the worker pool's accounting signal
+/// for the `serve.requests.{ok,degraded,error}` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Answered successfully, with a complete (non-degraded) result.
+    Ok,
+    /// Answered successfully, but the enumeration was cut short by a
+    /// deadline, budget, or cancellation.
+    Degraded,
+    /// Answered with an error response.
+    Error,
 }
 
 /// The payload of a [`Request::Query`].
@@ -97,6 +132,13 @@ pub struct QueryRequest {
     /// `name:Qualified.Type` local declarations replacing the snapshot's
     /// default context.
     pub locals: Vec<String>,
+    /// Client-supplied trace id; generated when absent. Echoed on the
+    /// response either way.
+    pub trace_id: Option<String>,
+    /// Return the request's span tree and per-query search stats inline.
+    pub trace: bool,
+    /// Attach a per-term score breakdown to each completion.
+    pub explain: bool,
 }
 
 /// Parses one request line. `Err` carries `(echoed id, message)` for the
@@ -111,6 +153,8 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
     if let Some(cmd) = doc.get("cmd") {
         return match cmd.as_str() {
             Some("ping") => Ok(Request::Ping { id }),
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("health") => Ok(Request::Health { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
             _ => Err((id, format!("unknown cmd {cmd}"))),
         };
@@ -132,10 +176,26 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
             }),
         }
     };
+    let flag = |field: &str| -> Result<bool, (Option<Value>, String)> {
+        match doc.get(field) {
+            None | Some(Value::Null) => Ok(false),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(_) => Err((id.clone(), format!("`{field}` must be a boolean"))),
+        }
+    };
     let limit = uint("limit")?.map(|n| n as usize);
     let deadline_ms = uint("deadline_ms")?;
     let max_steps = uint("max_steps")?.map(|n| n as usize);
     let max_depth = uint("max_depth")?.map(|n| n as usize);
+    let trace = flag("trace")?;
+    let explain = flag("explain")?;
+    let trace_id = match doc.get("trace_id") {
+        None | Some(Value::Null) => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s.to_owned()),
+            None => return Err((id, "`trace_id` must be a string".to_owned())),
+        },
+    };
     let locals = match doc.get("locals") {
         None | Some(Value::Null) => Vec::new(),
         Some(Value::Arr(items)) => {
@@ -160,6 +220,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
         max_steps,
         max_depth,
         locals,
+        trace_id,
+        trace,
+        explain,
     }))
 }
 
@@ -201,10 +264,45 @@ pub fn shutdown_response(id: Option<&Value>) -> String {
     format!("{{{}\"ok\":true,\"shutdown\":true}}", id_field(id))
 }
 
+/// Serialises a captured span as `{"name","start_ns","wall_ns","children"}`.
+fn span_value(s: &pex_obs::SpanRecord) -> Value {
+    Value::Obj(vec![
+        ("name".to_owned(), Value::Str(s.name.to_owned())),
+        ("start_ns".to_owned(), Value::Num(s.start_ns as f64)),
+        ("wall_ns".to_owned(), Value::Num(s.duration_ns as f64)),
+        (
+            "children".to_owned(),
+            Value::Arr(s.children.iter().map(span_value).collect()),
+        ),
+    ])
+}
+
+/// Serialises a finished request scope: the span tree plus the per-query
+/// best-first search stats the engine attached (`engine.bestfirst.*`
+/// counts become `search.{expanded,pruned_bound,pruned_dominated,
+/// frontier_max}` — deltas for *this* query, not process lifetime totals).
+fn trace_value(report: &pex_obs::ScopeReport) -> Value {
+    let search = report
+        .counts
+        .iter()
+        .map(|(k, v)| {
+            let short = k.strip_prefix("engine.bestfirst.").unwrap_or(k);
+            (short.replace('.', "_"), Value::Num(*v as f64))
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "spans".to_owned(),
+            Value::Arr(report.spans.iter().map(span_value).collect()),
+        ),
+        ("search".to_owned(), Value::Obj(search)),
+    ])
+}
+
 /// Executes a query against the shared snapshot and renders its response.
 ///
-/// Returns the response line plus whether the request succeeded (for the
-/// `serve.requests.{ok,error}` counters). The query runs under a
+/// Returns the response line plus its [`Disposition`] (for the
+/// `serve.requests.{ok,degraded,error}` counters). The query runs under a
 /// [`QueryBudget`] combining the request's own limits with the server's
 /// defaults and shutdown [`CancelToken`]; a deadline or budget trip is
 /// reported as `"degraded": true` with the exact [`outcome`] label — a
@@ -222,16 +320,17 @@ pub fn execute(
     defaults: &RequestDefaults,
     cancel: &CancelToken,
     abs: Option<&AbsTypes<'_>>,
-) -> (String, bool) {
+) -> (String, Disposition) {
+    let err = |id, kind, msg: &str| (error_response(id, kind, msg), Disposition::Error);
     let id = req.id.as_ref();
     let ctx = match snapshot.context_for(&req.locals) {
         Ok(ctx) => ctx,
-        Err(msg) => return (error_response(id, "bad_request", &msg), false),
+        Err(msg) => return err(id, "bad_request", &msg),
     };
     let started = Instant::now();
     let query = match pex_core::parse_partial(&snapshot.db, &ctx, &req.query) {
         Ok(q) => q,
-        Err(e) => return (error_response(id, "parse", &e.to_string()), false),
+        Err(e) => return err(id, "parse", &e.to_string()),
     };
     let budget = QueryBudget {
         max_steps: req.max_steps.unwrap_or(defaults.max_steps),
@@ -248,7 +347,7 @@ pub fn execute(
     if let Some(depth) = req.max_depth {
         options = match options.with_max_depth(depth) {
             Ok(o) => o,
-            Err(e) => return (error_response(id, "bad_request", &e.to_string()), false),
+            Err(e) => return err(id, "bad_request", &e.to_string()),
         };
     }
     let abs = if req.locals.is_empty() { abs } else { None };
@@ -257,27 +356,66 @@ pub fn execute(
         .with_reach(&snapshot.reach)
         .with_cache(&snapshot.cache);
     let limit = req.limit.unwrap_or(defaults.limit);
+    let trace_id = req
+        .trace_id
+        .clone()
+        .unwrap_or_else(pex_obs::scope::next_trace_id);
+    // The scope opens before the engine runs so the `query` span and the
+    // best-first stream's per-query stats (flushed when the stream drops,
+    // inside `complete_with_outcome`) land in the capture.
+    let scope = if req.trace {
+        pex_obs::scope::begin(trace_id.clone())
+    } else {
+        None
+    };
     let (completions, outcome) = completer.complete_with_outcome(&query, limit);
+    let report = scope.map(pex_obs::ScopeGuard::finish);
     let latency_us = started.elapsed().as_micros();
     let rendered: Vec<String> = completions
         .iter()
         .map(|c| {
-            format!(
-                "{{\"expr\":\"{}\",\"score\":{}}}",
+            let mut entry = format!(
+                "{{\"expr\":\"{}\",\"score\":{}",
                 json::escape(&completer.render(c)),
                 c.score
-            )
+            );
+            if req.explain {
+                let b = completer
+                    .explain(c)
+                    .expect("the engine explains its own completions");
+                assert_eq!(
+                    b.total, c.score,
+                    "per-term breakdown must sum to the emitted score"
+                );
+                entry.push_str(",\"explain\":{");
+                for (term, v) in b.terms {
+                    entry.push_str(&format!("\"{}\":{v},", term.code()));
+                }
+                entry.push_str(&format!("\"total\":{}}}", b.total));
+            }
+            entry.push('}');
+            entry
         })
         .collect();
-    let response = format!(
-        "{{{}\"ok\":true,\"outcome\":\"{}\",\"degraded\":{},\"latency_us\":{},\"completions\":[{}]}}",
+    let mut response = format!(
+        "{{{}\"ok\":true,\"trace_id\":\"{}\",\"outcome\":\"{}\",\"degraded\":{},\"latency_us\":{},\"completions\":[{}]",
         id_field(id),
+        json::escape(&trace_id),
         outcome.label(),
         outcome.is_degraded(),
         latency_us,
         rendered.join(",")
     );
-    (response, true)
+    if let Some(report) = &report {
+        response.push_str(&format!(",\"trace\":{}", trace_value(report)));
+    }
+    response.push('}');
+    let disposition = if outcome.is_degraded() {
+        Disposition::Degraded
+    } else {
+        Disposition::Ok
+    };
+    (response, disposition)
 }
 
 #[cfg(test)]
@@ -368,10 +506,13 @@ mod tests {
             max_steps: None,
             max_depth: None,
             locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
         };
         let abs = snap.abs_for_site();
-        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), abs.as_ref());
-        assert!(ok, "{resp}");
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), abs.as_ref());
+        assert_eq!(d, Disposition::Ok, "{resp}");
         let doc = json::parse(&resp).unwrap();
         assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
         assert_eq!(doc.get("degraded"), Some(&Value::Bool(false)));
@@ -393,9 +534,12 @@ mod tests {
             max_steps: None,
             max_depth: None,
             locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
         };
-        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
-        assert!(ok);
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Degraded);
         let doc = json::parse(&resp).unwrap();
         assert_eq!(
             doc.get("outcome").and_then(Value::as_str),
@@ -416,9 +560,12 @@ mod tests {
             max_steps: None,
             max_depth: None,
             locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
         };
-        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
-        assert!(!ok);
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Error);
         let doc = json::parse(&resp).unwrap();
         assert_eq!(doc.get("error").and_then(Value::as_str), Some("parse"));
     }
@@ -434,9 +581,12 @@ mod tests {
             max_steps: None,
             max_depth: Some(99),
             locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
         };
-        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
-        assert!(!ok);
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Error);
         let doc = json::parse(&resp).unwrap();
         assert_eq!(
             doc.get("error").and_then(Value::as_str),
@@ -451,10 +601,130 @@ mod tests {
             id: None,
             ..req
         };
-        let (resp, ok) = execute(&snap, &shallow, &defaults(), &CancelToken::new(), None);
-        assert!(ok, "{resp}");
+        let (resp, d) = execute(&snap, &shallow, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Ok, "{resp}");
         let doc = json::parse(&resp).unwrap();
         assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_introspection_fields() {
+        let req = parse_request(
+            r#"{"id":1,"query":"?","trace":true,"explain":true,"trace_id":"t-ide-7"}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = req else {
+            panic!("query expected")
+        };
+        assert!(q.trace);
+        assert!(q.explain);
+        assert_eq!(q.trace_id.as_deref(), Some("t-ide-7"));
+        let (_, msg) = parse_request(r#"{"query":"?","trace":"yes"}"#).unwrap_err();
+        assert!(msg.contains("trace"), "{msg}");
+        assert_eq!(
+            parse_request(r#"{"cmd":"stats","id":2}"#).unwrap(),
+            Request::Stats {
+                id: Some(Value::Num(2.0))
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"health"}"#).unwrap(),
+            Request::Health { id: None }
+        );
+    }
+
+    #[test]
+    fn explain_breakdowns_sum_exactly_to_each_score() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: None,
+            query: "?({img, size})".into(),
+            limit: Some(8),
+            deadline_ms: None,
+            max_steps: None,
+            max_depth: None,
+            locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: true,
+        };
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Ok, "{resp}");
+        let doc = json::parse(&resp).unwrap();
+        let Some(Value::Arr(completions)) = doc.get("completions") else {
+            panic!("completions expected: {resp}")
+        };
+        assert!(!completions.is_empty());
+        for c in completions {
+            let score = c.get("score").and_then(Value::as_u64).unwrap();
+            let explain = c.get("explain").expect("explain attached");
+            let mut sum = 0;
+            for code in ["n", "s", "d", "m", "t", "a"] {
+                sum += explain.get(code).and_then(Value::as_u64).unwrap();
+            }
+            assert_eq!(sum, score, "{c}");
+            assert_eq!(explain.get("total").and_then(Value::as_u64), Some(score));
+        }
+    }
+
+    #[test]
+    fn traced_queries_return_their_span_tree_and_search_stats() {
+        // No serve test flips the global kill switch, so asserting it on
+        // here cannot race another test in this binary.
+        pex_obs::set_enabled(true);
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        // A `?` hole takes the best-first path, so the scope captures the
+        // stream's per-query expansion stats (call-argument queries run
+        // the exhaustive pipeline and report none).
+        let req = QueryRequest {
+            id: Some(Value::Num(1.0)),
+            query: "?".into(),
+            limit: Some(5),
+            deadline_ms: None,
+            max_steps: None,
+            max_depth: None,
+            locals: Vec::new(),
+            trace_id: Some("t-client-1".into()),
+            trace: true,
+            explain: false,
+        };
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Ok, "{resp}");
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("trace_id").and_then(Value::as_str),
+            Some("t-client-1")
+        );
+        let trace = doc.get("trace").expect("trace attached");
+        let Some(Value::Arr(spans)) = trace.get("spans") else {
+            panic!("spans expected: {resp}")
+        };
+        assert!(
+            spans.iter().any(|s| {
+                s.get("name").and_then(Value::as_str) == Some("query")
+                    && s.get("wall_ns").and_then(Value::as_u64).unwrap_or(0) > 0
+            }),
+            "query span captured: {resp}"
+        );
+        let search = trace.get("search").expect("search stats attached");
+        assert!(
+            search.get("expanded").and_then(Value::as_u64).unwrap_or(0) > 0,
+            "best-first expansion counts for this query: {resp}"
+        );
+
+        // Without a client trace_id one is generated, and untraced
+        // responses still echo it.
+        let req = QueryRequest {
+            trace_id: None,
+            trace: false,
+            id: None,
+            ..req
+        };
+        let (resp, _) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        let doc = json::parse(&resp).unwrap();
+        let generated = doc.get("trace_id").and_then(Value::as_str).unwrap();
+        assert!(generated.starts_with("t-"), "{resp}");
+        assert!(doc.get("trace").is_none(), "no trace unless requested");
     }
 
     #[test]
@@ -468,9 +738,12 @@ mod tests {
             max_steps: None,
             max_depth: None,
             locals: vec!["bad spec".into()],
+            trace_id: None,
+            trace: false,
+            explain: false,
         };
-        let (resp, ok) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
-        assert!(!ok);
+        let (resp, d) = execute(&snap, &req, &defaults(), &CancelToken::new(), None);
+        assert_eq!(d, Disposition::Error);
         assert!(resp.contains("bad_request"), "{resp}");
     }
 }

@@ -15,10 +15,14 @@
 //!   which additionally stops in-flight enumerations at their next budget
 //!   poll (each then answers with a degraded `cancelled` outcome).
 //!
-//! Observability (all through `pex-obs`): `serve.requests.{ok,error,shed}`
-//! counters, `serve.queue.depth` / `serve.queue.depth.max` gauges,
-//! `serve.queue.wait.ns` and `serve.request.ns` latency histograms, and a
-//! `serve.request` tracing span per executed request.
+//! Observability (all through `pex-obs`):
+//! `serve.requests.{received,ok,degraded,error,shed}` counters (`received`
+//! counts every submitted line, the rest its resolution — their difference
+//! is the in-flight count the `health` command reports), `serve.queue.depth`
+//! / `serve.queue.depth.max` gauges, `serve.queue.wait.ns` and
+//! `serve.request.ns` latency histograms, a `serve.request` tracing span
+//! per executed request, and the rolling windows behind `stats`/`health`
+//! (see [`crate::obs_json`] for the window names).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
@@ -42,6 +46,10 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Fallbacks for optional request fields.
     pub defaults: RequestDefaults,
+    /// SLO threshold for the `health` command's burn flag: burning when
+    /// the rolling-window p99 latency (µs) exceeds this. `None` disables
+    /// the flag.
+    pub slo_p99_us: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +61,7 @@ impl Default for ServeConfig {
             workers,
             queue_cap: workers * 16,
             defaults: RequestDefaults::default(),
+            slo_p99_us: None,
         }
     }
 }
@@ -89,6 +98,14 @@ impl ServerClient {
     /// `shed` (queue full) or `shutdown` (draining) error. The response —
     /// whichever kind — arrives on `reply`.
     pub fn submit(&self, line: String, reply: &Sender<String>) {
+        // `received` counts before any resolution counter can fire, so
+        // `received - (ok+degraded+shed+errors)` is a true in-flight count.
+        pex_obs::counter!("serve.requests.received", 1);
+        if pex_obs::enabled() {
+            pex_obs::registry()
+                .windowed(crate::obs_json::RECEIVED_WINDOW)
+                .record(1);
+        }
         let job = Job {
             line,
             reply: reply.clone(),
@@ -105,6 +122,11 @@ impl ServerClient {
             }
             Err(PushError::Full(job)) => {
                 pex_obs::counter!("serve.requests.shed", 1);
+                if pex_obs::enabled() {
+                    pex_obs::registry()
+                        .windowed(crate::obs_json::SHED_WINDOW)
+                        .record(1);
+                }
                 let _ = job.reply.send(proto::shed_response(&job.line));
             }
             Err(PushError::Closed(job)) => {
@@ -143,12 +165,20 @@ impl Server {
                 let queue = Arc::clone(&queue);
                 let snapshot = Arc::clone(&snapshot);
                 let defaults = config.defaults.clone();
+                let slo_p99_us = config.slo_p99_us;
                 let cancel = cancel.clone();
                 let shutdown_flag = Arc::clone(&shutdown_flag);
                 std::thread::Builder::new()
                     .name(format!("pex-serve-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&queue, &snapshot, &defaults, &cancel, &shutdown_flag)
+                        worker_loop(
+                            &queue,
+                            &snapshot,
+                            &defaults,
+                            slo_p99_us,
+                            &cancel,
+                            &shutdown_flag,
+                        )
                     })
                     .expect("spawn worker thread")
             })
@@ -218,9 +248,11 @@ fn worker_loop(
     queue: &Bounded<Job>,
     snapshot: &Snapshot,
     defaults: &RequestDefaults,
+    slo_p99_us: Option<u64>,
     cancel: &CancelToken,
     shutdown_flag: &AtomicBool,
 ) {
+    use proto::Disposition;
     // Per-worker warmed state: the abstract-type inference for the default
     // query site borrows the database, so it lives here rather than in the
     // snapshot. Built once, reused for every default-context request.
@@ -234,24 +266,43 @@ fn worker_loop(
                 .set(queue.depth() as u64);
         }
         let span = pex_obs::span("serve.request");
-        let (response, ok) = match proto::parse_request(&job.line) {
+        let parsed = proto::parse_request(&job.line);
+        let is_query = matches!(parsed, Ok(Request::Query(_)));
+        let (response, disposition) = match parsed {
             Ok(Request::Query(q)) => proto::execute(snapshot, &q, defaults, cancel, abs.as_ref()),
-            Ok(Request::Ping { id }) => (proto::pong_response(id.as_ref()), true),
+            Ok(Request::Ping { id }) => (proto::pong_response(id.as_ref()), Disposition::Ok),
+            Ok(Request::Stats { id }) => (
+                crate::obs_json::stats_response(id.as_ref(), queue.depth()),
+                Disposition::Ok,
+            ),
+            Ok(Request::Health { id }) => (
+                crate::obs_json::health_response(id.as_ref(), queue.depth(), slo_p99_us),
+                Disposition::Ok,
+            ),
             Ok(Request::Shutdown { id }) => {
                 shutdown_flag.store(true, Ordering::Relaxed);
-                (proto::shutdown_response(id.as_ref()), true)
+                (proto::shutdown_response(id.as_ref()), Disposition::Ok)
             }
             Err((id, msg)) => (
                 proto::error_response(id.as_ref(), "bad_request", &msg),
-                false,
+                Disposition::Error,
             ),
         };
         drop(span);
-        pex_obs::histogram!("serve.request.ns", job.admitted.elapsed().as_nanos() as u64);
-        if ok {
-            pex_obs::counter!("serve.requests.ok", 1);
-        } else {
-            pex_obs::counter!("serve.requests.error", 1);
+        let total_ns = job.admitted.elapsed().as_nanos() as u64;
+        pex_obs::histogram!("serve.request.ns", total_ns);
+        if is_query && pex_obs::enabled() {
+            // Admission-to-response in µs — the same interval a client
+            // measures, so the `stats` window percentiles cross-check
+            // against client-side tallies.
+            pex_obs::registry()
+                .windowed(crate::obs_json::REQUEST_WINDOW)
+                .record(total_ns / 1_000);
+        }
+        match disposition {
+            Disposition::Ok => pex_obs::counter!("serve.requests.ok", 1),
+            Disposition::Degraded => pex_obs::counter!("serve.requests.degraded", 1),
+            Disposition::Error => pex_obs::counter!("serve.requests.error", 1),
         }
         // A gone client (dropped receiver) is not an error; the response
         // simply has nowhere to go.
@@ -273,7 +324,7 @@ mod tests {
             ServeConfig {
                 workers,
                 queue_cap,
-                defaults: RequestDefaults::default(),
+                ..ServeConfig::default()
             },
         )
     }
@@ -397,6 +448,46 @@ mod tests {
         s.submit("{\"id\":4,\"cmd\":\"ping\"}".into(), &tx);
         let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
         assert!(resp.contains("\"pong\":true"), "{resp}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn stats_and_health_commands_answer_from_the_live_registry() {
+        pex_obs::set_enabled(true);
+        let s = server(2, 16);
+        let (tx, rx) = channel();
+        let timeout = std::time::Duration::from_secs(30);
+        s.submit("{\"id\":1,\"query\":\"?\",\"limit\":3}".into(), &tx);
+        let resp = rx.recv_timeout(timeout).unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+
+        s.submit("{\"id\":2,\"cmd\":\"stats\"}".into(), &tx);
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        let stats = doc.get("stats").expect("stats body");
+        assert!(stats.get("queue_depth").and_then(Value::as_u64).is_some());
+        let w60 = stats
+            .get("windows")
+            .and_then(|w| w.get("60s"))
+            .expect("60s window");
+        assert!(
+            w60.get("count").and_then(Value::as_u64).unwrap() >= 1,
+            "the query latency landed in the window: {resp}"
+        );
+
+        s.submit("{\"id\":3,\"cmd\":\"health\"}".into(), &tx);
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        let health = doc.get("health").expect("health body");
+        let requests = health.get("requests").expect("request accounting");
+        let field = |k: &str| requests.get(k).and_then(Value::as_u64).unwrap();
+        assert_eq!(
+            field("received"),
+            field("ok") + field("degraded") + field("shed") + field("errors") + field("pending"),
+            "accounting identity: {resp}"
+        );
+        assert!(health.get("slo").is_some(), "{resp}");
         s.shutdown();
     }
 }
