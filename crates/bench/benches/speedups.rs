@@ -509,6 +509,36 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
     });
 }
 
+/// Boot-path comparison: building a snapshot from its corpus (mini-C#
+/// compile + method/reach index build + prewarm) vs rehydrating the same
+/// snapshot from `pex-snapshot/1` bytes, which skips all three. The
+/// derived `snapshot_boot_speedup` is what `--load-snapshot` buys a
+/// restarting daemon.
+fn bench_snapshot_boot(c: &mut Criterion) {
+    use pex_serve::{persist, Snapshot, SnapshotSource};
+
+    let built = Snapshot::load(&SnapshotSource::Paint).expect("builtin snapshot");
+    let bytes = persist::to_bytes(&built);
+    // Both boot paths must produce the same snapshot for the ratio to
+    // compare equal work (the roundtrip proptest pins this broadly).
+    let loaded = persist::from_bytes(&bytes).expect("snapshot decodes");
+    assert_eq!(loaded.db.method_count(), built.db.method_count());
+    assert_eq!(loaded.cache.arena.len(), built.cache.arena.len());
+
+    c.bench_function("speedups/boot_cold_build", |b| {
+        b.iter(|| {
+            let snap = Snapshot::load(black_box(&SnapshotSource::Paint)).expect("builtin snapshot");
+            black_box(snap.db.method_count())
+        })
+    });
+    c.bench_function("speedups/boot_snapshot_load", |b| {
+        b.iter(|| {
+            let snap = persist::from_bytes(black_box(&bytes)).expect("snapshot decodes");
+            black_box(snap.db.method_count())
+        })
+    });
+}
+
 /// The thread count the parallel replay leg actually runs with: capped at
 /// 4 so the recorded speedup reflects a modest, reproducible worker pool
 /// rather than whatever the bench machine happens to have.
@@ -697,6 +727,16 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
             "speedups/query_snapshot_reuse"
         ))
     ));
+    // What `--load-snapshot` buys a restarting daemon: rehydrating the
+    // prewarmed artefact vs compiling the corpus and rebuilding + warming
+    // every index from scratch.
+    out.push_str(&format!(
+        "    \"snapshot_boot_speedup\": {},\n",
+        fmt_opt(speedup(
+            "speedups/boot_cold_build",
+            "speedups/boot_snapshot_load"
+        ))
+    ));
     out.push_str(&format!(
         "    \"methods_replay_speedup\": {}\n",
         fmt_opt(speedup(
@@ -717,6 +757,7 @@ fn main() {
     bench_enumeration(&mut c);
     bench_bestfirst(&mut c);
     bench_snapshot_reuse(&mut c);
+    bench_snapshot_boot(&mut c);
     bench_replay(&mut c);
     let results = c.results();
     if results.is_empty() {

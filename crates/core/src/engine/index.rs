@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use pex_model::{Database, MethodId};
+use pex_types::wire::{Reader, WireError, WireResult, Writer};
 use pex_types::TypeId;
 
 /// Reusable dedupe scratch for the candidate walks, hoisted out of the
@@ -96,6 +97,101 @@ impl MethodIndex {
             with_args,
             memo: (0..db.types().len()).map(|_| OnceLock::new()).collect(),
         }
+    }
+
+    /// Serializes the index — including every memoized per-type candidate
+    /// list — for the persistent snapshot. A loaded snapshot therefore
+    /// starts with the same memo contents a prewarmed boot would have,
+    /// which is what lets `--load-snapshot` skip the prewarm pass.
+    /// Hash-map entries are written in type-id order so identical indexes
+    /// serialize to identical bytes.
+    pub fn encode_snapshot(&self, w: &mut Writer) {
+        let mut by_param: Vec<(&TypeId, &Vec<MethodId>)> = self.by_param.iter().collect();
+        by_param.sort_unstable_by_key(|(ty, _)| **ty);
+        w.put_len(by_param.len());
+        for (ty, methods) in by_param {
+            w.put_u32(ty.index() as u32);
+            w.put_len(methods.len());
+            for m in methods {
+                w.put_u32(m.index() as u32);
+            }
+        }
+        w.put_len(self.with_args.len());
+        for m in &self.with_args {
+            w.put_u32(m.index() as u32);
+        }
+        w.put_len(self.memo.len());
+        for cell in &self.memo {
+            match cell.get() {
+                Some(list) => {
+                    w.put_bool(true);
+                    w.put_len(list.len());
+                    for m in list.iter() {
+                        w.put_u32(m.index() as u32);
+                    }
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Decodes an index written by [`MethodIndex::encode_snapshot`] for a
+    /// database with `n_types` types and `n_methods` methods, restoring
+    /// filled memo cells and bounds-checking every id.
+    pub fn decode_snapshot(
+        r: &mut Reader<'_>,
+        n_types: usize,
+        n_methods: usize,
+    ) -> WireResult<Self> {
+        let n_entries = r.get_len("method index entry count")?;
+        let mut by_param = HashMap::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let ty = TypeId::from_index(r.get_id(n_types, "indexed parameter type")?);
+            let n = r.get_len("indexed method count")?;
+            let mut methods = Vec::with_capacity(n);
+            for _ in 0..n {
+                methods.push(MethodId::from_index(r.get_id(n_methods, "indexed method")?));
+            }
+            if by_param.insert(ty, methods).is_some() {
+                return Err(WireError::new(format!(
+                    "duplicate method index entry for type {}",
+                    ty.index()
+                )));
+            }
+        }
+        let n_with_args = r.get_len("with-args method count")?;
+        let mut with_args = Vec::with_capacity(n_with_args);
+        for _ in 0..n_with_args {
+            with_args.push(MethodId::from_index(
+                r.get_id(n_methods, "with-args method")?,
+            ));
+        }
+        let n_memo = r.get_len("candidate memo count")?;
+        if n_memo != n_types {
+            return Err(WireError::new(format!(
+                "candidate memo covers {n_memo} types but the table holds {n_types}"
+            )));
+        }
+        let mut memo = Vec::with_capacity(n_memo);
+        for _ in 0..n_memo {
+            let cell = OnceLock::new();
+            if r.get_bool("memo cell presence flag")? {
+                let n = r.get_len("memoized candidate count")?;
+                let mut list = Vec::with_capacity(n);
+                for _ in 0..n {
+                    list.push(MethodId::from_index(
+                        r.get_id(n_methods, "memoized candidate")?,
+                    ));
+                }
+                let _ = cell.set(list.into_boxed_slice());
+            }
+            memo.push(cell);
+        }
+        Ok(MethodIndex {
+            by_param,
+            with_args,
+            memo,
+        })
     }
 
     /// Methods with a parameter of *exactly* this type.

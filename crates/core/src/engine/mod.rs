@@ -59,6 +59,17 @@ impl EngineCache {
     pub fn new() -> Self {
         EngineCache::default()
     }
+
+    /// Rehydrates a cache around an arena decoded from a persistent
+    /// snapshot. The successor and reachability memos start empty — they
+    /// are pure per-query accelerators that refill lazily without
+    /// affecting any answer, so they are not serialized.
+    pub fn with_arena(arena: ExprArena) -> Self {
+        EngineCache {
+            arena,
+            ..EngineCache::default()
+        }
+    }
 }
 
 /// Engine options.

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use pex_model::Database;
+use pex_types::wire::{Reader, WireError, WireResult, Writer};
 use pex_types::TypeId;
 
 use super::chains::{ChainLink, TypeFilter};
@@ -90,6 +91,62 @@ impl ReachIndex {
             fields: bfs(None),
             fields_and_methods: bfs(Some(&method_edges)),
         }
+    }
+
+    /// Serializes the index for the persistent snapshot. Entries of each
+    /// per-type map are written in type-id order so identical indexes
+    /// serialize to identical bytes.
+    pub fn encode_snapshot(&self, w: &mut Writer) {
+        let encode_maps = |maps: &[HashMap<TypeId, u32>], w: &mut Writer| {
+            w.put_len(maps.len());
+            for map in maps {
+                let mut entries: Vec<(&TypeId, &u32)> = map.iter().collect();
+                entries.sort_unstable_by_key(|(ty, _)| **ty);
+                w.put_len(entries.len());
+                for (ty, d) in entries {
+                    w.put_u32(ty.index() as u32);
+                    w.put_u32(*d);
+                }
+            }
+        };
+        encode_maps(&self.fields, w);
+        encode_maps(&self.fields_and_methods, w);
+    }
+
+    /// Decodes an index written by [`ReachIndex::encode_snapshot`] for a
+    /// table of `n_types` types, bounds-checking every id.
+    pub fn decode_snapshot(r: &mut Reader<'_>, n_types: usize) -> WireResult<Self> {
+        let mut decode_maps = |what: &str| -> WireResult<Vec<HashMap<TypeId, u32>>> {
+            let n = r.get_len(what)?;
+            if n != n_types {
+                return Err(WireError::new(format!(
+                    "{what}: covers {n} types but the table holds {n_types}"
+                )));
+            }
+            let mut maps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let entries = r.get_len("reachability entry count")?;
+                let mut map = HashMap::with_capacity(entries);
+                for _ in 0..entries {
+                    let ty = TypeId::from_index(r.get_id(n_types, "reachable type")?);
+                    let d = r.get_u32("lookup distance")?;
+                    if map.insert(ty, d).is_some() {
+                        return Err(WireError::new(format!(
+                            "duplicate reachability entry for type {}",
+                            ty.index()
+                        )));
+                    }
+                }
+                maps.push(map);
+            }
+            Ok(maps)
+        };
+        let fields = decode_maps("field reachability map count")?;
+        let fields_and_methods = decode_maps("field+method reachability map count")?;
+        Ok(ReachIndex {
+            fields,
+            fields_and_methods,
+        })
     }
 
     /// Minimum lookups from `from` to `to` with the given link kind, if

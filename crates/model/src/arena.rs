@@ -27,8 +27,10 @@
 use std::collections::HashMap;
 use std::sync::{RwLock, RwLockReadGuard};
 
+use pex_types::wire::{Reader, WireError, WireResult, Writer};
 use pex_types::TypeId;
 
+use crate::snap::{cmp_from_tag, cmp_tag};
 use crate::{CmpOp, Expr, FieldId, LocalId, MethodId};
 
 /// Dense handle of an interned expression node. Equality is structural
@@ -273,6 +275,165 @@ impl ExprArena {
                 self.intern(ENode::Opaque { ty: *ty, label })
             }
         }
+    }
+
+    /// Serializes the arena for the persistent snapshot: the symbol table
+    /// then every node in id order. Children are encoded as raw ids; the
+    /// hash-consing maps are rebuilt on decode.
+    pub fn encode_snapshot(&self, w: &mut Writer) {
+        let inner = self.inner.read().expect("arena lock poisoned");
+        w.put_len(inner.syms.len());
+        for s in &inner.syms {
+            w.put_str(s);
+        }
+        w.put_len(inner.nodes.len());
+        for node in &inner.nodes {
+            match node {
+                ENode::Local(l) => {
+                    w.put_u8(0);
+                    w.put_u32(l.0);
+                }
+                ENode::This => w.put_u8(1),
+                ENode::StaticField(f) => {
+                    w.put_u8(2);
+                    w.put_u32(f.index() as u32);
+                }
+                ENode::FieldAccess(base, f) => {
+                    w.put_u8(3);
+                    w.put_u32(base.0);
+                    w.put_u32(f.index() as u32);
+                }
+                ENode::Call(m, args) => {
+                    w.put_u8(4);
+                    w.put_u32(m.index() as u32);
+                    w.put_len(args.len());
+                    for a in args.iter() {
+                        w.put_u32(a.0);
+                    }
+                }
+                ENode::Assign(l, r) => {
+                    w.put_u8(5);
+                    w.put_u32(l.0);
+                    w.put_u32(r.0);
+                }
+                ENode::Cmp(op, l, r) => {
+                    w.put_u8(6);
+                    w.put_u8(cmp_tag(*op));
+                    w.put_u32(l.0);
+                    w.put_u32(r.0);
+                }
+                ENode::IntLit(v) => {
+                    w.put_u8(7);
+                    w.put_i64(*v);
+                }
+                ENode::DoubleBits(b) => {
+                    w.put_u8(8);
+                    w.put_u64(*b);
+                }
+                ENode::BoolLit(v) => {
+                    w.put_u8(9);
+                    w.put_bool(*v);
+                }
+                ENode::StrLit(s) => {
+                    w.put_u8(10);
+                    w.put_u32(s.0);
+                }
+                ENode::Null => w.put_u8(11),
+                ENode::Hole0 => w.put_u8(12),
+                ENode::Opaque { ty, label } => {
+                    w.put_u8(13);
+                    w.put_u32(ty.index() as u32);
+                    w.put_u32(label.0);
+                }
+            }
+        }
+    }
+
+    /// Decodes an arena written by [`ExprArena::encode_snapshot`].
+    ///
+    /// Interning is bottom-up, so a valid arena's children always have
+    /// smaller ids than their parents; the decoder enforces exactly that
+    /// (`child id < own index`), plus symbol interning uniqueness and
+    /// bounds checks of every type/field/method id against the owning
+    /// database's arena sizes. The hash-consing maps are rebuilt, and a
+    /// duplicate node — which would break the "equal ids iff equal trees"
+    /// contract — is rejected.
+    pub fn decode_snapshot(
+        r: &mut Reader<'_>,
+        n_types: usize,
+        n_fields: usize,
+        n_methods: usize,
+    ) -> WireResult<ExprArena> {
+        let n_syms = r.get_len("symbol count")?;
+        let mut syms: Vec<Box<str>> = Vec::with_capacity(n_syms);
+        let mut sym_ids = HashMap::with_capacity(n_syms);
+        for i in 0..n_syms {
+            let s: Box<str> = r.get_str("symbol")?.into();
+            if sym_ids.insert(s.clone(), i as u32).is_some() {
+                return Err(WireError::new(format!("duplicate interned symbol '{s}'")));
+            }
+            syms.push(s);
+        }
+        let n_nodes = r.get_len("node count")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut ids = HashMap::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let child = |r: &mut Reader<'_>| -> WireResult<ExprId> {
+                Ok(ExprId(r.get_id(i, "child expression id")? as u32))
+            };
+            let node = match r.get_u8("node tag")? {
+                0 => ENode::Local(LocalId(r.get_u32("local slot")?)),
+                1 => ENode::This,
+                2 => {
+                    ENode::StaticField(FieldId::from_index(r.get_id(n_fields, "static field id")?))
+                }
+                3 => {
+                    let base = child(r)?;
+                    let f = FieldId::from_index(r.get_id(n_fields, "field id")?);
+                    ENode::FieldAccess(base, f)
+                }
+                4 => {
+                    let m = MethodId::from_index(r.get_id(n_methods, "method id")?);
+                    let n_args = r.get_len("call argument count")?;
+                    let mut args = Vec::with_capacity(n_args);
+                    for _ in 0..n_args {
+                        args.push(child(r)?);
+                    }
+                    ENode::Call(m, args.into())
+                }
+                5 => ENode::Assign(child(r)?, child(r)?),
+                6 => {
+                    let op = cmp_from_tag(r.get_u8("comparison operator tag")?)?;
+                    ENode::Cmp(op, child(r)?, child(r)?)
+                }
+                7 => ENode::IntLit(r.get_i64("integer literal")?),
+                8 => ENode::DoubleBits(r.get_u64("double literal bits")?),
+                9 => ENode::BoolLit(r.get_bool("bool literal")?),
+                10 => ENode::StrLit(Sym(r.get_id(n_syms, "string literal symbol")? as u32)),
+                11 => ENode::Null,
+                12 => ENode::Hole0,
+                13 => {
+                    let ty = TypeId::from_index(r.get_id(n_types, "opaque node type")?);
+                    let label = Sym(r.get_id(n_syms, "opaque node label symbol")? as u32);
+                    ENode::Opaque { ty, label }
+                }
+                t => return Err(WireError::new(format!("unknown node tag {t}"))),
+            };
+            if ids.insert(node.clone(), i as u32).is_some() {
+                return Err(WireError::new(format!(
+                    "arena node {i} duplicates an earlier node"
+                )));
+            }
+            nodes.push(node);
+        }
+        Ok(ExprArena {
+            inner: RwLock::new(Inner {
+                nodes,
+                ids,
+                syms,
+                sym_ids,
+            }),
+        })
     }
 
     /// Rebuilds the boxed [`Expr`] tree behind an id — the materialization

@@ -134,6 +134,39 @@ impl Database {
         &self.types
     }
 
+    /// The raw member arenas, for the snapshot encoder.
+    pub(crate) fn members(&self) -> (&[Method], &[Field]) {
+        (&self.methods, &self.fields)
+    }
+
+    /// Reassembles a database from decoded parts, rebuilding the per-type
+    /// member maps by pushing members in id order — exactly the order
+    /// [`Database::add_method`] / [`Database::add_field`] produced them in,
+    /// so lookups iterate identically to the original database.
+    pub(crate) fn from_parts(types: TypeTable, methods: Vec<Method>, fields: Vec<Field>) -> Self {
+        let mut type_methods: HashMap<TypeId, Vec<MethodId>> = HashMap::new();
+        for (i, m) in methods.iter().enumerate() {
+            type_methods
+                .entry(m.declaring)
+                .or_default()
+                .push(MethodId(i as u32));
+        }
+        let mut type_fields: HashMap<TypeId, Vec<FieldId>> = HashMap::new();
+        for (i, f) in fields.iter().enumerate() {
+            type_fields
+                .entry(f.declaring)
+                .or_default()
+                .push(FieldId(i as u32));
+        }
+        Database {
+            types,
+            methods,
+            fields,
+            type_methods,
+            type_fields,
+        }
+    }
+
     /// Mutable access to the type table (for declaring new types).
     pub fn types_mut(&mut self) -> &mut TypeTable {
         &mut self.types

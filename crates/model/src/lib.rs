@@ -29,6 +29,7 @@ mod ids;
 mod member;
 pub mod minics;
 mod pretty;
+mod snap;
 
 pub use arena::{ArenaRead, ENode, ExprArena, ExprId, Sym};
 pub use context::{Context, Local};

@@ -103,16 +103,21 @@ impl WindowedHistogram {
 
     /// The merged distribution of the last `seconds` whole seconds,
     /// including the current (partial) one. `seconds` is clamped to the
-    /// ring capacity.
+    /// ring capacity; a zero-second window is empty by definition.
     pub fn window(&self, seconds: u64) -> HistogramSnapshot {
         self.window_at(seconds, self.now_sec())
     }
 
     /// [`WindowedHistogram::window`] against an explicit "now" (test twin
     /// of [`record_at`](WindowedHistogram::record_at)). Merges every slot
-    /// whose second lies in `[now_sec - seconds + 1, now_sec]`.
+    /// whose second lies in `[now_sec - seconds + 1, now_sec]` — an empty
+    /// interval when `seconds` is zero, so the snapshot is empty rather
+    /// than silently widened to one second.
     pub fn window_at(&self, seconds: u64, now_sec: u64) -> HistogramSnapshot {
-        let seconds = seconds.clamp(1, self.slots.len() as u64);
+        if seconds == 0 {
+            return HistogramSnapshot::default();
+        }
+        let seconds = seconds.min(self.slots.len() as u64);
         let lo = now_sec.saturating_sub(seconds - 1);
         let mut out = HistogramSnapshot::default();
         for slot in &self.slots {
@@ -189,6 +194,15 @@ mod tests {
         w.record_at(2, WINDOW_SLOTS as u64 - 1);
         let all = w.window_at(10_000, WINDOW_SLOTS as u64 - 1);
         assert_eq!(all.count, 2, "clamped to the full ring, not zero");
-        assert_eq!(w.window_at(0, 5).count, w.window_at(1, 5).count);
+    }
+
+    #[test]
+    fn zero_second_window_is_empty() {
+        let w = WindowedHistogram::new();
+        w.record_at(100, 5);
+        // "The last zero seconds" is an empty interval, not a 1s window.
+        assert_eq!(w.window_at(0, 5).count, 0);
+        assert_eq!(w.window_at(1, 5).count, 1);
+        assert_eq!(w.window(0).count, 0);
     }
 }

@@ -113,6 +113,35 @@ proptest! {
         );
     }
 
+    /// A zero-second window is the empty interval — an empty snapshot
+    /// regardless of what was recorded or when the probe happens — and
+    /// window widths otherwise grow monotonically: widening a window never
+    /// loses a sample.
+    #[test]
+    fn zero_window_is_empty_and_widths_are_monotone(
+        samples in proptest::collection::vec(
+            (0u64..100_000, 0u64..(2 * WINDOW_SLOTS as u64)),
+            1..60,
+        ),
+        probe in 0u64..(2 * WINDOW_SLOTS as u64 + 5),
+    ) {
+        let mut samples = samples;
+        samples.sort_by_key(|&(_, sec)| sec);
+        let w = WindowedHistogram::new();
+        for &(v, sec) in &samples {
+            w.record_at(v, sec);
+        }
+        let zero = w.window_at(0, probe);
+        prop_assert_eq!(zero.count, 0, "window(0) must be empty");
+        prop_assert_eq!(zero.sum, 0);
+        let mut prev = 0u64;
+        for width in [0, 1, 2, 10, WINDOW_SLOTS as u64] {
+            let count = w.window_at(width, probe).count;
+            prop_assert!(count >= prev, "window({width}) shrank: {count} < {prev}");
+            prev = count;
+        }
+    }
+
     /// Concurrent scopes with interleaved trace ids stay thread-local:
     /// each thread's report carries its own trace id, exactly its own
     /// spans (a tree of the thread's chosen depth), and its own counts.

@@ -50,7 +50,11 @@ impl Value {
     /// non-negative whole number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            // Strict `<`: `u64::MAX as f64` rounds up to 2^64 exactly, so
+            // `<=` would accept 18446744073709551616 and saturate it to
+            // `u64::MAX`. Every whole f64 strictly below 2^64 converts
+            // exactly.
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -414,6 +418,19 @@ mod tests {
         assert_eq!(parse("3.5").unwrap().as_u64(), None);
         assert_eq!(parse("-3").unwrap().as_u64(), None);
         assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected_not_saturated() {
+        // 2^64 itself: representable as f64 (u64::MAX rounds up to it),
+        // but not as a u64 — must be None, not a saturated u64::MAX.
+        assert_eq!(parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(parse("1e300").unwrap().as_u64(), None);
+        // The largest whole f64 below 2^64 still converts exactly.
+        assert_eq!(
+            parse("18446744073709549568").unwrap().as_u64(),
+            Some(18446744073709549568)
+        );
     }
 
     #[test]

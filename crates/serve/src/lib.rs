@@ -9,6 +9,8 @@
 //! over a JSON-lines protocol from a fixed worker pool:
 //!
 //! * [`snapshot`] — the shared immutable artefact and its prewarming;
+//! * [`persist`] — the `pex-snapshot/1` binary format: save a prewarmed
+//!   snapshot to disk, reload it on boot skipping parse + build + prewarm;
 //! * [`proto`] — the request/response schema and query execution, mapping
 //!   per-request `deadline_ms` / `max_steps` / `limit` onto the engine's
 //!   [`pex_core::QueryBudget`];
@@ -33,6 +35,7 @@
 
 pub mod json;
 pub mod obs_json;
+pub mod persist;
 pub mod proto;
 pub mod queue;
 pub mod server;

@@ -38,6 +38,9 @@ struct Options {
     socket: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     metrics_interval_s: Option<u64>,
+    save_snapshot: Option<PathBuf>,
+    load_snapshot: Option<PathBuf>,
+    build_only: bool,
 }
 
 /// Writes the metrics document atomically: temp file in the same
@@ -52,7 +55,14 @@ fn write_metrics(path: &std::path::Path) -> std::io::Result<()> {
 
 fn main() {
     let options = parse_args();
-    let snapshot = match Snapshot::load(&options.source) {
+    // `--load-snapshot` rehydrates a saved `pex-snapshot/1` artefact and
+    // skips corpus parsing, index building and prewarming entirely; the
+    // normal path builds everything from the named corpus.
+    let load_result = match &options.load_snapshot {
+        Some(path) => pex_serve::persist::load(path),
+        None => Snapshot::load(&options.source),
+    };
+    let snapshot = match load_result {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pex-serve: {e}");
@@ -78,6 +88,22 @@ fn main() {
             }
         }
     };
+    if let Some(path) = &options.save_snapshot {
+        if let Err(e) = pex_serve::persist::save(&snapshot, path) {
+            eprintln!("pex-serve: --save-snapshot: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("pex-serve: wrote snapshot {}", path.display());
+    }
+    if options.build_only {
+        eprintln!(
+            "pex-serve: {} — {} types, {} methods; build-only, exiting",
+            snapshot.name,
+            snapshot.db.types().len(),
+            snapshot.db.method_count(),
+        );
+        return;
+    }
     eprintln!(
         "pex-serve: {} — {} types, {} methods; {} workers, queue capacity {}",
         snapshot.name,
@@ -335,6 +361,9 @@ fn parse_args() -> Options {
         socket: None,
         metrics_out: None,
         metrics_interval_s: None,
+        save_snapshot: None,
+        load_snapshot: None,
+        build_only: false,
     };
     let mut defaults = RequestDefaults::default();
     let mut source_arg: Option<String> = None;
@@ -371,6 +400,13 @@ fn parse_args() -> Options {
                 options.metrics_interval_s =
                     Some(parse_usize(flag, &take_value(&args, &mut i, flag)).max(1) as u64)
             }
+            "--save-snapshot" => {
+                options.save_snapshot = Some(PathBuf::from(take_value(&args, &mut i, flag)))
+            }
+            "--load-snapshot" => {
+                options.load_snapshot = Some(PathBuf::from(take_value(&args, &mut i, flag)))
+            }
+            "--build-only" => options.build_only = true,
             "--slo-p99-us" => {
                 options.config.slo_p99_us =
                     Some(parse_usize(flag, &take_value(&args, &mut i, flag)) as u64)
@@ -386,6 +422,12 @@ fn parse_args() -> Options {
         i += 1;
     }
     if let Some(arg) = source_arg {
+        if options.load_snapshot.is_some() {
+            usage_exit(&format!(
+                "`{arg}` conflicts with --load-snapshot (the snapshot already \
+                 carries its corpus)"
+            ));
+        }
         options.source = SnapshotSource::from_arg(&arg);
     }
     if options.metrics_interval_s.is_some() && options.metrics_out.is_none() {
@@ -419,6 +461,17 @@ FLAGS:
                        also rewrite --metrics-out atomically every N seconds
     --slo-p99-us N     health reports `burning` when the rolling-window p99
                        latency exceeds N microseconds
+
+SNAPSHOTS:
+    --save-snapshot FILE
+                       after boot, write the prewarmed snapshot in the
+                       `pex-snapshot/1` binary format (atomic rename)
+    --load-snapshot FILE
+                       boot from a saved snapshot, skipping corpus parsing,
+                       index building and prewarming; conflicts with a
+                       corpus argument
+    --build-only       exit 0 after boot (and --save-snapshot, if given)
+                       instead of serving — the offline snapshot builder
 
 PROTOCOL:
     {\"id\":1,\"query\":\"?({img, size})\",\"limit\":5,\"deadline_ms\":40}

@@ -93,8 +93,15 @@ impl Snapshot {
                 (db, Context::empty(), None)
             }
             SnapshotSource::File(path) => {
-                let source = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                // A misspelled builtin name ("piant") falls through
+                // `from_arg` to the file branch, so the read error also
+                // names the builtins the caller may have meant.
+                let source = std::fs::read_to_string(path).map_err(|e| {
+                    format!(
+                        "cannot read {}: {e} (builtin corpora: paint, geometry, familyshow)",
+                        path.display()
+                    )
+                })?;
                 let db = pex_model::minics::compile(&source)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
                 (db, Context::empty(), None)
@@ -209,6 +216,17 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn misspelled_builtin_names_suggest_the_valid_ones() {
+        // "piant" is not a builtin, so it is treated as a file path; the
+        // error must list the names the user probably meant.
+        let err = Snapshot::load(&SnapshotSource::from_arg("piant")).unwrap_err();
+        assert!(err.contains("cannot read piant"), "{err}");
+        for name in ["paint", "geometry", "familyshow"] {
+            assert!(err.contains(name), "missing `{name}` hint in: {err}");
+        }
     }
 
     #[test]

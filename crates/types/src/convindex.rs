@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use crate::wire::{Reader, WireError, WireResult, Writer};
 use crate::{TypeId, TypeKind, TypeTable};
 
 /// Precomputed conversion relations for every type of one [`TypeTable`]
@@ -124,6 +125,69 @@ impl ConversionIndex {
             memo[cur.index()] = Some(list);
             stack.pop();
         }
+    }
+
+    /// Serializes the index for the persistent snapshot. Only the
+    /// `(distance, id)`-ordered target lists are written; the id-sorted
+    /// copy and the convertibility bitset are deterministic derivations
+    /// and are rebuilt on decode.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_len(self.targets.len());
+        for list in &self.targets {
+            w.put_len(list.len());
+            for &(ty, d) in list {
+                w.put_u32(ty.0);
+                w.put_u32(d);
+            }
+        }
+    }
+
+    /// Decodes an index written by [`ConversionIndex::encode`] for a table
+    /// of `n_types` types, bounds-checking every type id and rebuilding
+    /// the derived lookup structures exactly as [`ConversionIndex::build`]
+    /// does.
+    pub fn decode(r: &mut Reader<'_>, n_types: usize) -> WireResult<Self> {
+        let n = r.get_len("conversion index type count")?;
+        if n != n_types {
+            return Err(WireError::new(format!(
+                "conversion index covers {n} types but the table holds {n_types}"
+            )));
+        }
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.get_len("conversion target count")?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let ty = r.get_id(n_types, "conversion target type id")?;
+                let d = r.get_u32("conversion distance")?;
+                list.push((TypeId(ty as u32), d));
+            }
+            targets.push(list);
+        }
+        let by_id: Vec<Vec<(TypeId, u32)>> = targets
+            .iter()
+            .map(|list| {
+                let mut v = list.clone();
+                v.sort_unstable_by_key(|&(t, _)| t);
+                v
+            })
+            .collect();
+        let words = n_types.div_ceil(64);
+        let convertible = by_id
+            .iter()
+            .map(|list| {
+                let mut bits = vec![0u64; words];
+                for &(t, _) in list {
+                    bits[t.index() / 64] |= 1u64 << (t.index() % 64);
+                }
+                bits
+            })
+            .collect();
+        Ok(ConversionIndex {
+            targets,
+            by_id,
+            convertible,
+        })
     }
 
     /// The cached `td(from, to)`.

@@ -46,6 +46,7 @@ mod ids;
 mod namespace;
 mod primitive;
 mod table;
+pub mod wire;
 
 pub use convindex::ConversionIndex;
 pub use def::{TypeDef, TypeKind};

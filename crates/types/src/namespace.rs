@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::wire::{Reader, WireError, WireResult, Writer};
 use crate::NamespaceId;
 
 /// Arena of interned namespace paths.
@@ -128,6 +129,58 @@ impl Namespaces {
             }
         }
         len
+    }
+
+    /// Serializes the arena for the persistent snapshot: paths in id
+    /// order. The lookup map is rebuilt on decode.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_len(self.paths.len());
+        for path in &self.paths {
+            w.put_len(path.len());
+            for seg in path {
+                w.put_str(seg);
+            }
+        }
+    }
+
+    /// Decodes an arena written by [`Namespaces::encode`], rebuilding the
+    /// path lookup map and validating that id 0 is the global namespace
+    /// and that no path appears twice.
+    pub fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let count = r.get_len("namespace count")?;
+        if count == 0 {
+            return Err(WireError::new(
+                "namespace arena is empty (the global namespace must exist)",
+            ));
+        }
+        let mut ns = Namespaces {
+            paths: Vec::with_capacity(count),
+            by_path: HashMap::with_capacity(count),
+        };
+        for i in 0..count {
+            let segs = r.get_len("namespace segment count")?;
+            let mut path = Vec::with_capacity(segs);
+            for _ in 0..segs {
+                path.push(r.get_str("namespace segment")?);
+            }
+            if i == 0 && !path.is_empty() {
+                return Err(WireError::new(
+                    "namespace 0 must be the global (empty) namespace",
+                ));
+            }
+            if ns
+                .by_path
+                .insert(path.clone(), NamespaceId(i as u32))
+                .is_some()
+            {
+                return Err(WireError::new(format!(
+                    "duplicate namespace path '{}'",
+                    path.join(".")
+                )));
+            }
+            ns.paths.push(path);
+        }
+        Ok(ns)
     }
 
     /// Parent namespace (path with the last segment removed), if any is

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use crate::wire::{Reader, WireError, WireResult, Writer};
 use crate::{
     ConversionIndex, NamespaceId, Namespaces, PrimKind, TypeDef, TypeError, TypeId, TypeKind,
     TypeResult,
@@ -350,6 +351,155 @@ impl TypeTable {
         }
         out.extend(self.get(id).interfaces.iter().copied());
         out
+    }
+
+    /// Serializes the table (namespaces, type definitions, well-known ids,
+    /// and — when already built — the conversion index) for the persistent
+    /// snapshot. The name lookup map is rebuilt on decode.
+    pub fn encode(&self, w: &mut Writer) {
+        self.namespaces.encode(w);
+        w.put_len(self.types.len());
+        for def in &self.types {
+            w.put_str(&def.name);
+            w.put_u32(def.namespace.0);
+            match &def.kind {
+                TypeKind::Class { base } => {
+                    w.put_u8(0);
+                    w.put_bool(base.is_some());
+                    w.put_u32(base.map_or(0, |b| b.0));
+                }
+                TypeKind::Interface => w.put_u8(1),
+                TypeKind::Struct => w.put_u8(2),
+                TypeKind::Enum => w.put_u8(3),
+                TypeKind::Primitive(p) => {
+                    w.put_u8(4);
+                    let idx = PrimKind::ALL
+                        .iter()
+                        .position(|q| q == p)
+                        .expect("all kinds listed");
+                    w.put_u8(idx as u8);
+                }
+                TypeKind::Void => w.put_u8(5),
+            }
+            w.put_len(def.interfaces.len());
+            for i in &def.interfaces {
+                w.put_u32(i.0);
+            }
+            w.put_bool(def.comparable);
+        }
+        w.put_u32(self.well_known.object.0);
+        w.put_u32(self.well_known.void.0);
+        for p in self.prims {
+            w.put_u32(p.0);
+        }
+        let conv = self.conv.get();
+        w.put_bool(conv.is_some());
+        if let Some(conv) = conv {
+            conv.encode(w);
+        }
+    }
+
+    /// Decodes a table written by [`TypeTable::encode`].
+    ///
+    /// Every namespace, base, interface, well-known and primitive id is
+    /// bounds-checked; the well-known entries are verified to have the
+    /// kinds a freshly-built table guarantees (`Object` a baseless class,
+    /// `void` the void pseudo-type, each primitive slot the matching
+    /// [`PrimKind`]), so downstream code can keep relying on those
+    /// invariants without re-checking.
+    pub fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let namespaces = Namespaces::decode(r)?;
+        let count = r.get_len("type count")?;
+        let mut types = Vec::with_capacity(count);
+        let mut by_name = HashMap::with_capacity(count);
+        for i in 0..count {
+            let name = r.get_str("type name")?;
+            let namespace = NamespaceId(r.get_id(namespaces.len(), "type namespace id")? as u32);
+            let kind = match r.get_u8("type kind tag")? {
+                0 => {
+                    let has_base = r.get_bool("base presence flag")?;
+                    let raw = r.get_u32("base class id")?;
+                    let base = if has_base {
+                        if raw as usize >= count {
+                            return Err(WireError::new(format!(
+                                "base class id {raw} out of range (table holds {count})"
+                            )));
+                        }
+                        Some(TypeId(raw))
+                    } else {
+                        None
+                    };
+                    TypeKind::Class { base }
+                }
+                1 => TypeKind::Interface,
+                2 => TypeKind::Struct,
+                3 => TypeKind::Enum,
+                4 => {
+                    let idx = r.get_u8("primitive kind index")? as usize;
+                    match PrimKind::ALL.get(idx) {
+                        Some(p) => TypeKind::Primitive(*p),
+                        None => {
+                            return Err(WireError::new(format!(
+                                "primitive kind index {idx} out of range"
+                            )))
+                        }
+                    }
+                }
+                5 => TypeKind::Void,
+                t => return Err(WireError::new(format!("unknown type kind tag {t}"))),
+            };
+            let n_ifaces = r.get_len("interface count")?;
+            let mut interfaces = Vec::with_capacity(n_ifaces);
+            for _ in 0..n_ifaces {
+                interfaces.push(TypeId(r.get_id(count, "interface id")? as u32));
+            }
+            let comparable = r.get_bool("comparable flag")?;
+            if by_name
+                .insert((namespace, name.clone()), TypeId(i as u32))
+                .is_some()
+            {
+                return Err(WireError::new(format!("duplicate type name '{name}'")));
+            }
+            types.push(TypeDef {
+                name,
+                namespace,
+                kind,
+                interfaces,
+                comparable,
+            });
+        }
+        let object = TypeId(r.get_id(count, "well-known Object id")? as u32);
+        let void = TypeId(r.get_id(count, "well-known void id")? as u32);
+        if !matches!(types[object.index()].kind, TypeKind::Class { base: None }) {
+            return Err(WireError::new("well-known Object is not a baseless class"));
+        }
+        if !matches!(types[void.index()].kind, TypeKind::Void) {
+            return Err(WireError::new("well-known void id does not name void"));
+        }
+        let mut prims = [TypeId(0); PrimKind::ALL.len()];
+        for (i, slot) in prims.iter_mut().enumerate() {
+            let id = TypeId(r.get_id(count, "primitive type id")? as u32);
+            if types[id.index()].kind != TypeKind::Primitive(PrimKind::ALL[i]) {
+                return Err(WireError::new(format!(
+                    "primitive slot {i} does not name {}",
+                    PrimKind::ALL[i].keyword()
+                )));
+            }
+            *slot = id;
+        }
+        let conv = OnceLock::new();
+        if r.get_bool("conversion index presence flag")? {
+            let index = ConversionIndex::decode(r, count)?;
+            let _ = conv.set(index);
+        }
+        Ok(TypeTable {
+            namespaces,
+            types,
+            by_name,
+            well_known: WellKnown { object, void },
+            prims,
+            conv,
+        })
     }
 
     /// The memoized conversion cache for the current hierarchy, built on
