@@ -458,6 +458,7 @@ fn bench_snapshot_reuse(c: &mut Criterion) {
 
     let request = QueryRequest {
         id: None,
+        project: None,
         query: "?({img, size})".into(),
         limit: Some(5),
         deadline_ms: None,

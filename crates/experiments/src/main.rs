@@ -136,6 +136,8 @@ fn main() {
             }
             "--queue-cap" => serve_cfg.queue_cap = parse_or_exit(flag, &take_value(), "an integer"),
             "--live-stats" => serve_cfg.live_stats = true,
+            "--tenants" => serve_cfg.tenants = parse_or_exit(flag, &take_value(), "an integer"),
+            "--open-loop" => serve_cfg.open_loop = true,
             "--bench-out" => bench_out = PathBuf::from(take_value()),
             other => {
                 pex_obs::message!("unknown flag {other}");
@@ -194,9 +196,20 @@ fn main() {
             serve_cfg.workers = threads.max(1);
         }
         serve_cfg.deadline_ms = cfg.deadline_ms;
+        if serve_cfg.open_loop && serve_cfg.qps <= 0.0 {
+            pex_obs::message!("--open-loop needs a --qps schedule to send on");
+            pex_obs::flush_sink();
+            std::process::exit(2);
+        }
         pex_obs::message!(
-            "serve-bench: {} clients for {:.1}s against {} workers...",
+            "serve-bench: {} clients ({} loop, {} tenants) for {:.1}s against {} workers...",
             serve_cfg.clients,
+            if serve_cfg.open_loop {
+                "open"
+            } else {
+                "closed"
+            },
+            serve_cfg.tenants.max(1),
             serve_cfg.duration.as_secs_f64(),
             serve_cfg.workers
         );
@@ -458,6 +471,12 @@ serve-bench flags (plus --threads for workers, --limit, --deadline-ms):
     --qps Q            total target request rate; 0 = unpaced (default)
     --duration-s D     load-generation duration in seconds (default 3)
     --queue-cap N      server admission queue capacity
+    --tenants N        fan the load across N registry tenants; tenant 0 is
+                       the default tenant (no project field), tenants 1..N
+                       target t1..t{N-1} via the protocol project field
+    --open-loop        send on the --qps schedule regardless of responses
+                       (arrival rate stays fixed under overload; requires
+                       --qps > 0); results land under serve.multi_tenant
     --live-stats       scrape {\"cmd\":\"stats\"} mid-load and cross-check the
                        daemon's rolling-window percentiles against the
                        clients' own stopwatches (asserts p50/p90 agree)

@@ -8,18 +8,36 @@
 //! so shedding, queue-depth gauges, and per-request latency histograms are
 //! all exercised exactly as in production.
 //!
+//! Two load shapes:
+//!
+//! * **Closed loop** (default): each client waits for its response before
+//!   sending the next request, optionally paced to `--qps`.
+//! * **Open loop** (`--open-loop`, requires `--qps`): each client sends on
+//!   schedule regardless of responses — the arrival process does not slow
+//!   down when the server does, so overload shows up as shed + queueing
+//!   latency instead of a silently reduced send rate.
+//!
+//! With `--tenants N` the load fans across N tenants of a multi-tenant
+//! registry (tenant 0 is the default tenant and sends no `project` field,
+//! exercising the byte-compatible single-tenant path). Outcomes are
+//! tallied per tenant, and the accounting identity
+//! `sent == ok + degraded + shed + errors` must hold for each tenant and
+//! in aggregate — the server answers every admitted line.
+//!
 //! The report gives throughput and nearest-rank latency percentiles
 //! (p50/p90/p99, via [`stats::percentile`]) and is also merged into
 //! `BENCH_results.json` as a `"serve"` section next to the criterion-style
-//! `speedups` benchmarks.
+//! `speedups` benchmarks (open-loop multi-tenant runs land under
+//! `serve.multi_tenant`, preserving the closed-loop leg beside them).
 
 use std::path::Path;
 use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pex_serve::json::{self, Value};
 use pex_serve::proto::RequestDefaults;
-use pex_serve::{ServeConfig, Server, Snapshot, SnapshotSource};
+use pex_serve::{ServeConfig, Server, Snapshot, SnapshotRegistry, SnapshotSource};
 
 use crate::stats;
 
@@ -44,6 +62,13 @@ pub struct ServeBenchConfig {
     /// Scrape `{"cmd":"stats"}` mid-load and cross-check the daemon's
     /// rolling-window percentiles against the client-side measurements.
     pub live_stats: bool,
+    /// Tenants the load fans across (1 = the default tenant only; tenant
+    /// `i > 0` is registered as `t{i}` in the registry and targeted via
+    /// the protocol `project` field).
+    pub tenants: usize,
+    /// Open-loop arrivals: send on the `qps` schedule regardless of
+    /// responses. Requires `qps > 0`.
+    pub open_loop: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -60,14 +85,36 @@ impl Default for ServeBenchConfig {
             limit: 5,
             deadline_ms: None,
             live_stats: false,
+            tenants: 1,
+            open_loop: false,
         }
     }
+}
+
+/// Per-tenant outcome accounting; the identity
+/// `sent == ok + degraded + shed + errors` holds for every entry.
+#[derive(Debug, Clone, Default)]
+pub struct TenantOutcome {
+    /// Tenant label: `default`, or `t1`, `t2`, ….
+    pub name: String,
+    /// Requests submitted against this tenant.
+    pub sent: usize,
+    /// Non-degraded successful responses.
+    pub ok: usize,
+    /// Successful but budget/deadline-cut responses.
+    pub degraded: usize,
+    /// Requests refused by admission control.
+    pub shed: usize,
+    /// Any other error response.
+    pub errors: usize,
 }
 
 /// What one run measured.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
-    /// Requests submitted (== responses received; clients are closed-loop).
+    /// Requests submitted. Every one receives exactly one response —
+    /// answered or shed — before the report is assembled, in both loop
+    /// modes, so `sent == ok + degraded + shed + errors`.
     pub sent: usize,
     /// `ok:true` responses with a non-degraded outcome.
     pub ok: usize,
@@ -86,6 +133,9 @@ pub struct ServeBenchReport {
     /// The mid-load `stats` scrape, when `live_stats` was requested and
     /// the scrape landed before the load phase ended.
     pub live: Option<LiveStatsProbe>,
+    /// Per-tenant outcome accounting (default tenant first); sums match
+    /// the aggregate fields above.
+    pub per_tenant: Vec<TenantOutcome>,
     /// The config the run used (echoed into the JSON section).
     pub config: ServeBenchConfig,
 }
@@ -114,11 +164,24 @@ pub struct LiveStatsProbe {
 const QUERIES: [&str; 3] = ["?({img, size})", "img.?f", "?"];
 
 /// Runs the load generator against a fresh in-process server over the
-/// builtin Paint.NET snapshot.
+/// builtin Paint.NET snapshot. With `tenants > 1`, tenants `t1`… share
+/// the same snapshot `Arc` — tenant *routing*, per-tenant accounting, and
+/// the registry map are exercised without paying N corpus builds.
 pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    assert!(
+        !cfg.open_loop || cfg.qps > 0.0,
+        "open-loop mode needs a qps schedule to send on"
+    );
+    let tenant_count = cfg.tenants.max(1);
     let snapshot = Snapshot::load(&SnapshotSource::Paint).expect("builtin snapshot loads");
+    let registry = Arc::new(SnapshotRegistry::single(Arc::clone(&snapshot)));
+    for i in 1..tenant_count {
+        registry
+            .insert(&format!("t{i}"), Arc::clone(&snapshot))
+            .expect("bench tenant ids are valid");
+    }
     let server = Server::start(
-        snapshot,
+        registry,
         ServeConfig {
             workers: cfg.workers,
             queue_cap: cfg.queue_cap,
@@ -168,30 +231,71 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         })
     });
 
+    let open_loop = cfg.open_loop;
     let client_threads: Vec<_> = (0..cfg.clients.max(1))
         .map(|client_id| {
             let client = server.client();
             let duration = cfg.duration;
             std::thread::spawn(move || {
                 let (tx, rx) = channel::<String>();
-                let mut tally = ClientTally::default();
-                let mut k = 0u32;
-                while start.elapsed() < duration {
-                    if let Some(interval) = per_client_interval {
+                let mut tally = ClientTally::new(tenant_count);
+                if open_loop {
+                    // Open loop: send on schedule no matter what comes
+                    // back; responses are matched to their send times by
+                    // the echoed "t{tenant}-{k}" id.
+                    let interval = per_client_interval.expect("open loop is paced");
+                    let mut sent_at: Vec<Instant> = Vec::new();
+                    let mut sent_tenant: Vec<usize> = Vec::new();
+                    let mut received = 0usize;
+                    let mut k = 0u32;
+                    while start.elapsed() < duration {
                         let scheduled = interval * k;
                         let now = start.elapsed();
                         if scheduled > now {
                             std::thread::sleep(scheduled - now);
                         }
+                        let tenant = (client_id + k as usize) % tenant_count;
+                        let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                        sent_at.push(Instant::now());
+                        sent_tenant.push(tenant);
+                        client.submit(
+                            request_line(tenant, &format!("\"t{tenant}-{k}\""), query),
+                            &tx,
+                        );
+                        k += 1;
+                        while let Ok(resp) = rx.try_recv() {
+                            tally.record_by_id(&resp, &sent_at, &sent_tenant);
+                            received += 1;
+                        }
                     }
-                    let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
-                    let line = format!("{{\"id\":{k},\"query\":\"{}\"}}", json::escape(query));
-                    let sent_at = Instant::now();
-                    client.submit(line, &tx);
-                    // Closed loop: the next request waits for this answer.
-                    let Ok(resp) = rx.recv() else { break };
-                    tally.record(&resp, sent_at.elapsed());
-                    k += 1;
+                    // Every submitted line gets exactly one response —
+                    // answered or shed — so drain until the books close.
+                    while received < sent_at.len() {
+                        let resp = rx
+                            .recv_timeout(Duration::from_secs(30))
+                            .expect("server answers every admitted line");
+                        tally.record_by_id(&resp, &sent_at, &sent_tenant);
+                        received += 1;
+                    }
+                } else {
+                    let mut k = 0u32;
+                    while start.elapsed() < duration {
+                        if let Some(interval) = per_client_interval {
+                            let scheduled = interval * k;
+                            let now = start.elapsed();
+                            if scheduled > now {
+                                std::thread::sleep(scheduled - now);
+                            }
+                        }
+                        let tenant = (client_id + k as usize) % tenant_count;
+                        let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                        let sent_at = Instant::now();
+                        client.submit(request_line(tenant, &k.to_string(), query), &tx);
+                        // Closed loop: the next request waits for this answer.
+                        let Ok(resp) = rx.recv() else { break };
+                        tally.record(tenant, &resp, sent_at.elapsed());
+                        k += 1;
+                    }
                 }
                 tally
             })
@@ -208,6 +312,12 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         throughput: 0.0,
         latencies_us: Vec::new(),
         live: None,
+        per_tenant: (0..tenant_count)
+            .map(|i| TenantOutcome {
+                name: tenant_name(i),
+                ..TenantOutcome::default()
+            })
+            .collect(),
         config: cfg.clone(),
     };
     for t in client_threads {
@@ -218,6 +328,13 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         report.shed += tally.shed;
         report.errors += tally.errors;
         report.latencies_us.extend(tally.latencies_us);
+        for (agg, got) in report.per_tenant.iter_mut().zip(tally.per_tenant) {
+            agg.sent += got.sent;
+            agg.ok += got.ok;
+            agg.degraded += got.degraded;
+            agg.shed += got.shed;
+            agg.errors += got.errors;
+        }
     }
     report.elapsed = start.elapsed();
     report.throughput = report.sent as f64 / report.elapsed.as_secs_f64().max(1e-9);
@@ -249,7 +366,30 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
     report
 }
 
-#[derive(Default)]
+/// Tenant label used in the registry, the `project` field, and reports.
+fn tenant_name(tenant: usize) -> String {
+    if tenant == 0 {
+        "default".into()
+    } else {
+        format!("t{tenant}")
+    }
+}
+
+/// One protocol line. Tenant 0 omits the `project` field entirely so the
+/// bench keeps exercising the byte-compatible single-tenant path; `id` is
+/// already JSON-rendered (bare number or quoted string).
+fn request_line(tenant: usize, id: &str, query: &str) -> String {
+    let project = if tenant == 0 {
+        String::new()
+    } else {
+        format!("\"project\":\"t{tenant}\",")
+    };
+    format!(
+        "{{\"id\":{id},{project}\"query\":\"{}\"}}",
+        json::escape(query)
+    )
+}
+
 struct ClientTally {
     sent: usize,
     ok: usize,
@@ -257,27 +397,67 @@ struct ClientTally {
     shed: usize,
     errors: usize,
     latencies_us: Vec<u128>,
+    per_tenant: Vec<TenantOutcome>,
 }
 
 impl ClientTally {
-    fn record(&mut self, resp: &str, latency: Duration) {
+    fn new(tenants: usize) -> Self {
+        ClientTally {
+            sent: 0,
+            ok: 0,
+            degraded: 0,
+            shed: 0,
+            errors: 0,
+            latencies_us: Vec::new(),
+            per_tenant: (0..tenants)
+                .map(|i| TenantOutcome {
+                    name: tenant_name(i),
+                    ..TenantOutcome::default()
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&mut self, tenant: usize, resp: &str, latency: Duration) {
         self.sent += 1;
         self.latencies_us.push(latency.as_micros());
+        let slot = &mut self.per_tenant[tenant];
+        slot.sent += 1;
         let Ok(doc) = json::parse(resp) else {
             self.errors += 1;
+            slot.errors += 1;
             return;
         };
         if doc.get("ok") == Some(&Value::Bool(true)) {
             if doc.get("degraded") == Some(&Value::Bool(true)) {
                 self.degraded += 1;
+                slot.degraded += 1;
             } else {
                 self.ok += 1;
+                slot.ok += 1;
             }
         } else if doc.get("error").and_then(Value::as_str) == Some("shed") {
             self.shed += 1;
+            slot.shed += 1;
         } else {
             self.errors += 1;
+            slot.errors += 1;
         }
+    }
+
+    /// Open-loop bookkeeping: the response's echoed `"t{tenant}-{k}"` id
+    /// locates the send time and tenant of the request it answers.
+    fn record_by_id(&mut self, resp: &str, sent_at: &[Instant], sent_tenant: &[usize]) {
+        let k = json::parse(resp)
+            .ok()
+            .and_then(|doc| {
+                doc.get("id")
+                    .and_then(Value::as_str)
+                    .and_then(|id| id.rsplit('-').next().map(str::to_owned))
+            })
+            .and_then(|k| k.parse::<usize>().ok())
+            .expect("server echoes the request id verbatim");
+        self.record(sent_tenant[k], resp, sent_at[k].elapsed());
     }
 }
 
@@ -292,8 +472,9 @@ impl ServeBenchReport {
         let c = &self.config;
         let mut out = String::from("serve-bench: paint snapshot, in-process worker pool\n");
         out.push_str(&format!(
-            "config: {} clients, target {} qps, {:.1}s, {} workers, queue {}\n",
+            "config: {} clients ({} loop), target {} qps, {:.1}s, {} workers, queue {}, {} tenant(s)\n",
             c.clients,
+            if c.open_loop { "open" } else { "closed" },
             if c.qps > 0.0 {
                 format!("{:.0}", c.qps)
             } else {
@@ -302,11 +483,20 @@ impl ServeBenchReport {
             c.duration.as_secs_f64(),
             c.workers,
             c.queue_cap,
+            c.tenants.max(1),
         ));
         out.push_str(&format!(
             "outcomes: sent {}  ok {}  degraded {}  shed {}  errors {}\n",
             self.sent, self.ok, self.degraded, self.shed, self.errors
         ));
+        if self.per_tenant.len() > 1 {
+            for t in &self.per_tenant {
+                out.push_str(&format!(
+                    "  tenant {}: sent {}  ok {}  degraded {}  shed {}  errors {}\n",
+                    t.name, t.sent, t.ok, t.degraded, t.shed, t.errors
+                ));
+            }
+        }
         out.push_str(&format!(
             "throughput: {:.1} req/s over {:.2}s\n",
             self.throughput,
@@ -361,9 +551,31 @@ impl ServeBenchReport {
                 ),
             ])
         });
+        let per_tenant = Value::Obj(
+            self.per_tenant
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        Value::Obj(vec![
+                            ("sent".into(), Value::Num(t.sent as f64)),
+                            ("ok".into(), Value::Num(t.ok as f64)),
+                            ("degraded".into(), Value::Num(t.degraded as f64)),
+                            ("shed".into(), Value::Num(t.shed as f64)),
+                            ("errors".into(), Value::Num(t.errors as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         Value::Obj(vec![
             ("snapshot".into(), Value::Str("paint".into())),
+            (
+                "mode".into(),
+                Value::Str(if c.open_loop { "open" } else { "closed" }.into()),
+            ),
             ("clients".into(), Value::Num(c.clients as f64)),
+            ("tenants".into(), Value::Num(c.tenants.max(1) as f64)),
             ("target_qps".into(), Value::Num(c.qps)),
             ("duration_s".into(), Value::Num(c.duration.as_secs_f64())),
             ("workers".into(), Value::Num(c.workers as f64)),
@@ -389,13 +601,17 @@ impl ServeBenchReport {
                     ),
                 ]),
             ),
+            ("per_tenant".into(), per_tenant),
             ("live_stats".into(), live.unwrap_or(Value::Null)),
         ])
     }
 
     /// Merges this run into `BENCH_results.json` under a `"serve"` key,
     /// preserving any existing `speedups` sections; creates the file when
-    /// absent. Returns a human-readable error (bad path, unparseable
+    /// absent. Closed-loop runs replace the `serve` section (keeping a
+    /// prior open-loop leg under `serve.multi_tenant`); open-loop runs
+    /// replace only `serve.multi_tenant`, keeping the closed-loop leg
+    /// beside them. Returns a human-readable error (bad path, unparseable
     /// existing file) instead of panicking.
     pub fn merge_into_bench_results(&self, path: &Path) -> Result<(), String> {
         let mut doc = match std::fs::read_to_string(path) {
@@ -410,7 +626,21 @@ impl ServeBenchReport {
         if !matches!(doc, Value::Obj(_)) {
             return Err(format!("existing {} is not a JSON object", path.display()));
         }
-        doc.set("serve", self.to_json());
+        let serve = if self.config.open_loop {
+            let mut serve = match doc.get("serve") {
+                Some(existing @ Value::Obj(_)) => existing.clone(),
+                _ => Value::Obj(Vec::new()),
+            };
+            serve.set("multi_tenant", self.to_json());
+            serve
+        } else {
+            let mut serve = self.to_json();
+            if let Some(open) = doc.get("serve").and_then(|s| s.get("multi_tenant")) {
+                serve.set("multi_tenant", open.clone());
+            }
+            serve
+        };
+        doc.set("serve", serve);
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))
     }
@@ -430,6 +660,8 @@ mod tests {
             limit: 3,
             deadline_ms: None,
             live_stats: false,
+            tenants: 1,
+            open_loop: false,
         }
     }
 
@@ -487,6 +719,101 @@ mod tests {
         let doc = report.to_json();
         assert!(doc.get("throughput_rps").is_some());
         assert!(doc.get("latency_us").and_then(|l| l.get("p50")).is_some());
+    }
+
+    #[test]
+    fn multi_tenant_closed_loop_holds_the_identity_per_tenant() {
+        let report = run(&ServeBenchConfig {
+            tenants: 3,
+            duration: Duration::from_millis(300),
+            ..tiny()
+        });
+        assert_eq!(report.per_tenant.len(), 3);
+        assert_eq!(report.per_tenant[0].name, "default");
+        assert_eq!(report.per_tenant[1].name, "t1");
+        let sent: usize = report.per_tenant.iter().map(|t| t.sent).sum();
+        assert_eq!(sent, report.sent, "per-tenant sends sum to the aggregate");
+        for t in &report.per_tenant {
+            assert_eq!(
+                t.sent,
+                t.ok + t.degraded + t.shed + t.errors,
+                "tenant {} accounts every request exactly once",
+                t.name
+            );
+        }
+        assert_eq!(report.errors, 0, "tenant routing never errors");
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("per_tenant")
+                .and_then(|p| p.get("t2"))
+                .and_then(|t| t.get("sent").and_then(Value::as_u64))
+                .map(|n| n as usize),
+            Some(report.per_tenant[2].sent),
+            "{doc}"
+        );
+        assert!(report.render().contains("tenant t1:"));
+    }
+
+    #[test]
+    fn open_loop_accounts_every_scheduled_send() {
+        let report = run(&ServeBenchConfig {
+            tenants: 2,
+            open_loop: true,
+            qps: 200.0,
+            duration: Duration::from_millis(300),
+            ..tiny()
+        });
+        assert!(report.sent > 0, "the schedule fired");
+        assert_eq!(
+            report.sent,
+            report.ok + report.degraded + report.shed + report.errors,
+            "open loop closes the books on every send"
+        );
+        assert_eq!(report.latencies_us.len(), report.sent);
+        for t in &report.per_tenant {
+            assert_eq!(t.sent, t.ok + t.degraded + t.shed + t.errors, "{}", t.name);
+        }
+        let doc = report.to_json();
+        assert_eq!(doc.get("mode").and_then(Value::as_str), Some("open"));
+    }
+
+    #[test]
+    fn open_loop_merges_under_multi_tenant_preserving_the_closed_leg() {
+        let closed = run(&ServeBenchConfig {
+            clients: 1,
+            duration: Duration::from_millis(50),
+            ..tiny()
+        });
+        let open = run(&ServeBenchConfig {
+            clients: 1,
+            tenants: 2,
+            open_loop: true,
+            qps: 100.0,
+            duration: Duration::from_millis(100),
+            ..tiny()
+        });
+        let dir = std::env::temp_dir().join(format!("pex-serve-bench-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        closed.merge_into_bench_results(&path).unwrap();
+        open.merge_into_bench_results(&path).unwrap();
+        let merged = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let serve = merged.get("serve").expect("serve section");
+        assert!(serve.get("sent").is_some(), "closed leg survives: {serve}");
+        let mt = serve.get("multi_tenant").expect("open leg nested");
+        assert_eq!(mt.get("mode").and_then(Value::as_str), Some("open"));
+        assert!(mt.get("per_tenant").and_then(|p| p.get("t1")).is_some());
+        // Re-merging the closed leg keeps the open leg in place.
+        closed.merge_into_bench_results(&path).unwrap();
+        let merged = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(
+            merged
+                .get("serve")
+                .and_then(|s| s.get("multi_tenant"))
+                .is_some(),
+            "closed-loop merge preserves the open-loop leg"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

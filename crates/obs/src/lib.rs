@@ -108,6 +108,43 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
+/// Longest scope segment [`scoped_name`] embeds verbatim; longer scopes
+/// are truncated so one misbehaving caller cannot grow the registry's
+/// name set without bound.
+pub const SCOPE_MAX_LEN: usize = 48;
+
+/// Builds a metric name for a dynamic scope: `<prefix>.<scope>.<suffix>`.
+///
+/// Registry storage is leaked per distinct name, so dynamic scopes (tenant
+/// ids, project names) must be folded into a bounded, dot-free alphabet
+/// before they become metric names: every character outside `[A-Za-z0-9_-]`
+/// becomes `_` (so a scope can never fake nesting or split a name), and the
+/// scope is truncated to [`SCOPE_MAX_LEN`]. Callers cache the resulting
+/// handle per scope where the lookup is hot.
+///
+/// ```
+/// assert_eq!(
+///     pex_obs::scoped_name("serve.tenant", "geo v2/eu", "requests.ok"),
+///     "serve.tenant.geo_v2_eu.requests.ok",
+/// );
+/// ```
+pub fn scoped_name(prefix: &str, scope: &str, suffix: &str) -> String {
+    let mut out =
+        String::with_capacity(prefix.len() + scope.len().min(SCOPE_MAX_LEN) + suffix.len() + 2);
+    out.push_str(prefix);
+    out.push('.');
+    out.extend(scope.chars().take(SCOPE_MAX_LEN).map(|c| {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            c
+        } else {
+            '_'
+        }
+    }));
+    out.push('.');
+    out.push_str(suffix);
+    out
+}
+
 /// Adds `$n` to the named [`Counter`] when the registry is enabled.
 #[macro_export]
 macro_rules! counter {
@@ -190,5 +227,25 @@ mod tests {
         }
         counter!("lib.shared.counter", 1); // distinct site, same name
         assert_eq!(registry().snapshot().counters["lib.shared.counter"], 4);
+    }
+
+    #[test]
+    fn scoped_names_are_sanitised_and_bounded() {
+        assert_eq!(
+            scoped_name("serve.tenant", "paint", "requests.ok"),
+            "serve.tenant.paint.requests.ok"
+        );
+        // Dots, slashes and spaces cannot fake metric-tree nesting.
+        assert_eq!(
+            scoped_name("serve.tenant", "a.b/c d", "shed"),
+            "serve.tenant.a_b_c_d.shed"
+        );
+        // Oversized scopes are truncated, bounding registry growth.
+        let long = "x".repeat(500);
+        let name = scoped_name("p", &long, "s");
+        assert_eq!(name.len(), "p".len() + 1 + SCOPE_MAX_LEN + 1 + "s".len());
+        // Distinct raw scopes that sanitise identically share one metric —
+        // acceptable collision in exchange for a bounded name set.
+        assert_eq!(scoped_name("p", "a.b", "s"), scoped_name("p", "a_b", "s"));
     }
 }

@@ -14,8 +14,12 @@
 //! * [`proto`] — the request/response schema and query execution, mapping
 //!   per-request `deadline_ms` / `max_steps` / `limit` onto the engine's
 //!   [`pex_core::QueryBudget`];
-//! * [`server`] — the bounded admission queue, the worker pool, explicit
-//!   load shedding, and graceful drain-then-exit shutdown;
+//! * [`registry`] — the multi-tenant snapshot registry: project ids →
+//!   `Arc<Snapshot>` with lazy load from a `--snapshot-dir`, LRU eviction
+//!   under a byte budget, and atomic hot swap via the `reload` command;
+//! * [`server`] — the bounded admission queue, the worker pool, in-flight
+//!   request coalescing, explicit load shedding, and graceful
+//!   drain-then-exit shutdown;
 //! * [`obs_json`] — live introspection: the `stats`/`health` command
 //!   bodies (rolling-window percentiles, shed rate, SLO burn) and the
 //!   `--metrics-out` document, built from the `pex-obs` registry;
@@ -38,9 +42,11 @@ pub mod obs_json;
 pub mod persist;
 pub mod proto;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod snapshot;
 
 pub use proto::{Disposition, Request, RequestDefaults};
+pub use registry::{DefaultOrigin, SnapshotRegistry, DEFAULT_TENANT};
 pub use server::{ServeConfig, Server, ServerClient};
 pub use snapshot::{Snapshot, SnapshotSource};

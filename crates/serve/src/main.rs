@@ -29,17 +29,21 @@ use std::time::Duration;
 
 use pex_serve::json::{self, Value};
 use pex_serve::proto::RequestDefaults;
-use pex_serve::{ServeConfig, Server, ServerClient, Snapshot, SnapshotSource};
+use pex_serve::registry::{self, DefaultOrigin};
+use pex_serve::{ServeConfig, Server, ServerClient, Snapshot, SnapshotRegistry, SnapshotSource};
 
 struct Options {
     source: SnapshotSource,
     locals: Vec<String>,
     config: ServeConfig,
     socket: Option<PathBuf>,
+    max_connections: usize,
     metrics_out: Option<PathBuf>,
     metrics_interval_s: Option<u64>,
     save_snapshot: Option<PathBuf>,
     load_snapshot: Option<PathBuf>,
+    snapshot_dir: Option<PathBuf>,
+    max_snapshot_bytes: Option<u64>,
     build_only: bool,
 }
 
@@ -71,21 +75,11 @@ fn main() {
     };
     // `--local` declarations become the default context for requests that
     // carry none of their own.
-    let snapshot = if options.locals.is_empty() {
-        snapshot
-    } else {
-        match snapshot.context_for(&options.locals) {
-            Ok(ctx) => Arc::new(Snapshot {
-                default_ctx: ctx,
-                ..match Arc::try_unwrap(snapshot) {
-                    Ok(s) => s,
-                    Err(_) => unreachable!("snapshot has one owner at startup"),
-                }
-            }),
-            Err(e) => {
-                eprintln!("pex-serve: --local: {e}");
-                std::process::exit(2);
-            }
+    let snapshot = match registry::apply_locals(snapshot, &options.locals) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pex-serve: --local: {e}");
+            std::process::exit(2);
         }
     };
     if let Some(path) = &options.save_snapshot {
@@ -112,8 +106,36 @@ fn main() {
         options.config.workers,
         options.config.queue_cap
     );
+    if let Some(dir) = &options.snapshot_dir {
+        eprintln!(
+            "pex-serve: multi-tenant: serving *.pexsnap from {}{}",
+            dir.display(),
+            options
+                .max_snapshot_bytes
+                .map(|b| format!(" (budget {b} bytes)"))
+                .unwrap_or_default()
+        );
+    }
 
-    let server = Server::start(Arc::clone(&snapshot), options.config);
+    // The default tenant remembers how it was built, so `{"cmd":"reload"}`
+    // can rebuild it the same way and hot-swap the Arc.
+    let origin = match &options.load_snapshot {
+        Some(path) => DefaultOrigin::File {
+            path: path.clone(),
+            locals: options.locals.clone(),
+        },
+        None => DefaultOrigin::Source {
+            source: options.source.clone(),
+            locals: options.locals.clone(),
+        },
+    };
+    let registry = Arc::new(SnapshotRegistry::new(
+        snapshot,
+        origin,
+        options.snapshot_dir.clone(),
+        options.max_snapshot_bytes,
+    ));
+    let server = Server::start(registry, options.config);
 
     // Periodic metrics flush: a plain timer thread woken early at shutdown
     // by dropping the channel's sender. No flush happens unless both
@@ -140,7 +162,7 @@ fn main() {
 
     // Socket listener (optional): accepts until shutdown is requested.
     let listener_handle = options.socket.as_ref().map(|path| {
-        let _ = std::fs::remove_file(path);
+        prepare_socket_path(path);
         let listener = match std::os::unix::net::UnixListener::bind(path) {
             Ok(l) => l,
             Err(e) => {
@@ -148,11 +170,8 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        listener
-            .set_nonblocking(true)
-            .expect("socket nonblocking mode");
         eprintln!("pex-serve: listening on {}", path.display());
-        spawn_socket_listener(listener, server.client())
+        spawn_socket_listener(listener, server.client(), options.max_connections)
     });
 
     // The stdin transport runs on the main thread.
@@ -161,8 +180,11 @@ fn main() {
     // Graceful shutdown: stop accepting, drain admitted work, join.
     server.request_shutdown();
     if let Some(accept_thread) = listener_handle {
-        // The accept loop polls the shutdown flag; connection readers poll
-        // via their read timeout.
+        // The accept loop blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the shutdown flag and exit promptly.
+        if let Some(path) = &options.socket {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
         let _ = accept_thread.join();
     }
     server.shutdown();
@@ -238,28 +260,104 @@ fn handle_if_shutdown(line: &str, server: &Server, tx: &Sender<String>) -> bool 
     true
 }
 
+/// Readies `--socket PATH` for binding without clobbering anything live:
+///
+/// * nothing at the path — proceed;
+/// * a socket a daemon answers on — exit 2 (`address in use`), never
+///   steal a live daemon's clients;
+/// * a socket nothing accepts on (connect refused) — a previous daemon
+///   died without cleanup; unlink the stale socket and proceed;
+/// * anything that is not a socket — exit 2; this tool does not delete
+///   files it did not create.
+fn prepare_socket_path(path: &std::path::Path) {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = match std::fs::symlink_metadata(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+        Err(e) => {
+            eprintln!("pex-serve: cannot stat {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        Ok(meta) => meta,
+    };
+    if !meta.file_type().is_socket() {
+        eprintln!(
+            "pex-serve: refusing to replace {}: it exists and is not a socket",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    match std::os::unix::net::UnixStream::connect(path) {
+        Ok(_) => {
+            eprintln!(
+                "pex-serve: {}: address in use (another daemon is listening)",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+            if let Err(e) = std::fs::remove_file(path) {
+                eprintln!(
+                    "pex-serve: cannot remove stale socket {}: {e}",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+            eprintln!("pex-serve: removed stale socket {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("pex-serve: cannot probe {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Accepts socket connections until shutdown; each connection gets a
 /// reader (with a poll timeout so shutdown is observed) and a writer.
+///
+/// The accept call blocks — no polling, no connect latency — and shutdown
+/// wakes it with a throwaway connection (see `main`). Finished connection
+/// handles are reaped every iteration, so a long-lived daemon under
+/// connection churn holds one handle per *live* connection, and the
+/// `max_connections` cap sheds new connections with an explicit
+/// `connection_limit` error line instead of spawning without bound.
 fn spawn_socket_listener(
     listener: std::os::unix::net::UnixListener,
     server: ServerClient,
+    max_connections: usize,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut connections = Vec::new();
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if server.shutdown_requested() {
                 break;
             }
             match listener.accept() {
                 Ok((stream, _)) => {
+                    if server.shutdown_requested() {
+                        break; // the wakeup connection, not a client
+                    }
+                    connections.retain(|c| !c.is_finished());
+                    if connections.len() >= max_connections {
+                        pex_obs::counter!("serve.connections.rejected", 1);
+                        let mut stream = stream;
+                        let _ = writeln!(
+                            stream,
+                            "{}",
+                            pex_serve::proto::error_response(
+                                None,
+                                "connection_limit",
+                                &format!(
+                                    "server at --max-connections ({max_connections}); retry later"
+                                ),
+                            )
+                        );
+                        continue;
+                    }
                     pex_obs::counter!("serve.connections", 1);
                     let server = server.clone();
                     connections.push(std::thread::spawn(move || {
                         socket_connection(stream, &server);
                     }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
                 }
                 Err(_) => break,
             }
@@ -359,10 +457,13 @@ fn parse_args() -> Options {
         locals: Vec::new(),
         config: ServeConfig::default(),
         socket: None,
+        max_connections: 256,
         metrics_out: None,
         metrics_interval_s: None,
         save_snapshot: None,
         load_snapshot: None,
+        snapshot_dir: None,
+        max_snapshot_bytes: None,
         build_only: false,
     };
     let mut defaults = RequestDefaults::default();
@@ -393,6 +494,9 @@ fn parse_args() -> Options {
                 defaults.max_steps = parse_usize(flag, &take_value(&args, &mut i, flag))
             }
             "--socket" => options.socket = Some(PathBuf::from(take_value(&args, &mut i, flag))),
+            "--max-connections" => {
+                options.max_connections = parse_usize(flag, &take_value(&args, &mut i, flag)).max(1)
+            }
             "--metrics-out" => {
                 options.metrics_out = Some(PathBuf::from(take_value(&args, &mut i, flag)))
             }
@@ -405,6 +509,13 @@ fn parse_args() -> Options {
             }
             "--load-snapshot" => {
                 options.load_snapshot = Some(PathBuf::from(take_value(&args, &mut i, flag)))
+            }
+            "--snapshot-dir" => {
+                options.snapshot_dir = Some(PathBuf::from(take_value(&args, &mut i, flag)))
+            }
+            "--max-snapshot-bytes" => {
+                options.max_snapshot_bytes =
+                    Some(parse_usize(flag, &take_value(&args, &mut i, flag)) as u64)
             }
             "--build-only" => options.build_only = true,
             "--slo-p99-us" => {
@@ -446,7 +557,11 @@ TRANSPORTS:
     stdin/stdout       always on: one JSON request per line in, one JSON
                        response per line out; EOF drains and exits 0
     --socket PATH      also listen on a Unix-domain socket (same protocol,
-                       one connection per client)
+                       one connection per client); a live socket at PATH is
+                       refused (exit 2), a stale one is replaced
+    --max-connections N
+                       concurrent socket connections before new ones are
+                       shed with a `connection_limit` error (default 256)
 
 FLAGS:
     --local name:Type  add a local to the default query context (repeatable)
@@ -473,11 +588,22 @@ SNAPSHOTS:
     --build-only       exit 0 after boot (and --save-snapshot, if given)
                        instead of serving — the offline snapshot builder
 
+MULTI-TENANT:
+    --snapshot-dir DIR serve additional tenants: a request with
+                       \"project\":\"name\" lazily loads DIR/name.pexsnap;
+                       requests without `project` use the default tenant
+    --max-snapshot-bytes N
+                       byte budget for resident tenant snapshots; least-
+                       recently-used tenants are evicted past it (the
+                       default tenant is exempt and never evicted)
+
 PROTOCOL:
     {\"id\":1,\"query\":\"?({img, size})\",\"limit\":5,\"deadline_ms\":40}
     {\"id\":2,\"query\":\"p.?f\",\"locals\":[\"p:Geo.Point\"]}
     {\"id\":3,\"query\":\"?\",\"trace\":true,\"explain\":true}
+    {\"id\":4,\"query\":\"?\",\"project\":\"geo-v2\"}
     {\"cmd\":\"ping\"}   {\"cmd\":\"stats\"}   {\"cmd\":\"health\"}   {\"cmd\":\"shutdown\"}
+    {\"cmd\":\"reload\",\"project\":\"geo-v2\"}   (hot-swap a tenant snapshot)
 
 INTROSPECTION:
     query responses echo a `trace_id`; `trace`/`explain` attach the span

@@ -15,6 +15,7 @@
 use pex_obs::{HistogramSnapshot, MetricsSnapshot};
 
 use crate::json::Value;
+use crate::registry::SnapshotRegistry;
 
 /// Windowed per-request latency in microseconds (admission to response),
 /// recorded by the worker pool for every answered query.
@@ -98,9 +99,57 @@ pub fn window_value(w: &HistogramSnapshot, seconds: u64) -> Value {
     ])
 }
 
+/// The per-tenant table embedded in `stats` and `health`: one entry per
+/// resident tenant (default first) with its byte accounting and the
+/// `serve.tenant.<id>.*` resolution counters, so the per-tenant identity
+/// `sent == ok + degraded + shed + errors` can be checked externally.
+pub fn tenants_value(registry: &SnapshotRegistry) -> Value {
+    let obs = pex_obs::registry();
+    let entries = registry
+        .describe()
+        .into_iter()
+        .map(|t| {
+            let c = |suffix: &str| {
+                num(obs
+                    .counter(&pex_obs::scoped_name("serve.tenant", &t.project, suffix))
+                    .get())
+            };
+            let body = obj(vec![
+                ("bytes", num(t.bytes)),
+                ("pinned", Value::Bool(t.pinned)),
+                (
+                    "requests",
+                    obj(vec![
+                        ("ok", c("requests.ok")),
+                        ("degraded", c("requests.degraded")),
+                        ("shed", c("requests.shed")),
+                        ("errors", c("requests.error")),
+                    ]),
+                ),
+                ("coalesced", c("coalesced")),
+            ]);
+            (t.project, body)
+        })
+        .collect();
+    Value::Obj(entries)
+}
+
+/// The registry-wide residency summary for `stats`.
+fn registry_value(registry: &SnapshotRegistry) -> Value {
+    obj(vec![
+        ("resident", num(registry.resident_names().len() as u64)),
+        ("resident_bytes", num(registry.resident_bytes())),
+        ("max_bytes", registry.max_bytes().map_or(Value::Null, num)),
+    ])
+}
+
 /// The `{"cmd":"stats"}` response: the full lifetime registry snapshot
-/// plus last-1s/10s/60s request-latency windows.
-pub fn stats_response(id: Option<&Value>, queue_depth: usize) -> String {
+/// plus last-1s/10s/60s request-latency windows and the tenant table.
+pub fn stats_response(
+    id: Option<&Value>,
+    queue_depth: usize,
+    registry: &SnapshotRegistry,
+) -> String {
     let latency = pex_obs::registry().windowed(REQUEST_WINDOW);
     let windows = obj(vec![
         ("1s", window_value(&latency.window(1), 1)),
@@ -110,6 +159,8 @@ pub fn stats_response(id: Option<&Value>, queue_depth: usize) -> String {
     let stats = obj(vec![
         ("queue_depth", num(queue_depth as u64)),
         ("windows", windows),
+        ("registry", registry_value(registry)),
+        ("tenants", tenants_value(registry)),
         ("metrics", metrics_value(&pex_obs::registry().snapshot())),
     ]);
     respond(id, "stats", stats)
@@ -123,7 +174,12 @@ pub fn stats_response(id: Option<&Value>, queue_depth: usize) -> String {
 /// requests admitted but not yet answered, **including this health check
 /// itself**, so on an otherwise idle server `pending` is exactly 1 and
 /// `received == ok + degraded + shed + errors + pending` holds.
-pub fn health_response(id: Option<&Value>, queue_depth: usize, slo_p99_us: Option<u64>) -> String {
+pub fn health_response(
+    id: Option<&Value>,
+    queue_depth: usize,
+    slo_p99_us: Option<u64>,
+    snapshot_registry: &SnapshotRegistry,
+) -> String {
     let registry = pex_obs::registry();
     let counter = |name: &str| registry.counter(name).get();
     // Resolution counters first, `received` last: a request increments
@@ -165,6 +221,7 @@ pub fn health_response(id: Option<&Value>, queue_depth: usize, slo_p99_us: Optio
             ]),
         ),
         ("shed_rate", Value::Num(shed_rate)),
+        ("tenants", tenants_value(snapshot_registry)),
         (
             "slo",
             obj(vec![
@@ -207,6 +264,11 @@ fn respond(id: Option<&Value>, key: &str, body: Value) -> String {
 mod tests {
     use super::*;
     use crate::json;
+    use crate::snapshot::{Snapshot, SnapshotSource};
+
+    fn test_registry() -> SnapshotRegistry {
+        SnapshotRegistry::single(Snapshot::load(&SnapshotSource::Paint).unwrap())
+    }
 
     #[test]
     fn metrics_value_round_trips_through_the_parser() {
@@ -234,7 +296,7 @@ mod tests {
     fn stats_response_reports_recorded_windows() {
         pex_obs::set_enabled(true);
         pex_obs::registry().windowed(REQUEST_WINDOW).record(500);
-        let resp = stats_response(Some(&Value::Num(9.0)), 2);
+        let resp = stats_response(Some(&Value::Num(9.0)), 2, &test_registry());
         let doc = json::parse(&resp).unwrap();
         assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
         assert_eq!(doc.get("id").and_then(Value::as_u64), Some(9));
@@ -249,7 +311,8 @@ mod tests {
     #[test]
     fn health_response_carries_the_accounting_identity_and_slo_flag() {
         pex_obs::set_enabled(true);
-        let resp = health_response(None, 0, Some(1));
+        let registry = test_registry();
+        let resp = health_response(None, 0, Some(1), &registry);
         let doc = json::parse(&resp).unwrap();
         let health = doc.get("health").unwrap();
         let r = health.get("requests").unwrap();
@@ -265,11 +328,25 @@ mod tests {
         let p99 = slo.get("p99_us").and_then(Value::as_u64).unwrap();
         assert_eq!(slo.get("burning"), Some(&Value::Bool(p99 > 1)), "{resp}");
         // No threshold: never burning.
-        let resp = health_response(None, 0, None);
+        let resp = health_response(None, 0, None, &registry);
         let doc = json::parse(&resp).unwrap();
         let slo = doc.get("health").and_then(|h| h.get("slo")).unwrap();
         assert_eq!(slo.get("threshold_us"), Some(&Value::Null));
         assert_eq!(slo.get("burning"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn tenant_tables_list_the_pinned_default_with_resolution_counters() {
+        pex_obs::set_enabled(true);
+        let v = tenants_value(&test_registry());
+        let parsed = json::parse(&v.to_string()).unwrap();
+        let def = parsed.get("default").expect("default tenant entry");
+        assert_eq!(def.get("pinned"), Some(&Value::Bool(true)));
+        let requests = def.get("requests").expect("per-tenant accounting");
+        for k in ["ok", "degraded", "shed", "errors"] {
+            assert!(requests.get(k).and_then(Value::as_u64).is_some(), "{k}");
+        }
+        assert!(def.get("coalesced").and_then(Value::as_u64).is_some());
     }
 
     #[test]

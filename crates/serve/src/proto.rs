@@ -10,9 +10,11 @@
 //! {"id": 1, "query": "?({img, size})", "limit": 5, "deadline_ms": 40}
 //! {"id": 2, "query": "p.?f", "locals": ["p:Geo.Point"]}
 //! {"id": 3, "query": "?", "trace": true, "explain": true, "trace_id": "t-ide-77"}
-//! {"id": 4, "cmd": "ping"}
-//! {"id": 5, "cmd": "stats"}
-//! {"id": 6, "cmd": "health"}
+//! {"id": 4, "query": "?", "project": "geometry-v2"}
+//! {"id": 5, "cmd": "ping"}
+//! {"id": 6, "cmd": "stats"}
+//! {"id": 7, "cmd": "health"}
+//! {"id": 8, "cmd": "reload", "project": "geometry-v2"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -20,6 +22,13 @@
 //! optional; omitted fields fall back to the server's
 //! [`RequestDefaults`]. `max_depth` caps lookup-chain length per query
 //! (up to the engine limit) and is rejected as `bad_request` beyond it.
+//!
+//! `project` selects a tenant from the server's
+//! [`SnapshotRegistry`](crate::registry::SnapshotRegistry); when absent
+//! the request runs against the default tenant and the response is
+//! byte-compatible with the single-tenant protocol. `{"cmd":"reload"}`
+//! hot-swaps the named tenant's snapshot (or the default when no
+//! `project` is given) without dropping in-flight requests.
 //!
 //! Introspection fields: every query response echoes a `trace_id`
 //! (client-supplied, or generated when absent). `"trace": true`
@@ -41,8 +50,11 @@
 //! Every failure mode has an explicit `error` kind: `bad_request`
 //! (malformed JSON or an unusable field), `parse` (the partial-expression
 //! query did not parse), `shed` (admission control refused the request),
-//! and `shutdown` (the server is draining). A request is **never** dropped
-//! without a response on a live connection.
+//! `unknown_project` (the `project` id is invalid or has no snapshot),
+//! `reload_failed` (a `reload` could not rebuild the tenant — the old
+//! snapshot keeps serving), `connection_limit` (the socket transport is
+//! at `--max-connections`), and `shutdown` (the server is draining). A
+//! request is **never** dropped without a response on a live connection.
 
 use std::time::{Duration, Instant};
 
@@ -93,6 +105,14 @@ pub enum Request {
         /// Echoed request id.
         id: Option<Value>,
     },
+    /// Hot-swap a tenant's snapshot (the default tenant when `project`
+    /// is `None`); in-flight requests drain against the old snapshot.
+    Reload {
+        /// Echoed request id.
+        id: Option<Value>,
+        /// The tenant to reload; `None` reloads the default tenant.
+        project: Option<String>,
+    },
     /// Graceful-shutdown request: drain in-flight work, then exit.
     Shutdown {
         /// Echoed request id.
@@ -118,6 +138,8 @@ pub enum Disposition {
 pub struct QueryRequest {
     /// Client-chosen id, echoed on the response.
     pub id: Option<Value>,
+    /// Tenant/project id; `None` targets the default tenant.
+    pub project: Option<String>,
     /// Partial-expression surface syntax (the paper's Figure 5(b)).
     pub query: String,
     /// Result cap for this request.
@@ -141,6 +163,39 @@ pub struct QueryRequest {
     pub explain: bool,
 }
 
+impl QueryRequest {
+    /// The in-flight coalescing identity: two requests with the same key
+    /// would run the identical engine computation, so a follower can share
+    /// the leader's response body. `None` means this request must run
+    /// alone: traced/explained requests carry per-run artefacts, and a
+    /// client-supplied `trace_id` must be echoed verbatim, not shared.
+    pub fn coalesce_key(&self) -> Option<String> {
+        if self.trace || self.explain || self.trace_id.is_some() {
+            return None;
+        }
+        // Netstring framing: each component is length-prefixed, so no
+        // crafted field content (a JSON \u0001 escape survives parsing)
+        // can alias two distinct requests onto one key.
+        let mut key = String::new();
+        let mut push = |part: &str| {
+            key.push_str(&part.len().to_string());
+            key.push(':');
+            key.push_str(part);
+            key.push('\u{1}');
+        };
+        push(self.project.as_deref().unwrap_or(""));
+        push(&self.query);
+        push(&self.limit.map(|v| v.to_string()).unwrap_or_default());
+        push(&self.deadline_ms.map(|v| v.to_string()).unwrap_or_default());
+        push(&self.max_steps.map(|v| v.to_string()).unwrap_or_default());
+        push(&self.max_depth.map(|v| v.to_string()).unwrap_or_default());
+        for local in &self.locals {
+            push(local);
+        }
+        Some(key)
+    }
+}
+
 /// Parses one request line. `Err` carries `(echoed id, message)` for the
 /// `bad_request` response; the id is recovered when the line is valid JSON
 /// with an `id` field even if the rest of the request is unusable.
@@ -150,11 +205,19 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
     if !matches!(doc, Value::Obj(_)) {
         return Err((id, "request must be a JSON object".to_owned()));
     }
+    let project = match doc.get("project") {
+        None | Some(Value::Null) => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s.to_owned()),
+            None => return Err((id, "`project` must be a string".to_owned())),
+        },
+    };
     if let Some(cmd) = doc.get("cmd") {
         return match cmd.as_str() {
             Some("ping") => Ok(Request::Ping { id }),
             Some("stats") => Ok(Request::Stats { id }),
             Some("health") => Ok(Request::Health { id }),
+            Some("reload") => Ok(Request::Reload { id, project }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
             _ => Err((id, format!("unknown cmd {cmd}"))),
         };
@@ -214,6 +277,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
     };
     Ok(Request::Query(QueryRequest {
         id,
+        project,
         query: query.to_owned(),
         limit,
         deadline_ms,
@@ -233,13 +297,37 @@ fn id_field(id: Option<&Value>) -> String {
     }
 }
 
-/// Renders an error response of the given kind.
-pub fn error_response(id: Option<&Value>, kind: &str, message: &str) -> String {
+/// Renders an error response *body* — everything after the opening brace
+/// and the `id` field (see [`assemble_response`]).
+pub fn error_rest(kind: &str, message: &str) -> String {
     format!(
-        "{{{}\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
-        id_field(id),
+        "\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
         json::escape(kind),
         json::escape(message)
+    )
+}
+
+/// Renders an error response of the given kind.
+pub fn error_response(id: Option<&Value>, kind: &str, message: &str) -> String {
+    assemble_response(id, &error_rest(kind, message))
+}
+
+/// Prepends the per-request `id` to a response body rendered by
+/// [`execute_rest`] or [`error_rest`]. Coalesced twins share one body and
+/// differ only in this prefix, so the single-request rendering is
+/// byte-identical to the pre-coalescing protocol.
+pub fn assemble_response(id: Option<&Value>, rest: &str) -> String {
+    format!("{{{}{rest}", id_field(id))
+}
+
+/// Renders the acknowledgement for a successful `reload`.
+pub fn reload_response(id: Option<&Value>, info: &crate::registry::ReloadInfo) -> String {
+    format!(
+        "{{{}\"ok\":true,\"reloaded\":\"{}\",\"bytes\":{},\"swapped\":{}}}",
+        id_field(id),
+        json::escape(&info.project),
+        info.bytes,
+        info.swapped
     )
 }
 
@@ -321,16 +409,29 @@ pub fn execute(
     cancel: &CancelToken,
     abs: Option<&AbsTypes<'_>>,
 ) -> (String, Disposition) {
-    let err = |id, kind, msg: &str| (error_response(id, kind, msg), Disposition::Error);
-    let id = req.id.as_ref();
+    let (rest, disposition) = execute_rest(snapshot, req, defaults, cancel, abs);
+    (assemble_response(req.id.as_ref(), &rest), disposition)
+}
+
+/// [`execute`] without the `id` prefix: renders the response *body* (from
+/// `"ok"` to the closing brace) so the coalescer can run the engine once
+/// and fan the body out to every waiter under its own `id`.
+pub fn execute_rest(
+    snapshot: &Snapshot,
+    req: &QueryRequest,
+    defaults: &RequestDefaults,
+    cancel: &CancelToken,
+    abs: Option<&AbsTypes<'_>>,
+) -> (String, Disposition) {
+    let err = |kind, msg: &str| (error_rest(kind, msg), Disposition::Error);
     let ctx = match snapshot.context_for(&req.locals) {
         Ok(ctx) => ctx,
-        Err(msg) => return err(id, "bad_request", &msg),
+        Err(msg) => return err("bad_request", &msg),
     };
     let started = Instant::now();
     let query = match pex_core::parse_partial(&snapshot.db, &ctx, &req.query) {
         Ok(q) => q,
-        Err(e) => return err(id, "parse", &e.to_string()),
+        Err(e) => return err("parse", &e.to_string()),
     };
     let budget = QueryBudget {
         max_steps: req.max_steps.unwrap_or(defaults.max_steps),
@@ -347,7 +448,7 @@ pub fn execute(
     if let Some(depth) = req.max_depth {
         options = match options.with_max_depth(depth) {
             Ok(o) => o,
-            Err(e) => return err(id, "bad_request", &e.to_string()),
+            Err(e) => return err("bad_request", &e.to_string()),
         };
     }
     let abs = if req.locals.is_empty() { abs } else { None };
@@ -398,8 +499,7 @@ pub fn execute(
         })
         .collect();
     let mut response = format!(
-        "{{{}\"ok\":true,\"trace_id\":\"{}\",\"outcome\":\"{}\",\"degraded\":{},\"latency_us\":{},\"completions\":[{}]",
-        id_field(id),
+        "\"ok\":true,\"trace_id\":\"{}\",\"outcome\":\"{}\",\"degraded\":{},\"latency_us\":{},\"completions\":[{}]",
         json::escape(&trace_id),
         outcome.label(),
         outcome.is_degraded(),
@@ -500,6 +600,7 @@ mod tests {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: Some(Value::Num(1.0)),
+            project: None,
             query: "?({img, size})".into(),
             limit: Some(5),
             deadline_ms: None,
@@ -528,6 +629,7 @@ mod tests {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: None,
+            project: None,
             query: "?".into(),
             limit: None,
             deadline_ms: Some(0),
@@ -554,6 +656,7 @@ mod tests {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: Some(Value::Num(2.0)),
+            project: None,
             query: "?(((".into(),
             limit: None,
             deadline_ms: None,
@@ -575,6 +678,7 @@ mod tests {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: Some(Value::Num(7.0)),
+            project: None,
             query: "?".into(),
             limit: None,
             deadline_ms: None,
@@ -638,6 +742,7 @@ mod tests {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: None,
+            project: None,
             query: "?({img, size})".into(),
             limit: Some(8),
             deadline_ms: None,
@@ -678,6 +783,7 @@ mod tests {
         // the exhaustive pipeline and report none).
         let req = QueryRequest {
             id: Some(Value::Num(1.0)),
+            project: None,
             query: "?".into(),
             limit: Some(5),
             deadline_ms: None,
@@ -728,10 +834,131 @@ mod tests {
     }
 
     #[test]
+    fn parses_project_and_reload() {
+        let req = parse_request(r#"{"id":1,"query":"?","project":"geo-v2"}"#).unwrap();
+        let Request::Query(q) = req else {
+            panic!("query expected")
+        };
+        assert_eq!(q.project.as_deref(), Some("geo-v2"));
+        assert_eq!(
+            parse_request(r#"{"cmd":"reload","id":2,"project":"geo-v2"}"#).unwrap(),
+            Request::Reload {
+                id: Some(Value::Num(2.0)),
+                project: Some("geo-v2".into())
+            }
+        );
+        // A reload without a project targets the default tenant.
+        assert_eq!(
+            parse_request(r#"{"cmd":"reload"}"#).unwrap(),
+            Request::Reload {
+                id: None,
+                project: None
+            }
+        );
+        let (_, msg) = parse_request(r#"{"query":"?","project":7}"#).unwrap_err();
+        assert!(msg.contains("project"), "{msg}");
+    }
+
+    #[test]
+    fn coalesce_keys_group_identical_work_only() {
+        let base = |query: &str| QueryRequest {
+            id: Some(Value::Num(1.0)),
+            project: None,
+            query: query.into(),
+            limit: Some(5),
+            deadline_ms: None,
+            max_steps: None,
+            max_depth: None,
+            locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
+        };
+        let a = base("?");
+        // Different ids, same work: the ids are not part of the key.
+        let b = QueryRequest {
+            id: Some(Value::Num(2.0)),
+            ..base("?")
+        };
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        // Any knob difference separates the keys.
+        assert_ne!(a.coalesce_key(), base("?x").coalesce_key());
+        let other_project = QueryRequest {
+            project: Some("t1".into()),
+            ..base("?")
+        };
+        assert_ne!(a.coalesce_key(), other_project.coalesce_key());
+        let other_limit = QueryRequest {
+            limit: Some(6),
+            ..base("?")
+        };
+        assert_ne!(a.coalesce_key(), other_limit.coalesce_key());
+        // Locals join the key; a list/one-string confusion cannot alias.
+        let two_locals = QueryRequest {
+            locals: vec!["a:T.U".into(), "b:T.U".into()],
+            ..base("?")
+        };
+        let one_local = QueryRequest {
+            locals: vec!["a:T.U\u{1}b:T.U".into()],
+            ..base("?")
+        };
+        assert_ne!(two_locals.coalesce_key(), one_local.coalesce_key());
+        // Traced / explained / client-trace_id requests never coalesce.
+        for req in [
+            QueryRequest {
+                trace: true,
+                ..base("?")
+            },
+            QueryRequest {
+                explain: true,
+                ..base("?")
+            },
+            QueryRequest {
+                trace_id: Some("t-1".into()),
+                ..base("?")
+            },
+        ] {
+            assert_eq!(req.coalesce_key(), None);
+        }
+    }
+
+    #[test]
+    fn assembled_bodies_match_the_direct_rendering() {
+        let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        let req = QueryRequest {
+            id: Some(Value::Num(7.0)),
+            project: None,
+            query: "?({img, size})".into(),
+            limit: Some(3),
+            deadline_ms: None,
+            max_steps: None,
+            max_depth: None,
+            locals: Vec::new(),
+            trace_id: None,
+            trace: false,
+            explain: false,
+        };
+        let (rest, _) = execute_rest(&snap, &req, &defaults(), &CancelToken::new(), None);
+        let assembled = assemble_response(req.id.as_ref(), &rest);
+        assert!(
+            assembled.starts_with("{\"id\":7,\"ok\":true,"),
+            "{assembled}"
+        );
+        // Re-prefixing under a different waiter id keeps the body intact.
+        let twin = assemble_response(Some(&Value::Str("w2".into())), &rest);
+        assert!(twin.starts_with("{\"id\":\"w2\","), "{twin}");
+        assert_eq!(
+            twin.split_once(',').unwrap().1,
+            assembled.split_once(',').unwrap().1
+        );
+    }
+
+    #[test]
     fn request_locals_rebuild_the_context() {
         let snap = Snapshot::load(&SnapshotSource::Paint).unwrap();
         let req = QueryRequest {
             id: None,
+            project: None,
             query: "?".into(),
             limit: Some(3),
             deadline_ms: None,

@@ -1,0 +1,573 @@
+//! The multi-tenant snapshot registry: many projects, one process.
+//!
+//! A [`SnapshotRegistry`] maps project ids to [`Arc<Snapshot>`]s so a
+//! fleet of independent corpora can share one daemon:
+//!
+//! * **Default tenant.** The snapshot the process booted with (corpus
+//!   argument or `--load-snapshot`) serves every request that carries no
+//!   `project` field — the single-tenant protocol is the degenerate case,
+//!   byte-for-byte. The default is pinned: it never counts against the
+//!   byte budget and is never evicted.
+//! * **Lazy load.** A request naming a project not yet resident loads
+//!   `<project>.pexsnap` from `--snapshot-dir` on demand (the
+//!   `pex-snapshot/1` format, full validation — see [`crate::persist`]).
+//!   Project ids are validated against a conservative alphabet first, so
+//!   a request can never path-traverse out of the snapshot directory.
+//! * **LRU eviction.** Each resident tenant is accounted at its snapshot
+//!   file's byte length (or [`Snapshot::approx_bytes`] for tenants
+//!   inserted in memory). When residency would exceed
+//!   `--max-snapshot-bytes`, least-recently-used tenants are dropped
+//!   from the map. In-flight requests keep their own `Arc` clones, so an
+//!   evicted snapshot's memory is actually released when the last request
+//!   against it completes — eviction never interrupts a query.
+//! * **Hot swap.** [`SnapshotRegistry::reload`] rebuilds a tenant from
+//!   its origin (the snapshot file, or the default's corpus source) and
+//!   atomically flips the `Arc` in the map. Requests admitted before the
+//!   flip drain against the old snapshot; requests admitted after see the
+//!   new one. No request is ever dropped or answered from a half-swapped
+//!   state, because a worker resolves its `Arc<Snapshot>` exactly once
+//!   per request.
+//!
+//! Observability: `serve.registry.{loads,evictions,reloads}` counters,
+//! `serve.registry.{resident,resident_bytes}` gauges, and per-tenant
+//! `serve.tenant.<id>.*` counters named via [`pex_obs::scoped_name`].
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::persist;
+use crate::snapshot::{Snapshot, SnapshotSource};
+
+/// The tenant id requests without a `project` field resolve to, used in
+/// per-tenant metrics and the `stats`/`health` tenant tables.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Where the default tenant's snapshot came from, so `reload` (without a
+/// `project`) can rebuild it the same way the process booted.
+#[derive(Debug, Clone)]
+pub enum DefaultOrigin {
+    /// Built from a corpus source (builtin name or mini-C# file), with the
+    /// `--local` declarations applied on top.
+    Source {
+        /// The corpus the daemon booted from.
+        source: SnapshotSource,
+        /// `--local name:Type` declarations folded into the default context.
+        locals: Vec<String>,
+    },
+    /// Loaded from a `pex-snapshot/1` file (`--load-snapshot`).
+    File {
+        /// The snapshot file the daemon booted from.
+        path: PathBuf,
+        /// `--local name:Type` declarations folded into the default context.
+        locals: Vec<String>,
+    },
+    /// Handed in as an in-memory `Arc` with no rebuildable origin (the
+    /// in-process bench and tests); `reload` of the default is an error.
+    Fixed,
+}
+
+impl DefaultOrigin {
+    /// Rebuilds the default snapshot from its origin.
+    fn rebuild(&self) -> Result<Arc<Snapshot>, String> {
+        let (loaded, locals) = match self {
+            DefaultOrigin::Source { source, locals } => (Snapshot::load(source)?, locals),
+            DefaultOrigin::File { path, locals } => (persist::load(path)?, locals),
+            DefaultOrigin::Fixed => {
+                return Err(
+                    "the default tenant was created in memory and has no reload origin".to_owned(),
+                )
+            }
+        };
+        apply_locals(loaded, locals)
+    }
+}
+
+/// Rebuilds a freshly loaded snapshot's default context from `--local`
+/// declarations (the same transformation `pex-serve` applies at boot).
+pub fn apply_locals(snapshot: Arc<Snapshot>, locals: &[String]) -> Result<Arc<Snapshot>, String> {
+    if locals.is_empty() {
+        return Ok(snapshot);
+    }
+    let ctx = snapshot.context_for(locals)?;
+    let inner = Arc::try_unwrap(snapshot)
+        .unwrap_or_else(|_| panic!("freshly loaded snapshot has one owner"));
+    Ok(Arc::new(Snapshot {
+        default_ctx: ctx,
+        ..inner
+    }))
+}
+
+/// One resident tenant: the live snapshot, its byte accounting, and its
+/// LRU clock reading.
+struct TenantEntry {
+    snapshot: Arc<Snapshot>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    default: Arc<Snapshot>,
+    tenants: HashMap<String, TenantEntry>,
+    resident_bytes: u64,
+}
+
+/// What a successful [`SnapshotRegistry::reload`] reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadInfo {
+    /// The tenant that was swapped.
+    pub project: String,
+    /// Accounted size of the fresh snapshot, in bytes.
+    pub bytes: u64,
+    /// Whether the tenant was already resident (a true hot swap) rather
+    /// than a first load.
+    pub swapped: bool,
+}
+
+/// Point-in-time description of one tenant for `stats`/`health`.
+#[derive(Debug, Clone)]
+pub struct TenantInfo {
+    /// The tenant id (`default` for the pinned default tenant).
+    pub project: String,
+    /// Accounted bytes (0 for the exempt default tenant).
+    pub bytes: u64,
+    /// Whether this is the pinned, budget-exempt default tenant.
+    pub pinned: bool,
+}
+
+/// The tenant map: default snapshot + named tenants with lazy load, LRU
+/// eviction under a byte budget, and atomic hot swap. See the module docs
+/// for the full semantics.
+pub struct SnapshotRegistry {
+    inner: Mutex<Inner>,
+    origin: DefaultOrigin,
+    snapshot_dir: Option<PathBuf>,
+    max_bytes: Option<u64>,
+    /// Bumped on every default-tenant swap so workers can cheaply detect
+    /// that their cached per-worker state (the abstract-type inference
+    /// borrowing the default snapshot) is stale.
+    default_generation: AtomicU64,
+    /// LRU clock: monotonically increasing tick, one per tenant access.
+    clock: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// A registry over a default snapshot, its rebuild origin, and the
+    /// optional tenant directory and byte budget.
+    pub fn new(
+        default: Arc<Snapshot>,
+        origin: DefaultOrigin,
+        snapshot_dir: Option<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> SnapshotRegistry {
+        SnapshotRegistry {
+            inner: Mutex::new(Inner {
+                default,
+                tenants: HashMap::new(),
+                resident_bytes: 0,
+            }),
+            origin,
+            snapshot_dir,
+            max_bytes,
+            default_generation: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-tenant registry with no tenant directory and no reload
+    /// origin — the exact PR 8 daemon shape, for tests and the in-process
+    /// bench.
+    pub fn single(default: Arc<Snapshot>) -> SnapshotRegistry {
+        SnapshotRegistry::new(default, DefaultOrigin::Fixed, None, None)
+    }
+
+    /// The current default snapshot (requests without a `project` field).
+    pub fn default_snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.inner.lock().expect("registry lock").default)
+    }
+
+    /// The default-swap generation; changes exactly when
+    /// [`SnapshotRegistry::default_snapshot`] starts returning a new `Arc`.
+    pub fn default_generation(&self) -> u64 {
+        self.default_generation.load(Ordering::Acquire)
+    }
+
+    /// Resolves the snapshot for a request. `None` (or the literal
+    /// `default` id) is the default tenant; anything else is looked up in
+    /// the tenant map and lazily loaded from `--snapshot-dir` on a miss.
+    pub fn get(&self, project: Option<&str>) -> Result<Arc<Snapshot>, String> {
+        let Some(project) = project.filter(|p| *p != DEFAULT_TENANT) else {
+            return Ok(self.default_snapshot());
+        };
+        validate_project_id(project)?;
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            if let Some(entry) = inner.tenants.get_mut(project) {
+                entry.last_used = tick;
+                tenant_counter(project, "hits", 1);
+                return Ok(Arc::clone(&entry.snapshot));
+            }
+        }
+        // Miss: load outside the lock so resident tenants keep serving
+        // while the file is read and validated. Two racing loaders may
+        // both decode the file; `admit` keeps whichever lands second and
+        // both callers get a working snapshot — wasted work, never a
+        // wrong answer.
+        let (snapshot, bytes) = self.load_from_dir(project)?;
+        self.admit(project, snapshot.clone(), bytes);
+        Ok(snapshot)
+    }
+
+    /// Reads and validates `<project>.pexsnap` from the snapshot dir.
+    fn load_from_dir(&self, project: &str) -> Result<(Arc<Snapshot>, u64), String> {
+        let Some(dir) = &self.snapshot_dir else {
+            return Err(format!(
+                "unknown project `{project}` (no --snapshot-dir configured; \
+                 resident tenants: {})",
+                self.resident_names().join(", ")
+            ));
+        };
+        let path = dir.join(format!("{project}.pexsnap"));
+        let bytes_len = std::fs::metadata(&path)
+            .map_err(|e| {
+                format!(
+                    "unknown project `{project}`: cannot read {}: {e}",
+                    path.display()
+                )
+            })?
+            .len();
+        let snapshot = persist::load(&path)?;
+        pex_obs::counter!("serve.registry.loads", 1);
+        tenant_counter(project, "loads", 1);
+        Ok((snapshot, bytes_len))
+    }
+
+    /// Inserts (or replaces) a resident tenant and evicts past the budget.
+    fn admit(&self, project: &str, snapshot: Arc<Snapshot>, bytes: u64) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(old) = inner.tenants.remove(project) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        inner.tenants.insert(
+            project.to_owned(),
+            TenantEntry {
+                snapshot,
+                bytes,
+                last_used: tick,
+            },
+        );
+        // Evict least-recently-used tenants until the budget holds. The
+        // newly admitted tenant is exempt from its own admission round —
+        // refusing a query because one snapshot alone exceeds the budget
+        // would turn a tuning knob into an outage.
+        if let Some(budget) = self.max_bytes {
+            while inner.resident_bytes > budget && inner.tenants.len() > 1 {
+                let victim = inner
+                    .tenants
+                    .iter()
+                    .filter(|(name, _)| name.as_str() != project)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(name, _)| name.clone());
+                let Some(victim) = victim else { break };
+                let entry = inner.tenants.remove(&victim).expect("victim is resident");
+                inner.resident_bytes -= entry.bytes;
+                pex_obs::counter!("serve.registry.evictions", 1);
+                tenant_counter(&victim, "evictions", 1);
+                // The Arc drops here; memory is released once in-flight
+                // requests holding clones complete.
+            }
+        }
+        if pex_obs::enabled() {
+            let registry = pex_obs::registry();
+            registry
+                .gauge("serve.registry.resident")
+                .set(inner.tenants.len() as u64);
+            registry
+                .gauge("serve.registry.resident_bytes")
+                .set(inner.resident_bytes);
+        }
+    }
+
+    /// Registers an in-memory tenant (bench and tests), accounted at
+    /// [`Snapshot::approx_bytes`]. Subject to the same LRU budget as
+    /// lazily loaded tenants.
+    pub fn insert(&self, project: &str, snapshot: Arc<Snapshot>) -> Result<(), String> {
+        validate_project_id(project)?;
+        let bytes = snapshot.approx_bytes();
+        self.admit(project, snapshot, bytes);
+        Ok(())
+    }
+
+    /// Hot-swaps a tenant: rebuilds its snapshot from the origin (the
+    /// `--snapshot-dir` file, or the default tenant's boot source) and
+    /// atomically flips the `Arc`. In-flight requests drain against the
+    /// old snapshot; zero requests are dropped.
+    pub fn reload(&self, project: Option<&str>) -> Result<ReloadInfo, String> {
+        match project.filter(|p| *p != DEFAULT_TENANT) {
+            None => {
+                let fresh = self.origin.rebuild()?;
+                let bytes = fresh.approx_bytes();
+                let mut inner = self.inner.lock().expect("registry lock");
+                inner.default = fresh;
+                drop(inner);
+                self.default_generation.fetch_add(1, Ordering::Release);
+                pex_obs::counter!("serve.registry.reloads", 1);
+                tenant_counter(DEFAULT_TENANT, "reloads", 1);
+                Ok(ReloadInfo {
+                    project: DEFAULT_TENANT.to_owned(),
+                    bytes,
+                    swapped: true,
+                })
+            }
+            Some(project) => {
+                validate_project_id(project)?;
+                let (snapshot, bytes) = self.load_from_dir(project)?;
+                let swapped = {
+                    let inner = self.inner.lock().expect("registry lock");
+                    inner.tenants.contains_key(project)
+                };
+                self.admit(project, snapshot, bytes);
+                pex_obs::counter!("serve.registry.reloads", 1);
+                tenant_counter(project, "reloads", 1);
+                Ok(ReloadInfo {
+                    project: project.to_owned(),
+                    bytes,
+                    swapped,
+                })
+            }
+        }
+    }
+
+    /// Resident tenant ids, sorted (excluding the default).
+    pub fn resident_names(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<String> = inner.tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A sorted description of every resident tenant, default first — the
+    /// `stats`/`health` tenant table.
+    pub fn describe(&self) -> Vec<TenantInfo> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut out = vec![TenantInfo {
+            project: DEFAULT_TENANT.to_owned(),
+            bytes: 0,
+            pinned: true,
+        }];
+        let mut named: Vec<TenantInfo> = inner
+            .tenants
+            .iter()
+            .map(|(name, e)| TenantInfo {
+                project: name.clone(),
+                bytes: e.bytes,
+                pinned: false,
+            })
+            .collect();
+        named.sort_by(|a, b| a.project.cmp(&b.project));
+        out.extend(named);
+        out
+    }
+
+    /// Total accounted bytes across resident named tenants.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("registry lock").resident_bytes
+    }
+
+    /// The configured byte budget, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+}
+
+/// Bumps `serve.tenant.<project>.<suffix>` (dynamic-name counter; the
+/// handle lookup is a cold-path mutex, fine off the per-token hot path).
+pub fn tenant_counter(project: &str, suffix: &str, n: u64) {
+    if pex_obs::enabled() {
+        pex_obs::registry()
+            .counter(&pex_obs::scoped_name("serve.tenant", project, suffix))
+            .add(n);
+    }
+}
+
+/// Validates a protocol `project` id before it can touch the filesystem
+/// or the metric registry: 1–64 chars of `[A-Za-z0-9._-]`, not starting
+/// with a dot (no hidden files, no `..` traversal, no path separators).
+pub fn validate_project_id(project: &str) -> Result<(), String> {
+    let ok_len = !project.is_empty() && project.len() <= 64;
+    let ok_chars = project
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if !ok_len || !ok_chars || project.starts_with('.') {
+        return Err(format!(
+            "invalid project id `{project}`: use 1-64 characters of \
+             [A-Za-z0-9._-], not starting with `.`"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotSource;
+
+    fn paint() -> Arc<Snapshot> {
+        Snapshot::load(&SnapshotSource::Paint).unwrap()
+    }
+
+    fn tenant_dir(tag: &str, names: &[&str]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pex-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = paint();
+        for name in names {
+            persist::save(&snap, &dir.join(format!("{name}.pexsnap"))).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn default_tenant_serves_without_a_project_field() {
+        let registry = SnapshotRegistry::single(paint());
+        let a = registry.get(None).unwrap();
+        let b = registry.get(Some(DEFAULT_TENANT)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "default id aliases the default tenant");
+        assert_eq!(registry.default_generation(), 0);
+    }
+
+    #[test]
+    fn unknown_projects_error_without_a_snapshot_dir() {
+        let registry = SnapshotRegistry::single(paint());
+        let err = registry.get(Some("nope")).unwrap_err();
+        assert!(err.contains("unknown project `nope`"), "{err}");
+    }
+
+    #[test]
+    fn lazy_loads_tenants_from_the_snapshot_dir() {
+        let dir = tenant_dir("lazy", &["alpha"]);
+        let registry =
+            SnapshotRegistry::new(paint(), DefaultOrigin::Fixed, Some(dir.clone()), None);
+        assert!(registry.resident_names().is_empty());
+        let snap = registry.get(Some("alpha")).unwrap();
+        assert_eq!(snap.name, "paint");
+        assert_eq!(registry.resident_names(), vec!["alpha".to_owned()]);
+        // Second hit returns the same Arc without re-reading the file.
+        let again = registry.get(Some("alpha")).unwrap();
+        assert!(Arc::ptr_eq(&snap, &again));
+        let err = registry.get(Some("missing")).unwrap_err();
+        assert!(err.contains("unknown project `missing`"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_traversal_project_ids_are_rejected() {
+        let dir = tenant_dir("traversal", &[]);
+        let registry =
+            SnapshotRegistry::new(paint(), DefaultOrigin::Fixed, Some(dir.clone()), None);
+        for bad in ["../alpha", "a/b", ".hidden", "", "a b", &"x".repeat(65)] {
+            let err = registry.get(Some(bad)).unwrap_err();
+            assert!(err.contains("invalid project id"), "{bad}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_eviction_honours_the_byte_budget_and_recency() {
+        let dir = tenant_dir("lru", &["a", "b", "c"]);
+        let one = std::fs::metadata(dir.join("a.pexsnap")).unwrap().len();
+        // Room for two resident tenants, not three.
+        let registry = SnapshotRegistry::new(
+            paint(),
+            DefaultOrigin::Fixed,
+            Some(dir.clone()),
+            Some(one * 2),
+        );
+        registry.get(Some("a")).unwrap();
+        registry.get(Some("b")).unwrap();
+        assert_eq!(registry.resident_names(), vec!["a", "b"]);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        registry.get(Some("a")).unwrap();
+        registry.get(Some("c")).unwrap();
+        assert_eq!(registry.resident_names(), vec!["a", "c"]);
+        assert!(registry.resident_bytes() <= one * 2);
+        // An evicted tenant transparently reloads on next use.
+        registry.get(Some("b")).unwrap();
+        assert!(registry.resident_names().contains(&"b".to_owned()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_tenant_larger_than_the_budget_still_serves() {
+        let dir = tenant_dir("oversize", &["big"]);
+        let registry = SnapshotRegistry::new(
+            paint(),
+            DefaultOrigin::Fixed,
+            Some(dir.clone()),
+            Some(1), // absurd budget: everything is over it
+        );
+        let snap = registry.get(Some("big")).unwrap();
+        assert_eq!(snap.name, "paint");
+        assert_eq!(registry.resident_names(), vec!["big"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_swaps_the_arc_and_bumps_the_default_generation() {
+        let dir = tenant_dir("reload", &["alpha"]);
+        let registry = SnapshotRegistry::new(
+            paint(),
+            DefaultOrigin::Source {
+                source: SnapshotSource::Paint,
+                locals: Vec::new(),
+            },
+            Some(dir.clone()),
+            None,
+        );
+        // Named tenant: the resident Arc is replaced; old clones live on.
+        let before = registry.get(Some("alpha")).unwrap();
+        let info = registry.reload(Some("alpha")).unwrap();
+        assert!(info.swapped);
+        assert_eq!(info.project, "alpha");
+        let after = registry.get(Some("alpha")).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "reload must flip the Arc");
+        assert_eq!(before.name, after.name, "old snapshot still answers");
+        // Reloading a non-resident tenant is a first load, not a swap.
+        let registry2 =
+            SnapshotRegistry::new(paint(), DefaultOrigin::Fixed, Some(dir.clone()), None);
+        assert!(!registry2.reload(Some("alpha")).unwrap().swapped);
+        // Default tenant: rebuilt from the boot source, generation bumps.
+        let d0 = registry.default_snapshot();
+        let gen0 = registry.default_generation();
+        let info = registry.reload(None).unwrap();
+        assert_eq!(info.project, DEFAULT_TENANT);
+        assert!(!Arc::ptr_eq(&d0, &registry.default_snapshot()));
+        assert_eq!(registry.default_generation(), gen0 + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fixed_default_origin_cannot_reload() {
+        let registry = SnapshotRegistry::single(paint());
+        let err = registry.reload(None).unwrap_err();
+        assert!(err.contains("no reload origin"), "{err}");
+    }
+
+    #[test]
+    fn describe_lists_default_first_with_byte_accounting() {
+        let dir = tenant_dir("describe", &["alpha"]);
+        let registry =
+            SnapshotRegistry::new(paint(), DefaultOrigin::Fixed, Some(dir.clone()), None);
+        registry.get(Some("alpha")).unwrap();
+        let info = registry.describe();
+        assert_eq!(info[0].project, DEFAULT_TENANT);
+        assert!(info[0].pinned);
+        assert_eq!(info[1].project, "alpha");
+        assert!(info[1].bytes > 0);
+        assert!(!info[1].pinned);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,14 +1,22 @@
 //! The worker pool: a fixed set of threads answering protocol requests
-//! from a shared [`Snapshot`] behind a bounded admission queue.
+//! from a shared [`SnapshotRegistry`] behind a bounded admission queue.
 //!
 //! Design invariants:
 //!
-//! * **One snapshot, many workers.** Workers share one `Arc<Snapshot>`;
-//!   nothing per-request touches mutable global state, so adding workers
-//!   scales reads without locks.
+//! * **One registry, many workers.** Workers share one
+//!   [`Arc<SnapshotRegistry>`]; a request resolves its `Arc<Snapshot>`
+//!   exactly once, so a concurrent `reload` swaps tenants atomically —
+//!   in-flight requests drain against the snapshot they resolved, and
+//!   nothing per-request touches mutable global state.
 //! * **Explicit load shedding.** [`Server::submit`] either admits a
 //!   request or immediately replies with a `shed`/`shutdown` error — a
 //!   request on a live connection is never silently dropped.
+//! * **In-flight coalescing.** Identical queries (same tenant, query
+//!   text, and knobs; no tracing artefacts) admitted while a twin is
+//!   executing share one engine run: the leader renders the response body
+//!   once and fans it out to every waiter under its own `id`. Followers
+//!   still resolve with their own disposition counters and latency
+//!   samples, so the accounting identity is coalescing-blind.
 //! * **Graceful shutdown.** [`Server::shutdown`] closes admission, lets
 //!   the workers drain everything already queued, and joins them. The
 //!   shared [`CancelToken`] is only tripped by [`Server::shutdown_now`],
@@ -16,24 +24,31 @@
 //!   poll (each then answers with a degraded `cancelled` outcome).
 //!
 //! Observability (all through `pex-obs`):
-//! `serve.requests.{received,ok,degraded,error,shed}` counters (`received`
-//! counts every submitted line, the rest its resolution — their difference
-//! is the in-flight count the `health` command reports), `serve.queue.depth`
-//! / `serve.queue.depth.max` gauges, `serve.queue.wait.ns` and
-//! `serve.request.ns` latency histograms, a `serve.request` tracing span
-//! per executed request, and the rolling windows behind `stats`/`health`
-//! (see [`crate::obs_json`] for the window names).
+//! `serve.requests.{received,ok,degraded,error,shed,coalesced}` counters
+//! (`received` counts every submitted line; `ok+degraded+error+shed`
+//! count resolutions — their difference is the in-flight count the
+//! `health` command reports; `coalesced` counts followers absorbed into a
+//! leader's run), per-tenant `serve.tenant.<id>.*` counters,
+//! `serve.queue.depth` / `serve.queue.depth.max` gauges,
+//! `serve.queue.wait.ns` and `serve.request.ns` latency histograms, a
+//! `serve.request` tracing span per executed request, and the rolling
+//! windows behind `stats`/`health` (see [`crate::obs_json`]).
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use pex_abstract::AbsTypes;
 use pex_core::CancelToken;
 
-use crate::proto::{self, Request, RequestDefaults};
+use crate::json::Value;
+use crate::proto::{self, Disposition, QueryRequest, Request, RequestDefaults};
 use crate::queue::{Bounded, PushError};
+use crate::registry::{self, SnapshotRegistry, DEFAULT_TENANT};
 use crate::snapshot::Snapshot;
 
 /// Server sizing and per-request defaults.
@@ -72,6 +87,54 @@ struct Job {
     line: String,
     reply: Sender<String>,
     admitted: Instant,
+}
+
+/// One request absorbed into a coalesced run, waiting for the leader's
+/// response body.
+struct Waiter {
+    id: Option<Value>,
+    reply: Sender<String>,
+    admitted: Instant,
+    tenant: String,
+}
+
+/// In-flight coalescing state: key → waiters absorbed behind the leader
+/// currently executing that key. The leader registers before running and
+/// collects (removing the entry) after, so a request arriving later finds
+/// no entry and simply becomes the next leader — coalescing only ever
+/// shares work that is genuinely concurrent.
+#[derive(Default)]
+struct Coalescer {
+    inflight: Mutex<HashMap<String, Vec<Waiter>>>,
+}
+
+enum Admitted {
+    /// No twin executing: the caller runs the engine and must call
+    /// [`Coalescer::collect`] afterwards.
+    Leader,
+    /// A twin is executing; the waiter was parked behind it.
+    Follower,
+}
+
+impl Coalescer {
+    fn admit(&self, key: &str, waiter: Waiter) -> Admitted {
+        let mut map = self.inflight.lock().expect("coalescer lock");
+        match map.entry(key.to_owned()) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().push(waiter);
+                Admitted::Follower
+            }
+            Entry::Vacant(e) => {
+                e.insert(Vec::new());
+                Admitted::Leader
+            }
+        }
+    }
+
+    fn collect(&self, key: &str) -> Vec<Waiter> {
+        let mut map = self.inflight.lock().expect("coalescer lock");
+        map.remove(key).unwrap_or_default()
+    }
 }
 
 /// A running worker pool. Dropping without calling [`Server::shutdown`]
@@ -126,6 +189,7 @@ impl ServerClient {
                     pex_obs::registry()
                         .windowed(crate::obs_json::SHED_WINDOW)
                         .record(1);
+                    registry::tenant_counter(&tenant_of_line(&job.line), "requests.shed", 1);
                 }
                 let _ = job.reply.send(proto::shed_response(&job.line));
             }
@@ -154,32 +218,36 @@ impl ServerClient {
     }
 }
 
+/// Best-effort tenant of a raw request line, for shed accounting (the
+/// line never reached a worker, so it was never fully parsed).
+fn tenant_of_line(line: &str) -> String {
+    crate::json::parse(line)
+        .ok()
+        .and_then(|d| d.get("project").and_then(|p| p.as_str().map(str::to_owned)))
+        .unwrap_or_else(|| DEFAULT_TENANT.to_owned())
+}
+
 impl Server {
-    /// Spawns `config.workers` workers over the shared snapshot.
-    pub fn start(snapshot: Arc<Snapshot>, config: ServeConfig) -> Server {
+    /// Spawns `config.workers` workers over the shared registry.
+    pub fn start(registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Server {
         let queue = Arc::new(Bounded::new(config.queue_cap));
         let cancel = CancelToken::new();
         let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let coalescer = Arc::new(Coalescer::default());
         let workers = (0..config.workers.max(1))
             .map(|i| {
-                let queue = Arc::clone(&queue);
-                let snapshot = Arc::clone(&snapshot);
-                let defaults = config.defaults.clone();
-                let slo_p99_us = config.slo_p99_us;
-                let cancel = cancel.clone();
-                let shutdown_flag = Arc::clone(&shutdown_flag);
+                let ctx = WorkerCtx {
+                    queue: Arc::clone(&queue),
+                    registry: Arc::clone(&registry),
+                    coalescer: Arc::clone(&coalescer),
+                    defaults: config.defaults.clone(),
+                    slo_p99_us: config.slo_p99_us,
+                    cancel: cancel.clone(),
+                    shutdown_flag: Arc::clone(&shutdown_flag),
+                };
                 std::thread::Builder::new()
                     .name(format!("pex-serve-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &queue,
-                            &snapshot,
-                            &defaults,
-                            slo_p99_us,
-                            &cancel,
-                            &shutdown_flag,
-                        )
-                    })
+                    .spawn(move || worker_loop(&ctx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -189,6 +257,13 @@ impl Server {
             cancel,
             shutdown_flag,
         }
+    }
+
+    /// Spawns a single-tenant pool over one snapshot — the PR 8 server
+    /// shape (no tenant directory, no reload origin), for tests and the
+    /// in-process bench.
+    pub fn start_single(snapshot: Arc<Snapshot>, config: ServeConfig) -> Server {
+        Server::start(Arc::new(SnapshotRegistry::single(snapshot)), config)
     }
 
     /// Admits one request line, or replies immediately with an explicit
@@ -244,70 +319,262 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    queue: &Bounded<Job>,
-    snapshot: &Snapshot,
-    defaults: &RequestDefaults,
+/// Everything one worker thread needs, cloned per worker at spawn.
+struct WorkerCtx {
+    queue: Arc<Bounded<Job>>,
+    registry: Arc<SnapshotRegistry>,
+    coalescer: Arc<Coalescer>,
+    defaults: RequestDefaults,
     slo_p99_us: Option<u64>,
-    cancel: &CancelToken,
-    shutdown_flag: &AtomicBool,
-) {
-    use proto::Disposition;
+    cancel: CancelToken,
+    shutdown_flag: Arc<AtomicBool>,
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
     // Per-worker warmed state: the abstract-type inference for the default
-    // query site borrows the database, so it lives here rather than in the
-    // snapshot. Built once, reused for every default-context request.
-    let abs = snapshot.abs_for_site();
-    while let Some(job) = queue.pop() {
-        let wait_ns = job.admitted.elapsed().as_nanos() as u64;
-        pex_obs::histogram!("serve.queue.wait.ns", wait_ns);
-        if pex_obs::enabled() {
-            pex_obs::registry()
-                .gauge("serve.queue.depth")
-                .set(queue.depth() as u64);
-        }
-        let span = pex_obs::span("serve.request");
-        let parsed = proto::parse_request(&job.line);
-        let is_query = matches!(parsed, Ok(Request::Query(_)));
-        let (response, disposition) = match parsed {
-            Ok(Request::Query(q)) => proto::execute(snapshot, &q, defaults, cancel, abs.as_ref()),
-            Ok(Request::Ping { id }) => (proto::pong_response(id.as_ref()), Disposition::Ok),
-            Ok(Request::Stats { id }) => (
-                crate::obs_json::stats_response(id.as_ref(), queue.depth()),
-                Disposition::Ok,
-            ),
-            Ok(Request::Health { id }) => (
-                crate::obs_json::health_response(id.as_ref(), queue.depth(), slo_p99_us),
-                Disposition::Ok,
-            ),
-            Ok(Request::Shutdown { id }) => {
-                shutdown_flag.store(true, Ordering::Relaxed);
-                (proto::shutdown_response(id.as_ref()), Disposition::Ok)
+    // tenant's query site borrows its database, so it cannot be stored in
+    // the registry — each worker builds it against its own pinned
+    // `Arc<Snapshot>` and rebuilds both together when the registry's
+    // default generation moves (a `reload`). A job popped after the swap
+    // but before the rebuild is carried across the rebuild, never answered
+    // from mismatched snapshot/inference state.
+    let mut carried: Option<Job> = None;
+    'rebuild: loop {
+        let generation = ctx.registry.default_generation();
+        let default_snapshot = ctx.registry.default_snapshot();
+        let default_abs = default_snapshot.abs_for_site();
+        loop {
+            let job = match carried.take() {
+                Some(job) => job,
+                None => match ctx.queue.pop() {
+                    Some(job) => job,
+                    None => return,
+                },
+            };
+            if ctx.registry.default_generation() != generation {
+                carried = Some(job);
+                continue 'rebuild;
             }
-            Err((id, msg)) => (
-                proto::error_response(id.as_ref(), "bad_request", &msg),
+            handle_job(ctx, job, &default_snapshot, default_abs.as_ref());
+        }
+    }
+}
+
+fn handle_job(
+    ctx: &WorkerCtx,
+    job: Job,
+    default_snapshot: &Arc<Snapshot>,
+    default_abs: Option<&AbsTypes<'_>>,
+) {
+    let wait_ns = job.admitted.elapsed().as_nanos() as u64;
+    pex_obs::histogram!("serve.queue.wait.ns", wait_ns);
+    if pex_obs::enabled() {
+        pex_obs::registry()
+            .gauge("serve.queue.depth")
+            .set(ctx.queue.depth() as u64);
+    }
+    let span = pex_obs::span("serve.request");
+    let parsed = proto::parse_request(&job.line);
+    let (response, disposition) = match parsed {
+        Ok(Request::Query(q)) => {
+            handle_query(ctx, job, q, default_snapshot, default_abs);
+            return; // the query path does its own accounting and delivery
+        }
+        Ok(Request::Ping { id }) => (proto::pong_response(id.as_ref()), Disposition::Ok),
+        Ok(Request::Stats { id }) => (
+            crate::obs_json::stats_response(id.as_ref(), ctx.queue.depth(), &ctx.registry),
+            Disposition::Ok,
+        ),
+        Ok(Request::Health { id }) => (
+            crate::obs_json::health_response(
+                id.as_ref(),
+                ctx.queue.depth(),
+                ctx.slo_p99_us,
+                &ctx.registry,
+            ),
+            Disposition::Ok,
+        ),
+        Ok(Request::Reload { id, project }) => match ctx.registry.reload(project.as_deref()) {
+            Ok(info) => (proto::reload_response(id.as_ref(), &info), Disposition::Ok),
+            Err(msg) => (
+                proto::error_response(id.as_ref(), "reload_failed", &msg),
                 Disposition::Error,
             ),
-        };
-        drop(span);
-        let total_ns = job.admitted.elapsed().as_nanos() as u64;
-        pex_obs::histogram!("serve.request.ns", total_ns);
-        if is_query && pex_obs::enabled() {
-            // Admission-to-response in µs — the same interval a client
-            // measures, so the `stats` window percentiles cross-check
-            // against client-side tallies.
-            pex_obs::registry()
-                .windowed(crate::obs_json::REQUEST_WINDOW)
-                .record(total_ns / 1_000);
+        },
+        Ok(Request::Shutdown { id }) => {
+            ctx.shutdown_flag.store(true, Ordering::Relaxed);
+            (proto::shutdown_response(id.as_ref()), Disposition::Ok)
         }
-        match disposition {
-            Disposition::Ok => pex_obs::counter!("serve.requests.ok", 1),
-            Disposition::Degraded => pex_obs::counter!("serve.requests.degraded", 1),
-            Disposition::Error => pex_obs::counter!("serve.requests.error", 1),
-        }
-        // A gone client (dropped receiver) is not an error; the response
-        // simply has nowhere to go.
-        let _ = job.reply.send(response);
+        Err((id, msg)) => (
+            proto::error_response(id.as_ref(), "bad_request", &msg),
+            Disposition::Error,
+        ),
+    };
+    drop(span);
+    let total_ns = job.admitted.elapsed().as_nanos() as u64;
+    pex_obs::histogram!("serve.request.ns", total_ns);
+    match disposition {
+        Disposition::Ok => pex_obs::counter!("serve.requests.ok", 1),
+        Disposition::Degraded => pex_obs::counter!("serve.requests.degraded", 1),
+        Disposition::Error => pex_obs::counter!("serve.requests.error", 1),
     }
+    // A gone client (dropped receiver) is not an error; the response
+    // simply has nowhere to go.
+    let _ = job.reply.send(response);
+}
+
+/// Resolves the tenant, coalesces with an in-flight twin when possible,
+/// runs the engine, and delivers + accounts every response this run owns.
+fn handle_query(
+    ctx: &WorkerCtx,
+    job: Job,
+    q: QueryRequest,
+    default_snapshot: &Arc<Snapshot>,
+    default_abs: Option<&AbsTypes<'_>>,
+) {
+    let tenant = q
+        .project
+        .clone()
+        .unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+    // Resolve the snapshot once; everything below (including a concurrent
+    // `reload`) works against this Arc, which is what makes the swap
+    // drain-safe. The default tenant uses the worker's pinned snapshot so
+    // the cached inference always matches the database it borrows.
+    let is_default = q
+        .project
+        .as_deref()
+        .filter(|p| *p != DEFAULT_TENANT)
+        .is_none();
+    let snapshot = if is_default {
+        Arc::clone(default_snapshot)
+    } else {
+        match ctx.registry.get(q.project.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => {
+                let rest = proto::error_rest("unknown_project", &msg);
+                deliver(
+                    &tenant,
+                    q.id.as_ref(),
+                    &rest,
+                    Disposition::Error,
+                    job.admitted,
+                    &job.reply,
+                );
+                return;
+            }
+        }
+    };
+    let run = |abs: Option<&AbsTypes<'_>>| {
+        proto::execute_rest(&snapshot, &q, &ctx.defaults, &ctx.cancel, abs)
+    };
+    // Named tenants build their site inference per request: it is a
+    // unification pass over one method body, small next to the engine run
+    // it sharpens, and caching it per (worker, tenant) would pin evicted
+    // snapshots. The default tenant — the hot path — stays prewarmed.
+    let execute = || {
+        if is_default {
+            run(default_abs)
+        } else {
+            let abs = snapshot.abs_for_site();
+            run(abs.as_ref())
+        }
+    };
+    let Some(key) = q.coalesce_key() else {
+        let (rest, disposition) = execute();
+        deliver(
+            &tenant,
+            q.id.as_ref(),
+            &rest,
+            disposition,
+            job.admitted,
+            &job.reply,
+        );
+        return;
+    };
+    match ctx.coalescer.admit(
+        &key,
+        Waiter {
+            id: q.id.clone(),
+            reply: job.reply.clone(),
+            admitted: job.admitted,
+            tenant: tenant.clone(),
+        },
+    ) {
+        Admitted::Follower => {
+            // Parked behind the executing leader, which will deliver and
+            // account for this request at fan-out. Nothing more to do on
+            // this worker — it is free for non-identical work.
+            pex_obs::counter!("serve.requests.coalesced", 1);
+            registry::tenant_counter(&tenant, "coalesced", 1);
+        }
+        Admitted::Leader => {
+            let (rest, disposition) = execute();
+            // Collect *after* executing: twins admitted during the run are
+            // in the list; twins arriving after this line find no entry
+            // and lead their own run.
+            let waiters = ctx.coalescer.collect(&key);
+            for w in waiters {
+                deliver(
+                    &w.tenant,
+                    w.id.as_ref(),
+                    &rest,
+                    disposition,
+                    w.admitted,
+                    &w.reply,
+                );
+            }
+            deliver(
+                &tenant,
+                q.id.as_ref(),
+                &rest,
+                disposition,
+                job.admitted,
+                &job.reply,
+            );
+        }
+    }
+}
+
+/// Assembles a response body under one request's `id`, records that
+/// request's resolution (global + per-tenant counters, latency windows),
+/// and sends it. Every query response — solo, leader, or coalesced
+/// follower — resolves through here exactly once, which is what keeps the
+/// accounting identity immune to coalescing.
+fn deliver(
+    tenant: &str,
+    id: Option<&Value>,
+    rest: &str,
+    disposition: Disposition,
+    admitted: Instant,
+    reply: &Sender<String>,
+) {
+    let response = proto::assemble_response(id, rest);
+    let total_ns = admitted.elapsed().as_nanos() as u64;
+    pex_obs::histogram!("serve.request.ns", total_ns);
+    if pex_obs::enabled() {
+        // Admission-to-response in µs — the same interval a client
+        // measures, so the `stats` window percentiles cross-check
+        // against client-side tallies.
+        pex_obs::registry()
+            .windowed(crate::obs_json::REQUEST_WINDOW)
+            .record(total_ns / 1_000);
+    }
+    let suffix = match disposition {
+        Disposition::Ok => {
+            pex_obs::counter!("serve.requests.ok", 1);
+            "requests.ok"
+        }
+        Disposition::Degraded => {
+            pex_obs::counter!("serve.requests.degraded", 1);
+            "requests.degraded"
+        }
+        Disposition::Error => {
+            pex_obs::counter!("serve.requests.error", 1);
+            "requests.error"
+        }
+    };
+    registry::tenant_counter(tenant, suffix, 1);
+    let _ = reply.send(response);
 }
 
 #[cfg(test)]
@@ -319,7 +586,7 @@ mod tests {
 
     fn server(workers: usize, queue_cap: usize) -> Server {
         let snapshot = Snapshot::load(&SnapshotSource::Paint).unwrap();
-        Server::start(
+        Server::start_single(
             snapshot,
             ServeConfig {
                 workers,
@@ -363,11 +630,17 @@ mod tests {
     fn full_queue_sheds_explicitly() {
         // One worker and a tiny queue; flood it faster than one worker can
         // drain. Every submission gets *some* response: ok or shed.
+        // Distinct ids keep the requests from coalescing (the id is not in
+        // the coalesce key, but the limit knob here is) — vary the limit so
+        // each request is genuinely distinct work.
         let s = server(1, 1);
         let (tx, rx) = channel();
         const N: usize = 40;
         for i in 0..N {
-            s.submit(format!("{{\"id\":{i},\"query\":\"?\",\"limit\":50}}"), &tx);
+            s.submit(
+                format!("{{\"id\":{i},\"query\":\"?\",\"limit\":{}}}", 50 + i),
+                &tx,
+            );
         }
         let mut ok = 0;
         let mut shed = 0;
@@ -488,6 +761,177 @@ mod tests {
             "accounting identity: {resp}"
         );
         assert!(health.get("slo").is_some(), "{resp}");
+        // The tenant table lists at least the pinned default tenant.
+        let tenants = health.get("tenants").expect("tenant table: {resp}");
+        assert!(tenants.get(DEFAULT_TENANT).is_some(), "{resp}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn project_queries_route_to_their_tenant_snapshot() {
+        let registry = Arc::new(SnapshotRegistry::single(
+            Snapshot::load(&SnapshotSource::Paint).unwrap(),
+        ));
+        registry
+            .insert("geo", Snapshot::load(&SnapshotSource::Geometry).unwrap())
+            .unwrap();
+        let s = Server::start(Arc::clone(&registry), ServeConfig::default());
+        let (tx, rx) = channel();
+        let timeout = std::time::Duration::from_secs(30);
+        // The geometry context knows `point` (a Point local); paint does not.
+        s.submit(
+            "{\"id\":1,\"query\":\"point.?f\",\"project\":\"geo\",\"limit\":3}".into(),
+            &tx,
+        );
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        // The same query against the default (paint) tenant fails to parse:
+        // proof the `project` field selected a different snapshot.
+        s.submit("{\"id\":2,\"query\":\"point.?f\",\"limit\":3}".into(), &tx);
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("error").and_then(Value::as_str), Some("parse"));
+        // Unknown tenants get the explicit error kind.
+        s.submit(
+            "{\"id\":3,\"query\":\"?\",\"project\":\"nope\"}".into(),
+            &tx,
+        );
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(Value::as_str),
+            Some("unknown_project"),
+            "{resp}"
+        );
+        // A reload with no origin reports `reload_failed`, keeps serving.
+        s.submit("{\"id\":4,\"cmd\":\"reload\"}".into(), &tx);
+        let resp = rx.recv_timeout(timeout).unwrap();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(Value::as_str),
+            Some("reload_failed"),
+            "{resp}"
+        );
+        s.submit("{\"id\":5,\"cmd\":\"ping\"}".into(), &tx);
+        assert!(rx.recv_timeout(timeout).unwrap().contains("pong"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn identical_inflight_queries_coalesce_into_one_run() {
+        pex_obs::set_enabled(true);
+        // Coalescing needs genuine overlap: a worker must pop a twin while
+        // the leader is mid-run. Under a loaded test host a fast run can
+        // finish before the second worker ever wakes, so burst a few times
+        // and require at least one burst to overlap.
+        const N: usize = 32;
+        const ATTEMPTS: usize = 5;
+        let mut coalesced = 0u64;
+        for attempt in 0..ATTEMPTS {
+            let before = pex_obs::registry()
+                .counter("serve.requests.coalesced")
+                .get();
+            // Two workers: one leads the expensive run, the other drains
+            // the queue into the coalescer while the leader executes.
+            let s = server(2, 64);
+            let (tx, rx) = channel();
+            for i in 0..N {
+                // Identical work (same key); distinct ids (not in the key).
+                s.submit(
+                    format!("{{\"id\":{i},\"query\":\"?\",\"limit\":400,\"max_steps\":2000000}}"),
+                    &tx,
+                );
+            }
+            let mut bodies = std::collections::HashSet::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..N {
+                let resp = rx.recv_timeout(std::time::Duration::from_secs(60)).unwrap();
+                let doc = json::parse(&resp).unwrap();
+                assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{resp}");
+                seen.insert(doc.get("id").and_then(Value::as_u64).unwrap());
+                // Strip the id prefix: coalesced twins share the body bytes.
+                bodies.insert(resp.split_once(',').unwrap().1.to_owned());
+            }
+            s.shutdown();
+            assert_eq!(seen.len(), N, "every twin answered under its own id");
+            coalesced = pex_obs::registry()
+                .counter("serve.requests.coalesced")
+                .get()
+                - before;
+            assert!(
+                (bodies.len() as u64) <= N as u64 - coalesced,
+                "each coalesced follower shares a leader's body: {} bodies, {coalesced} coalesced",
+                bodies.len()
+            );
+            if coalesced >= 1 {
+                break;
+            }
+            eprintln!("attempt {attempt}: no overlap, retrying");
+        }
+        assert!(
+            coalesced >= 1,
+            "identical in-flight queries never coalesced in {ATTEMPTS} bursts"
+        );
+    }
+
+    #[test]
+    fn default_reload_rebuilds_workers_without_dropping_requests() {
+        use crate::registry::DefaultOrigin;
+        // A registry whose default can be rebuilt from its source.
+        let registry = Arc::new(SnapshotRegistry::new(
+            Snapshot::load(&SnapshotSource::Paint).unwrap(),
+            DefaultOrigin::Source {
+                source: SnapshotSource::Paint,
+                locals: Vec::new(),
+            },
+            None,
+            None,
+        ));
+        let s = Server::start(Arc::clone(&registry), ServeConfig::default());
+        let (tx, rx) = channel();
+        let timeout = std::time::Duration::from_secs(60);
+        const BEFORE: usize = 8;
+        const AFTER: usize = 8;
+        for i in 0..BEFORE {
+            s.submit(
+                format!(
+                    "{{\"id\":{i},\"query\":\"?({{img, size}})\",\"limit\":{}}}",
+                    3 + i
+                ),
+                &tx,
+            );
+        }
+        s.submit("{\"id\":100,\"cmd\":\"reload\"}".into(), &tx);
+        for i in 0..AFTER {
+            s.submit(
+                format!(
+                    "{{\"id\":{},\"query\":\"?({{img, size}})\",\"limit\":{}}}",
+                    200 + i,
+                    3 + i
+                ),
+                &tx,
+            );
+        }
+        let mut answered = 0;
+        let mut reloaded = false;
+        for _ in 0..(BEFORE + AFTER + 1) {
+            let resp = rx.recv_timeout(timeout).unwrap();
+            let doc = json::parse(&resp).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{resp}");
+            if doc.get("reloaded").is_some() {
+                reloaded = true;
+            } else {
+                answered += 1;
+            }
+        }
+        assert!(reloaded, "the reload was acknowledged");
+        assert_eq!(
+            answered,
+            BEFORE + AFTER,
+            "zero requests dropped across the hot swap"
+        );
+        assert!(registry.default_generation() >= 1);
         s.shutdown();
     }
 }

@@ -151,6 +151,27 @@ impl Snapshot {
         pex_obs::counter!("serve.snapshot.prewarmed", 1);
     }
 
+    /// A coarse estimate of this snapshot's resident size in bytes, for
+    /// the registry's `--max-snapshot-bytes` LRU accounting.
+    ///
+    /// The estimate is structural — per-entry costs for the type table,
+    /// members, method bodies, the candidate memo, and the interned
+    /// expression arena — not a heap census. It only has to be *monotone*
+    /// in corpus size and stable across runs so eviction order is
+    /// deterministic; tenants loaded from a `pex-snapshot/1` file use the
+    /// file's exact byte length instead (the file contains the same
+    /// arena + index payload this approximates).
+    pub fn approx_bytes(&self) -> u64 {
+        let types = self.db.types().len() as u64;
+        let fields = self.db.field_count() as u64;
+        let methods = self.db.method_count() as u64;
+        let arena = self.cache.arena.len() as u64;
+        // Rough per-entry footprints: a type row plus its conversion-index
+        // and candidate-memo shares; a member signature; a parsed method
+        // body; one interned arena node.
+        types * 512 + fields * 96 + methods * 768 + arena * 48 + 4096
+    }
+
     /// Builds the Lackwit-style abstract-type inference for the snapshot's
     /// default query site, if it has one. The result borrows the
     /// snapshot's database, so it cannot be stored inside the snapshot
@@ -227,6 +248,21 @@ mod tests {
         for name in ["paint", "geometry", "familyshow"] {
             assert!(err.contains(name), "missing `{name}` hint in: {err}");
         }
+    }
+
+    #[test]
+    fn approx_bytes_is_nonzero_and_grows_with_the_corpus() {
+        let paint = Snapshot::load(&SnapshotSource::Paint).unwrap();
+        assert!(paint.approx_bytes() > 0);
+        // A strictly larger code model must account as strictly larger, so
+        // LRU eviction order under a byte budget is meaningful.
+        let empty = Snapshot::from_database(
+            "empty".into(),
+            pex_model::minics::compile("").unwrap(),
+            Context::empty(),
+            None,
+        );
+        assert!(paint.approx_bytes() > empty.approx_bytes());
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! End-to-end tests of the multi-tenant registry through the real
+//! binary: project routing against `--snapshot-dir`, hot swap via
+//! `{"cmd":"reload"}` with zero dropped requests under concurrent load,
+//! and per-tenant accounting in the introspection commands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+use pex_serve::{persist, Snapshot, SnapshotSource};
+
+/// A fresh directory holding a `geo.pexsnap` tenant snapshot, built with
+/// the same persistence codec the daemon's lazy loader reads.
+fn snapshot_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pex-mt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let geo = Snapshot::load(&SnapshotSource::Geometry).expect("geometry snapshot");
+    persist::save(&geo, &dir.join("geo.pexsnap")).expect("save geo.pexsnap");
+    dir
+}
+
+fn spawn_daemon(dir: &std::path::Path) -> (Child, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .arg("paint")
+        .args(["--workers", "2", "--queue-cap", "128", "--snapshot-dir"])
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pex-serve");
+    let reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    (child, reader)
+}
+
+fn send(child: &mut Child, line: &str) {
+    let stdin = child.stdin.as_mut().expect("stdin piped");
+    writeln!(stdin, "{line}").expect("write request");
+    stdin.flush().expect("flush request");
+}
+
+fn recv(reader: &mut BufReader<ChildStdout>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(!line.is_empty(), "server closed stdout unexpectedly");
+    line.trim_end().to_owned()
+}
+
+fn wait_exit(mut child: Child) -> i32 {
+    for _ in 0..100 {
+        if let Some(status) = child.try_wait().expect("wait on child") {
+            return status.code().expect("exit code");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    child.kill().ok();
+    panic!("pex-serve did not exit within 10s of stdin EOF");
+}
+
+#[test]
+fn routes_projects_lazily_from_the_snapshot_dir() {
+    let dir = snapshot_dir("route");
+    let (mut child, mut reader) = spawn_daemon(&dir);
+
+    // No project field: the default (paint) tenant, byte-for-byte the
+    // single-tenant protocol.
+    send(&mut child, r#"{"id":1,"query":"?({img, size})","limit":3}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("ResizeDocument(img, size, 0, 0)"), "{resp}");
+
+    // project "geo" faults in geo.pexsnap on first use and serves from it.
+    send(
+        &mut child,
+        r#"{"id":2,"project":"geo","query":"?","limit":3}"#,
+    );
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"id\":2"), "{resp}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    // A project with no snapshot on disk is a clean protocol error.
+    send(&mut child, r#"{"id":3,"project":"nope","query":"?"}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"error\":\"unknown_project\""), "{resp}");
+
+    // stats reports the resident tenants with their request accounting.
+    send(&mut child, r#"{"id":4,"cmd":"stats"}"#);
+    let resp = recv(&mut reader);
+    assert!(resp.contains("\"tenants\""), "{resp}");
+    assert!(resp.contains("\"geo\""), "{resp}");
+    assert!(resp.contains("\"default\""), "{resp}");
+
+    drop(child.stdin.take());
+    assert_eq!(wait_exit(child), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_swap_drops_no_requests_under_concurrent_load() {
+    let dir = snapshot_dir("swap");
+    let (mut child, mut reader) = spawn_daemon(&dir);
+
+    // Queries stream in back-to-back with reloads of both the default
+    // tenant and the geo tenant interleaved mid-stream, so requests are
+    // in flight on the old snapshots while the Arcs flip. Every line must
+    // come back answered — the accounting identity allows no drops.
+    const QUERIES: usize = 40;
+    for k in 0..QUERIES {
+        if k == 10 {
+            send(&mut child, r#"{"id":"swap-default","cmd":"reload"}"#);
+        }
+        if k == 20 {
+            send(
+                &mut child,
+                r#"{"id":"swap-geo","cmd":"reload","project":"geo"}"#,
+            );
+        }
+        let line = if k % 3 == 0 {
+            format!(r#"{{"id":"q{k}","project":"geo","query":"?","limit":3}}"#)
+        } else {
+            format!(r#"{{"id":"q{k}","query":"?({{img, size}})","limit":3}}"#)
+        };
+        send(&mut child, &line);
+    }
+
+    let mut answered = std::collections::HashSet::new();
+    let mut swaps = 0;
+    while answered.len() < QUERIES || swaps < 2 {
+        let resp = recv(&mut reader);
+        assert!(resp.contains("\"ok\":true"), "dropped or failed: {resp}");
+        if resp.contains("\"reloaded\":") {
+            assert!(resp.contains("\"swapped\":true"), "{resp}");
+            swaps += 1;
+            continue;
+        }
+        let id = resp
+            .split("\"id\":\"q")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or_else(|| panic!("unexpected response: {resp}"));
+        assert!(answered.insert(id), "duplicate answer for q{id}: {resp}");
+    }
+    assert_eq!(answered.len(), QUERIES, "every query answered exactly once");
+
+    // The swapped snapshots keep serving correct answers afterwards.
+    send(
+        &mut child,
+        r#"{"id":"after","query":"?({img, size})","limit":3}"#,
+    );
+    let resp = recv(&mut reader);
+    assert!(resp.contains("ResizeDocument(img, size, 0, 0)"), "{resp}");
+
+    drop(child.stdin.take());
+    assert_eq!(wait_exit(child), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

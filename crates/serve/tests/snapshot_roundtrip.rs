@@ -47,6 +47,7 @@ fn first_site(db: &Database) -> Option<(MethodId, usize)> {
 fn answer(snapshot: &Snapshot, query: &str) -> String {
     let req = QueryRequest {
         id: Some(Value::Num(1.0)),
+        project: None,
         query: query.to_owned(),
         limit: Some(20),
         deadline_ms: None,

@@ -1,0 +1,186 @@
+//! End-to-end tests of the `pex-serve` Unix-socket transport: a real
+//! process, real connections, and the startup/shutdown lifecycle around
+//! the socket path — stale-socket takeover, live-daemon refusal, the
+//! `--max-connections` cap, and handle reaping under connection churn.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A unique socket path per test, short enough for `sockaddr_un`.
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pex-{tag}-{}.sock", std::process::id()))
+}
+
+fn spawn_daemon(socket: &Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .arg("paint")
+        .args(["--workers", "2", "--socket"])
+        .arg(socket)
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pex-serve")
+}
+
+/// Polls until the daemon accepts connections on `socket`.
+fn connect_ready(socket: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(s) => return s,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => panic!("daemon never listened on {}: {e}", socket.display()),
+        }
+    }
+}
+
+/// One request/response round trip over its own connection.
+fn roundtrip(socket: &Path, line: &str) -> String {
+    let mut stream = connect_ready(socket);
+    writeln!(stream, "{line}").expect("write request");
+    stream.flush().expect("flush request");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    assert!(!resp.is_empty(), "connection closed without a response");
+    resp.trim_end().to_owned()
+}
+
+fn wait_exit(mut child: Child) -> i32 {
+    for _ in 0..100 {
+        if let Some(status) = child.try_wait().expect("wait on child") {
+            return status.code().expect("exit code");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    child.kill().ok();
+    panic!("pex-serve did not exit within 10s");
+}
+
+fn shutdown(mut child: Child, socket: &Path) {
+    drop(child.stdin.take()); // EOF on stdin begins the graceful drain
+    assert_eq!(wait_exit(child), 0);
+    assert!(
+        !socket.exists(),
+        "daemon removes its socket on clean shutdown"
+    );
+}
+
+#[test]
+fn connection_churn_answers_every_client_and_exits_clean() {
+    let socket = socket_path("churn");
+    let child = spawn_daemon(&socket, &[]);
+    connect_ready(&socket);
+    // Many short-lived connections, several at a time: with per-iteration
+    // reaping the daemon holds one handle per *live* connection, and
+    // every client still gets its answer.
+    for round in 0..10 {
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let socket = socket.clone();
+                std::thread::spawn(move || {
+                    roundtrip(
+                        &socket,
+                        &format!(
+                            r#"{{"id":{},"query":"?({{img, size}})","limit":3}}"#,
+                            round * 4 + i
+                        ),
+                    )
+                })
+            })
+            .collect();
+        for t in threads {
+            let resp = t.join().expect("client thread");
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }
+    }
+    shutdown(child, &socket);
+}
+
+#[test]
+fn connection_cap_sheds_with_a_clean_error_line() {
+    let socket = socket_path("cap");
+    let child = spawn_daemon(&socket, &["--max-connections", "1"]);
+    // Hold one connection open so the cap is reached...
+    let held = connect_ready(&socket);
+    // ...then the next connection gets one explicit error line, not a
+    // hang and not a silent close.
+    let resp = roundtrip(&socket, r#"{"id":9,"cmd":"ping"}"#);
+    assert!(resp.contains("\"error\":\"connection_limit\""), "{resp}");
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    // Releasing the held connection frees a slot for new clients.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = roundtrip(&socket, r#"{"id":10,"cmd":"ping"}"#);
+        if resp.contains("\"pong\":true") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after client disconnect: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    shutdown(child, &socket);
+}
+
+#[test]
+fn stale_socket_is_unlinked_and_taken_over() {
+    let socket = socket_path("stale");
+    // A listener that binds and dies without cleanup leaves a socket file
+    // nothing accepts on — exactly what a crashed daemon leaves behind.
+    drop(UnixListener::bind(&socket).expect("bind stale socket"));
+    assert!(socket.exists(), "stale socket file is on disk");
+    let child = spawn_daemon(&socket, &[]);
+    let resp = roundtrip(&socket, r#"{"id":1,"cmd":"ping"}"#);
+    assert!(resp.contains("\"pong\":true"), "{resp}");
+    shutdown(child, &socket);
+}
+
+#[test]
+fn live_socket_is_refused_with_address_in_use() {
+    let socket = socket_path("live");
+    let first = spawn_daemon(&socket, &[]);
+    connect_ready(&socket);
+    // A second daemon pointed at the same socket must not steal it.
+    let out = Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .arg("paint")
+        .arg("--socket")
+        .arg(&socket)
+        .output()
+        .expect("run second pex-serve");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("address in use"), "{err}");
+    // The first daemon is untouched and still serving.
+    let resp = roundtrip(&socket, r#"{"id":2,"cmd":"ping"}"#);
+    assert!(resp.contains("\"pong\":true"), "{resp}");
+    shutdown(first, &socket);
+}
+
+#[test]
+fn refuses_to_replace_a_path_that_is_not_a_socket() {
+    let socket = socket_path("notasock");
+    std::fs::write(&socket, b"precious data\n").expect("plant a regular file");
+    let out = Command::new(env!("CARGO_BIN_EXE_pex-serve"))
+        .arg("paint")
+        .arg("--socket")
+        .arg(&socket)
+        .output()
+        .expect("run pex-serve");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a socket"), "{err}");
+    assert_eq!(
+        std::fs::read(&socket).expect("file survives"),
+        b"precious data\n",
+        "the daemon must not delete files it did not create"
+    );
+    std::fs::remove_file(&socket).ok();
+}
