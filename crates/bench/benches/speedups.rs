@@ -540,6 +540,75 @@ fn bench_snapshot_boot(c: &mut Criterion) {
     });
 }
 
+/// Incremental update vs full rebuild: the same single-method body edit
+/// on the paint corpus. The incremental leg goes through
+/// `Snapshot::apply_update` — it re-parses and re-resolves only the
+/// edited compilation unit, and a signature-identical body edit provably
+/// invalidates nothing, so every index and memo cell is carried over.
+/// The baseline leg is what a daemon without the `update` verb must do
+/// for the same edit: re-compile the whole corpus source and rebuild the
+/// method index, reach index, and prewarmed caches from scratch. The
+/// derived `incremental_update_speedup` is this PR's headline number.
+fn bench_edit_update(c: &mut Criterion) {
+    use pex_serve::{Snapshot, SnapshotSource};
+
+    let base = Snapshot::load(&SnapshotSource::Paint).expect("builtin snapshot");
+    // `DocumentUtils` exactly as the corpus declares it, with only
+    // `Normalize`'s body changed — a signature-identical edit. Each
+    // iteration applies it to the same pristine base, so it is a real
+    // (never no-op) edit every time for both legs.
+    let unit = "namespace PaintDotNet.Client { class DocumentUtils { \
+                static PaintDotNet.Document Normalize(PaintDotNet.Document d) \
+                { return PaintDotNet.Client.DocumentUtils.Normalize(d); } \
+                static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; } } }";
+    // The same edit expressed as the whole corpus with the one body
+    // swapped — the input the full-rebuild baseline has to chew through.
+    let edited_source = pex_corpus::builtin::PAINT_DOT_NET.replace(
+        "Normalize(PaintDotNet.Document d) { return d; }",
+        "Normalize(PaintDotNet.Document d) \
+         { return PaintDotNet.Client.DocumentUtils.Normalize(d); }",
+    );
+    assert_ne!(
+        edited_source,
+        pex_corpus::builtin::PAINT_DOT_NET,
+        "the body swap found its target"
+    );
+    // Sanity: both legs land on the same model, and the incremental path
+    // carries every derived cache over (zero invalidations).
+    let (patched, stats) = base.apply_update(unit).expect("edit applies");
+    assert!(patched.is_some(), "the edit is not a no-op");
+    assert_eq!(
+        stats.invalidated.total(),
+        0,
+        "a body edit must invalidate nothing"
+    );
+    let recompiled = pex_model::minics::compile(&edited_source).expect("edited corpus compiles");
+    assert_eq!(
+        patched.unwrap().db.method_count(),
+        recompiled.method_count()
+    );
+
+    c.bench_function("speedups/edit_incremental", |b| {
+        b.iter(|| {
+            let (snap, _) = base.apply_update(black_box(unit)).expect("edit applies");
+            black_box(snap.expect("never a noop").db.method_count())
+        })
+    });
+    c.bench_function("speedups/edit_full_rebuild", |b| {
+        b.iter(|| {
+            let db = pex_model::minics::compile(black_box(&edited_source))
+                .expect("edited corpus compiles");
+            let snap = Snapshot::from_database(
+                "rebuild".to_owned(),
+                db,
+                pex_model::Context::empty(),
+                None,
+            );
+            black_box(snap.db.method_count())
+        })
+    });
+}
+
 /// The thread count the parallel replay leg actually runs with: capped at
 /// 4 so the recorded speedup reflects a modest, reproducible worker pool
 /// rather than whatever the bench machine happens to have.
@@ -738,6 +807,15 @@ fn render_json(results: &[BenchResult], snap: &pex_obs::MetricsSnapshot) -> Stri
             "speedups/boot_snapshot_load"
         ))
     ));
+    // What the `update` protocol verb buys an editing client: the same
+    // single-method body edit, surgical invalidation vs full re-derive.
+    out.push_str(&format!(
+        "    \"incremental_update_speedup\": {},\n",
+        fmt_opt(speedup(
+            "speedups/edit_full_rebuild",
+            "speedups/edit_incremental"
+        ))
+    ));
     out.push_str(&format!(
         "    \"methods_replay_speedup\": {}\n",
         fmt_opt(speedup(
@@ -759,6 +837,7 @@ fn main() {
     bench_bestfirst(&mut c);
     bench_snapshot_reuse(&mut c);
     bench_snapshot_boot(&mut c);
+    bench_edit_update(&mut c);
     bench_replay(&mut c);
     let results = c.results();
     if results.is_empty() {

@@ -316,6 +316,51 @@ impl MethodIndex {
     pub fn all_with_args(&self) -> &[MethodId] {
         &self.with_args
     }
+
+    /// Rebuilds the index over an incrementally patched database, carrying
+    /// over every memoized candidate list the edit cannot have changed.
+    ///
+    /// The `by_param` and `with_args` tables rebuild wholesale (one linear
+    /// pass over live methods); the expensive part — the per-type
+    /// deduplicated supertype walks in `memo` — is retained for every type
+    /// whose conversion-target list on the *new* table avoids `dirty`
+    /// (dirty types ∪ dirty parameter types from the model diff): a cell's
+    /// contents change only if some target's exact entry moved (that
+    /// target is a dirty parameter type) or the target list itself moved
+    /// (some type on the new list is dirty — hierarchy edits dirty the
+    /// edited type, which stays on the walk). Returns
+    /// `(index, cells dropped, cells kept)`.
+    ///
+    /// Requires the new table's conversion index to be installed already.
+    pub fn rebuild_after_update(
+        &self,
+        new_db: &Database,
+        dirty: &std::collections::HashSet<TypeId>,
+    ) -> (MethodIndex, usize, usize) {
+        let fresh = MethodIndex::build(new_db);
+        let mut dropped = 0usize;
+        let mut kept = 0usize;
+        for (i, cell) in self.memo.iter().enumerate() {
+            let Some(list) = cell.get() else { continue };
+            if i >= fresh.memo.len() {
+                dropped += 1;
+                continue;
+            }
+            let ty = TypeId::from_index(i);
+            let stale = new_db
+                .types()
+                .conversion_targets_ref(ty)
+                .iter()
+                .any(|&(target, _)| dirty.contains(&target));
+            if stale {
+                dropped += 1;
+            } else {
+                let _ = fresh.memo[i].set(list.clone());
+                kept += 1;
+            }
+        }
+        (fresh, dropped, kept)
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,46 @@ impl SuccessorMemo {
     pub(crate) fn len(&self) -> usize {
         self.entries.read().expect("memo lock").len()
     }
+
+    /// Clones the memo for an incrementally patched database, keeping
+    /// every entry whose keyed type's member-lookup chain — in **both**
+    /// the old and the new database — avoids the dirty type set.
+    ///
+    /// An entry's value depends only on the member lists (and their
+    /// accessibility) of the types on the keyed type's lookup chain; a
+    /// chain can only change shape at a type whose own supertype edges
+    /// changed, and such a type is dirty and still on the prefix of both
+    /// chains — so checking both chains against the dirty set is a sound
+    /// staleness test. Returns `(retained memo, dropped, kept)`.
+    pub(crate) fn retain_for_update(
+        &self,
+        old_db: &Database,
+        new_db: &Database,
+        dirty: &std::collections::HashSet<TypeId>,
+    ) -> (SuccessorMemo, usize, usize) {
+        let entries = self.entries.read().expect("memo lock");
+        let mut kept: HashMap<Key, Arc<[SuccStep]>> = HashMap::with_capacity(entries.len());
+        let mut dropped = 0usize;
+        let chain_hits = |db: &Database, ty: TypeId| {
+            db.member_lookup_chain(ty).iter().any(|t| dirty.contains(t))
+        };
+        for (key, steps) in entries.iter() {
+            let ty = key.0;
+            if !dirty.is_empty() && (chain_hits(old_db, ty) || chain_hits(new_db, ty)) {
+                dropped += 1;
+            } else {
+                kept.insert(*key, Arc::clone(steps));
+            }
+        }
+        let n_kept = kept.len();
+        (
+            SuccessorMemo {
+                entries: RwLock::new(kept),
+            },
+            dropped,
+            n_kept,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ pub mod budget;
 pub(crate) mod calls;
 pub mod chains;
 pub(crate) mod index;
+pub mod invalidate;
 pub(crate) mod memo;
 pub mod reach;
 pub(crate) mod stream;
@@ -16,6 +17,7 @@ pub(crate) mod stream;
 pub use budget::{CancelToken, QueryBudget, QueryOutcome, RankResult};
 pub use chains::MAX_DEPTH_LIMIT;
 pub use index::{CandidateScratch, MethodIndex};
+pub use invalidate::{refresh_derived, InvalidationStats};
 pub use reach::ReachIndex;
 pub use stream::Completion;
 

@@ -298,6 +298,15 @@ impl ReachMemo {
         let mut entries = self.entries.write().expect("reach memo lock");
         Some(std::sync::Arc::clone(entries.entry(key).or_insert(table)))
     }
+
+    /// Clones the memo for an incremental update that left reachability
+    /// and conversions untouched — every pruner table stays valid, so the
+    /// new snapshot shares the `Arc`s instead of re-deriving them.
+    pub(crate) fn carry(&self) -> ReachMemo {
+        ReachMemo {
+            entries: std::sync::RwLock::new(self.entries.read().expect("reach memo lock").clone()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub mod rank;
 pub use engine::{
     budget::{CancelToken, QueryBudget, QueryOutcome, RankResult},
     chains::{ChainLink, MAX_DEPTH_LIMIT},
+    invalidate::{refresh_derived, InvalidationStats},
     BestFirstIter, CandidateScratch, CompleteOptions, Completer, Completion, CompletionIter,
     EngineCache, InvalidMaxDepth, MethodIndex, ReachIndex,
 };

@@ -138,6 +138,7 @@ fn main() {
             "--live-stats" => serve_cfg.live_stats = true,
             "--tenants" => serve_cfg.tenants = parse_or_exit(flag, &take_value(), "an integer"),
             "--open-loop" => serve_cfg.open_loop = true,
+            "--edit-rate" => serve_cfg.edit_rate = parse_or_exit(flag, &take_value(), "an integer"),
             "--bench-out" => bench_out = PathBuf::from(take_value()),
             other => {
                 pex_obs::message!("unknown flag {other}");
@@ -477,6 +478,9 @@ serve-bench flags (plus --threads for workers, --limit, --deadline-ms):
     --open-loop        send on the --qps schedule regardless of responses
                        (arrival rate stays fixed under overload; requires
                        --qps > 0); results land under serve.multi_tenant
+    --edit-rate N      make every N-th request per client an incremental
+                       update command (0 = queries only); edits keep their
+                       own per-tenant ledger, sent == applied + rejected
     --live-stats       scrape {\"cmd\":\"stats\"} mid-load and cross-check the
                        daemon's rolling-window percentiles against the
                        clients' own stopwatches (asserts p50/p90 agree)

@@ -24,6 +24,13 @@
 //! `sent == ok + degraded + shed + errors` must hold for each tenant and
 //! in aggregate — the server answers every admitted line.
 //!
+//! With `--edit-rate N` every N-th request per client is an incremental
+//! `update` command instead of a query, exercising the edit path under
+//! concurrent query load. Edits keep their own ledger — per tenant,
+//! `edits_sent == edits_applied + edits_rejected` (the server answers
+//! every submitted update; a shed edit counts as rejected) — and the
+//! reported query percentiles are measured under that edit load.
+//!
 //! The report gives throughput and nearest-rank latency percentiles
 //! (p50/p90/p99, via [`stats::percentile`]) and is also merged into
 //! `BENCH_results.json` as a `"serve"` section next to the criterion-style
@@ -69,6 +76,13 @@ pub struct ServeBenchConfig {
     /// Open-loop arrivals: send on the `qps` schedule regardless of
     /// responses. Requires `qps > 0`.
     pub open_loop: bool,
+    /// Mix incremental `update` commands into the schedule: every N-th
+    /// request per client becomes an edit (0 = queries only). Edit
+    /// payloads cycle through two alternating `DocumentUtils` body
+    /// variants (always a genuine re-resolution) and one garbled unit
+    /// (always a `parse_error`), so both the applied and the rejected
+    /// paths stay hot under concurrent query load.
+    pub edit_rate: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -87,6 +101,7 @@ impl Default for ServeBenchConfig {
             live_stats: false,
             tenants: 1,
             open_loop: false,
+            edit_rate: 0,
         }
     }
 }
@@ -97,7 +112,8 @@ impl Default for ServeBenchConfig {
 pub struct TenantOutcome {
     /// Tenant label: `default`, or `t1`, `t2`, ….
     pub name: String,
-    /// Requests submitted against this tenant.
+    /// Query requests submitted against this tenant (edits are ledgered
+    /// separately in the `edits_*` fields).
     pub sent: usize,
     /// Non-degraded successful responses.
     pub ok: usize,
@@ -107,14 +123,25 @@ pub struct TenantOutcome {
     pub shed: usize,
     /// Any other error response.
     pub errors: usize,
+    /// `update` commands submitted against this tenant. Edits are
+    /// accounted separately from queries; the identity
+    /// `edits_sent == edits_applied + edits_rejected` holds per tenant
+    /// (a shed edit counts as rejected — admission control refused it).
+    pub edits_sent: usize,
+    /// Edits the server applied (`ok:true`, no-ops included).
+    pub edits_applied: usize,
+    /// Edits refused: parse errors, update failures, or shed.
+    pub edits_rejected: usize,
 }
 
 /// What one run measured.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
-    /// Requests submitted. Every one receives exactly one response —
-    /// answered or shed — before the report is assembled, in both loop
-    /// modes, so `sent == ok + degraded + shed + errors`.
+    /// Query requests submitted. Every one receives exactly one
+    /// response — answered or shed — before the report is assembled, in
+    /// both loop modes, so `sent == ok + degraded + shed + errors`; the
+    /// `update` commands an `edit_rate` mixes in close their own books
+    /// under `edits_sent == edits_applied + edits_rejected`.
     pub sent: usize,
     /// `ok:true` responses with a non-degraded outcome.
     pub ok: usize,
@@ -128,8 +155,18 @@ pub struct ServeBenchReport {
     pub elapsed: Duration,
     /// Completed-request throughput over `elapsed`, in requests/second.
     pub throughput: f64,
-    /// Submit-to-response latencies, microseconds, unsorted.
+    /// Submit-to-response latencies of **query** requests, microseconds,
+    /// unsorted — the reported percentiles are query latency under
+    /// whatever edit load `edit_rate` mixed in.
     pub latencies_us: Vec<u128>,
+    /// Submit-to-response latencies of `update` commands, microseconds.
+    pub edit_latencies_us: Vec<u128>,
+    /// `update` commands submitted (see [`TenantOutcome::edits_sent`]).
+    pub edits_sent: usize,
+    /// Edits applied (`ok:true`, no-ops included).
+    pub edits_applied: usize,
+    /// Edits refused (parse error, update failure, or shed).
+    pub edits_rejected: usize,
     /// The mid-load `stats` scrape, when `live_stats` was requested and
     /// the scrape landed before the load phase ended.
     pub live: Option<LiveStatsProbe>,
@@ -162,6 +199,23 @@ pub struct LiveStatsProbe {
 /// The fixed query mix, all valid against the mini Paint.NET snapshot:
 /// the paper's method-name query, a field lookup, and a bare hole.
 const QUERIES: [&str; 3] = ["?({img, size})", "img.?f", "?"];
+
+/// The edit mix `--edit-rate` cycles through: two `DocumentUtils` units
+/// differing only in `Normalize`'s body (alternating keeps the edits
+/// mostly genuine re-resolutions; a repeat landing on the same tenant
+/// from another client is a no-op, which the server still applies), then
+/// one garbled unit that must come back as a `parse_error` — the
+/// rejected path stays hot and the books must still close.
+const EDIT_UNITS: [&str; 3] = [
+    "namespace PaintDotNet.Client { class DocumentUtils { \
+     static PaintDotNet.Document Normalize(PaintDotNet.Document d) { return d; } \
+     static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; } } }",
+    "namespace PaintDotNet.Client { class DocumentUtils { \
+     static PaintDotNet.Document Normalize(PaintDotNet.Document d) \
+     { return PaintDotNet.Client.DocumentUtils.Normalize(d); } \
+     static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; } } }",
+    "namespace PaintDotNet.Client { class Broken {",
+];
 
 /// Runs the load generator against a fresh in-process server over the
 /// builtin Paint.NET snapshot. With `tenants > 1`, tenants `t1`… share
@@ -232,6 +286,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
     });
 
     let open_loop = cfg.open_loop;
+    let edit_rate = cfg.edit_rate;
     let client_threads: Vec<_> = (0..cfg.clients.max(1))
         .map(|client_id| {
             let client = server.client();
@@ -239,6 +294,10 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
             std::thread::spawn(move || {
                 let (tx, rx) = channel::<String>();
                 let mut tally = ClientTally::new(tenant_count);
+                // Every edit_rate-th request per client is an update; the
+                // n-th edit a client sends cycles through EDIT_UNITS.
+                let is_edit = |k: usize| edit_rate > 0 && (k + 1).is_multiple_of(edit_rate);
+                let mut edits_sent = 0usize;
                 if open_loop {
                     // Open loop: send on schedule no matter what comes
                     // back; responses are matched to their send times by
@@ -246,25 +305,50 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
                     let interval = per_client_interval.expect("open loop is paced");
                     let mut sent_at: Vec<Instant> = Vec::new();
                     let mut sent_tenant: Vec<usize> = Vec::new();
+                    let mut sent_is_edit: Vec<bool> = Vec::new();
                     let mut received = 0usize;
                     let mut k = 0u32;
                     while start.elapsed() < duration {
+                        // Wait out the schedule gap on the response
+                        // channel, not asleep: responses are booked the
+                        // moment they arrive, so recorded latency is the
+                        // server's, never the client's own pacing.
                         let scheduled = interval * k;
-                        let now = start.elapsed();
-                        if scheduled > now {
-                            std::thread::sleep(scheduled - now);
+                        loop {
+                            let now = start.elapsed();
+                            if now >= scheduled {
+                                break;
+                            }
+                            match rx.recv_timeout(scheduled - now) {
+                                Ok(resp) => {
+                                    tally.record_by_id(
+                                        &resp,
+                                        &sent_at,
+                                        &sent_tenant,
+                                        &sent_is_edit,
+                                    );
+                                    received += 1;
+                                }
+                                Err(_) => break,
+                            }
                         }
                         let tenant = (client_id + k as usize) % tenant_count;
-                        let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                        let id = format!("\"t{tenant}-{k}\"");
+                        let line = if is_edit(k as usize) {
+                            let n = edits_sent;
+                            edits_sent += 1;
+                            edit_line(tenant, &id, n)
+                        } else {
+                            let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                            request_line(tenant, &id, query)
+                        };
                         sent_at.push(Instant::now());
                         sent_tenant.push(tenant);
-                        client.submit(
-                            request_line(tenant, &format!("\"t{tenant}-{k}\""), query),
-                            &tx,
-                        );
+                        sent_is_edit.push(is_edit(k as usize));
+                        client.submit(line, &tx);
                         k += 1;
                         while let Ok(resp) = rx.try_recv() {
-                            tally.record_by_id(&resp, &sent_at, &sent_tenant);
+                            tally.record_by_id(&resp, &sent_at, &sent_tenant, &sent_is_edit);
                             received += 1;
                         }
                     }
@@ -274,7 +358,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
                         let resp = rx
                             .recv_timeout(Duration::from_secs(30))
                             .expect("server answers every admitted line");
-                        tally.record_by_id(&resp, &sent_at, &sent_tenant);
+                        tally.record_by_id(&resp, &sent_at, &sent_tenant, &sent_is_edit);
                         received += 1;
                     }
                 } else {
@@ -288,12 +372,20 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
                             }
                         }
                         let tenant = (client_id + k as usize) % tenant_count;
-                        let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
                         let sent_at = Instant::now();
-                        client.submit(request_line(tenant, &k.to_string(), query), &tx);
-                        // Closed loop: the next request waits for this answer.
-                        let Ok(resp) = rx.recv() else { break };
-                        tally.record(tenant, &resp, sent_at.elapsed());
+                        if is_edit(k as usize) {
+                            let n = edits_sent;
+                            edits_sent += 1;
+                            client.submit(edit_line(tenant, &k.to_string(), n), &tx);
+                            // Closed loop: the next request waits for this answer.
+                            let Ok(resp) = rx.recv() else { break };
+                            tally.record_edit(tenant, &resp, sent_at.elapsed());
+                        } else {
+                            let query = QUERIES[(client_id + k as usize) % QUERIES.len()];
+                            client.submit(request_line(tenant, &k.to_string(), query), &tx);
+                            let Ok(resp) = rx.recv() else { break };
+                            tally.record(tenant, &resp, sent_at.elapsed());
+                        }
                         k += 1;
                     }
                 }
@@ -311,6 +403,10 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         elapsed: Duration::ZERO,
         throughput: 0.0,
         latencies_us: Vec::new(),
+        edit_latencies_us: Vec::new(),
+        edits_sent: 0,
+        edits_applied: 0,
+        edits_rejected: 0,
         live: None,
         per_tenant: (0..tenant_count)
             .map(|i| TenantOutcome {
@@ -328,13 +424,30 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         report.shed += tally.shed;
         report.errors += tally.errors;
         report.latencies_us.extend(tally.latencies_us);
+        report.edit_latencies_us.extend(tally.edit_latencies_us);
         for (agg, got) in report.per_tenant.iter_mut().zip(tally.per_tenant) {
             agg.sent += got.sent;
             agg.ok += got.ok;
             agg.degraded += got.degraded;
             agg.shed += got.shed;
             agg.errors += got.errors;
+            agg.edits_sent += got.edits_sent;
+            agg.edits_applied += got.edits_applied;
+            agg.edits_rejected += got.edits_rejected;
         }
+    }
+    for t in &report.per_tenant {
+        // The edit ledger closes per tenant: the server answered every
+        // submitted update as applied or rejected, dropping none.
+        assert_eq!(
+            t.edits_sent,
+            t.edits_applied + t.edits_rejected,
+            "tenant {} edit books do not close",
+            t.name
+        );
+        report.edits_sent += t.edits_sent;
+        report.edits_applied += t.edits_applied;
+        report.edits_rejected += t.edits_rejected;
     }
     report.elapsed = start.elapsed();
     report.throughput = report.sent as f64 / report.elapsed.as_secs_f64().max(1e-9);
@@ -390,6 +503,21 @@ fn request_line(tenant: usize, id: &str, query: &str) -> String {
     )
 }
 
+/// One `update` protocol line; same tenant-targeting rules as
+/// [`request_line`]. The `n`-th edit a client sends cycles through
+/// [`EDIT_UNITS`].
+fn edit_line(tenant: usize, id: &str, n: usize) -> String {
+    let project = if tenant == 0 {
+        String::new()
+    } else {
+        format!("\"project\":\"t{tenant}\",")
+    };
+    format!(
+        "{{\"id\":{id},{project}\"cmd\":\"update\",\"source\":\"{}\"}}",
+        json::escape(EDIT_UNITS[n % EDIT_UNITS.len()])
+    )
+}
+
 struct ClientTally {
     sent: usize,
     ok: usize,
@@ -397,6 +525,7 @@ struct ClientTally {
     shed: usize,
     errors: usize,
     latencies_us: Vec<u128>,
+    edit_latencies_us: Vec<u128>,
     per_tenant: Vec<TenantOutcome>,
 }
 
@@ -409,12 +538,28 @@ impl ClientTally {
             shed: 0,
             errors: 0,
             latencies_us: Vec::new(),
+            edit_latencies_us: Vec::new(),
             per_tenant: (0..tenants)
                 .map(|i| TenantOutcome {
                     name: tenant_name(i),
                     ..TenantOutcome::default()
                 })
                 .collect(),
+        }
+    }
+
+    /// Books one `update` response. Edits live in their own ledger: the
+    /// per-tenant identity is `edits_sent == edits_applied +
+    /// edits_rejected`, with a shed edit counted as rejected.
+    fn record_edit(&mut self, tenant: usize, resp: &str, latency: Duration) {
+        self.edit_latencies_us.push(latency.as_micros());
+        let slot = &mut self.per_tenant[tenant];
+        slot.edits_sent += 1;
+        let applied = json::parse(resp).is_ok_and(|doc| doc.get("ok") == Some(&Value::Bool(true)));
+        if applied {
+            slot.edits_applied += 1;
+        } else {
+            slot.edits_rejected += 1;
         }
     }
 
@@ -446,8 +591,14 @@ impl ClientTally {
     }
 
     /// Open-loop bookkeeping: the response's echoed `"t{tenant}-{k}"` id
-    /// locates the send time and tenant of the request it answers.
-    fn record_by_id(&mut self, resp: &str, sent_at: &[Instant], sent_tenant: &[usize]) {
+    /// locates the send time, tenant, and kind of the request it answers.
+    fn record_by_id(
+        &mut self,
+        resp: &str,
+        sent_at: &[Instant],
+        sent_tenant: &[usize],
+        sent_is_edit: &[bool],
+    ) {
         let k = json::parse(resp)
             .ok()
             .and_then(|doc| {
@@ -457,7 +608,11 @@ impl ClientTally {
             })
             .and_then(|k| k.parse::<usize>().ok())
             .expect("server echoes the request id verbatim");
-        self.record(sent_tenant[k], resp, sent_at[k].elapsed());
+        if sent_is_edit[k] {
+            self.record_edit(sent_tenant[k], resp, sent_at[k].elapsed());
+        } else {
+            self.record(sent_tenant[k], resp, sent_at[k].elapsed());
+        }
     }
 }
 
@@ -489,12 +644,29 @@ impl ServeBenchReport {
             "outcomes: sent {}  ok {}  degraded {}  shed {}  errors {}\n",
             self.sent, self.ok, self.degraded, self.shed, self.errors
         ));
+        if self.edits_sent > 0 {
+            out.push_str(&format!(
+                "edits: sent {}  applied {}  rejected {}  (p50 {}us  p99 {}us)\n",
+                self.edits_sent,
+                self.edits_applied,
+                self.edits_rejected,
+                stats::percentile(&self.edit_latencies_us, 50.0),
+                stats::percentile(&self.edit_latencies_us, 99.0),
+            ));
+        }
         if self.per_tenant.len() > 1 {
             for t in &self.per_tenant {
                 out.push_str(&format!(
-                    "  tenant {}: sent {}  ok {}  degraded {}  shed {}  errors {}\n",
+                    "  tenant {}: sent {}  ok {}  degraded {}  shed {}  errors {}",
                     t.name, t.sent, t.ok, t.degraded, t.shed, t.errors
                 ));
+                if self.edits_sent > 0 {
+                    out.push_str(&format!(
+                        "  edits {}/{}+{}",
+                        t.edits_sent, t.edits_applied, t.edits_rejected
+                    ));
+                }
+                out.push('\n');
             }
         }
         out.push_str(&format!(
@@ -563,6 +735,9 @@ impl ServeBenchReport {
                             ("degraded".into(), Value::Num(t.degraded as f64)),
                             ("shed".into(), Value::Num(t.shed as f64)),
                             ("errors".into(), Value::Num(t.errors as f64)),
+                            ("edits_sent".into(), Value::Num(t.edits_sent as f64)),
+                            ("edits_applied".into(), Value::Num(t.edits_applied as f64)),
+                            ("edits_rejected".into(), Value::Num(t.edits_rejected as f64)),
                         ]),
                     )
                 })
@@ -585,6 +760,28 @@ impl ServeBenchReport {
             ("degraded".into(), Value::Num(self.degraded as f64)),
             ("shed".into(), Value::Num(self.shed as f64)),
             ("errors".into(), Value::Num(self.errors as f64)),
+            ("edit_rate".into(), Value::Num(c.edit_rate as f64)),
+            (
+                "edits".into(),
+                Value::Obj(vec![
+                    ("sent".into(), Value::Num(self.edits_sent as f64)),
+                    ("applied".into(), Value::Num(self.edits_applied as f64)),
+                    ("rejected".into(), Value::Num(self.edits_rejected as f64)),
+                    (
+                        "latency_us".into(),
+                        Value::Obj(vec![
+                            (
+                                "p50".into(),
+                                Value::Num(stats::percentile(&self.edit_latencies_us, 50.0) as f64),
+                            ),
+                            (
+                                "p99".into(),
+                                Value::Num(stats::percentile(&self.edit_latencies_us, 99.0) as f64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
             (
                 "throughput_rps".into(),
                 Value::Num((self.throughput * 10.0).round() / 10.0),
@@ -662,6 +859,7 @@ mod tests {
             live_stats: false,
             tenants: 1,
             open_loop: false,
+            edit_rate: 0,
         }
     }
 
@@ -775,6 +973,66 @@ mod tests {
         }
         let doc = report.to_json();
         assert_eq!(doc.get("mode").and_then(Value::as_str), Some("open"));
+    }
+
+    #[test]
+    fn edit_rate_mixes_updates_and_closes_both_ledgers() {
+        let report = run(&ServeBenchConfig {
+            tenants: 2,
+            open_loop: true,
+            qps: 200.0,
+            duration: Duration::from_millis(400),
+            edit_rate: 3,
+            queue_cap: 64,
+            ..tiny()
+        });
+        assert!(report.edits_sent > 0, "the edit schedule fired");
+        assert!(report.edits_applied > 0, "valid edits were applied");
+        assert_eq!(
+            report.edits_sent,
+            report.edits_applied + report.edits_rejected,
+            "every update answered as applied or rejected — none dropped"
+        );
+        assert_eq!(report.edit_latencies_us.len(), report.edits_sent);
+        // Queries keep their own identity under edit load.
+        assert_eq!(
+            report.sent,
+            report.ok + report.degraded + report.shed + report.errors
+        );
+        assert_eq!(report.latencies_us.len(), report.sent);
+        for t in &report.per_tenant {
+            assert_eq!(
+                t.edits_sent,
+                t.edits_applied + t.edits_rejected,
+                "{}",
+                t.name
+            );
+        }
+        // Enough edits to cycle into the garbled unit at least once per
+        // client => some rejections, and they never outnumber the valid
+        // two-thirds of the mix plus shed.
+        if report.edits_sent >= 6 {
+            assert!(report.edits_rejected > 0, "garbled edits were rejected");
+        }
+        let text = report.render();
+        assert!(text.contains("edits: sent"), "{text}");
+        let doc = report.to_json();
+        let edits = doc.get("edits").expect("edits section");
+        assert_eq!(
+            edits
+                .get("sent")
+                .and_then(Value::as_u64)
+                .map(|n| n as usize),
+            Some(report.edits_sent),
+            "{doc}"
+        );
+        assert!(
+            doc.get("per_tenant")
+                .and_then(|p| p.get("t1"))
+                .and_then(|t| t.get("edits_applied"))
+                .is_some(),
+            "{doc}"
+        );
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub enum ENode {
     },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Inner {
     nodes: Vec<ENode>,
     ids: HashMap<ENode, u32>,
@@ -102,6 +102,18 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct ExprArena {
     inner: RwLock<Inner>,
+}
+
+impl Clone for ExprArena {
+    /// Snapshots the interned state into an independent arena. Ids minted
+    /// by the original remain valid in the clone (entries are purely
+    /// structural and append-only), which is what lets an incrementally
+    /// updated snapshot keep every expression the old one interned.
+    fn clone(&self) -> Self {
+        ExprArena {
+            inner: RwLock::new(self.inner.read().expect("arena lock poisoned").clone()),
+        }
+    }
 }
 
 /// A read guard over an [`ExprArena`], giving borrow access to nodes and

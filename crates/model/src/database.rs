@@ -1,6 +1,6 @@
 //! The program database: a type table plus members and bodies.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -110,6 +110,13 @@ pub struct Database {
     fields: Vec<Field>,
     type_methods: HashMap<TypeId, Vec<MethodId>>,
     type_fields: HashMap<TypeId, Vec<FieldId>>,
+    // Member ids are positional and shared by every derived structure
+    // (arena nodes, memo keys, index rows), so an incremental update can
+    // never compact the arenas. Removal tombstones the id instead: the row
+    // stays (stale references keep resolving to a frozen signature) but
+    // every live iteration and lookup skips it.
+    removed_methods: HashSet<MethodId>,
+    removed_fields: HashSet<FieldId>,
 }
 
 impl Database {
@@ -126,6 +133,8 @@ impl Database {
             fields: Vec::new(),
             type_methods: HashMap::new(),
             type_fields: HashMap::new(),
+            removed_methods: HashSet::new(),
+            removed_fields: HashSet::new(),
         }
     }
 
@@ -139,13 +148,28 @@ impl Database {
         (&self.methods, &self.fields)
     }
 
+    /// The removal tombstone sets, for the snapshot encoder.
+    pub(crate) fn removed_members(&self) -> (&HashSet<MethodId>, &HashSet<FieldId>) {
+        (&self.removed_methods, &self.removed_fields)
+    }
+
     /// Reassembles a database from decoded parts, rebuilding the per-type
     /// member maps by pushing members in id order — exactly the order
     /// [`Database::add_method`] / [`Database::add_field`] produced them in,
-    /// so lookups iterate identically to the original database.
-    pub(crate) fn from_parts(types: TypeTable, methods: Vec<Method>, fields: Vec<Field>) -> Self {
+    /// so lookups iterate identically to the original database. Tombstoned
+    /// ids keep their arena rows but are left out of the per-type maps.
+    pub(crate) fn from_parts_with_removed(
+        types: TypeTable,
+        methods: Vec<Method>,
+        fields: Vec<Field>,
+        removed_methods: HashSet<MethodId>,
+        removed_fields: HashSet<FieldId>,
+    ) -> Self {
         let mut type_methods: HashMap<TypeId, Vec<MethodId>> = HashMap::new();
         for (i, m) in methods.iter().enumerate() {
+            if removed_methods.contains(&MethodId(i as u32)) {
+                continue;
+            }
             type_methods
                 .entry(m.declaring)
                 .or_default()
@@ -153,6 +177,9 @@ impl Database {
         }
         let mut type_fields: HashMap<TypeId, Vec<FieldId>> = HashMap::new();
         for (i, f) in fields.iter().enumerate() {
+            if removed_fields.contains(&FieldId(i as u32)) {
+                continue;
+            }
             type_fields
                 .entry(f.declaring)
                 .or_default()
@@ -164,6 +191,8 @@ impl Database {
             fields,
             type_methods,
             type_fields,
+            removed_methods,
+            removed_fields,
         }
     }
 
@@ -249,6 +278,83 @@ impl Database {
         self.methods[method.index()].overrides = Some(base);
     }
 
+    /// Clears every override edge, so an incremental update can re-link
+    /// them after member signatures changed.
+    pub(crate) fn clear_all_overrides(&mut self) {
+        for m in &mut self.methods {
+            m.overrides = None;
+        }
+    }
+
+    /// Drops a method's body (an update replaced a concrete declaration
+    /// with a bodiless one).
+    pub(crate) fn clear_body(&mut self, method: MethodId) {
+        self.methods[method.index()].body = None;
+    }
+
+    /// Tombstones a method: drops it from its type's lookup list and from
+    /// the live iterators while keeping the arena row, so stale references
+    /// (interned expressions, old memo rows) stay resolvable. The body and
+    /// override edge are cleared; the signature is frozen as-is.
+    pub(crate) fn remove_method(&mut self, id: MethodId) {
+        if !self.removed_methods.insert(id) {
+            return;
+        }
+        let m = &mut self.methods[id.index()];
+        m.body = None;
+        m.overrides = None;
+        if let Some(list) = self.type_methods.get_mut(&m.declaring) {
+            list.retain(|&x| x != id);
+        }
+    }
+
+    /// Tombstones a field (see [`Database::remove_method`]).
+    pub(crate) fn remove_field(&mut self, id: FieldId) {
+        if !self.removed_fields.insert(id) {
+            return;
+        }
+        let declaring = self.fields[id.index()].declaring;
+        if let Some(list) = self.type_fields.get_mut(&declaring) {
+            list.retain(|&x| x != id);
+        }
+    }
+
+    /// Overwrites a method's signature in place, keeping its id (and its
+    /// position in the declaring type's lookup list). The body is dropped;
+    /// the caller recompiles it against the new signature.
+    pub(crate) fn replace_method_signature(
+        &mut self,
+        id: MethodId,
+        is_static: bool,
+        params: Vec<Param>,
+        ret: TypeId,
+        visibility: Visibility,
+    ) {
+        let m = &mut self.methods[id.index()];
+        m.is_static = is_static;
+        m.params = params;
+        m.ret = ret;
+        m.visibility = visibility;
+        m.body = None;
+        m.overrides = None;
+    }
+
+    /// Overwrites a field's signature in place, keeping its id.
+    pub(crate) fn replace_field_signature(
+        &mut self,
+        id: FieldId,
+        is_static: bool,
+        ty: TypeId,
+        visibility: Visibility,
+        is_property: bool,
+    ) {
+        let f = &mut self.fields[id.index()];
+        f.is_static = is_static;
+        f.ty = ty;
+        f.visibility = visibility;
+        f.is_property = is_property;
+    }
+
     /// The method behind an id.
     pub fn method(&self, id: MethodId) -> &Method {
         &self.methods[id.index()]
@@ -269,14 +375,28 @@ impl Database {
         self.fields.len()
     }
 
-    /// All method ids.
+    /// All live method ids (tombstoned ids are skipped).
     pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
-        (0..self.methods.len() as u32).map(MethodId)
+        (0..self.methods.len() as u32)
+            .map(MethodId)
+            .filter(move |m| !self.removed_methods.contains(m))
     }
 
-    /// All field ids.
+    /// All live field ids (tombstoned ids are skipped).
     pub fn fields(&self) -> impl Iterator<Item = FieldId> + '_ {
-        (0..self.fields.len() as u32).map(FieldId)
+        (0..self.fields.len() as u32)
+            .map(FieldId)
+            .filter(move |f| !self.removed_fields.contains(f))
+    }
+
+    /// Whether a method id has been tombstoned by an incremental update.
+    pub fn method_removed(&self, id: MethodId) -> bool {
+        self.removed_methods.contains(&id)
+    }
+
+    /// Whether a field id has been tombstoned by an incremental update.
+    pub fn field_removed(&self, id: FieldId) -> bool {
+        self.removed_fields.contains(&id)
     }
 
     /// Methods declared directly on a type.
@@ -381,18 +501,20 @@ impl Database {
     /// non-void static methods. These seed `?` holes and `.?*` chains.
     pub fn globals(&self) -> Vec<GlobalRef> {
         let mut out = Vec::new();
-        for (i, fd) in self.fields.iter().enumerate() {
+        for f in self.fields() {
+            let fd = &self.fields[f.index()];
             if fd.is_static && fd.visibility == Visibility::Public {
-                out.push(GlobalRef::Field(FieldId(i as u32)));
+                out.push(GlobalRef::Field(f));
             }
         }
-        for (i, md) in self.methods.iter().enumerate() {
+        for m in self.methods() {
+            let md = &self.methods[m.index()];
             if md.is_static
                 && md.visibility == Visibility::Public
                 && md.params.is_empty()
                 && md.ret != self.types.void_ty()
             {
-                out.push(GlobalRef::Method(MethodId(i as u32)));
+                out.push(GlobalRef::Method(m));
             }
         }
         out

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod ast;
+pub mod incremental;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -32,9 +33,10 @@ pub mod resolve;
 
 use crate::Database;
 
+pub use incremental::{apply_update, ModelDiff};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::parse;
-pub use printer::{print, PrintOptions};
+pub use printer::{print, print_type, PrintOptions};
 pub use resolve::lower;
 
 use std::error::Error;

@@ -61,10 +61,30 @@ pub fn print(db: &Database, options: PrintOptions) -> String {
         };
         let _ = writeln!(out, "namespace {path} {{");
         for ty in types {
-            print_type(db, ty, options, &mut out);
+            emit_type(db, ty, options, &mut out);
         }
         let _ = writeln!(out, "}}");
     }
+    out
+}
+
+/// Renders a single type declaration, wrapped in its `namespace` block, as a
+/// standalone compilation unit. The output recompiles on its own modulo
+/// cross-namespace references, and is the natural "edit unit" for the
+/// incremental `update` path: perturb the returned source and feed it back
+/// through [`super::apply_update`].
+pub fn print_type(db: &Database, ty: TypeId, options: PrintOptions) -> String {
+    let mut out = String::new();
+    let def = db.types().get(ty);
+    let path = db.types().namespaces().dotted(def.namespace());
+    let path = if path.is_empty() {
+        "Global".to_owned()
+    } else {
+        path
+    };
+    let _ = writeln!(out, "namespace {path} {{");
+    emit_type(db, ty, options, &mut out);
+    let _ = writeln!(out, "}}");
     out
 }
 
@@ -79,7 +99,7 @@ fn type_ref(db: &Database, ty: TypeId) -> String {
     db.types().qualified_name(ty)
 }
 
-fn print_type(db: &Database, ty: TypeId, options: PrintOptions, out: &mut String) {
+fn emit_type(db: &Database, ty: TypeId, options: PrintOptions, out: &mut String) {
     let def = db.types().get(ty);
     let name = def.name();
     match def.kind() {

@@ -161,7 +161,7 @@ pub fn lower(files: &[ast::File]) -> MiniCsResult<Database> {
 
     // Pass 5: compile bodies.
     for (mid, work, _params, stmts) in method_bodies {
-        let body = compile_body(&db, mid, work, stmts)?;
+        let body = compile_body(&db, mid, work.ns_path, work.usings, stmts)?;
         let check = db.check_body(mid, &body);
         if let Err(e) = check {
             // Positions were already validated stmt-by-stmt; this is a
@@ -178,7 +178,7 @@ pub fn lower(files: &[ast::File]) -> MiniCsResult<Database> {
     Ok(db)
 }
 
-fn visibility(is_private: bool) -> Visibility {
+pub(super) fn visibility(is_private: bool) -> Visibility {
     if is_private {
         Visibility::Private
     } else {
@@ -196,7 +196,7 @@ struct TypeWork<'a> {
 /// Links each instance method to the nearest method it overrides: same name,
 /// same parameter types, declared on a strict supertype. Override chains
 /// share abstract-type slots (paper Section 4.1).
-fn link_overrides(db: &mut Database) {
+pub(super) fn link_overrides(db: &mut Database) {
     let mut links = Vec::new();
     for m in db.methods() {
         let md = db.method(m);
@@ -226,7 +226,7 @@ fn link_overrides(db: &mut Database) {
 
 /// Resolves a source type reference against the enclosing namespace chain,
 /// the `using` list and absolute paths.
-fn resolve_type_ref(
+pub(super) fn resolve_type_ref(
     db: &Database,
     ns_path: &[String],
     usings: &[Vec<String>],
@@ -292,10 +292,11 @@ struct BodyCompiler<'a> {
     local_names: HashMap<String, LocalId>,
 }
 
-fn compile_body(
+pub(super) fn compile_body(
     db: &Database,
     mid: MethodId,
-    work: &TypeWork<'_>,
+    ns_path: &[String],
+    usings: &[Vec<String>],
     stmts: &[ast::Stmt],
 ) -> MiniCsResult<Body> {
     let md = db.method(mid);
@@ -309,8 +310,8 @@ fn compile_body(
     let mut compiler = BodyCompiler {
         db,
         method: mid,
-        ns_path: work.ns_path,
-        usings: work.usings,
+        ns_path,
+        usings,
         body,
         local_names,
     };

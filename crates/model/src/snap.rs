@@ -420,6 +420,21 @@ impl Database {
         for f in fields {
             encode_field(f, w);
         }
+        // Removal tombstones (present only after incremental updates):
+        // sorted so the encoding is deterministic.
+        let (removed_methods, removed_fields) = self.removed_members();
+        let mut rm: Vec<u32> = removed_methods.iter().map(|m| m.0).collect();
+        let mut rf: Vec<u32> = removed_fields.iter().map(|f| f.0).collect();
+        rm.sort_unstable();
+        rf.sort_unstable();
+        w.put_len(rm.len());
+        for id in rm {
+            w.put_u32(id);
+        }
+        w.put_len(rf.len());
+        for id in rf {
+            w.put_u32(id);
+        }
     }
 
     /// Decodes a database written by [`Database::encode_snapshot`],
@@ -442,7 +457,23 @@ impl Database {
         for _ in 0..n_fields {
             fields.push(decode_field(r, bounds)?);
         }
-        Ok(Database::from_parts(types, methods, fields))
+        let n_removed_m = r.get_len("removed method count")?;
+        let mut removed_methods = std::collections::HashSet::with_capacity(n_removed_m);
+        for _ in 0..n_removed_m {
+            removed_methods.insert(MethodId(r.get_id(n_methods, "removed method id")? as u32));
+        }
+        let n_removed_f = r.get_len("removed field count")?;
+        let mut removed_fields = std::collections::HashSet::with_capacity(n_removed_f);
+        for _ in 0..n_removed_f {
+            removed_fields.insert(FieldId(r.get_id(n_fields, "removed field id")? as u32));
+        }
+        Ok(Database::from_parts_with_removed(
+            types,
+            methods,
+            fields,
+            removed_methods,
+            removed_fields,
+        ))
     }
 }
 

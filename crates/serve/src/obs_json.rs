@@ -101,8 +101,9 @@ pub fn window_value(w: &HistogramSnapshot, seconds: u64) -> Value {
 
 /// The per-tenant table embedded in `stats` and `health`: one entry per
 /// resident tenant (default first) with its byte accounting and the
-/// `serve.tenant.<id>.*` resolution counters, so the per-tenant identity
-/// `sent == ok + degraded + shed + errors` can be checked externally.
+/// `serve.tenant.<id>.*` resolution counters, so the per-tenant
+/// identities `sent == ok + degraded + shed + errors` (queries) and
+/// `sent == applied + rejected` (edits) can be checked externally.
 pub fn tenants_value(registry: &SnapshotRegistry) -> Value {
     let obs = pex_obs::registry();
     let entries = registry
@@ -117,6 +118,7 @@ pub fn tenants_value(registry: &SnapshotRegistry) -> Value {
             let body = obj(vec![
                 ("bytes", num(t.bytes)),
                 ("pinned", Value::Bool(t.pinned)),
+                ("dirty", Value::Bool(t.dirty)),
                 (
                     "requests",
                     obj(vec![
@@ -124,6 +126,13 @@ pub fn tenants_value(registry: &SnapshotRegistry) -> Value {
                         ("degraded", c("requests.degraded")),
                         ("shed", c("requests.shed")),
                         ("errors", c("requests.error")),
+                    ]),
+                ),
+                (
+                    "edits",
+                    obj(vec![
+                        ("applied", c("edits.applied")),
+                        ("rejected", c("edits.rejected")),
                     ]),
                 ),
                 ("coalesced", c("coalesced")),

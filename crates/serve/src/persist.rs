@@ -57,8 +57,11 @@ use crate::snapshot::Snapshot;
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: &[u8; 8] = b"pexsnap1";
 
-/// The format version this build writes and reads.
-pub const VERSION: u32 = 1;
+/// The format version this build writes and reads. Version 2 added the
+/// database's removed-member tombstone sets (incremental updates keep
+/// surviving ids stable by never compacting them); version-1 files are
+/// rejected with a self-describing error rather than misread.
+pub const VERSION: u32 = 2;
 
 mod tag {
     pub const DATABASE: u32 = 1;

@@ -15,6 +15,8 @@
 //! {"id": 6, "cmd": "stats"}
 //! {"id": 7, "cmd": "health"}
 //! {"id": 8, "cmd": "reload", "project": "geometry-v2"}
+//! {"id": 9, "cmd": "update", "source": "namespace Geo { class Point { int X; } }"}
+//! {"id": 10, "cmd": "update", "project": "geometry-v2", "edits": ["...", "..."]}
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -52,8 +54,13 @@
 //! query did not parse), `shed` (admission control refused the request),
 //! `unknown_project` (the `project` id is invalid or has no snapshot),
 //! `reload_failed` (a `reload` could not rebuild the tenant — the old
-//! snapshot keeps serving), `connection_limit` (the socket transport is
-//! at `--max-connections`), and `shutdown` (the server is draining). A
+//! snapshot keeps serving), `dirty` (a plain `reload` refused because
+//! the tenant carries unsaved incremental edits; retry with
+//! `"force":true`), `parse_error` (an `update`'s mini-C# source did not
+//! parse or resolve — the response carries 1-based `line` and `col` and
+//! the snapshot is untouched), `update_failed` (any other `update`
+//! failure), `connection_limit` (the socket transport is at
+//! `--max-connections`), and `shutdown` (the server is draining). A
 //! request is **never** dropped without a response on a live connection.
 
 use std::time::{Duration, Instant};
@@ -112,6 +119,18 @@ pub enum Request {
         id: Option<Value>,
         /// The tenant to reload; `None` reloads the default tenant.
         project: Option<String>,
+        /// Discard unsaved incremental edits instead of refusing.
+        force: bool,
+    },
+    /// Apply incremental mini-C# edits to a tenant's snapshot with
+    /// surgical cache invalidation; the batch is atomic.
+    Update {
+        /// Echoed request id.
+        id: Option<Value>,
+        /// The tenant to edit; `None` edits the default tenant.
+        project: Option<String>,
+        /// The edited compilation units, applied in order.
+        edits: Vec<String>,
     },
     /// Graceful-shutdown request: drain in-flight work, then exit.
     Shutdown {
@@ -217,7 +236,49 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, String)> {
             Some("ping") => Ok(Request::Ping { id }),
             Some("stats") => Ok(Request::Stats { id }),
             Some("health") => Ok(Request::Health { id }),
-            Some("reload") => Ok(Request::Reload { id, project }),
+            Some("reload") => {
+                let force = match doc.get("force") {
+                    None | Some(Value::Null) => false,
+                    Some(Value::Bool(b)) => *b,
+                    Some(_) => return Err((id, "`force` must be a boolean".to_owned())),
+                };
+                Ok(Request::Reload { id, project, force })
+            }
+            Some("update") => {
+                let edits = match (doc.get("source"), doc.get("edits")) {
+                    (Some(src), None) => match src.as_str() {
+                        Some(s) => vec![s.to_owned()],
+                        None => return Err((id, "`source` must be a string".to_owned())),
+                    },
+                    (None, Some(Value::Arr(items))) => {
+                        let mut out = Vec::new();
+                        for item in items {
+                            match item.as_str() {
+                                Some(s) => out.push(s.to_owned()),
+                                None => {
+                                    return Err((id, "`edits` entries must be strings".to_owned()))
+                                }
+                            }
+                        }
+                        out
+                    }
+                    (None, Some(_)) => {
+                        return Err((id, "`edits` must be an array of strings".to_owned()))
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err((id, "pass either `source` or `edits`, not both".to_owned()))
+                    }
+                    (None, None) => {
+                        return Err((
+                            id,
+                            "update requires a `source` string or an `edits` array".to_owned(),
+                        ))
+                    }
+                };
+                // `unit` (the edited class, LSP-style) is accepted and
+                // ignored: the unit's own declarations say what changed.
+                Ok(Request::Update { id, project, edits })
+            }
             Some("shutdown") => Ok(Request::Shutdown { id }),
             _ => Err((id, format!("unknown cmd {cmd}"))),
         };
@@ -320,14 +381,55 @@ pub fn assemble_response(id: Option<&Value>, rest: &str) -> String {
     format!("{{{}{rest}", id_field(id))
 }
 
-/// Renders the acknowledgement for a successful `reload`.
+/// Renders the acknowledgement for a successful `reload`. A forced
+/// reload over a tenant with unsaved incremental edits carries an
+/// explicit `"discarded_edits":true` marker — edits are never dropped
+/// silently.
 pub fn reload_response(id: Option<&Value>, info: &crate::registry::ReloadInfo) -> String {
+    let discarded = if info.discarded_edits {
+        ",\"discarded_edits\":true"
+    } else {
+        ""
+    };
     format!(
-        "{{{}\"ok\":true,\"reloaded\":\"{}\",\"bytes\":{},\"swapped\":{}}}",
+        "{{{}\"ok\":true,\"reloaded\":\"{}\",\"bytes\":{},\"swapped\":{}{discarded}}}",
         id_field(id),
         json::escape(&info.project),
         info.bytes,
         info.swapped
+    )
+}
+
+/// Renders the acknowledgement for a successful `update`: what was
+/// applied, whether the batch was a no-op, and exactly what derived
+/// state was invalidated (everything else survived the edit).
+pub fn update_response(id: Option<&Value>, info: &crate::registry::UpdateInfo) -> String {
+    let inv = &info.stats.invalidated;
+    format!(
+        "{{{}\"ok\":true,\"updated\":\"{}\",\"applied\":{},\"noop\":{},\
+         \"invalidated\":{{\"chains\":{},\"candidates\":{},\"conversions\":{},\"reach\":{}}},\
+         \"bytes\":{},\"generation\":{}}}",
+        id_field(id),
+        json::escape(&info.project),
+        info.applied,
+        info.noop,
+        inv.chains,
+        inv.candidates,
+        inv.conversions,
+        u8::from(inv.reach_rebuilt),
+        info.bytes,
+        info.generation
+    )
+}
+
+/// Renders the structured `parse_error` response for an `update` whose
+/// mini-C# source failed to parse or resolve (1-based position).
+pub fn parse_error_response(id: Option<&Value>, line: u32, col: u32, message: &str) -> String {
+    format!(
+        "{{{}\"ok\":false,\"error\":\"parse_error\",\"line\":{line},\"col\":{col},\
+         \"message\":\"{}\"}}",
+        id_field(id),
+        json::escape(message)
     )
 }
 
@@ -844,7 +946,8 @@ mod tests {
             parse_request(r#"{"cmd":"reload","id":2,"project":"geo-v2"}"#).unwrap(),
             Request::Reload {
                 id: Some(Value::Num(2.0)),
-                project: Some("geo-v2".into())
+                project: Some("geo-v2".into()),
+                force: false
             }
         );
         // A reload without a project targets the default tenant.
@@ -852,11 +955,52 @@ mod tests {
             parse_request(r#"{"cmd":"reload"}"#).unwrap(),
             Request::Reload {
                 id: None,
-                project: None
+                project: None,
+                force: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"reload","force":true}"#).unwrap(),
+            Request::Reload {
+                id: None,
+                project: None,
+                force: true
             }
         );
         let (_, msg) = parse_request(r#"{"query":"?","project":7}"#).unwrap_err();
         assert!(msg.contains("project"), "{msg}");
+    }
+
+    #[test]
+    fn parses_update_requests() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"update","id":3,"source":"namespace G { class A { } }"}"#)
+                .unwrap(),
+            Request::Update {
+                id: Some(Value::Num(3.0)),
+                project: None,
+                edits: vec!["namespace G { class A { } }".to_owned()]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"update","project":"geo","unit":"G.A","edits":["u1","u2"]}"#)
+                .unwrap(),
+            Request::Update {
+                id: None,
+                project: Some("geo".into()),
+                edits: vec!["u1".to_owned(), "u2".to_owned()]
+            }
+        );
+        for (bad, needle) in [
+            (r#"{"cmd":"update","id":4}"#, "source"),
+            (r#"{"cmd":"update","source":7}"#, "source"),
+            (r#"{"cmd":"update","edits":"x"}"#, "edits"),
+            (r#"{"cmd":"update","edits":[7]}"#, "edits"),
+            (r#"{"cmd":"update","source":"x","edits":["y"]}"#, "not both"),
+        ] {
+            let (_, msg) = parse_request(bad).unwrap_err();
+            assert!(msg.contains(needle), "{bad}: {msg}");
+        }
     }
 
     #[test]

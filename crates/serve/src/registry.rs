@@ -37,8 +37,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use pex_model::minics::MiniCsError;
+
 use crate::persist;
-use crate::snapshot::{Snapshot, SnapshotSource};
+use crate::snapshot::{Snapshot, SnapshotSource, UpdateStats};
 
 /// The tenant id requests without a `project` field resolve to, used in
 /// per-tenant metrics and the `stats`/`health` tenant tables.
@@ -105,12 +107,20 @@ struct TenantEntry {
     snapshot: Arc<Snapshot>,
     bytes: u64,
     last_used: u64,
+    /// The snapshot carries incremental edits not present in its origin
+    /// (`.pexsnap` file or boot source). Dirty tenants are exempt from
+    /// LRU eviction and refuse a plain `reload` — both would silently
+    /// discard the edits.
+    dirty: bool,
 }
 
 struct Inner {
     default: Arc<Snapshot>,
     tenants: HashMap<String, TenantEntry>,
     resident_bytes: u64,
+    /// The default snapshot carries incremental edits; a plain `reload`
+    /// (which rebuilds from the boot origin) refuses without `force`.
+    default_dirty: bool,
 }
 
 /// What a successful [`SnapshotRegistry::reload`] reports back.
@@ -123,6 +133,93 @@ pub struct ReloadInfo {
     /// Whether the tenant was already resident (a true hot swap) rather
     /// than a first load.
     pub swapped: bool,
+    /// Whether the reload discarded unsaved incremental edits (only
+    /// possible with `force`).
+    pub discarded_edits: bool,
+}
+
+/// Why a [`SnapshotRegistry::reload`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The tenant carries incremental edits a plain reload would silently
+    /// discard; retry with `force` to discard them explicitly.
+    Dirty {
+        /// The tenant that refused.
+        project: String,
+    },
+    /// The rebuild itself failed (missing origin, bad file, invalid id).
+    Failed(String),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Dirty { project } => write!(
+                f,
+                "tenant `{project}` has unsaved incremental edits; \
+                 reload with \"force\":true to discard them"
+            ),
+            ReloadError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+/// What a successful [`SnapshotRegistry::update`] reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateInfo {
+    /// The tenant that was edited.
+    pub project: String,
+    /// How many edits in the batch were applied (no-ops included).
+    pub applied: usize,
+    /// Whether the whole batch was a no-op (snapshot untouched).
+    pub noop: bool,
+    /// Accounted size of the edited snapshot, in bytes.
+    pub bytes: u64,
+    /// The default-swap generation after the update (0 for named
+    /// tenants, which have no generation counter).
+    pub generation: u64,
+    /// Aggregated per-edit statistics: what was invalidated and what
+    /// survived.
+    pub stats: UpdateStats,
+}
+
+/// Why a [`SnapshotRegistry::update`] was refused. Either way the
+/// tenant's snapshot is untouched and subsequent queries answer exactly
+/// as before the attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The edited source failed to parse or resolve; position is 1-based.
+    Parse {
+        /// Line of the first error.
+        line: u32,
+        /// Column of the first error.
+        col: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Anything else: unknown tenant, invalid project id, empty batch.
+    Failed(String),
+}
+
+impl From<MiniCsError> for UpdateError {
+    fn from(e: MiniCsError) -> UpdateError {
+        UpdateError::Parse {
+            line: e.line,
+            col: e.col,
+            message: e.msg,
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Parse { line, col, message } => {
+                write!(f, "{line}:{col}: {message}")
+            }
+            UpdateError::Failed(msg) => f.write_str(msg),
+        }
+    }
 }
 
 /// Point-in-time description of one tenant for `stats`/`health`.
@@ -134,6 +231,9 @@ pub struct TenantInfo {
     pub bytes: u64,
     /// Whether this is the pinned, budget-exempt default tenant.
     pub pinned: bool,
+    /// Whether the tenant carries incremental edits not yet persisted to
+    /// its origin.
+    pub dirty: bool,
 }
 
 /// The tenant map: default snapshot + named tenants with lazy load, LRU
@@ -141,6 +241,11 @@ pub struct TenantInfo {
 /// for the full semantics.
 pub struct SnapshotRegistry {
     inner: Mutex<Inner>,
+    /// Serializes incremental updates: each edit reads the current
+    /// snapshot, patches it, and swaps — holding this across the
+    /// read-patch-swap keeps concurrent edits from losing each other.
+    /// Queries never take it.
+    update_lock: Mutex<()>,
     origin: DefaultOrigin,
     snapshot_dir: Option<PathBuf>,
     max_bytes: Option<u64>,
@@ -166,7 +271,9 @@ impl SnapshotRegistry {
                 default,
                 tenants: HashMap::new(),
                 resident_bytes: 0,
+                default_dirty: false,
             }),
+            update_lock: Mutex::new(()),
             origin,
             snapshot_dir,
             max_bytes,
@@ -216,7 +323,7 @@ impl SnapshotRegistry {
         // both callers get a working snapshot — wasted work, never a
         // wrong answer.
         let (snapshot, bytes) = self.load_from_dir(project)?;
-        self.admit(project, snapshot.clone(), bytes);
+        self.admit(project, snapshot.clone(), bytes, false);
         Ok(snapshot)
     }
 
@@ -245,7 +352,7 @@ impl SnapshotRegistry {
     }
 
     /// Inserts (or replaces) a resident tenant and evicts past the budget.
-    fn admit(&self, project: &str, snapshot: Arc<Snapshot>, bytes: u64) {
+    fn admit(&self, project: &str, snapshot: Arc<Snapshot>, bytes: u64, dirty: bool) {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(old) = inner.tenants.remove(project) {
@@ -258,18 +365,22 @@ impl SnapshotRegistry {
                 snapshot,
                 bytes,
                 last_used: tick,
+                dirty,
             },
         );
         // Evict least-recently-used tenants until the budget holds. The
         // newly admitted tenant is exempt from its own admission round —
         // refusing a query because one snapshot alone exceeds the budget
-        // would turn a tuning knob into an outage.
+        // would turn a tuning knob into an outage. Dirty tenants are
+        // likewise exempt: eviction would silently discard unsaved edits
+        // (reload them back from a stale `.pexsnap`), so an edited tenant
+        // stays resident until it is force-reloaded or persisted.
         if let Some(budget) = self.max_bytes {
             while inner.resident_bytes > budget && inner.tenants.len() > 1 {
                 let victim = inner
                     .tenants
                     .iter()
-                    .filter(|(name, _)| name.as_str() != project)
+                    .filter(|(name, e)| name.as_str() != project && !e.dirty)
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(name, _)| name.clone());
                 let Some(victim) = victim else { break };
@@ -298,7 +409,7 @@ impl SnapshotRegistry {
     pub fn insert(&self, project: &str, snapshot: Arc<Snapshot>) -> Result<(), String> {
         validate_project_id(project)?;
         let bytes = snapshot.approx_bytes();
-        self.admit(project, snapshot, bytes);
+        self.admit(project, snapshot, bytes, false);
         Ok(())
     }
 
@@ -306,13 +417,34 @@ impl SnapshotRegistry {
     /// `--snapshot-dir` file, or the default tenant's boot source) and
     /// atomically flips the `Arc`. In-flight requests drain against the
     /// old snapshot; zero requests are dropped.
-    pub fn reload(&self, project: Option<&str>) -> Result<ReloadInfo, String> {
+    ///
+    /// A tenant carrying incremental edits (see
+    /// [`SnapshotRegistry::update`]) refuses a plain reload with
+    /// [`ReloadError::Dirty`] — rebuilding from the origin would silently
+    /// revert the edits. Pass `force: true` to discard them explicitly;
+    /// the returned [`ReloadInfo::discarded_edits`] records that it
+    /// happened.
+    pub fn reload(&self, project: Option<&str>, force: bool) -> Result<ReloadInfo, ReloadError> {
+        // Hold the update lock so a reload cannot interleave with an
+        // in-flight edit's read-patch-swap (the edit would resurrect the
+        // pre-reload snapshot).
+        let _edits = self.update_lock.lock().expect("update lock");
         match project.filter(|p| *p != DEFAULT_TENANT) {
             None => {
-                let fresh = self.origin.rebuild()?;
+                let was_dirty = {
+                    let inner = self.inner.lock().expect("registry lock");
+                    inner.default_dirty
+                };
+                if was_dirty && !force {
+                    return Err(ReloadError::Dirty {
+                        project: DEFAULT_TENANT.to_owned(),
+                    });
+                }
+                let fresh = self.origin.rebuild().map_err(ReloadError::Failed)?;
                 let bytes = fresh.approx_bytes();
                 let mut inner = self.inner.lock().expect("registry lock");
                 inner.default = fresh;
+                inner.default_dirty = false;
                 drop(inner);
                 self.default_generation.fetch_add(1, Ordering::Release);
                 pex_obs::counter!("serve.registry.reloads", 1);
@@ -321,22 +453,124 @@ impl SnapshotRegistry {
                     project: DEFAULT_TENANT.to_owned(),
                     bytes,
                     swapped: true,
+                    discarded_edits: was_dirty,
                 })
             }
             Some(project) => {
-                validate_project_id(project)?;
-                let (snapshot, bytes) = self.load_from_dir(project)?;
-                let swapped = {
+                validate_project_id(project).map_err(ReloadError::Failed)?;
+                let (swapped, was_dirty) = {
                     let inner = self.inner.lock().expect("registry lock");
-                    inner.tenants.contains_key(project)
+                    match inner.tenants.get(project) {
+                        Some(e) => (true, e.dirty),
+                        None => (false, false),
+                    }
                 };
-                self.admit(project, snapshot, bytes);
+                if was_dirty && !force {
+                    return Err(ReloadError::Dirty {
+                        project: project.to_owned(),
+                    });
+                }
+                let (snapshot, bytes) = self.load_from_dir(project).map_err(ReloadError::Failed)?;
+                self.admit(project, snapshot, bytes, false);
                 pex_obs::counter!("serve.registry.reloads", 1);
                 tenant_counter(project, "reloads", 1);
                 Ok(ReloadInfo {
                     project: project.to_owned(),
                     bytes,
                     swapped,
+                    discarded_edits: was_dirty,
+                })
+            }
+        }
+    }
+
+    /// Applies a batch of incremental edits to a tenant and atomically
+    /// swaps the patched snapshot in. Each edit is one mini-C# unit that
+    /// is re-resolved against the current snapshot; derived state
+    /// (conversion rows, candidate memo cells, successor/reach memos) is
+    /// invalidated surgically — see [`Snapshot::apply_update`].
+    ///
+    /// The batch is atomic: if any edit fails to parse or resolve, the
+    /// whole batch is discarded and the tenant's snapshot is untouched.
+    /// Edits serialize against each other and against `reload` via the
+    /// update lock; queries never block. For the default tenant the swap
+    /// bumps the generation counter so workers re-pin — in-flight
+    /// requests drain on the pre-edit snapshot with zero drops, exactly
+    /// like a reload.
+    pub fn update(
+        &self,
+        project: Option<&str>,
+        sources: &[String],
+    ) -> Result<UpdateInfo, UpdateError> {
+        if sources.is_empty() {
+            return Err(UpdateError::Failed(
+                "update requires a `source` string or a non-empty `edits` array".to_owned(),
+            ));
+        }
+        let _edits = self.update_lock.lock().expect("update lock");
+        match project.filter(|p| *p != DEFAULT_TENANT) {
+            None => {
+                let base = self.default_snapshot();
+                let (patched, stats) = apply_edits(&base, sources)?;
+                let Some(patched) = patched else {
+                    // Whole batch was a no-op: snapshot untouched, no swap,
+                    // no generation bump, nothing invalidated.
+                    return Ok(UpdateInfo {
+                        project: DEFAULT_TENANT.to_owned(),
+                        applied: sources.len(),
+                        noop: true,
+                        bytes: base.approx_bytes(),
+                        generation: self.default_generation(),
+                        stats,
+                    });
+                };
+                let patched = Arc::new(patched);
+                let bytes = patched.approx_bytes();
+                let mut inner = self.inner.lock().expect("registry lock");
+                inner.default = patched;
+                inner.default_dirty = true;
+                drop(inner);
+                let generation = self.default_generation.fetch_add(1, Ordering::Release) + 1;
+                pex_obs::counter!("serve.registry.updates", 1);
+                tenant_counter(DEFAULT_TENANT, "updates", 1);
+                Ok(UpdateInfo {
+                    project: DEFAULT_TENANT.to_owned(),
+                    applied: sources.len(),
+                    noop: false,
+                    bytes,
+                    generation,
+                    stats,
+                })
+            }
+            Some(project) => {
+                // `get` lazily loads the tenant if needed, so an update can
+                // target a snapshot-dir tenant that has never served.
+                let base = self.get(Some(project)).map_err(UpdateError::Failed)?;
+                let (patched, stats) = apply_edits(&base, sources)?;
+                let Some(patched) = patched else {
+                    return Ok(UpdateInfo {
+                        project: project.to_owned(),
+                        applied: sources.len(),
+                        noop: true,
+                        bytes: base.approx_bytes(),
+                        generation: 0,
+                        stats,
+                    });
+                };
+                let patched = Arc::new(patched);
+                // Re-account at in-memory size: the on-disk `.pexsnap`
+                // length no longer describes this tenant.
+                let bytes = patched.approx_bytes();
+                self.admit(project, patched, bytes, true);
+                pex_obs::counter!("serve.registry.updates", 1);
+                tenant_counter(project, "updates", 1);
+                Ok(UpdateInfo {
+                    project: project.to_owned(),
+                    applied: sources.len(),
+                    noop: false,
+                    bytes,
+                    generation: 0,
+                    stats,
                 })
             }
         }
@@ -358,6 +592,7 @@ impl SnapshotRegistry {
             project: DEFAULT_TENANT.to_owned(),
             bytes: 0,
             pinned: true,
+            dirty: inner.default_dirty,
         }];
         let mut named: Vec<TenantInfo> = inner
             .tenants
@@ -366,6 +601,7 @@ impl SnapshotRegistry {
                 project: name.clone(),
                 bytes: e.bytes,
                 pinned: false,
+                dirty: e.dirty,
             })
             .collect();
         named.sort_by(|a, b| a.project.cmp(&b.project));
@@ -382,6 +618,29 @@ impl SnapshotRegistry {
     pub fn max_bytes(&self) -> Option<u64> {
         self.max_bytes
     }
+}
+
+/// Folds a batch of edits over a base snapshot. Returns `Ok((None, _))`
+/// when every edit was a no-op. Intermediate snapshots are dropped as
+/// soon as the next edit lands; an error anywhere discards the batch.
+fn apply_edits(
+    base: &Arc<Snapshot>,
+    sources: &[String],
+) -> Result<(Option<Snapshot>, UpdateStats), UpdateError> {
+    let mut stats = UpdateStats {
+        noop: true,
+        ..UpdateStats::default()
+    };
+    let mut current: Option<Snapshot> = None;
+    for source in sources {
+        let working = current.as_ref().unwrap_or(base);
+        let (next, step) = working.apply_update(source)?;
+        stats.absorb(&step);
+        if let Some(next) = next {
+            current = Some(next);
+        }
+    }
+    Ok((current, stats))
 }
 
 /// Bumps `serve.tenant.<project>.<suffix>` (dynamic-name counter; the
@@ -529,7 +788,7 @@ mod tests {
         );
         // Named tenant: the resident Arc is replaced; old clones live on.
         let before = registry.get(Some("alpha")).unwrap();
-        let info = registry.reload(Some("alpha")).unwrap();
+        let info = registry.reload(Some("alpha"), false).unwrap();
         assert!(info.swapped);
         assert_eq!(info.project, "alpha");
         let after = registry.get(Some("alpha")).unwrap();
@@ -538,12 +797,13 @@ mod tests {
         // Reloading a non-resident tenant is a first load, not a swap.
         let registry2 =
             SnapshotRegistry::new(paint(), DefaultOrigin::Fixed, Some(dir.clone()), None);
-        assert!(!registry2.reload(Some("alpha")).unwrap().swapped);
+        assert!(!registry2.reload(Some("alpha"), false).unwrap().swapped);
         // Default tenant: rebuilt from the boot source, generation bumps.
         let d0 = registry.default_snapshot();
         let gen0 = registry.default_generation();
-        let info = registry.reload(None).unwrap();
+        let info = registry.reload(None, false).unwrap();
         assert_eq!(info.project, DEFAULT_TENANT);
+        assert!(!info.discarded_edits);
         assert!(!Arc::ptr_eq(&d0, &registry.default_snapshot()));
         assert_eq!(registry.default_generation(), gen0 + 1);
         std::fs::remove_dir_all(&dir).ok();
@@ -552,8 +812,152 @@ mod tests {
     #[test]
     fn fixed_default_origin_cannot_reload() {
         let registry = SnapshotRegistry::single(paint());
-        let err = registry.reload(None).unwrap_err();
-        assert!(err.contains("no reload origin"), "{err}");
+        let err = registry.reload(None, false).unwrap_err();
+        assert!(err.to_string().contains("no reload origin"), "{err}");
+    }
+
+    /// The `DocumentUtils` fragment exactly as the paint corpus declares
+    /// it — re-resolving it against the paint snapshot is a no-op.
+    const DOCUTILS_NOOP: &str = r#"
+namespace PaintDotNet.Client {
+    class DocumentUtils {
+        static PaintDotNet.Document Normalize(PaintDotNet.Document d) { return d; }
+        static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; }
+    }
+}
+"#;
+
+    /// Same surface, different `Normalize` body: a signature-identical
+    /// body edit.
+    const DOCUTILS_BODY_EDIT: &str = r#"
+namespace PaintDotNet.Client {
+    class DocumentUtils {
+        static PaintDotNet.Document Normalize(PaintDotNet.Document d) { return PaintDotNet.Client.DocumentUtils.Normalize(d); }
+        static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; }
+    }
+}
+"#;
+
+    #[test]
+    fn update_marks_dirty_and_gates_reload_behind_force() {
+        let registry = SnapshotRegistry::new(
+            paint(),
+            DefaultOrigin::Source {
+                source: SnapshotSource::Paint,
+                locals: Vec::new(),
+            },
+            None,
+            None,
+        );
+        let before = registry.default_snapshot();
+        let gen0 = registry.default_generation();
+        let info = registry
+            .update(None, &[DOCUTILS_BODY_EDIT.to_owned()])
+            .unwrap();
+        assert!(!info.noop);
+        assert_eq!(info.project, DEFAULT_TENANT);
+        assert_eq!(info.applied, 1);
+        assert_eq!(registry.default_generation(), gen0 + 1, "workers re-pin");
+        assert!(
+            !Arc::ptr_eq(&before, &registry.default_snapshot()),
+            "the edit swapped the Arc; in-flight requests drain on `before`"
+        );
+        assert!(registry.describe()[0].dirty);
+        // A plain reload refuses rather than silently reverting the edit.
+        let err = registry.reload(None, false).unwrap_err();
+        assert_eq!(
+            err,
+            ReloadError::Dirty {
+                project: DEFAULT_TENANT.to_owned()
+            }
+        );
+        // A forced reload discards explicitly and clears the dirty flag.
+        let info = registry.reload(None, true).unwrap();
+        assert!(info.discarded_edits);
+        assert!(!registry.describe()[0].dirty);
+    }
+
+    #[test]
+    fn noop_updates_touch_nothing() {
+        let registry = SnapshotRegistry::single(paint());
+        let before = registry.default_snapshot();
+        let gen0 = registry.default_generation();
+        let info = registry.update(None, &[DOCUTILS_NOOP.to_owned()]).unwrap();
+        assert!(info.noop);
+        assert_eq!(info.stats.invalidated.total(), 0, "zero invalidations");
+        assert_eq!(registry.default_generation(), gen0, "no generation bump");
+        assert!(Arc::ptr_eq(&before, &registry.default_snapshot()));
+        assert!(!registry.describe()[0].dirty);
+    }
+
+    #[test]
+    fn failed_updates_leave_the_snapshot_untouched() {
+        let registry = SnapshotRegistry::single(paint());
+        let before = registry.default_snapshot();
+        let err = registry
+            .update(None, &["namespace X { class ".to_owned()])
+            .unwrap_err();
+        let UpdateError::Parse { line, col, .. } = &err else {
+            panic!("parse error expected: {err}")
+        };
+        assert!(*line >= 1 && *col >= 1, "1-based position: {err}");
+        assert!(Arc::ptr_eq(&before, &registry.default_snapshot()));
+        assert!(!registry.describe()[0].dirty);
+        // A batch is atomic: a bad edit discards the good ones before it.
+        let err = registry
+            .update(None, &[DOCUTILS_BODY_EDIT.to_owned(), "garbled".to_owned()])
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Parse { .. }), "{err}");
+        assert!(Arc::ptr_eq(&before, &registry.default_snapshot()));
+        // An empty batch is refused up front.
+        let err = registry.update(None, &[]).unwrap_err();
+        assert!(matches!(err, UpdateError::Failed(_)), "{err}");
+    }
+
+    #[test]
+    fn named_tenant_updates_reaccount_bytes_and_resist_eviction() {
+        let dir = tenant_dir("update", &["a", "b", "c"]);
+        let one = std::fs::metadata(dir.join("a.pexsnap")).unwrap().len();
+        let registry = SnapshotRegistry::new(
+            paint(),
+            DefaultOrigin::Fixed,
+            Some(dir.clone()),
+            Some(one * 2),
+        );
+        registry.get(Some("a")).unwrap();
+        let info = registry
+            .update(Some("a"), &[DOCUTILS_BODY_EDIT.to_owned()])
+            .unwrap();
+        assert!(!info.noop);
+        let edited = registry.get(Some("a")).unwrap();
+        // Accounting switched from the stale file length to the live
+        // in-memory size.
+        assert_eq!(info.bytes, edited.approx_bytes());
+        assert!(registry
+            .describe()
+            .iter()
+            .any(|t| t.project == "a" && t.dirty));
+        // Under LRU pressure `a` would be the oldest victim, but dirty
+        // tenants are exempt — evicting one would silently discard edits.
+        registry.get(Some("b")).unwrap();
+        registry.get(Some("c")).unwrap();
+        assert!(
+            registry.resident_names().contains(&"a".to_owned()),
+            "dirty tenant survived eviction pressure: {:?}",
+            registry.resident_names()
+        );
+        // Reload gating works per-tenant, and force reverts to the file.
+        let err = registry.reload(Some("a"), false).unwrap_err();
+        assert!(matches!(err, ReloadError::Dirty { .. }), "{err}");
+        let info = registry.reload(Some("a"), true).unwrap();
+        assert!(info.discarded_edits);
+        let reverted = registry.get(Some("a")).unwrap();
+        assert!(!Arc::ptr_eq(&edited, &reverted));
+        assert!(registry
+            .describe()
+            .iter()
+            .all(|t| t.project != "a" || !t.dirty));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -394,13 +394,46 @@ fn handle_job(
             ),
             Disposition::Ok,
         ),
-        Ok(Request::Reload { id, project }) => match ctx.registry.reload(project.as_deref()) {
-            Ok(info) => (proto::reload_response(id.as_ref(), &info), Disposition::Ok),
-            Err(msg) => (
-                proto::error_response(id.as_ref(), "reload_failed", &msg),
-                Disposition::Error,
-            ),
-        },
+        Ok(Request::Reload { id, project, force }) => {
+            match ctx.registry.reload(project.as_deref(), force) {
+                Ok(info) => (proto::reload_response(id.as_ref(), &info), Disposition::Ok),
+                Err(e @ crate::registry::ReloadError::Dirty { .. }) => (
+                    proto::error_response(id.as_ref(), "dirty", &e.to_string()),
+                    Disposition::Error,
+                ),
+                Err(crate::registry::ReloadError::Failed(msg)) => (
+                    proto::error_response(id.as_ref(), "reload_failed", &msg),
+                    Disposition::Error,
+                ),
+            }
+        }
+        Ok(Request::Update { id, project, edits }) => {
+            pex_obs::counter!("serve.edits.received", 1);
+            match ctx.registry.update(project.as_deref(), &edits) {
+                Ok(info) => {
+                    pex_obs::counter!("serve.edits.applied", 1);
+                    if info.noop {
+                        pex_obs::counter!("serve.edits.noop", 1);
+                    }
+                    crate::registry::tenant_counter(&info.project, "edits.applied", 1);
+                    (proto::update_response(id.as_ref(), &info), Disposition::Ok)
+                }
+                Err(e) => {
+                    pex_obs::counter!("serve.edits.rejected", 1);
+                    let tenant = project.as_deref().unwrap_or(DEFAULT_TENANT);
+                    crate::registry::tenant_counter(tenant, "edits.rejected", 1);
+                    let response = match e {
+                        crate::registry::UpdateError::Parse { line, col, message } => {
+                            proto::parse_error_response(id.as_ref(), line, col, &message)
+                        }
+                        crate::registry::UpdateError::Failed(msg) => {
+                            proto::error_response(id.as_ref(), "update_failed", &msg)
+                        }
+                    };
+                    (response, Disposition::Error)
+                }
+            }
+        }
         Ok(Request::Shutdown { id }) => {
             ctx.shutdown_flag.store(true, Ordering::Relaxed);
             (proto::shutdown_response(id.as_ref()), Disposition::Ok)
@@ -623,6 +656,105 @@ mod tests {
                 .contains("ResizeDocument"));
         }
         assert_eq!(seen.len(), N, "every request answered exactly once");
+        s.shutdown();
+    }
+
+    /// One round-trip: submit a line, wait for its response.
+    fn roundtrip(s: &Server, line: &str) -> Value {
+        let (tx, rx) = channel();
+        s.submit(line.to_owned(), &tx);
+        let resp = rx.recv_timeout(std::time::Duration::from_secs(60)).unwrap();
+        json::parse(&resp).unwrap_or_else(|e| panic!("bad response {resp}: {e}"))
+    }
+
+    #[test]
+    fn updates_flip_completions_and_report_surgical_invalidations() {
+        let s = server(2, 64);
+        let query = r#"{"id":1,"query":"?({img, size})","limit":3}"#;
+        let top_expr = |doc: &Value| -> String {
+            let Some(Value::Arr(completions)) = doc.get("completions") else {
+                panic!("completions expected: {doc}")
+            };
+            completions[0]
+                .get("expr")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_owned()
+        };
+        let before = roundtrip(&s, query);
+        assert!(top_expr(&before).contains("ResizeDocument"), "{before}");
+        // Change `Normalize`'s return type: the abstract-type boost that
+        // puts ResizeDocument first flows through `Normalize(doc)`, so
+        // the edit demotes it — the paper query's answer changes.
+        let unit = r#"namespace PaintDotNet.Client { class DocumentUtils { static System.Drawing.Size Normalize(PaintDotNet.Document d); static System.Drawing.Size Clamp(System.Drawing.Size s) { return s; } } }"#;
+        let update = format!(
+            "{{\"id\":2,\"cmd\":\"update\",\"source\":\"{}\"}}",
+            json::escape(unit)
+        );
+        let doc = roundtrip(&s, &update);
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{doc}");
+        assert_eq!(doc.get("noop"), Some(&Value::Bool(false)));
+        let invalidated = doc.get("invalidated").expect("invalidation report");
+        assert!(
+            invalidated
+                .get("candidates")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0,
+            "a signature change must invalidate candidate memo rows: {doc}"
+        );
+        let after = roundtrip(&s, query);
+        assert_ne!(
+            top_expr(&before),
+            top_expr(&after),
+            "the edit must change the paper query's top completion"
+        );
+        // Re-sending the same unit is a no-op: zero invalidations.
+        let doc = roundtrip(&s, &update);
+        assert_eq!(doc.get("noop"), Some(&Value::Bool(true)), "{doc}");
+        let invalidated = doc.get("invalidated").expect("invalidation report");
+        for key in ["chains", "candidates", "conversions", "reach"] {
+            assert_eq!(
+                invalidated.get(key).and_then(Value::as_u64),
+                Some(0),
+                "no-op update invalidated {key}: {doc}"
+            );
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn garbled_updates_answer_parse_error_and_change_nothing() {
+        let s = server(2, 64);
+        let query = r#"{"id":1,"query":"?({img, size})","limit":5}"#;
+        let before = roundtrip(&s, query);
+        let doc = roundtrip(
+            &s,
+            r#"{"id":2,"cmd":"update","source":"namespace X {\n  class Broken {"}"#,
+        );
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)), "{doc}");
+        assert_eq!(
+            doc.get("error").and_then(Value::as_str),
+            Some("parse_error"),
+            "{doc}"
+        );
+        assert!(
+            doc.get("line").and_then(Value::as_u64).unwrap() >= 1,
+            "{doc}"
+        );
+        assert!(
+            doc.get("col").and_then(Value::as_u64).unwrap() >= 1,
+            "{doc}"
+        );
+        // The snapshot is untouched: the same query answers with the
+        // byte-identical completion list (exprs, scores, order).
+        let after = roundtrip(&s, query);
+        assert_eq!(
+            before.get("completions"),
+            after.get("completions"),
+            "completions changed across a rejected update"
+        );
+        assert_eq!(before.get("outcome"), after.get("outcome"));
         s.shutdown();
     }
 
@@ -888,7 +1020,14 @@ mod tests {
             None,
             None,
         ));
-        let s = Server::start(Arc::clone(&registry), ServeConfig::default());
+        // Explicit queue headroom: on a single-core runner the default
+        // cap (workers * 16) can be exactly the burst size, and whether
+        // the lone worker drains a slot mid-burst is a scheduler race.
+        let config = ServeConfig {
+            queue_cap: 64,
+            ..ServeConfig::default()
+        };
+        let s = Server::start(Arc::clone(&registry), config);
         let (tx, rx) = channel();
         let timeout = std::time::Duration::from_secs(60);
         const BEFORE: usize = 8;

@@ -11,8 +11,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use pex_abstract::AbsTypes;
-use pex_core::{EngineCache, MethodIndex, ReachIndex};
+use pex_core::{EngineCache, InvalidationStats, MethodIndex, ReachIndex};
 use pex_corpus::builtin;
+use pex_model::minics::MiniCsError;
 use pex_model::{Context, Database, Local, MethodId};
 
 /// Where a snapshot's code model comes from.
@@ -47,6 +48,46 @@ impl SnapshotSource {
             SnapshotSource::FamilyShow => "familyshow".into(),
             SnapshotSource::File(p) => p.display().to_string(),
         }
+    }
+}
+
+/// What one incremental update did to a snapshot: the model-level edit
+/// accounting plus exactly how much derived state it invalidated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// The update changed nothing: no new snapshot was produced and zero
+    /// cache entries were invalidated.
+    pub noop: bool,
+    /// Per-cache invalidation counts (all zero for a no-op or a pure
+    /// body edit).
+    pub invalidated: InvalidationStats,
+    /// Types declared by the update that did not exist before.
+    pub types_added: usize,
+    /// Members added by the update.
+    pub members_added: usize,
+    /// Members tombstoned by the update.
+    pub members_removed: usize,
+    /// Member signatures overwritten in place.
+    pub signatures_changed: usize,
+    /// Method bodies changed under an untouched signature.
+    pub bodies_edited: usize,
+}
+
+impl UpdateStats {
+    /// Folds another edit's stats into this one (batch `edits` form).
+    pub fn absorb(&mut self, other: &UpdateStats) {
+        self.noop = self.noop && other.noop;
+        self.invalidated.chains += other.invalidated.chains;
+        self.invalidated.chains_kept += other.invalidated.chains_kept;
+        self.invalidated.candidates += other.invalidated.candidates;
+        self.invalidated.candidates_kept += other.invalidated.candidates_kept;
+        self.invalidated.conversions += other.invalidated.conversions;
+        self.invalidated.reach_rebuilt |= other.invalidated.reach_rebuilt;
+        self.types_added += other.types_added;
+        self.members_added += other.members_added;
+        self.members_removed += other.members_removed;
+        self.signatures_changed += other.signatures_changed;
+        self.bodies_edited += other.bodies_edited;
     }
 }
 
@@ -149,6 +190,70 @@ impl Snapshot {
             let _ = self.index.candidates_for_cached(&self.db, ty);
         }
         pex_obs::counter!("serve.snapshot.prewarmed", 1);
+    }
+
+    /// Applies one incremental source update, producing a **new** snapshot
+    /// that shares every cache entry the edit provably left valid (see
+    /// [`pex_core::refresh_derived`]); `self` is never touched, so a parse
+    /// or resolution error leaves the serving snapshot byte-identical and
+    /// in-flight requests keep draining against it — the same discipline
+    /// as a registry hot swap.
+    ///
+    /// Returns `(None, stats)` when the update is a no-op (the caller
+    /// keeps serving the existing snapshot and reports zero
+    /// invalidations), or `(Some(snapshot), stats)` with the patched
+    /// snapshot otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Any mini-C# parse or resolution error, with its 1-based source
+    /// position — the protocol layer renders it as a `parse_error`.
+    pub fn apply_update(
+        &self,
+        source: &str,
+    ) -> Result<(Option<Snapshot>, UpdateStats), MiniCsError> {
+        let _span = pex_obs::span("serve.snapshot.update");
+        let (mut db, diff) = pex_model::minics::apply_update(&self.db, source)?;
+        let mut stats = UpdateStats {
+            noop: diff.is_noop(),
+            types_added: diff.types_added,
+            members_added: diff.members_added,
+            members_removed: diff.members_removed,
+            signatures_changed: diff.signatures_changed,
+            bodies_edited: diff.body_edited.len(),
+            ..UpdateStats::default()
+        };
+        if stats.noop {
+            pex_obs::counter!("serve.snapshot.update.noops", 1);
+            return Ok((None, stats));
+        }
+        let (index, reach, cache, invalidated) = pex_core::refresh_derived(
+            &self.db,
+            &mut db,
+            &self.index,
+            &self.reach,
+            &self.cache,
+            &diff,
+        );
+        stats.invalidated = invalidated;
+        let snapshot = Snapshot {
+            db,
+            index,
+            reach,
+            default_ctx: self.default_ctx.clone(),
+            enclosing: self.enclosing,
+            cache,
+            name: self.name.clone(),
+        };
+        // Refill only what the edit dropped: carried memo cells hit their
+        // OnceLock, so prewarm cost is proportional to the dirty set — and
+        // a zero-invalidation edit (body-only) carried everything, so the
+        // sweep itself can be skipped.
+        if stats.invalidated.total() > 0 || stats.invalidated.reach_rebuilt {
+            snapshot.prewarm();
+        }
+        pex_obs::counter!("serve.snapshot.update.applied", 1);
+        Ok((Some(snapshot), stats))
     }
 
     /// A coarse estimate of this snapshot's resident size in bytes, for

@@ -43,9 +43,13 @@ fn every_single_bit_flip_is_a_clean_error() {
 fn future_versions_are_rejected_with_guidance() {
     let mut bytes = paint_bytes();
     // The version field sits right after the 8 magic bytes (u32 LE).
-    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let future = persist::VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
     let err = persist::from_bytes(&bytes).unwrap_err();
-    assert!(err.contains("unsupported snapshot version 2"), "{err}");
+    assert!(
+        err.contains(&format!("unsupported snapshot version {future}")),
+        "{err}"
+    );
     assert!(err.contains("--save-snapshot"), "{err}");
 }
 

@@ -83,6 +83,73 @@ impl ConversionIndex {
         }
     }
 
+    /// Rebuilds the index after an incremental hierarchy edit, reusing
+    /// every row of `old` whose conversion closure avoids the dirty set.
+    ///
+    /// A row can only change when its old target list contains a dirty
+    /// type: edge changes happen only *at* dirty types, a type is its own
+    /// distance-0 target, and any ancestor whose edges changed is in the
+    /// old list. A type whose new closure gains a dirty member must have
+    /// an old-closure member that changed edges — itself dirty and in the
+    /// old list. Types the old index never covered (freshly declared) are
+    /// always recomputed. Returns the index and the recomputed row count.
+    pub fn rebuild_partial(
+        table: &TypeTable,
+        old: &ConversionIndex,
+        dirty: &[TypeId],
+    ) -> (Self, usize) {
+        pex_obs::counter!("convindex.partial_rebuilds", 1);
+        let n = table.len();
+        let mut is_dirty = vec![false; n];
+        for &d in dirty {
+            is_dirty[d.index()] = true;
+        }
+        let mut memo: Vec<Option<Vec<(TypeId, u32)>>> = vec![None; n];
+        let mut reused = 0usize;
+        for t in table.iter() {
+            if let Some(row) = old.targets.get(t.index()) {
+                if !row.iter().any(|&(u, _)| is_dirty[u.index()]) {
+                    memo[t.index()] = Some(row.clone());
+                    reused += 1;
+                }
+            }
+        }
+        for root in table.iter() {
+            Self::ensure(table, root, &mut memo);
+        }
+        let targets: Vec<Vec<(TypeId, u32)>> = memo
+            .into_iter()
+            .map(|list| list.expect("every type visited"))
+            .collect();
+        let by_id: Vec<Vec<(TypeId, u32)>> = targets
+            .iter()
+            .map(|list| {
+                let mut v = list.clone();
+                v.sort_unstable_by_key(|&(t, _)| t);
+                v
+            })
+            .collect();
+        let words = n.div_ceil(64);
+        let convertible = by_id
+            .iter()
+            .map(|list| {
+                let mut bits = vec![0u64; words];
+                for &(t, _) in list {
+                    bits[t.index() / 64] |= 1u64 << (t.index() % 64);
+                }
+                bits
+            })
+            .collect();
+        (
+            ConversionIndex {
+                targets,
+                by_id,
+                convertible,
+            },
+            n - reused,
+        )
+    }
+
     /// Computes `memo[t]` bottom-up with an explicit stack (hierarchies can
     /// be deep enough that recursion is not worth risking).
     fn ensure(table: &TypeTable, t: TypeId, memo: &mut [Option<Vec<(TypeId, u32)>>]) {

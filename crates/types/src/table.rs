@@ -1,7 +1,7 @@
 //! The type table: an arena of type definitions plus hierarchy maintenance.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::wire::{Reader, WireError, WireResult, Writer};
 use crate::{
@@ -36,7 +36,10 @@ pub struct TypeTable {
     prims: [TypeId; PrimKind::ALL.len()],
     /// Lazily built conversion cache; cleared by every hierarchy mutator
     /// so it can never go stale (all mutators take `&mut self`).
-    conv: OnceLock<ConversionIndex>,
+    // Arc-shared so cloning a table (the incremental-update path
+    // patches a clone) shares the memoized index instead of deep-
+    // copying every distance row; hierarchy mutators still drop it.
+    conv: OnceLock<Arc<ConversionIndex>>,
 }
 
 impl Default for TypeTable {
@@ -262,6 +265,25 @@ impl TypeTable {
     /// (the paper's `DateTime` example).
     pub fn set_comparable(&mut self, ty: TypeId, comparable: bool) {
         self.types[ty.index()].comparable = comparable;
+    }
+
+    /// Drops a type's declared base class and interface list so an
+    /// incremental update can re-apply a changed base list from scratch.
+    /// Clears the memoized conversion index like every hierarchy mutator.
+    pub fn clear_supertypes(&mut self, ty: TypeId) {
+        if let TypeKind::Class { base } = &mut self.types[ty.index()].kind {
+            *base = None;
+        }
+        self.types[ty.index()].interfaces.clear();
+        self.conv.take();
+    }
+
+    /// Installs a prebuilt conversion index (the incremental update path
+    /// swaps in a [`ConversionIndex::rebuild_partial`] result instead of
+    /// paying a cold [`ConversionIndex::build`] on next access).
+    pub fn set_conversion_index(&mut self, index: ConversionIndex) {
+        self.conv.take();
+        let _ = self.conv.set(Arc::new(index));
     }
 
     /// The definition behind an id.
@@ -490,7 +512,7 @@ impl TypeTable {
         let conv = OnceLock::new();
         if r.get_bool("conversion index presence flag")? {
             let index = ConversionIndex::decode(r, count)?;
-            let _ = conv.set(index);
+            let _ = conv.set(Arc::new(index));
         }
         Ok(TypeTable {
             namespaces,
@@ -508,7 +530,8 @@ impl TypeTable {
     /// engine hot paths can also hold it directly to skip the `OnceLock`
     /// read per call.
     pub fn conversion_index(&self) -> &ConversionIndex {
-        self.conv.get_or_init(|| ConversionIndex::build(self))
+        self.conv
+            .get_or_init(|| Arc::new(ConversionIndex::build(self)))
     }
 }
 
